@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Design-space exploration: run all four operators on all six evaluated
+ * systems and print the full speedup/efficiency matrix -- the example a
+ * systems researcher would start from when extending the Mondrian Data
+ * Engine (new operators, different geometries, skewed keys).
+ *
+ * Usage: design_space [log2_tuples] [zipf_theta]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "system/report.hh"
+#include "system/runner.hh"
+
+using namespace mondrian;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    WorkloadConfig wl;
+    wl.tuples = 1ull << (argc > 1 ? std::atoi(argv[1]) : 15);
+    wl.zipfTheta = argc > 2 ? std::atof(argv[2]) : 0.0;
+
+    std::printf("Design space: 4 operators x 6 systems, %llu tuples%s\n\n",
+                static_cast<unsigned long long>(wl.tuples),
+                wl.zipfTheta > 0 ? " (Zipf-skewed keys)" : "");
+
+    Runner runner(wl);
+    const OpKind ops[] = {OpKind::kScan, OpKind::kSort, OpKind::kGroupBy,
+                          OpKind::kJoin};
+    const SystemKind systems[] = {
+        SystemKind::kNmp,     SystemKind::kNmpPerm,
+        SystemKind::kNmpSeq,  SystemKind::kMondrianNoperm,
+        SystemKind::kMondrian};
+
+    std::vector<std::vector<std::string>> table;
+    table.push_back({"operator", "system", "speedup", "partition",
+                     "probe", "perf/W", "GB/s/vault(probe)"});
+    for (OpKind op : ops) {
+        RunResult cpu = runner.run(SystemKind::kCpu, op);
+        table.push_back({opKindName(op), "cpu", "1.0x", "1.0x", "1.0x",
+                         "1.0x", fmt(cpu.probeVaultBWGBps)});
+        for (SystemKind k : systems) {
+            RunResult r = runner.run(k, op);
+            std::string part =
+                r.partitionTime > 0 ? fmt(partitionSpeedup(cpu, r), 1) + "x"
+                                    : "-";
+            table.push_back({opKindName(op), r.system,
+                             fmt(overallSpeedup(cpu, r), 1) + "x", part,
+                             fmt(probeSpeedup(cpu, r), 1) + "x",
+                             fmt(efficiencyImprovement(cpu, r), 1) + "x",
+                             fmt(r.probeVaultBWGBps)});
+        }
+    }
+    std::printf("%s", renderTable(table).c_str());
+    return 0;
+}

@@ -1,0 +1,80 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mondrian {
+
+namespace {
+bool g_verbose = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+namespace {
+
+void
+vreport(const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (!g_verbose)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+} // namespace mondrian

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  -- an internal invariant was violated (simulator bug); aborts.
+ * fatal()  -- the user asked for something impossible (bad config); exits.
+ * warn()   -- behaviour is approximate but usable.
+ * inform() -- plain status output.
+ */
+
+#ifndef MONDRIAN_COMMON_LOGGING_HH
+#define MONDRIAN_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mondrian {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+#define panic(...) ::mondrian::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::mondrian::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::mondrian::warnImpl(__VA_ARGS__)
+#define inform(...) ::mondrian::informImpl(__VA_ARGS__)
+
+/** panic() unless the invariant holds. */
+#define sim_assert(cond)                                                      \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            panic("assertion failed: %s", #cond);                             \
+    } while (0)
+
+} // namespace mondrian
+
+#endif // MONDRIAN_COMMON_LOGGING_HH

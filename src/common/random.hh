@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every workload generator and test uses this xoshiro256** engine so runs
+ * are reproducible across platforms (std::mt19937 would also work, but a
+ * self-contained engine keeps the simulator independent of libstdc++
+ * distribution details).
+ */
+
+#ifndef MONDRIAN_COMMON_RANDOM_HH
+#define MONDRIAN_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace mondrian {
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound) using Lemire's rejection method. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Reseed the engine deterministically. */
+    void seed(std::uint64_t seed);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_COMMON_RANDOM_HH

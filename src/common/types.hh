@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared across the simulator.
+ *
+ * The simulation clock counts picoseconds (Tick). Using a sub-nanosecond
+ * base unit lets the 2 GHz CPU, 1 GHz NMP cores, 10 GHz SerDes links and the
+ * 1.6 ns DRAM clock all tick on exact integer boundaries.
+ */
+
+#ifndef MONDRIAN_COMMON_TYPES_HH
+#define MONDRIAN_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace mondrian {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Physical byte address in the flat NMP address space. */
+using Addr = std::uint64_t;
+
+/** Cycle count within some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick kTickNever = ~Tick{0};
+
+/** Ticks per common time units. */
+constexpr Tick kPicosecond = 1;
+constexpr Tick kNanosecond = 1000;
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Byte-size helpers. */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/** Convert a frequency in MHz to a clock period in ticks. */
+constexpr Tick
+periodFromMHz(std::uint64_t mhz)
+{
+    return kSecond / (mhz * 1000 * 1000);
+}
+
+/** Convert ticks to (floating-point) seconds, for reporting. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Bandwidth in GB/s given bytes moved over a tick interval. */
+constexpr double
+bytesPerTickToGBps(double bytes, Tick interval)
+{
+    if (interval == 0)
+        return 0.0;
+    // 1 byte/ns == 1 GB/s; ticks are picoseconds.
+    return 1000.0 * bytes / static_cast<double>(interval);
+}
+
+} // namespace mondrian
+
+#endif // MONDRIAN_COMMON_TYPES_HH

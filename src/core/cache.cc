@@ -1,0 +1,108 @@
+#include "core/cache.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mondrian {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.sizeBytes % (std::uint64_t{cfg_.lineBytes} * cfg_.associativity))
+        fatal("cache size must be a multiple of line*assoc");
+    numSets_ = cfg_.sizeBytes / (std::uint64_t{cfg_.lineBytes} *
+                                 cfg_.associativity);
+    lines_.assign(numSets_ * cfg_.associativity, Line{});
+}
+
+std::optional<Addr>
+Cache::fill(std::uint64_t line, bool dirty, bool prefetched)
+{
+    std::size_t set = setOf(line);
+    Line *victim = nullptr;
+    for (std::size_t w = 0; w < cfg_.associativity; ++w) {
+        Line &l = lines_[set * cfg_.associativity + w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.lruStamp < victim->lruStamp)
+            victim = &l;
+    }
+
+    std::optional<Addr> writeback;
+    if (victim->valid && victim->dirty) {
+        writeback = victim->tag * cfg_.lineBytes;
+        stats_.writebacks++;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->prefetched = prefetched;
+    victim->lruStamp = ++stamp_;
+    return writeback;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    stats_.accesses++;
+    CacheAccessResult res;
+    std::uint64_t line = lineAddr(addr);
+    std::size_t set = setOf(line);
+
+    for (std::size_t w = 0; w < cfg_.associativity; ++w) {
+        Line &l = lines_[set * cfg_.associativity + w];
+        if (l.valid && l.tag == line) {
+            res.hit = true;
+            res.prefetchHit = l.prefetched;
+            if (l.prefetched) {
+                stats_.prefetchHits++;
+                l.prefetched = false; // first demand touch consumes the tag
+                // Keep the stream rolling: prefetch ahead of the
+                // consumed line too, not just on demand misses.
+                for (unsigned i = 1; i <= cfg_.prefetchDepth; ++i) {
+                    res.prefetchFills.push_back((line + i) *
+                                                cfg_.lineBytes);
+                    stats_.prefetchIssued++;
+                }
+            } else {
+                stats_.hits++;
+            }
+            l.dirty |= is_write;
+            l.lruStamp = ++stamp_;
+            return res;
+        }
+    }
+
+    // Miss: fill, and trigger the next-line prefetcher.
+    stats_.misses++;
+    res.writebackAddr = fill(line, is_write, false);
+    for (unsigned i = 1; i <= cfg_.prefetchDepth; ++i) {
+        res.prefetchFills.push_back((line + i) * cfg_.lineBytes);
+        stats_.prefetchIssued++;
+    }
+    return res;
+}
+
+bool
+Cache::insertPrefetch(Addr addr)
+{
+    std::uint64_t line = lineAddr(addr);
+    std::size_t set = setOf(line);
+    for (std::size_t w = 0; w < cfg_.associativity; ++w) {
+        Line &l = lines_[set * cfg_.associativity + w];
+        if (l.valid && l.tag == line)
+            return false; // already resident
+    }
+    fill(line, false, true);
+    return true;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines_)
+        l = Line{};
+}
+
+} // namespace mondrian

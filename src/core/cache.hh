@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Set-associative cache tag model with LRU replacement, write-back /
+ * write-allocate policy and an optional next-line prefetcher.
+ *
+ * The cache tracks tags only — data lives in the functional backing store.
+ * Core models consult the cache on every load/store: hits cost the cache's
+ * latency, misses produce a line fill (and possibly a dirty writeback) that
+ * the core turns into DRAM traffic.
+ *
+ * The next-line prefetcher (CPU and NMP baselines, §6) reacts to demand
+ * misses by pre-inserting the next N lines, tagged as prefetched; the first
+ * demand hit on a prefetched line is charged the prefetch-hit latency
+ * (the line may still be in flight) and the fill traffic is reported so
+ * the caller can account DRAM bandwidth and energy.
+ */
+
+#ifndef MONDRIAN_CORE_CACHE_HH
+#define MONDRIAN_CORE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mondrian {
+
+/** Cache geometry and policy parameters. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * kKiB;
+    unsigned associativity = 2;
+    unsigned lineBytes = 64;
+    Cycles hitLatency = 2;
+    unsigned prefetchDepth = 0; ///< next-line prefetcher lines (0 = off)
+};
+
+/** Result of one cache lookup. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool prefetchHit = false; ///< hit on a line brought in by the prefetcher
+    /** Dirty line evicted by this access's fill, if any. */
+    std::optional<Addr> writebackAddr;
+    /** Lines the prefetcher wants filled as a consequence of this access. */
+    std::vector<Addr> prefetchFills;
+};
+
+/** Cache statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t prefetchHits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t prefetchIssued = 0;
+};
+
+/** Tag-only set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Look up @p addr; on miss the line is filled (possibly evicting).
+     * @param is_write marks the line dirty on hit or fill.
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /**
+     * Insert a line as prefetched (no stats, no recursion).
+     * @return true when the line was newly inserted (fill traffic due).
+     */
+    bool insertPrefetch(Addr addr);
+
+    /** Invalidate everything (between phases / tests). */
+    void flush();
+
+    const CacheConfig &config() const { return cfg_; }
+    const CacheStats &stats() const { return stats_; }
+
+    double
+    hitRate() const
+    {
+        return stats_.accesses == 0
+                   ? 0.0
+                   : static_cast<double>(stats_.hits) /
+                         static_cast<double>(stats_.accesses);
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t lineAddr(Addr a) const { return a / cfg_.lineBytes; }
+    std::size_t setOf(std::uint64_t line) const { return line % numSets_; }
+
+    /** Fill @p line into its set; returns dirty victim address if any. */
+    std::optional<Addr> fill(std::uint64_t line, bool dirty, bool prefetched);
+
+    CacheConfig cfg_;
+    std::size_t numSets_;
+    std::vector<Line> lines_; ///< numSets_ x associativity
+    std::uint64_t stamp_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_CORE_CACHE_HH

@@ -1,0 +1,294 @@
+#include "core/core_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mondrian {
+
+CoreConfig
+cortexA57()
+{
+    CoreConfig c;
+    c.name = "cortex-a57";
+    c.period = periodFromMHz(2000); // 2 GHz
+    c.issueWidth = 3;
+    // §3.2: a 128-entry ROB sustains about 20 outstanding accesses.
+    c.maxOutstandingLoads = 20;
+    c.maxOutstandingStores = 24;
+    // 32 MSHRs + next-line prefetcher keep sequential streams deep.
+    c.streamDepth = 12;
+    c.peakPowerWatts = 2.1; // Table 4
+    return c;
+}
+
+CoreConfig
+krait400()
+{
+    CoreConfig c;
+    c.name = "krait400";
+    c.period = periodFromMHz(1000); // 1 GHz
+    c.issueWidth = 3;
+    // 48-entry ROB: roughly 8 concurrent fine-grained accesses.
+    c.maxOutstandingLoads = 8;
+    c.maxOutstandingStores = 12;
+    c.streamDepth = 6; // next-line prefetcher (3 lines) + MSHRs
+    c.peakPowerWatts = 0.312; // vault power budget (Table 4)
+    return c;
+}
+
+CoreConfig
+cortexA35Simd()
+{
+    CoreConfig c;
+    c.name = "cortex-a35-simd";
+    c.period = periodFromMHz(1000); // 1 GHz
+    c.issueWidth = 2;
+    // In-order dual-issue: a single demand miss stalls the pipeline...
+    c.maxOutstandingLoads = 2;
+    c.maxOutstandingStores = 16; // object buffer drains posted stores
+    // ...but the eight stream buffers keep eight fetches in flight.
+    c.streamDepth = 8;
+    c.peakPowerWatts = 0.180; // modified A35 estimate (§5.2)
+    return c;
+}
+
+TraceCore::TraceCore(EventQueue &eq, const CoreConfig &cfg, MemoryPath &path,
+                     unsigned core_id)
+    : eq_(eq), cfg_(cfg), path_(path), id_(core_id)
+{}
+
+void
+TraceCore::setTrace(const KernelTrace *trace)
+{
+    trace_ = trace;
+    cursor_ = 0;
+    time_ = 0;
+    outLoads_ = outStreams_ = outStores_ = 0;
+    blocked_ = waiting_ = fencing_ = false;
+    started_ = finished_ = false;
+    stats_ = CoreStats{};
+}
+
+void
+TraceCore::start()
+{
+    sim_assert(trace_ != nullptr);
+    sim_assert(!started_);
+    started_ = true;
+    time_ = eq_.now();
+    advance();
+}
+
+double
+TraceCore::utilization() const
+{
+    if (stats_.finishedAt == 0)
+        return 0.0;
+    return static_cast<double>(stats_.computeTicks) /
+           static_cast<double>(stats_.finishedAt);
+}
+
+void
+TraceCore::completion(Tick t, TraceOpKind kind)
+{
+    switch (kind) {
+      case TraceOpKind::kLoad:
+      case TraceOpKind::kLoadBlocking:
+        sim_assert(outLoads_ > 0);
+        --outLoads_;
+        break;
+      case TraceOpKind::kStreamRead:
+        sim_assert(outStreams_ > 0);
+        --outStreams_;
+        break;
+      case TraceOpKind::kStore:
+      case TraceOpKind::kPermutableStore:
+        sim_assert(outStores_ > 0);
+        --outStores_;
+        break;
+      default:
+        panic("unexpected completion kind");
+    }
+
+    // A core blocked on a dependent load only resumes when that load
+    // returns (a core issues at most one blocking load before stalling,
+    // so any kLoadBlocking completion is the awaited one). Other stalls
+    // (window full, fence) clear on any completion.
+    bool wake_up = false;
+    if (blocked_)
+        wake_up = kind == TraceOpKind::kLoadBlocking;
+    else
+        wake_up = waiting_ || fencing_;
+
+    if (wake_up) {
+        Tick wake = std::max(time_, t);
+        Tick stall = wake - time_;
+        stats_.stallTicks += stall;
+        switch (stallKind_) {
+          case TraceOpKind::kStore:
+          case TraceOpKind::kPermutableStore:
+            stats_.stallStoreTicks += stall;
+            break;
+          case TraceOpKind::kStreamRead:
+            stats_.stallStreamTicks += stall;
+            break;
+          case TraceOpKind::kLoad:
+          case TraceOpKind::kLoadBlocking:
+            stats_.stallLoadTicks += stall;
+            break;
+          default:
+            stats_.stallFenceTicks += stall;
+            break;
+        }
+        time_ = wake;
+        blocked_ = waiting_ = false;
+        advance();
+    } else if (finishedTraceButDraining()) {
+        maybeFinish();
+    }
+}
+
+bool
+TraceCore::issueMemOp(const TraceOp &op)
+{
+    const bool is_write = op.kind == TraceOpKind::kStore ||
+                          op.kind == TraceOpKind::kPermutableStore;
+    const bool sequential = op.kind == TraceOpKind::kStreamRead;
+    const bool permutable = op.kind == TraceOpKind::kPermutableStore;
+
+    stats_.memOps++;
+    if (is_write)
+        stats_.bytesToMem += op.value;
+    else
+        stats_.bytesFromMem += op.value;
+
+    TraceOpKind kind = op.kind;
+    auto res = path_.request(
+        time_, op.addr, op.value, is_write, sequential, permutable,
+        [this, kind](Tick t) { completion(t, kind); });
+
+    if (res.immediate) {
+        // Cache hit: charge the hit latency inline, nothing outstanding.
+        Tick cost = res.latency * cfg_.period;
+        time_ += cost;
+        stats_.computeTicks += cost;
+        return false;
+    }
+
+    switch (kind) {
+      case TraceOpKind::kLoad:
+      case TraceOpKind::kLoadBlocking:
+        ++outLoads_;
+        break;
+      case TraceOpKind::kStreamRead:
+        ++outStreams_;
+        break;
+      case TraceOpKind::kStore:
+      case TraceOpKind::kPermutableStore:
+        ++outStores_;
+        break;
+      default:
+        panic("not a memory op");
+    }
+    return true;
+}
+
+void
+TraceCore::advance()
+{
+    const auto &ops = trace_->ops();
+    while (cursor_ < ops.size()) {
+        const TraceOp &op = ops[cursor_];
+        switch (op.kind) {
+          case TraceOpKind::kCompute: {
+            Tick cost = Tick{op.value} * cfg_.period;
+            time_ += cost;
+            stats_.computeTicks += cost;
+            ++cursor_;
+            break;
+          }
+          case TraceOpKind::kLoad:
+            if (outLoads_ >= cfg_.maxOutstandingLoads) {
+                waiting_ = true;
+                stallKind_ = TraceOpKind::kLoad;
+                return;
+            }
+            issueMemOp(op);
+            ++cursor_;
+            break;
+          case TraceOpKind::kLoadBlocking: {
+            if (outLoads_ >= cfg_.maxOutstandingLoads) {
+                waiting_ = true;
+                stallKind_ = TraceOpKind::kLoad;
+                return;
+            }
+            bool missed = issueMemOp(op);
+            ++cursor_;
+            // A dependent load that missed gates further progress. (The
+            // wake fires on the next load completion; blocking loads are
+            // emitted by kernels where they are the only loads in flight.)
+            if (missed) {
+                blocked_ = true;
+                stallKind_ = TraceOpKind::kLoadBlocking;
+                return;
+            }
+            break;
+          }
+          case TraceOpKind::kStreamRead:
+            if (outStreams_ >= cfg_.streamDepth) {
+                waiting_ = true;
+                stallKind_ = TraceOpKind::kStreamRead;
+                return;
+            }
+            issueMemOp(op);
+            ++cursor_;
+            break;
+          case TraceOpKind::kStore:
+          case TraceOpKind::kPermutableStore:
+            if (outStores_ >= cfg_.maxOutstandingStores) {
+                waiting_ = true;
+                stallKind_ = TraceOpKind::kStore;
+                return;
+            }
+            issueMemOp(op);
+            ++cursor_;
+            break;
+          case TraceOpKind::kFence:
+            if (outLoads_ + outStreams_ + outStores_ > 0) {
+                fencing_ = true;
+                stallKind_ = TraceOpKind::kFence;
+                return;
+            }
+            ++cursor_;
+            break;
+        }
+    }
+    maybeFinish();
+}
+
+bool
+TraceCore::finishedTraceButDraining() const
+{
+    return started_ && !finished_ && cursor_ >= trace_->ops().size();
+}
+
+void
+TraceCore::maybeFinish()
+{
+    if (finished_)
+        return;
+    if (cursor_ < trace_->ops().size())
+        return;
+    if (outLoads_ + outStreams_ + outStores_ > 0)
+        return;
+    finished_ = true;
+    stats_.finishedAt = std::max(time_, eq_.now());
+    if (onFinish) {
+        // Defer the callback so it observes a consistent simulator state.
+        eq_.schedule(stats_.finishedAt,
+                     [this]() { onFinish(id_, stats_.finishedAt); });
+    }
+}
+
+} // namespace mondrian

@@ -1,0 +1,79 @@
+#include "core/stream_buffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mondrian {
+
+StreamBufferUnit::StreamBufferUnit(const StreamBufferConfig &cfg) : cfg_(cfg)
+{}
+
+void
+StreamBufferUnit::program(Addr start, std::uint64_t stream_size,
+                          unsigned num_streams)
+{
+    if (num_streams > cfg_.numBuffers)
+        fatal("stream buffer unit has %u buffers, %u streams requested",
+              cfg_.numBuffers, num_streams);
+    streams_.clear();
+    for (unsigned i = 0; i < num_streams; ++i) {
+        Stream s;
+        s.start = start + std::uint64_t{i} * stream_size;
+        s.size = stream_size;
+        streams_.push_back(s);
+    }
+}
+
+void
+StreamBufferUnit::programStreams(const std::vector<Stream> &streams)
+{
+    if (streams.size() > cfg_.numBuffers)
+        fatal("stream buffer unit has %u buffers, %zu streams requested",
+              cfg_.numBuffers, streams.size());
+    streams_ = streams;
+}
+
+bool
+StreamBufferUnit::allDone() const
+{
+    return std::all_of(streams_.begin(), streams_.end(),
+                       [](const Stream &s) { return s.done(); });
+}
+
+unsigned
+StreamBufferUnit::activeStreams() const
+{
+    unsigned n = 0;
+    for (const auto &s : streams_)
+        if (!s.done())
+            ++n;
+    return n;
+}
+
+Addr
+StreamBufferUnit::headAddr(unsigned i) const
+{
+    sim_assert(i < streams_.size());
+    return streams_[i].headAddr();
+}
+
+Addr
+StreamBufferUnit::pop(unsigned i, std::uint32_t bytes)
+{
+    sim_assert(i < streams_.size());
+    Stream &s = streams_[i];
+    sim_assert(!s.done());
+    Addr at = s.headAddr();
+    s.head += bytes;
+    consumed_ += bytes;
+    return at;
+}
+
+unsigned
+StreamBufferUnit::fetchDepth() const
+{
+    return std::min(cfg_.numBuffers, std::max(1u, activeStreams()));
+}
+
+} // namespace mondrian

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Stream buffer unit for the Mondrian compute tile (§5.2).
+ *
+ * Each tile has eight 384 B stream buffers (1.5x the 256 B row buffer),
+ * programmed with [start, start+size) ranges. The unit keeps binding
+ * prefetches in flight so the core consumes tuples at the head of each
+ * stream without exposing DRAM latency. The timing effect is captured by
+ * the core model (kStreamRead ops may overlap up to the unit's total
+ * outstanding-fetch depth); this class owns the architectural bookkeeping:
+ * stream ranges, head cursors, and the derived fetch schedule.
+ */
+
+#ifndef MONDRIAN_CORE_STREAM_BUFFER_HH
+#define MONDRIAN_CORE_STREAM_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mondrian {
+
+/** Configuration of a tile's stream-buffer unit. */
+struct StreamBufferConfig
+{
+    unsigned numBuffers = 8;        ///< parallel streams
+    std::uint32_t bufferBytes = 384; ///< per-buffer capacity (1.5 rows)
+    std::uint32_t fetchBytes = 256;  ///< granularity of binding prefetches
+};
+
+/** One programmed stream. */
+struct Stream
+{
+    Addr start = 0;
+    std::uint64_t size = 0;
+    std::uint64_t head = 0; ///< bytes consumed so far
+
+    bool done() const { return head >= size; }
+    Addr headAddr() const { return start + head; }
+    std::uint64_t remaining() const { return size - head; }
+};
+
+/**
+ * Architectural state of the stream-buffer unit; mirrors the programming
+ * interface of Fig. 4b (prefetch_in_str_buf / read_stream_heads /
+ * pop_input_stream).
+ */
+class StreamBufferUnit
+{
+  public:
+    explicit StreamBufferUnit(const StreamBufferConfig &cfg = {});
+
+    /**
+     * Program @p num_streams equal slices of [start, start+total).
+     * Mirrors prefetch_in_str_buf(start_addr, stream_size, num_streams).
+     */
+    void program(Addr start, std::uint64_t stream_size, unsigned num_streams);
+
+    /** Program explicit streams (for merge trees over sorted runs). */
+    void programStreams(const std::vector<Stream> &streams);
+
+    /** True when every stream is fully consumed. */
+    bool allDone() const;
+
+    /** Number of active (not done) streams. */
+    unsigned activeStreams() const;
+
+    /** Address of stream @p i's head element. */
+    Addr headAddr(unsigned i) const;
+
+    /**
+     * Consume @p bytes from stream @p i (pop_input_stream).
+     * @return the address range consumed begins at.
+     */
+    Addr pop(unsigned i, std::uint32_t bytes);
+
+    /**
+     * Max outstanding fetches the unit sustains: one per active stream,
+     * bounded by the buffer count. This is what makes simple in-order
+     * hardware saturate the vault bandwidth on sequential streams.
+     */
+    unsigned fetchDepth() const;
+
+    const StreamBufferConfig &config() const { return cfg_; }
+    const std::vector<Stream> &streams() const { return streams_; }
+
+    /** Total bytes popped across all streams. */
+    std::uint64_t bytesConsumed() const { return consumed_; }
+
+  private:
+    StreamBufferConfig cfg_;
+    std::vector<Stream> streams_;
+    std::uint64_t consumed_ = 0;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_CORE_STREAM_BUFFER_HH

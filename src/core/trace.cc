@@ -1,0 +1,40 @@
+#include "core/trace.hh"
+
+namespace mondrian {
+
+KernelTrace::Summary
+KernelTrace::summarize() const
+{
+    Summary s;
+    for (const auto &op : ops_) {
+        switch (op.kind) {
+          case TraceOpKind::kCompute:
+            s.computeCycles += op.value;
+            break;
+          case TraceOpKind::kLoad:
+          case TraceOpKind::kLoadBlocking:
+            s.loads++;
+            s.loadBytes += op.value;
+            break;
+          case TraceOpKind::kStore:
+            s.stores++;
+            s.storeBytes += op.value;
+            break;
+          case TraceOpKind::kPermutableStore:
+            s.stores++;
+            s.permutableStores++;
+            s.storeBytes += op.value;
+            break;
+          case TraceOpKind::kStreamRead:
+            s.streamReads++;
+            s.streamBytes += op.value;
+            break;
+          case TraceOpKind::kFence:
+            s.fences++;
+            break;
+        }
+    }
+    return s;
+}
+
+} // namespace mondrian

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Kernel traces: the interface between functional operator execution and
+ * the timing models.
+ *
+ * Operators execute functionally (they really join/sort/aggregate tuples in
+ * the simulated memory) and record, per compute unit, the abstract
+ * instruction stream of the kernel: compute bursts, loads, stores,
+ * permutable stores, and stream reads. A core timing model then replays
+ * the trace against the cache/NoC/DRAM models to produce time and energy.
+ *
+ * This mirrors the paper's methodology (§6): measured instruction counts
+ * combined with microarchitectural timing, except our timing comes from an
+ * event-driven model instead of sampled Flexus IPC.
+ */
+
+#ifndef MONDRIAN_CORE_TRACE_HH
+#define MONDRIAN_CORE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mondrian {
+
+/** Kinds of trace operations a core can replay. */
+enum class TraceOpKind : std::uint8_t
+{
+    kCompute,         ///< value = core cycles of computation
+    kLoad,            ///< window-limited load (random-access MLP)
+    kLoadBlocking,    ///< load whose result gates further progress
+    kStore,           ///< posted store (store-buffer limited)
+    kPermutableStore, ///< posted store tagged permutable (§5.3)
+    kStreamRead,      ///< sequential read via stream buffer / prefetcher
+    kFence            ///< drain all outstanding memory operations
+};
+
+/** One trace operation (16 bytes). */
+struct TraceOp
+{
+    Addr addr = 0;           ///< target address (memory ops)
+    std::uint32_t value = 0; ///< size in bytes, or cycles for kCompute
+    TraceOpKind kind = TraceOpKind::kCompute;
+
+    static TraceOp
+    compute(std::uint32_t cycles)
+    {
+        return TraceOp{0, cycles, TraceOpKind::kCompute};
+    }
+    static TraceOp
+    load(Addr a, std::uint32_t size)
+    {
+        return TraceOp{a, size, TraceOpKind::kLoad};
+    }
+    static TraceOp
+    loadBlocking(Addr a, std::uint32_t size)
+    {
+        return TraceOp{a, size, TraceOpKind::kLoadBlocking};
+    }
+    static TraceOp
+    store(Addr a, std::uint32_t size)
+    {
+        return TraceOp{a, size, TraceOpKind::kStore};
+    }
+    static TraceOp
+    permutableStore(Addr a, std::uint32_t size)
+    {
+        return TraceOp{a, size, TraceOpKind::kPermutableStore};
+    }
+    static TraceOp
+    streamRead(Addr a, std::uint32_t size)
+    {
+        return TraceOp{a, size, TraceOpKind::kStreamRead};
+    }
+    static TraceOp
+    fence()
+    {
+        return TraceOp{0, 0, TraceOpKind::kFence};
+    }
+};
+
+/** The recorded instruction stream of one compute unit for one phase. */
+class KernelTrace
+{
+  public:
+    void
+    addCompute(std::uint64_t cycles)
+    {
+        // Coalesce adjacent compute bursts; split bursts over 2^32 cycles.
+        while (cycles > 0) {
+            std::uint32_t c = cycles > 0xffffffffull
+                                  ? 0xffffffffu
+                                  : static_cast<std::uint32_t>(cycles);
+            if (!ops_.empty() &&
+                ops_.back().kind == TraceOpKind::kCompute &&
+                ops_.back().value <= 0x7fffffffu) {
+                std::uint64_t merged = std::uint64_t{ops_.back().value} + c;
+                if (merged <= 0xffffffffull) {
+                    ops_.back().value = static_cast<std::uint32_t>(merged);
+                    cycles -= c;
+                    continue;
+                }
+            }
+            ops_.push_back(TraceOp::compute(c));
+            cycles -= c;
+        }
+    }
+
+    void add(const TraceOp &op) { ops_.push_back(op); }
+
+    const std::vector<TraceOp> &ops() const { return ops_; }
+    std::size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+    void clear() { ops_.clear(); }
+    void reserve(std::size_t n) { ops_.reserve(n); }
+
+    /** Summary statistics over the trace (for reports and tests). */
+    struct Summary
+    {
+        std::uint64_t computeCycles = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t loadBytes = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t storeBytes = 0;
+        std::uint64_t permutableStores = 0;
+        std::uint64_t streamReads = 0;
+        std::uint64_t streamBytes = 0;
+        std::uint64_t fences = 0;
+    };
+    Summary summarize() const;
+
+  private:
+    std::vector<TraceOp> ops_;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_CORE_TRACE_HH

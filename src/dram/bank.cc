@@ -1,0 +1,60 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+namespace mondrian {
+
+BankAccessResult
+Bank::access(std::uint64_t row, Tick start, bool is_write, Tick burst_ticks)
+{
+    const DramTiming &t = *timing_;
+    Tick when = std::max(start, busyUntil_);
+
+    BankAccessResult res{};
+    Tick cmd; // tick the column command issues
+    if (openRow_ && *openRow_ == row) {
+        // Row hit: column access only.
+        res.rowHit = true;
+        cmd = when;
+        res.readyAt = cmd + t.tCAS;
+    } else if (!openRow_) {
+        // Row closed: activate, then column access.
+        res.activated = true;
+        lastActivate_ = when;
+        cmd = when + t.tRCD;
+        res.readyAt = cmd + t.tCAS;
+        openRow_ = row;
+    } else {
+        // Row conflict: precharge (respecting tRAS and tWR), activate,
+        // column access.
+        Tick pre_start = std::max({when, lastActivate_ + t.tRAS,
+                                   writeRecoveryEnd_});
+        Tick act_start = pre_start + t.tRP;
+        res.activated = true;
+        lastActivate_ = act_start;
+        cmd = act_start + t.tRCD;
+        res.readyAt = cmd + t.tCAS;
+        openRow_ = row;
+    }
+
+    // Column commands pipeline: the bank can take the next CAS after tCCD
+    // (or once this burst's data slot drains, whichever is longer). tCAS
+    // is latency, not occupancy.
+    busyUntil_ = cmd + std::max(t.tCCD, burst_ticks);
+    if (is_write)
+        writeRecoveryEnd_ = res.readyAt + burst_ticks + t.tWR;
+    return res;
+}
+
+void
+Bank::prechargeNow(Tick now)
+{
+    if (!openRow_)
+        return;
+    Tick pre_start = std::max({now, lastActivate_ + timing_->tRAS,
+                               writeRecoveryEnd_});
+    busyUntil_ = std::max(busyUntil_, pre_start + timing_->tRP);
+    openRow_.reset();
+}
+
+} // namespace mondrian

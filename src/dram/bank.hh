@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Single DRAM bank state machine.
+ *
+ * Tracks the open row and the earliest times the next activate / column
+ * command may issue, honoring tRCD, tCAS, tRP, tRAS and tWR. The vault
+ * controller asks a bank to service one column-sized access and receives
+ * the time the data burst may begin plus whether a row was activated.
+ */
+
+#ifndef MONDRIAN_DRAM_BANK_HH
+#define MONDRIAN_DRAM_BANK_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace mondrian {
+
+/** Outcome of presenting one access to a bank. */
+struct BankAccessResult
+{
+    Tick readyAt;     ///< earliest tick the data burst may start
+    bool activated;   ///< a row activation was required
+    bool rowHit;      ///< the access hit the already-open row
+};
+
+/** One DRAM bank: open-page policy, explicit timing windows. */
+class Bank
+{
+  public:
+    explicit Bank(const DramTiming &timing) : timing_(&timing) {}
+
+    /**
+     * Service an access to @p row whose scheduling may begin at @p start.
+     *
+     * @param row         target row index within this bank
+     * @param start       earliest tick the controller considers the access
+     * @param is_write    write accesses delay subsequent precharges by tWR
+     * @param burst_ticks duration of the data transfer on the bus
+     * @return timing/bookkeeping outcome
+     */
+    BankAccessResult access(std::uint64_t row, Tick start, bool is_write,
+                            Tick burst_ticks);
+
+    /** Row currently latched in the row buffer, if any. */
+    std::optional<std::uint64_t> openRow() const { return openRow_; }
+
+    /** Earliest tick the bank can begin another command. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    /** Close the open row (used by tests and drain logic). */
+    void prechargeNow(Tick now);
+
+  private:
+    const DramTiming *timing_;
+    std::optional<std::uint64_t> openRow_;
+    Tick busyUntil_ = 0;       ///< earliest next command issue
+    Tick lastActivate_ = 0;    ///< for tRAS enforcement
+    Tick writeRecoveryEnd_ = 0;///< earliest precharge after a write (tWR)
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_DRAM_BANK_HH

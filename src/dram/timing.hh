@@ -1,0 +1,51 @@
+/**
+ * @file
+ * DRAM timing and energy parameters.
+ *
+ * Defaults reproduce Table 3 (timing) and Table 4 (power/energy) of the
+ * paper: HMC-style stacked DRAM with 256 B rows, 8 GB/s of effective
+ * per-vault bandwidth, tCK = 1.6 ns.
+ */
+
+#ifndef MONDRIAN_DRAM_TIMING_HH
+#define MONDRIAN_DRAM_TIMING_HH
+
+#include "common/types.hh"
+
+namespace mondrian {
+
+/** DRAM device timing (Table 3). */
+struct DramTiming
+{
+    Tick tCK = Tick{1600};    ///< DRAM clock period: 1.6 ns
+    Tick tRAS = Tick{22400};  ///< min row-open time: 22.4 ns
+    Tick tRCD = Tick{11200};  ///< activate-to-column: 11.2 ns
+    Tick tCAS = Tick{11200};  ///< column access: 11.2 ns
+    Tick tWR = Tick{14400};   ///< write recovery: 14.4 ns
+    Tick tRP = Tick{11200};   ///< precharge: 11.2 ns
+    Tick tCCD = Tick{6400};   ///< column-to-column (CAS pipelining): 4 tCK
+
+    /**
+     * Per-vault data bus cost per byte. 8 GB/s effective peak bandwidth
+     * (HMC vault, §3.2) = 0.125 ns/B = 125 ps/B.
+     */
+    Tick busPsPerByte = Tick{125};
+
+    /** Row cycle time: min spacing of activations to one bank. */
+    Tick tRC() const { return tRAS + tRP; }
+
+    /** Peak vault bandwidth implied by the bus rate, in GB/s. */
+    double peakGBps() const { return 1000.0 / static_cast<double>(busPsPerByte); }
+};
+
+/** DRAM energy coefficients (Table 4, HMC row of the paper). */
+struct DramEnergy
+{
+    double activationNanojoule = 0.65; ///< per row activation
+    double accessPicojoulePerBit = 2.0; ///< row buffer <-> I/O transfer
+    double backgroundWattPerCube = 0.98; ///< static power per 8 GB cube
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_DRAM_TIMING_HH

@@ -1,0 +1,189 @@
+#include "dram/vault.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mondrian {
+
+VaultController::VaultController(EventQueue &eq, const AddressMap &map,
+                                 unsigned global_vault,
+                                 const DramTiming &timing, unsigned window)
+    : eq_(eq), map_(map), vault_(global_vault), timing_(timing),
+      window_(window)
+{
+    const auto &geo = map.geometry();
+    banks_.reserve(geo.banksPerVault);
+    for (unsigned i = 0; i < geo.banksPerVault; ++i)
+        banks_.emplace_back(timing_);
+}
+
+void
+VaultController::enqueue(MemRequest req)
+{
+    sim_assert(req.size > 0);
+    sim_assert(map_.vaultOf(req.addr) == vault_);
+
+    if (req.isWrite && permArmed_ &&
+        req.addr >= permRegion_.base &&
+        req.addr + req.size <= permRegion_.base + permRegion_.size) {
+        // Append engine: placement is arrival order, not the address the
+        // source computed. Objects never straddle messages (§5.3), so a
+        // whole request relocates as a unit. Arriving objects coalesce in
+        // the controller's row-sized staging buffer and drain to DRAM as
+        // full-row writes -- one activation and one burst per row, the
+        // §5.3 guarantee. The store is acknowledged as soon as the
+        // controller accepts it into the staging buffer.
+        if (permCursor_ + req.size > permRegion_.size) {
+            // Destination buffer overflow: the paper raises a CPU
+            // exception and re-partitions; we treat it as a fatal
+            // configuration error since our workloads are uniform.
+            fatal("permutable region overflow in vault %u", vault_);
+        }
+        permCursor_ += req.size;
+        stats_.permutableWrites++;
+        if (req.onComplete) {
+            Tick now = eq_.now();
+            auto cb = std::move(req.onComplete);
+            eq_.schedule(now, [cb = std::move(cb), now]() { cb(now); });
+        }
+        flushAppendRows(false);
+        return;
+    }
+
+    queue_.push_back(std::move(req));
+    trySchedule();
+}
+
+void
+VaultController::armPermutable(const PermutableRegion &region)
+{
+    sim_assert(!permArmed_);
+    sim_assert(map_.vaultOf(region.base) == vault_);
+    permArmed_ = true;
+    permRegion_ = region;
+    permCursor_ = 0;
+    permFlushed_ = 0;
+}
+
+std::uint64_t
+VaultController::disarmPermutable()
+{
+    sim_assert(permArmed_);
+    flushAppendRows(true);
+    permArmed_ = false;
+    return permCursor_;
+}
+
+void
+VaultController::flushAppendRows(bool final_flush)
+{
+    const std::uint64_t row = map_.geometry().rowBytes;
+    // Drain every complete row between the flushed mark and the cursor;
+    // on the final flush, drain the trailing partial row too.
+    while (permFlushed_ < permCursor_) {
+        Addr start = permRegion_.base + permFlushed_;
+        std::uint64_t row_end = ((start / row) + 1) * row;
+        std::uint64_t limit = permRegion_.base + permCursor_;
+        if (row_end > limit) {
+            if (!final_flush)
+                break; // partial row keeps staging
+            row_end = limit;
+        }
+        MemRequest flush;
+        flush.addr = start;
+        flush.size = static_cast<std::uint32_t>(row_end - start);
+        flush.isWrite = true;
+        queue_.push_back(std::move(flush));
+        permFlushed_ += row_end - start;
+    }
+    trySchedule();
+}
+
+double
+VaultController::rowHitRate() const
+{
+    std::uint64_t total = stats_.rowHits + stats_.rowActivations;
+    return total == 0 ? 0.0
+                      : static_cast<double>(stats_.rowHits) /
+                            static_cast<double>(total);
+}
+
+void
+VaultController::trySchedule()
+{
+    while (issued_ < window_ && !queue_.empty()) {
+        // FR-FCFS: prefer the oldest request that hits an open row;
+        // otherwise take the oldest request.
+        std::size_t pick = 0;
+        bool found_hit = false;
+        const std::size_t scan = std::min<std::size_t>(queue_.size(), window_);
+        for (std::size_t i = 0; i < scan; ++i) {
+            DecodedAddr d = map_.decode(queue_[i].addr);
+            const auto &open = banks_[d.bank].openRow();
+            if (open && *open == d.row) {
+                pick = i;
+                found_hit = true;
+                break;
+            }
+        }
+        if (!found_hit)
+            pick = 0;
+
+        MemRequest req = std::move(queue_[pick]);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+        issue(std::move(req));
+    }
+}
+
+void
+VaultController::issue(MemRequest req)
+{
+    const auto &geo = map_.geometry();
+    ++issued_;
+
+    if (req.isWrite) {
+        stats_.writes++;
+        stats_.bytesWritten += req.size;
+    } else {
+        stats_.reads++;
+        stats_.bytesRead += req.size;
+    }
+
+    // Split the request at row boundaries; each chunk is one column access
+    // (possibly preceded by an activation) on its bank.
+    Tick done = eq_.now();
+    Addr addr = req.addr;
+    std::uint64_t remaining = req.size;
+    while (remaining > 0) {
+        DecodedAddr d = map_.decode(addr);
+        std::uint64_t in_row = geo.rowBytes - d.column;
+        std::uint64_t chunk = std::min(remaining, in_row);
+        Tick burst = chunk * timing_.busPsPerByte;
+
+        BankAccessResult r =
+            banks_[d.bank].access(d.row, eq_.now(), req.isWrite, burst);
+        Tick burst_start = std::max(r.readyAt, busFreeAt_);
+        busFreeAt_ = burst_start + burst;
+        stats_.busBusy += burst;
+        done = std::max(done, burst_start + burst);
+
+        if (r.activated)
+            stats_.rowActivations++;
+        if (r.rowHit)
+            stats_.rowHits++;
+
+        addr += chunk;
+        remaining -= chunk;
+    }
+
+    auto cb = std::move(req.onComplete);
+    eq_.schedule(done, [this, cb = std::move(cb), done]() {
+        --issued_;
+        if (cb)
+            cb(done);
+        trySchedule();
+    });
+}
+
+} // namespace mondrian

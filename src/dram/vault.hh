@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Vault memory controller: FR-FCFS scheduling over the vault's banks, a
+ * shared data bus at the vault's peak bandwidth, and the Mondrian
+ * permutable-write append engine (§5.3 of the paper).
+ *
+ * When a permutable region is armed and a write request lands inside it,
+ * the controller ignores the request's target address and appends the
+ * object at its own sequential cursor. Interleaved writes arriving from
+ * many source partitions therefore fill rows in order, activating every
+ * row buffer exactly once instead of once per object.
+ */
+
+#ifndef MONDRIAN_DRAM_VAULT_HH
+#define MONDRIAN_DRAM_VAULT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/timing.hh"
+#include "mem/address_map.hh"
+#include "mem/allocator.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace mondrian {
+
+/** One memory access presented to a vault controller. */
+struct MemRequest
+{
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    bool isWrite = false;
+    /** Completion callback, invoked at the tick the data burst finishes. */
+    std::function<void(Tick)> onComplete;
+};
+
+/** Per-vault statistics snapshot. */
+struct VaultStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t rowActivations = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t permutableWrites = 0;
+    Tick busBusy = 0;
+};
+
+/**
+ * Timing model of one vault: banks + scheduler + bus + append engine.
+ */
+class VaultController
+{
+  public:
+    /**
+     * @param eq          simulation event queue
+     * @param map         system address map
+     * @param global_vault this vault's global index
+     * @param timing      DRAM timing parameters
+     * @param window      FR-FCFS scheduling window (max outstanding)
+     */
+    VaultController(EventQueue &eq, const AddressMap &map,
+                    unsigned global_vault, const DramTiming &timing,
+                    unsigned window = 16);
+
+    /** Present a request at the current tick. */
+    void enqueue(MemRequest req);
+
+    /** Arm the permutable append engine over @p region (shuffle_begin). */
+    void armPermutable(const PermutableRegion &region);
+
+    /** Disarm the append engine (shuffle_end). @return bytes appended. */
+    std::uint64_t disarmPermutable();
+
+    bool permutableArmed() const { return permArmed_; }
+
+    /** Bytes appended so far in the armed region. */
+    std::uint64_t permutableCursor() const { return permCursor_; }
+
+    const VaultStats &stats() const { return stats_; }
+
+    /** Row-buffer hit rate over all accesses so far. */
+    double rowHitRate() const;
+
+    unsigned globalVault() const { return vault_; }
+
+    /** Number of requests accepted but not yet completed. */
+    unsigned outstanding() const { return issued_ + static_cast<unsigned>(queue_.size()); }
+
+  private:
+    void trySchedule();
+    void issue(MemRequest req);
+
+    EventQueue &eq_;
+    const AddressMap &map_;
+    unsigned vault_;
+    DramTiming timing_;
+    unsigned window_;
+
+    std::vector<Bank> banks_;
+    std::deque<MemRequest> queue_;
+    unsigned issued_ = 0;
+    Tick busFreeAt_ = 0;
+
+    /** Flush coalesced append bytes up to the current cursor. */
+    void flushAppendRows(bool final_flush);
+
+    bool permArmed_ = false;
+    PermutableRegion permRegion_{};
+    std::uint64_t permCursor_ = 0;
+    std::uint64_t permFlushed_ = 0; ///< bytes already issued to DRAM
+
+    VaultStats stats_;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_DRAM_VAULT_HH

@@ -1,0 +1,62 @@
+#include "energy/energy_model.hh"
+
+namespace mondrian {
+
+EnergyBreakdown
+EnergyModel::compute(const EnergyActivity &a) const
+{
+    EnergyBreakdown e;
+    const double seconds = ticksToSeconds(a.elapsed);
+
+    // DRAM dynamic: row activations + row-buffer/IO transfers.
+    e.dramDynamic =
+        static_cast<double>(a.rowActivations) *
+            coeff_.dramActivationNanojoule * 1e-9 +
+        static_cast<double>(a.dramBitsMoved) *
+            coeff_.dramAccessPicojoulePerBit * 1e-12;
+
+    // DRAM static: background power per cube over the whole run.
+    e.dramStatic = coeff_.dramBackgroundWattPerCube *
+                   static_cast<double>(a.numCubes) * seconds;
+
+    // Cores: peak power scaled by utilization, idle floor otherwise
+    // ("estimate core power based on the core's peak power and its
+    // utilization statistics", §6). LLC dynamic + leakage fold into the
+    // same Fig. 8 category.
+    double util = a.coreUtilization;
+    double per_core =
+        a.corePeakWattsEach *
+        (util + coeff_.coreIdleFraction * (1.0 - util));
+    e.cores = per_core * static_cast<double>(a.numCores) * seconds;
+    if (a.hasLlc) {
+        e.cores += static_cast<double>(a.llcAccesses) *
+                       coeff_.llcAccessNanojoule * 1e-9 +
+                   coeff_.llcLeakWatt * seconds;
+    }
+
+    // SerDes: busy bits at the busy rate; the remaining bit slots of every
+    // directed link idle at the idle rate (links run at line rate whether
+    // or not payload flows).
+    const double slots_per_link =
+        coeff_.serdesLinkGbps * 1e9 * seconds; // bit slots per link
+    double total_slots =
+        slots_per_link * static_cast<double>(a.numSerdesLinks);
+    double busy = static_cast<double>(a.serdesBusyBits);
+    if (busy > total_slots)
+        busy = total_slots; // saturated links cannot exceed line rate
+    double serdes = busy * coeff_.serdesBusyPicojoulePerBit * 1e-12 +
+                    (total_slots - busy) *
+                        coeff_.serdesIdlePicojoulePerBit * 1e-12;
+
+    // NOC: dynamic bit-hops plus per-stack leakage.
+    double noc = static_cast<double>(a.meshBitHops) *
+                     coeff_.nocPicojoulePerBitPerMm * coeff_.nocHopMm *
+                     1e-12 +
+                 coeff_.nocLeakWattPerStack *
+                     static_cast<double>(a.numCubes) * seconds;
+
+    e.network = serdes + noc;
+    return e;
+}
+
+} // namespace mondrian

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * System energy model (Table 4 of the paper).
+ *
+ * Combines event counts from the timing models (row activations, bits
+ * moved, core busy time, LLC accesses, SerDes traffic) with per-component
+ * power/energy coefficients to produce the Fig. 8 breakdown:
+ * DRAM dynamic, DRAM static, cores, and SerDes+NOC.
+ */
+
+#ifndef MONDRIAN_ENERGY_ENERGY_MODEL_HH
+#define MONDRIAN_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mondrian {
+
+/** Power/energy coefficients (Table 4, 28 nm). */
+struct EnergyCoefficients
+{
+    // DRAM (per 8 GB HMC cube)
+    double dramActivationNanojoule = 0.65;
+    double dramAccessPicojoulePerBit = 2.0;
+    double dramBackgroundWattPerCube = 0.98;
+
+    // SerDes links
+    double serdesIdlePicojoulePerBit = 1.0;
+    double serdesBusyPicojoulePerBit = 3.0;
+    double serdesLinkGbps = 160.0; ///< per direction, for idle-slot count
+
+    // On-chip network
+    double nocPicojoulePerBitPerMm = 0.04;
+    double nocHopMm = 2.0;       ///< average wire length per mesh hop
+    double nocLeakWattPerStack = 0.030;
+
+    // LLC (CPU-centric system only)
+    double llcAccessNanojoule = 0.09;
+    double llcLeakWatt = 0.110;
+
+    /** Fraction of peak power a core draws while stalled. */
+    double coreIdleFraction = 0.3;
+};
+
+/** Raw activity counts a machine hands to the model. */
+struct EnergyActivity
+{
+    Tick elapsed = 0;               ///< total runtime
+    unsigned numCubes = 4;          ///< HMC stacks
+    unsigned numSerdesLinks = 0;    ///< directed links in the topology
+    unsigned numCores = 0;
+
+    std::uint64_t rowActivations = 0;
+    std::uint64_t dramBitsMoved = 0;   ///< read+written at the row buffer
+    std::uint64_t serdesBusyBits = 0;
+    std::uint64_t meshBitHops = 0;
+    std::uint64_t llcAccesses = 0;
+    bool hasLlc = false;
+
+    double corePeakWattsEach = 0.0;
+    double coreUtilization = 0.0;      ///< mean busy fraction across cores
+};
+
+/** Fig. 8 energy categories, in joules. */
+struct EnergyBreakdown
+{
+    double dramDynamic = 0.0;
+    double dramStatic = 0.0;
+    double cores = 0.0;   ///< cores + private caches + LLC
+    double network = 0.0; ///< SerDes + NOC
+
+    double
+    total() const
+    {
+        return dramDynamic + dramStatic + cores + network;
+    }
+};
+
+/** Turns activity counts into the energy breakdown. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyCoefficients &coeff = {})
+        : coeff_(coeff)
+    {}
+
+    EnergyBreakdown compute(const EnergyActivity &activity) const;
+
+    const EnergyCoefficients &coefficients() const { return coeff_; }
+
+  private:
+    EnergyCoefficients coeff_;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENERGY_ENERGY_MODEL_HH

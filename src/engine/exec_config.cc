@@ -1,0 +1,48 @@
+#include "engine/exec_config.hh"
+
+namespace mondrian {
+
+ExecConfig
+cpuExec(unsigned total_vaults)
+{
+    ExecConfig c;
+    c.cpuStyle = true;
+    // The paper's CPU system: 16 cores for a 32 GB pool (2 GB/core).
+    c.numUnits = total_vaults >= 16 ? 16 : total_vaults;
+    c.permutable = false;
+    c.sortProbe = false;
+    c.simd = false;
+    c.readChunkBytes = 64; // cache-line granularity
+    c.costs = cpuKernelCosts();
+    return c;
+}
+
+ExecConfig
+nmpExec(unsigned total_vaults, bool permutable, bool sort_probe)
+{
+    ExecConfig c;
+    c.cpuStyle = false;
+    c.numUnits = total_vaults;
+    c.permutable = permutable;
+    c.sortProbe = sort_probe;
+    c.simd = false;
+    c.readChunkBytes = 64;
+    c.costs = nmpKernelCosts();
+    return c;
+}
+
+ExecConfig
+mondrianExec(unsigned total_vaults, bool permutable)
+{
+    ExecConfig c;
+    c.cpuStyle = false;
+    c.numUnits = total_vaults;
+    c.permutable = permutable;
+    c.sortProbe = true; // Mondrian always favors sequential algorithms
+    c.simd = true;
+    c.readChunkBytes = 256; // stream-buffer fetch granularity (row-sized)
+    c.costs = mondrianKernelCosts();
+    return c;
+}
+
+} // namespace mondrian

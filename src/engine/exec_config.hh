@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Execution-style configuration for operator implementations.
+ *
+ * One ExecConfig describes *how* the operators run: on CPU cores over the
+ * star network or on per-vault NMP units; with exact-address scatter or
+ * the permutable append engine during partitioning; with hash-based or
+ * sort-based probe algorithms; with scalar loops or Mondrian's 1024-bit
+ * SIMD streaming idiom. The six evaluated systems (§6 "Evaluated
+ * configurations") are all combinations of these knobs.
+ */
+
+#ifndef MONDRIAN_ENGINE_EXEC_CONFIG_HH
+#define MONDRIAN_ENGINE_EXEC_CONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/kernel_costs.hh"
+
+namespace mondrian {
+
+/** How operators execute on a given system. */
+struct ExecConfig
+{
+    /** CPU-centric (16 cores, star) vs. near-memory (one unit per vault). */
+    bool cpuStyle = false;
+    /** Number of compute units emitting traces (16 CPU cores or 64 tiles). */
+    unsigned numUnits = 64;
+    /** Partitioning writes use the permutable append engine (§5.3). */
+    bool permutable = false;
+    /** Probe phase uses sort-based algorithms (sort-merge join, §4.1.1). */
+    bool sortProbe = false;
+    /** Mondrian idioms: stream-buffer reads, SIMD bitonic first pass. */
+    bool simd = false;
+
+    /** Sequential read granularity: 64 B cache lines or 256 B streams. */
+    std::uint32_t readChunkBytes = 64;
+
+    /**
+     * Radix bits for CPU-style partitioning of Join/Group-by. The paper
+     * uses the keys' 16 low-order bits at 32 GB scale; scaled runs shrink
+     * this together with the caches and the TLB so both walls survive:
+     * fanout > TLB reach (page walk per scattered store) and co-partition
+     * size > L1 (probe runs out of LLC/DRAM). See DESIGN.md section 5.
+     */
+    unsigned cpuPartitionBits = 7;
+
+    /** Headroom factor for shuffle destination buffers. */
+    double shuffleCapacityFactor = 1.7;
+
+    /**
+     * TLB reach of the CPU cores in entries. Radix fanouts beyond this
+     * incur a page walk per scattered store -- the classical fanout limit
+     * of CPU partitioning (Kim et al. [38]). NMP units use physical
+     * addresses (§5.1) and never translate.
+     */
+    unsigned tlbEntries = 64;
+
+    /** Cycles-per-tuple cost table for this unit microarchitecture. */
+    KernelCosts costs;
+
+    /** Vaults owned by unit @p u out of @p total_vaults (data share). */
+    std::vector<unsigned>
+    unitVaults(unsigned u, unsigned total_vaults) const
+    {
+        std::vector<unsigned> v;
+        unsigned per = total_vaults / numUnits;
+        for (unsigned i = 0; i < per; ++i)
+            v.push_back(u * per + i);
+        return v;
+    }
+
+    /** Unit that owns vault @p vault. */
+    unsigned
+    unitOfVault(unsigned vault, unsigned total_vaults) const
+    {
+        return vault / (total_vaults / numUnits);
+    }
+};
+
+/** Execution-style presets for the evaluated systems (§6). */
+ExecConfig cpuExec(unsigned total_vaults);
+ExecConfig nmpExec(unsigned total_vaults, bool permutable, bool sort_probe);
+ExecConfig mondrianExec(unsigned total_vaults, bool permutable);
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENGINE_EXEC_CONFIG_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-architecture kernel cost models (calibration constants).
+ *
+ * The functional operator code emits one compute burst per inner-loop
+ * iteration; these tables give the burst length in core cycles. They are
+ * the reproduction's stand-in for the paper's sampled Flexus IPC
+ * measurements, chosen so the modeled cores land near the IPCs and
+ * bandwidths the paper reports:
+ *
+ *  - NMP partition loop IPC ~0.98, 1.0 GB/s/vault (§7.1, Table 5 text)
+ *  - NMP-seq probe IPC ~0.95, NMP-rand probe IPC ~0.24
+ *  - Mondrian scan at 6.7 GB/s/vault, CPU scan at 4.3 GB/s/core
+ *  - Mondrian's 1024-bit SIMD processes 8 tuples per operation (§5.2)
+ *
+ * All values are cycles per tuple unless stated otherwise.
+ */
+
+#ifndef MONDRIAN_ENGINE_KERNEL_COSTS_HH
+#define MONDRIAN_ENGINE_KERNEL_COSTS_HH
+
+namespace mondrian {
+
+/** Cycles-per-tuple cost table for one compute-unit microarchitecture. */
+struct KernelCosts
+{
+    // --- Partitioning phase ---------------------------------------------
+    /** Hash key + histogram counter update (histogram build step). */
+    double histogram = 8.0;
+    /** Destination address computation: cursor load/increment chain. */
+    double scatterAddr = 12.0;
+    /** Tuple copy into an outgoing message / store setup. */
+    double scatterCopy = 8.0;
+    /** Simplified append path when permutability removes the cursor chain. */
+    double permutableAppend = 6.0;
+
+    // --- Probe phase -----------------------------------------------------
+    /** Predicate evaluation per tuple (Scan). */
+    double scan = 7.0;
+    /** Hash-table insert per build tuple. */
+    double hashBuild = 14.0;
+    /** Hash lookup + key compare per probe tuple (excl. memory time). */
+    double hashProbe = 10.0;
+    /** Compare/advance per tuple per two-way merge pass (mergesort). */
+    double mergePass = 8.0;
+    /** Initial in-register sort pass per tuple (bitonic, Mondrian only). */
+    double bitonicPass = 6.0;
+    /** Quicksort: cycles per tuple per log2(n) level (CPU probe sort). */
+    double quicksortLevel = 7.0;
+    /** Final merge-join pass per tuple (sorted R x sorted S). */
+    double joinMerge = 9.0;
+    /** Six aggregate updates (avg/count/min/max/sum/sumsq) per tuple. */
+    double aggregate = 14.0;
+};
+
+/** Cortex-A57 class CPU core (3-wide OoO @ 2 GHz): CPU-centric system. */
+inline KernelCosts
+cpuKernelCosts()
+{
+    KernelCosts c;
+    // A 3-wide OoO core sustains IPC ~1.5-2 on these loops; the cycle
+    // counts below are instruction counts divided by that throughput.
+    c.histogram = 6.0;
+    c.scatterAddr = 10.0;   // dependent cursor chain limits ILP
+    c.scatterCopy = 6.0;
+    c.permutableAppend = 5.0; // CPU never uses it; kept for ablations
+    c.scan = 7.0;             // 4 tuples/line, ~28 cyc/line -> 4.3 GB/s @2GHz
+    c.hashBuild = 12.0;
+    c.hashProbe = 9.0;
+    c.mergePass = 7.0;
+    c.bitonicPass = 6.0;
+    c.quicksortLevel = 6.5;
+    c.joinMerge = 8.0;
+    c.aggregate = 12.0;
+    return c;
+}
+
+/** Krait400-class NMP baseline core (3-wide OoO @ 1 GHz). */
+inline KernelCosts
+nmpKernelCosts()
+{
+    KernelCosts c;
+    // Same scalar instruction stream as the CPU but a shallower window;
+    // the paper reports IPC 0.98 on the partition loop ("heavy data
+    // dependencies"), so cycles/tuple ~= instructions/tuple.
+    c.histogram = 9.0;
+    c.scatterAddr = 14.0;
+    c.scatterCopy = 9.0;
+    c.permutableAppend = 7.0; // NMP-perm: simpler code, fewer dependences
+    c.scan = 6.5;
+    c.hashBuild = 16.0;
+    c.hashProbe = 11.0;
+    c.mergePass = 9.0;
+    c.bitonicPass = 8.0;
+    c.quicksortLevel = 8.0;
+    c.joinMerge = 10.0;
+    c.aggregate = 16.0;
+    return c;
+}
+
+/**
+ * Mondrian tile (in-order A35 + 1024-bit fixed-point SIMD @ 1 GHz).
+ * Data-parallel kernels process 8 tuples per SIMD operation; loop
+ * overheads keep effective speedup below the 8x width.
+ */
+inline KernelCosts
+mondrianKernelCosts()
+{
+    KernelCosts c;
+    c.histogram = 1.5;       // SIMD hash of 8 keys + scatter-add
+    c.scatterAddr = 6.0;     // noperm: cursor chain stays scalar (§7.1)
+    c.scatterCopy = 1.5;     // SIMD tuple moves
+    c.permutableAppend = 1.2; // full-SIMD partition loop (§7.1, Table 5)
+    c.scan = 2.2;            // 16 tuples/256 B stream step
+    c.hashBuild = 16.0;      // hash paths stay scalar on the A35
+    c.hashProbe = 11.0;
+    c.mergePass = 2.5;       // 8-wide merge network, 8 tuples / ~20 cyc
+    c.bitonicPass = 1.5;     // SIMD bitonic of in-register groups
+    c.quicksortLevel = 8.0;  // unused (Mondrian sorts by merge)
+    c.joinMerge = 2.5;
+    c.aggregate = 3.0;       // SIMD 6-function update of 8 tuples
+    return c;
+}
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENGINE_KERNEL_COSTS_HH

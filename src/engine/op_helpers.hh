@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Internal helpers shared by the operator implementations. Not part of
+ * the public API.
+ */
+
+#ifndef MONDRIAN_ENGINE_OP_HELPERS_HH
+#define MONDRIAN_ENGINE_OP_HELPERS_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/intmath.hh"
+#include "engine/exec_config.hh"
+#include "engine/partitioner.hh"
+#include "engine/relation.hh"
+
+namespace mondrian {
+
+/** Contiguous (address, tuple-count) pieces of a CPU global-array range. */
+inline std::vector<std::pair<Addr, std::uint64_t>>
+cpuRangeSegments(const Partitioner::CpuResult &res, std::uint64_t g0,
+                 std::uint64_t g1)
+{
+    std::vector<std::pair<Addr, std::uint64_t>> segs;
+    std::uint64_t g = g0;
+    while (g < g1) {
+        std::uint64_t chunk_end = (g / res.chunkTuples + 1) * res.chunkTuples;
+        std::uint64_t n = std::min(g1, chunk_end) - g;
+        segs.emplace_back(Partitioner::globalTupleAddr(res.out,
+                                                       res.chunkTuples, g),
+                          n);
+        g += n;
+    }
+    return segs;
+}
+
+/** CPU unit responsible for logical partition @p p of @p P total. */
+inline unsigned
+cpuUnitOfPartition(unsigned p, unsigned P, unsigned units)
+{
+    return static_cast<unsigned>((std::uint64_t{p} * units) / P);
+}
+
+/** Smallest power of two >= v (min 1). */
+inline std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    return v <= 1 ? 1 : (std::uint64_t{1} << ceilLog2(v));
+}
+
+/** Largest key in a relation plus one (the range-partition key space). */
+inline std::uint64_t
+keySpaceOf(const MemoryPool &pool, const Relation &rel)
+{
+    std::uint64_t max_key = 0;
+    for (std::size_t p = 0; p < rel.numPartitions(); ++p) {
+        for (const Tuple &t : rel.gather(pool, p))
+            max_key = std::max(max_key, t.key);
+    }
+    return max_key + 1;
+}
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENGINE_OP_HELPERS_HH

@@ -1,0 +1,24 @@
+#include "engine/operator.hh"
+
+namespace mondrian {
+
+KernelTrace::Summary
+PhaseExec::summarize() const
+{
+    KernelTrace::Summary total;
+    for (const auto &t : traces) {
+        auto s = t.summarize();
+        total.computeCycles += s.computeCycles;
+        total.loads += s.loads;
+        total.loadBytes += s.loadBytes;
+        total.stores += s.stores;
+        total.storeBytes += s.storeBytes;
+        total.permutableStores += s.permutableStores;
+        total.streamReads += s.streamReads;
+        total.streamBytes += s.streamBytes;
+        total.fences += s.fences;
+    }
+    return total;
+}
+
+} // namespace mondrian

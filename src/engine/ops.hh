@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The four basic in-memory data operators (Table 2): Scan, Sort, Group-by,
+ * Join. Each runs functionally on simulated memory and records per-unit
+ * kernel traces for every phase, in the style selected by the ExecConfig
+ * (CPU hash/quicksort, NMP-rand hash, NMP-seq sort, Mondrian SIMD sort).
+ */
+
+#ifndef MONDRIAN_ENGINE_OPS_HH
+#define MONDRIAN_ENGINE_OPS_HH
+
+#include <cstdint>
+
+#include "engine/exec_config.hh"
+#include "engine/operator.hh"
+#include "engine/relation.hh"
+
+namespace mondrian {
+
+/**
+ * Group-by output record: the six aggregate functions of §6 (avg, count,
+ * min, max, sum, sum of squares) plus the group key, padded to 64 bytes.
+ */
+struct GroupRecord
+{
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = ~std::uint64_t{0};
+    std::uint64_t max = 0;
+    std::uint64_t sumsq = 0;
+    double avg = 0.0;
+    std::uint64_t pad = 0;
+
+    /** Order-independent digest used to compare styles in tests. */
+    std::uint64_t
+    digest() const
+    {
+        return key * 0x9e3779b97f4a7c15ull + count * 31 + sum * 7 + min * 3 +
+               max * 11 + sumsq;
+    }
+};
+
+static_assert(sizeof(GroupRecord) == 64, "group records must be 64 bytes");
+
+/**
+ * Scan: count tuples whose key equals @p probe_key. No partitioning phase
+ * (Table 2); every unit scans its local data in parallel.
+ */
+OperatorExecution runScan(MemoryPool &pool, const ExecConfig &cfg,
+                          const Relation &rel, std::uint64_t probe_key);
+
+/**
+ * Sort: range-partition on high-order key bits, then sort each partition
+ * locally (quicksort on CPU, mergesort on NMP, SIMD mergesort on
+ * Mondrian). The output relation is globally sorted in partition order.
+ */
+OperatorExecution runSort(MemoryPool &pool, const ExecConfig &cfg,
+                          const Relation &rel);
+
+/**
+ * Group-by: radix-partition on low-order key bits, then aggregate each
+ * group with the six functions (hash aggregation or sort-then-sweep).
+ */
+OperatorExecution runGroupBy(MemoryPool &pool, const ExecConfig &cfg,
+                             const Relation &rel);
+
+/**
+ * Join (R |x| S): radix-partition both relations on low-order key bits,
+ * then join co-partitions (hash join or sort-merge join). Keys follow a
+ * foreign-key relationship: every S tuple matches exactly one R tuple.
+ * Output tuples carry the matched key and the sum of both payloads.
+ */
+OperatorExecution runJoin(MemoryPool &pool, const ExecConfig &cfg,
+                          const Relation &r, const Relation &s);
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENGINE_OPS_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Data partitioning (the shuffle) for every execution style.
+ *
+ * Table 2: the partitioning phase builds a histogram of destination
+ * partitions, then redistributes tuples. Three concrete machines:
+ *
+ *  - shuffleNmp, exact placement: every source computes each tuple's
+ *    precise destination address from exchanged histogram prefix sums and
+ *    issues a remote store. Arrival interleaving makes the destination's
+ *    DRAM access pattern random (Fig. 2).
+ *  - shuffleNmp, permutable: sources only pick the destination *vault*;
+ *    the destination vault controller appends objects in arrival order
+ *    (§5.3). Histogram is still built (it sizes the destination buffers
+ *    and the completion barrier), but the cursor-maintenance code and its
+ *    dependences disappear from the inner loop.
+ *  - shuffleCpu: single-pass radix partitioning on the CPU cores into 2^bits
+ *    cache/TLB-straining logical partitions (the paper's 16 low-order-bit
+ *    configuration), with per-core private cursors and page-walk traffic
+ *    modeled for the scattered stores.
+ */
+
+#ifndef MONDRIAN_ENGINE_PARTITIONER_HH
+#define MONDRIAN_ENGINE_PARTITIONER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/exec_config.hh"
+#include "engine/operator.hh"
+#include "engine/relation.hh"
+#include "engine/trace_recorder.hh"
+
+namespace mondrian {
+
+/** Destination-partition function (radix low bits or range high bits). */
+class PartitionFn
+{
+  public:
+    /** Radix partitioning on the low-order key bits (Join, Group-by). */
+    static PartitionFn lowBits(unsigned num_partitions);
+
+    /** Range partitioning on the high-order key bits (Sort). */
+    static PartitionFn range(unsigned num_partitions,
+                             std::uint64_t key_space);
+
+    unsigned operator()(std::uint64_t key) const;
+
+    unsigned numPartitions() const { return num_; }
+    bool isRange() const { return range_; }
+
+  private:
+    PartitionFn(unsigned num, bool is_range, std::uint64_t key_space)
+        : num_(num), range_(is_range), keySpace_(key_space)
+    {}
+
+    unsigned num_;
+    bool range_;
+    std::uint64_t keySpace_;
+};
+
+/** Executes shuffles functionally and records their kernel traces. */
+class Partitioner
+{
+  public:
+    Partitioner(MemoryPool &pool, const ExecConfig &cfg)
+        : pool_(pool), cfg_(cfg)
+    {}
+
+    /**
+     * Near-memory shuffle: one destination partition per vault.
+     *
+     * Appends this shuffle's trace ops to @p recs (one recorder per unit).
+     * When the config is permutable, arming descriptors are appended to
+     * @p arming (ignored otherwise; may be null for non-permutable runs).
+     *
+     * @return the redistributed relation (partition i lives in vault i).
+     */
+    Relation shuffleNmp(
+        const Relation &in, const PartitionFn &fn,
+        std::vector<TraceRecorder> &recs,
+        std::vector<std::pair<unsigned, PermutableRegion>> *arming);
+
+    /** Result of a CPU-style radix partition. */
+    struct CpuResult
+    {
+        /** Output as a global array split into per-vault chunks. */
+        Relation out;
+        /** Global tuple-index boundaries: partition p = [b[p], b[p+1]). */
+        std::vector<std::uint64_t> bounds;
+        /** Per-vault chunk size in tuples (global index stride). */
+        std::uint64_t chunkTuples = 0;
+    };
+
+    /**
+     * CPU radix partition into @p num_partitions logical partitions.
+     * Models per-core private cursor arrays and, when the fanout exceeds
+     * the TLB reach, a page walk per scattered store.
+     */
+    CpuResult shuffleCpu(const Relation &in, const PartitionFn &fn,
+                         unsigned num_partitions,
+                         std::vector<TraceRecorder> &recs);
+
+    /** Address of CPU global-array tuple @p g in @p rel. */
+    static Addr globalTupleAddr(const Relation &rel, std::uint64_t chunk,
+                                std::uint64_t g);
+
+  private:
+    MemoryPool &pool_;
+    const ExecConfig &cfg_;
+
+    /** Lazily allocated per-unit private cursor arrays (CPU radix). */
+    std::vector<Addr> cursorBlocks_;
+    /** Histogram-exchange slots, one block per vault (NMP shuffle). */
+    std::vector<Addr> exchangeBlocks_;
+    /** Modeled page-table footprint for TLB-pressured scatters. */
+    std::vector<Addr> pageTableBlocks_; ///< one block per vault
+    std::uint64_t pageTableBlockBytes_ = 0;
+    std::uint64_t pageTableBytes_ = 0;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENGINE_PARTITIONER_HH

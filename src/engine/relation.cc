@@ -1,0 +1,133 @@
+#include "engine/relation.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mondrian {
+
+MemoryPool::MemoryPool(const MemGeometry &geo)
+    : map_(geo), store_(geo.totalBytes())
+{
+    allocs_.reserve(geo.totalVaults());
+    for (unsigned v = 0; v < geo.totalVaults(); ++v)
+        allocs_.emplace_back(map_.vaultBase(v), geo.vaultBytes);
+}
+
+Addr
+MemoryPool::allocTuples(unsigned vault, std::uint64_t tuples)
+{
+    return allocBytes(vault, tuples * kTupleBytes, 64);
+}
+
+Addr
+MemoryPool::allocBytes(unsigned vault, std::uint64_t bytes,
+                       std::uint64_t align)
+{
+    sim_assert(vault < allocs_.size());
+    return allocs_[vault].alloc(bytes, align);
+}
+
+std::uint64_t
+MemoryPool::remaining(unsigned vault) const
+{
+    sim_assert(vault < allocs_.size());
+    return allocs_[vault].remaining();
+}
+
+Relation
+Relation::alloc(MemoryPool &pool, const std::vector<unsigned> &vaults,
+                std::uint64_t capacity_per_vault)
+{
+    Relation r;
+    r.parts_.reserve(vaults.size());
+    for (unsigned v : vaults) {
+        RelationPartition p;
+        p.vault = v;
+        p.base = pool.allocTuples(v, capacity_per_vault);
+        p.capacity = capacity_per_vault;
+        p.count = 0;
+        r.parts_.push_back(p);
+    }
+    return r;
+}
+
+Relation
+Relation::allocAcrossAll(MemoryPool &pool, std::uint64_t total_capacity)
+{
+    unsigned vaults = pool.geometry().totalVaults();
+    std::vector<unsigned> all(vaults);
+    for (unsigned v = 0; v < vaults; ++v)
+        all[v] = v;
+    return alloc(pool, all, divCeil(total_capacity, vaults));
+}
+
+std::uint64_t
+Relation::totalTuples() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : parts_)
+        n += p.count;
+    return n;
+}
+
+Tuple
+Relation::readTuple(const MemoryPool &pool, std::size_t part,
+                    std::uint64_t idx) const
+{
+    sim_assert(part < parts_.size() && idx < parts_[part].capacity);
+    return pool.store().readValue<Tuple>(tupleAddr(part, idx));
+}
+
+void
+Relation::writeTuple(MemoryPool &pool, std::size_t part, std::uint64_t idx,
+                     const Tuple &t)
+{
+    sim_assert(part < parts_.size() && idx < parts_[part].capacity);
+    pool.store().writeValue(tupleAddr(part, idx), t);
+}
+
+std::uint64_t
+Relation::append(MemoryPool &pool, std::size_t part, const Tuple &t)
+{
+    auto &p = parts_[part];
+    sim_assert(p.count < p.capacity);
+    std::uint64_t idx = p.count++;
+    pool.store().writeValue(tupleAddr(part, idx), t);
+    return idx;
+}
+
+std::vector<Tuple>
+Relation::gather(const MemoryPool &pool, std::size_t part) const
+{
+    const auto &p = parts_[part];
+    std::vector<Tuple> out(p.count);
+    if (p.count > 0)
+        pool.store().read(p.base, out.data(), p.count * kTupleBytes);
+    return out;
+}
+
+std::vector<Tuple>
+Relation::gatherAll(const MemoryPool &pool) const
+{
+    std::vector<Tuple> out;
+    out.reserve(totalTuples());
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+        auto part = gather(pool, i);
+        out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+}
+
+void
+Relation::scatter(MemoryPool &pool, std::size_t part,
+                  const std::vector<Tuple> &tuples)
+{
+    auto &p = parts_[part];
+    sim_assert(tuples.size() <= p.capacity);
+    if (!tuples.empty())
+        pool.store().write(p.base, tuples.data(),
+                           tuples.size() * kTupleBytes);
+    p.count = tuples.size();
+}
+
+} // namespace mondrian

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Vault-partitioned relations living in simulated physical memory.
+ *
+ * A Relation is a set of per-vault tuple arrays. All functional operator
+ * code reads and writes tuples through the simulated address space, so the
+ * timing traces and the data always agree.
+ */
+
+#ifndef MONDRIAN_ENGINE_RELATION_HH
+#define MONDRIAN_ENGINE_RELATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "engine/tuple.hh"
+#include "mem/address_map.hh"
+#include "mem/allocator.hh"
+#include "mem/backing_store.hh"
+
+namespace mondrian {
+
+/** One vault-resident slice of a relation. */
+struct RelationPartition
+{
+    unsigned vault = 0;          ///< global vault index
+    Addr base = 0;               ///< base address of the tuple array
+    std::uint64_t capacity = 0;  ///< allocated tuple slots
+    std::uint64_t count = 0;     ///< live tuples
+};
+
+/**
+ * Shared allocation context: address map, functional store, and one bump
+ * allocator per vault.
+ */
+class MemoryPool
+{
+  public:
+    explicit MemoryPool(const MemGeometry &geo);
+
+    const AddressMap &map() const { return map_; }
+    BackingStore &store() { return store_; }
+    const BackingStore &store() const { return store_; }
+    const MemGeometry &geometry() const { return map_.geometry(); }
+
+    /** Allocate @p tuples slots in @p vault; returns the base address. */
+    Addr allocTuples(unsigned vault, std::uint64_t tuples);
+
+    /** Allocate @p bytes raw in @p vault. */
+    Addr allocBytes(unsigned vault, std::uint64_t bytes,
+                    std::uint64_t align = 64);
+
+    /** Bytes remaining in @p vault. */
+    std::uint64_t remaining(unsigned vault) const;
+
+  private:
+    AddressMap map_;
+    BackingStore store_;
+    std::vector<VaultAllocator> allocs_;
+};
+
+/** A relation distributed across a set of vaults. */
+class Relation
+{
+  public:
+    Relation() = default;
+
+    /**
+     * Allocate an empty relation with @p capacity_per_vault tuple slots in
+     * each of @p vaults.
+     */
+    static Relation alloc(MemoryPool &pool, const std::vector<unsigned> &vaults,
+                          std::uint64_t capacity_per_vault);
+
+    /** Allocate with uniform capacity across all vaults in the system. */
+    static Relation allocAcrossAll(MemoryPool &pool,
+                                   std::uint64_t total_capacity);
+
+    std::size_t numPartitions() const { return parts_.size(); }
+    const RelationPartition &partition(std::size_t i) const { return parts_[i]; }
+    RelationPartition &partition(std::size_t i) { return parts_[i]; }
+    const std::vector<RelationPartition> &partitions() const { return parts_; }
+
+    /** Total live tuples across partitions. */
+    std::uint64_t totalTuples() const;
+
+    /** Address of tuple @p idx within partition @p part. */
+    Addr
+    tupleAddr(std::size_t part, std::uint64_t idx) const
+    {
+        return parts_[part].base + idx * kTupleBytes;
+    }
+
+    /** Functional tuple accessors (bounds-checked against capacity). */
+    Tuple readTuple(const MemoryPool &pool, std::size_t part,
+                    std::uint64_t idx) const;
+    void writeTuple(MemoryPool &pool, std::size_t part, std::uint64_t idx,
+                    const Tuple &t);
+
+    /** Append @p t to partition @p part; returns its index. */
+    std::uint64_t append(MemoryPool &pool, std::size_t part, const Tuple &t);
+
+    /** Copy all tuples of partition @p part into a native vector. */
+    std::vector<Tuple> gather(const MemoryPool &pool, std::size_t part) const;
+
+    /** Copy the whole relation into a native vector (tests/verification). */
+    std::vector<Tuple> gatherAll(const MemoryPool &pool) const;
+
+    /** Overwrite partition @p part with @p tuples (count must fit). */
+    void scatter(MemoryPool &pool, std::size_t part,
+                 const std::vector<Tuple> &tuples);
+
+  private:
+    std::vector<RelationPartition> parts_;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENGINE_RELATION_HH

@@ -1,0 +1,103 @@
+#include "engine/spark.hh"
+
+#include "common/logging.hh"
+
+namespace mondrian {
+
+const char *
+basicOpName(BasicOp op)
+{
+    switch (op) {
+      case BasicOp::kScan:
+        return "scan";
+      case BasicOp::kGroupBy:
+        return "groupby";
+      case BasicOp::kJoin:
+        return "join";
+      case BasicOp::kSort:
+        return "sort";
+    }
+    return "?";
+}
+
+const std::vector<std::pair<std::string, BasicOp>> &
+sparkOperatorTable()
+{
+    // Table 1: Characterization of Spark operators.
+    static const std::vector<std::pair<std::string, BasicOp>> table = {
+        {"Filter", BasicOp::kScan},
+        {"Union", BasicOp::kScan},
+        {"LookupKey", BasicOp::kScan},
+        {"Map", BasicOp::kScan},
+        {"FlatMap", BasicOp::kScan},
+        {"MapValues", BasicOp::kScan},
+        {"GroupByKey", BasicOp::kGroupBy},
+        {"Cogroup", BasicOp::kGroupBy},
+        {"ReduceByKey", BasicOp::kGroupBy},
+        {"Reduce", BasicOp::kGroupBy},
+        {"CountByKey", BasicOp::kGroupBy},
+        {"AggregateByKey", BasicOp::kGroupBy},
+        {"Join", BasicOp::kJoin},
+        {"SortByKey", BasicOp::kSort},
+    };
+    return table;
+}
+
+SparkContext::Lowered
+SparkContext::filter(const Relation &rel, std::uint64_t key)
+{
+    return Lowered{"Filter", BasicOp::kScan, runScan(pool_, cfg_, rel, key)};
+}
+
+SparkContext::Lowered
+SparkContext::reduceByKey(const Relation &rel)
+{
+    return Lowered{"ReduceByKey", BasicOp::kGroupBy,
+                   runGroupBy(pool_, cfg_, rel)};
+}
+
+SparkContext::Lowered
+SparkContext::join(const Relation &r, const Relation &s)
+{
+    return Lowered{"Join", BasicOp::kJoin, runJoin(pool_, cfg_, r, s)};
+}
+
+SparkContext::Lowered
+SparkContext::sortByKey(const Relation &rel)
+{
+    return Lowered{"SortByKey", BasicOp::kSort, runSort(pool_, cfg_, rel)};
+}
+
+SparkContext::Lowered
+SparkContext::lower(const std::string &spark_op, const Relation &rel,
+                    const Relation *second)
+{
+    for (const auto &[name, basic] : sparkOperatorTable()) {
+        if (name != spark_op)
+            continue;
+        Lowered result;
+        switch (basic) {
+          case BasicOp::kScan:
+            result = filter(rel, 0);
+            break;
+          case BasicOp::kGroupBy:
+            result = reduceByKey(rel);
+            break;
+          case BasicOp::kJoin:
+            if (!second)
+                fatal("Spark %s needs two input relations",
+                      spark_op.c_str());
+            result = join(rel, *second);
+            break;
+          case BasicOp::kSort:
+            result = sortByKey(rel);
+            break;
+        }
+        result.sparkOp = spark_op;
+        result.basicOp = basic;
+        return result;
+    }
+    fatal("unknown Spark operator '%s'", spark_op.c_str());
+}
+
+} // namespace mondrian

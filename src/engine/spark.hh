@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Spark-style dataflow layer (Table 1 of the paper, executable).
+ *
+ * Contemporary analytics stacks express queries as dataflow operators
+ * (Filter, ReduceByKey, SortByKey, Join, ...) that lower onto the four
+ * basic physical operators. This layer provides that lowering so the
+ * examples can run realistic pipelines against any evaluated system.
+ */
+
+#ifndef MONDRIAN_ENGINE_SPARK_HH
+#define MONDRIAN_ENGINE_SPARK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/exec_config.hh"
+#include "engine/operator.hh"
+#include "engine/ops.hh"
+#include "engine/relation.hh"
+
+namespace mondrian {
+
+/** Which basic operator a Spark operator lowers onto (Table 1). */
+enum class BasicOp
+{
+    kScan,
+    kGroupBy,
+    kJoin,
+    kSort
+};
+
+const char *basicOpName(BasicOp op);
+
+/** The full Table 1 mapping: Spark operator -> basic operator. */
+const std::vector<std::pair<std::string, BasicOp>> &sparkOperatorTable();
+
+/** Spark-flavored entry points lowering onto the basic operators. */
+class SparkContext
+{
+  public:
+    SparkContext(MemoryPool &pool, const ExecConfig &cfg)
+        : pool_(pool), cfg_(cfg)
+    {}
+
+    /** Result of one lowered operator. */
+    struct Lowered
+    {
+        std::string sparkOp;
+        BasicOp basicOp;
+        OperatorExecution exec;
+    };
+
+    /** Filter / LookupKey / Map-style operators lower onto Scan. */
+    Lowered filter(const Relation &rel, std::uint64_t key);
+
+    /** ReduceByKey / GroupByKey / CountByKey lower onto Group-by. */
+    Lowered reduceByKey(const Relation &rel);
+
+    /** Join lowers onto Join. */
+    Lowered join(const Relation &r, const Relation &s);
+
+    /** SortByKey lowers onto Sort. */
+    Lowered sortByKey(const Relation &rel);
+
+    /** Lower an arbitrary Table 1 operator by name. */
+    Lowered lower(const std::string &spark_op, const Relation &rel,
+                  const Relation *second = nullptr);
+
+  private:
+    MemoryPool &pool_;
+    ExecConfig cfg_;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENGINE_SPARK_HH

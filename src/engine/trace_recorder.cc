@@ -1,0 +1,3 @@
+// TraceRecorder is header-only; this translation unit keeps the build
+// layout uniform (one .cc per module header).
+#include "engine/trace_recorder.hh"

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Trace recorder: the functional layer's pen for writing kernel traces.
+ *
+ * A TraceRecorder wraps one compute unit's KernelTrace with fractional
+ * cycle accounting (cost tables are doubles; the recorder accumulates the
+ * remainder so long loops charge the exact average) and with helpers that
+ * express common access idioms (line-granular sequential reads, tuple
+ * stores, stream pops).
+ */
+
+#ifndef MONDRIAN_ENGINE_TRACE_RECORDER_HH
+#define MONDRIAN_ENGINE_TRACE_RECORDER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/trace.hh"
+
+namespace mondrian {
+
+/** Records one compute unit's kernel trace. */
+class TraceRecorder
+{
+  public:
+    TraceRecorder() = default;
+
+    /** Charge @p cycles (fractional) of computation. */
+    void
+    compute(double cycles)
+    {
+        carry_ += cycles;
+        auto whole = static_cast<std::uint64_t>(carry_);
+        if (whole > 0) {
+            trace_.addCompute(whole);
+            carry_ -= static_cast<double>(whole);
+        }
+    }
+
+    void load(Addr a, std::uint32_t size) { trace_.add(TraceOp::load(a, size)); }
+    void
+    loadBlocking(Addr a, std::uint32_t size)
+    {
+        trace_.add(TraceOp::loadBlocking(a, size));
+    }
+    void store(Addr a, std::uint32_t size) { trace_.add(TraceOp::store(a, size)); }
+    void
+    permutableStore(Addr a, std::uint32_t size)
+    {
+        trace_.add(TraceOp::permutableStore(a, size));
+    }
+    void
+    streamRead(Addr a, std::uint32_t size)
+    {
+        trace_.add(TraceOp::streamRead(a, size));
+    }
+    void fence() { trace_.add(TraceOp::fence()); }
+
+    /**
+     * Sequential read of [base, base+bytes) in @p chunk-sized pieces.
+     * @param stream use stream-buffer reads instead of demand loads.
+     */
+    void
+    readRange(Addr base, std::uint64_t bytes, std::uint32_t chunk,
+              bool stream)
+    {
+        for (std::uint64_t off = 0; off < bytes; off += chunk) {
+            auto n = static_cast<std::uint32_t>(
+                bytes - off < chunk ? bytes - off : chunk);
+            if (stream)
+                streamRead(base + off, n);
+            else
+                load(base + off, n);
+        }
+    }
+
+    /** Sequential write of [base, base+bytes) in @p chunk-sized pieces. */
+    void
+    writeRange(Addr base, std::uint64_t bytes, std::uint32_t chunk)
+    {
+        for (std::uint64_t off = 0; off < bytes; off += chunk) {
+            auto n = static_cast<std::uint32_t>(
+                bytes - off < chunk ? bytes - off : chunk);
+            store(base + off, n);
+        }
+    }
+
+    KernelTrace &trace() { return trace_; }
+    const KernelTrace &trace() const { return trace_; }
+
+    /** Move the finished trace out. */
+    KernelTrace take() { return std::move(trace_); }
+
+  private:
+    KernelTrace trace_;
+    double carry_ = 0.0;
+};
+
+/**
+ * Emit the canonical scan idiom: a chunked sequential read of @p count
+ * tuples from @p base, interleaved with per-tuple work so the timing model
+ * sees compute and memory overlap the way the real loop would.
+ *
+ * @param f callback invoked once per tuple index with (tuple_index).
+ */
+template <typename PerTuple>
+void
+scanEmit(TraceRecorder &rec, Addr base, std::uint64_t count,
+         std::uint32_t tuple_bytes, std::uint32_t chunk_bytes, bool stream,
+         PerTuple f)
+{
+    const std::uint64_t per_chunk = chunk_bytes / tuple_bytes;
+    for (std::uint64_t start = 0; start < count; start += per_chunk) {
+        const std::uint64_t n =
+            (count - start) < per_chunk ? (count - start) : per_chunk;
+        const auto bytes = static_cast<std::uint32_t>(n * tuple_bytes);
+        if (stream)
+            rec.streamRead(base + start * tuple_bytes, bytes);
+        else
+            rec.load(base + start * tuple_bytes, bytes);
+        for (std::uint64_t j = 0; j < n; ++j)
+            f(start + j);
+    }
+}
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENGINE_TRACE_RECORDER_HH

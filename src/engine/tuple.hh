@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The 16-byte key/value tuple all operators work on.
+ *
+ * The paper evaluates on 8 B key + 8 B payload tuples "as commonly done in
+ * data analytics research" (§5.2, citing Balkesen et al. and Kim et al.),
+ * representing one row of an in-memory columnar store.
+ */
+
+#ifndef MONDRIAN_ENGINE_TUPLE_HH
+#define MONDRIAN_ENGINE_TUPLE_HH
+
+#include <cstdint>
+
+namespace mondrian {
+
+/** One analytics tuple: 8-byte integer key, 8-byte integer payload. */
+struct Tuple
+{
+    std::uint64_t key = 0;
+    std::uint64_t payload = 0;
+
+    friend bool
+    operator==(const Tuple &a, const Tuple &b)
+    {
+        return a.key == b.key && a.payload == b.payload;
+    }
+};
+
+static_assert(sizeof(Tuple) == 16, "tuples must be 16 bytes");
+
+constexpr std::uint32_t kTupleBytes = sizeof(Tuple);
+
+/**
+ * Multiplicative (Fibonacci) hash — the partitioning hash both the CPU
+ * radix code and the NMP shuffle use before taking destination bits.
+ */
+constexpr std::uint64_t
+hashKey(std::uint64_t key)
+{
+    return key * 0x9e3779b97f4a7c15ull;
+}
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENGINE_TUPLE_HH

@@ -1,0 +1,113 @@
+#include "engine/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mondrian {
+
+void
+WorkloadGenerator::fill(MemoryPool &pool, Relation &rel,
+                        const std::vector<std::uint64_t> &keys)
+{
+    const std::size_t parts = rel.numPartitions();
+    sim_assert(parts > 0);
+    // Round-robin placement gives every vault an even share of a randomly
+    // ordered key stream, i.e. data "initially randomly distributed across
+    // multiple memory partitions" (§2).
+    std::vector<std::vector<Tuple>> buckets(parts);
+    for (auto &b : buckets)
+        b.reserve(keys.size() / parts + 1);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        buckets[i % parts].push_back(
+            Tuple{keys[i], static_cast<std::uint64_t>(i)});
+    for (std::size_t p = 0; p < parts; ++p)
+        rel.scatter(pool, p, buckets[p]);
+}
+
+std::uint64_t
+WorkloadGenerator::drawKey(std::uint64_t space)
+{
+    if (cfg_.zipfTheta <= 0.0)
+        return rng_.nextBounded(space);
+
+    // Zipf via inverse-CDF table (rebuilt when the key space changes).
+    if (zipfSpace_ != space) {
+        zipfSpace_ = space;
+        zipfCdf_.resize(space);
+        double sum = 0.0;
+        for (std::uint64_t i = 0; i < space; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1),
+                                  cfg_.zipfTheta);
+            zipfCdf_[i] = sum;
+        }
+        for (auto &v : zipfCdf_)
+            v /= sum;
+    }
+    double u = rng_.nextDouble();
+    auto it = std::lower_bound(zipfCdf_.begin(), zipfCdf_.end(), u);
+    return static_cast<std::uint64_t>(it - zipfCdf_.begin());
+}
+
+Relation
+WorkloadGenerator::makeUniform(MemoryPool &pool, std::uint64_t tuples)
+{
+    rng_.seed(cfg_.seed);
+    unsigned vaults = pool.geometry().totalVaults();
+    // Capacity leaves headroom so partitions tolerate imbalance.
+    Relation rel = Relation::allocAcrossAll(pool, tuples + vaults);
+    std::vector<std::uint64_t> keys(tuples);
+    for (auto &k : keys)
+        k = drawKey(tuples * 4);
+    fill(pool, rel, keys);
+    return rel;
+}
+
+WorkloadGenerator::JoinPair
+WorkloadGenerator::makeJoinPair(MemoryPool &pool)
+{
+    rng_.seed(cfg_.seed);
+    std::uint64_t s_tuples = cfg_.tuples;
+    std::uint64_t r_tuples = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(s_tuples) *
+                                      cfg_.joinSmallRatio));
+
+    JoinPair pair;
+    unsigned vaults = pool.geometry().totalVaults();
+    pair.r = Relation::allocAcrossAll(pool, r_tuples + vaults);
+    pair.s = Relation::allocAcrossAll(pool, s_tuples + vaults);
+
+    // R: a random permutation of [0, r_tuples) -- unique keys.
+    std::vector<std::uint64_t> r_keys(r_tuples);
+    for (std::uint64_t i = 0; i < r_tuples; ++i)
+        r_keys[i] = i;
+    for (std::uint64_t i = r_tuples; i > 1; --i)
+        std::swap(r_keys[i - 1], r_keys[rng_.nextBounded(i)]);
+    fill(pool, pair.r, r_keys);
+
+    // S: foreign keys drawn from R's key space.
+    std::vector<std::uint64_t> s_keys(s_tuples);
+    for (auto &k : s_keys)
+        k = drawKey(r_tuples);
+    fill(pool, pair.s, s_keys);
+    return pair;
+}
+
+Relation
+WorkloadGenerator::makeGroupBy(MemoryPool &pool, std::uint64_t tuples)
+{
+    rng_.seed(cfg_.seed);
+    std::uint64_t groups = cfg_.groupCardinality
+                               ? cfg_.groupCardinality
+                               : std::max<std::uint64_t>(1, tuples / 4);
+    unsigned vaults = pool.geometry().totalVaults();
+    Relation rel = Relation::allocAcrossAll(pool, tuples + vaults);
+    std::vector<std::uint64_t> keys(tuples);
+    for (auto &k : keys)
+        k = drawKey(groups);
+    fill(pool, rel, keys);
+    return rel;
+}
+
+} // namespace mondrian

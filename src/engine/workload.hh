@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Workload generators for the four basic operators.
+ *
+ * All generators are deterministic given a seed. Keys follow the paper's
+ * setup: uniform distributions, 16 B tuples, and for Join a foreign-key
+ * relationship where every tuple of the large relation S matches exactly
+ * one tuple of the small relation R (§6). A Zipfian generator is provided
+ * for the skew-sensitivity extension study (the paper defers skew to
+ * future work; we include it as an ablation).
+ */
+
+#ifndef MONDRIAN_ENGINE_WORKLOAD_HH
+#define MONDRIAN_ENGINE_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "engine/relation.hh"
+
+namespace mondrian {
+
+/** Parameters for workload generation. */
+struct WorkloadConfig
+{
+    std::uint64_t tuples = 1u << 18;   ///< |S| (and |R| scaled by ratio)
+    double joinSmallRatio = 0.25;      ///< |R| = tuples * ratio
+    std::uint64_t groupCardinality = 0;///< 0 = tuples/4 (avg group size 4, §6)
+    std::uint64_t seed = 42;
+    double zipfTheta = 0.0;            ///< 0 = uniform; >0 = skewed keys
+};
+
+/** Generator producing relations laid out across the memory pool. */
+class WorkloadGenerator
+{
+  public:
+    explicit WorkloadGenerator(const WorkloadConfig &cfg) : cfg_(cfg) {}
+
+    /** Uniform-key relation for Scan and Sort. */
+    Relation makeUniform(MemoryPool &pool, std::uint64_t tuples);
+
+    /**
+     * Foreign-key join pair: R has unique keys [0, |R|) in random order,
+     * S keys are drawn from [0, |R|) so every S tuple joins exactly once.
+     */
+    struct JoinPair
+    {
+        Relation r; ///< small build relation
+        Relation s; ///< large probe relation
+    };
+    JoinPair makeJoinPair(MemoryPool &pool);
+
+    /** Group-by relation with the configured key cardinality. */
+    Relation makeGroupBy(MemoryPool &pool, std::uint64_t tuples);
+
+    const WorkloadConfig &config() const { return cfg_; }
+
+  private:
+    /** Fill @p rel with @p keys (payload = generator sequence number). */
+    void fill(MemoryPool &pool, Relation &rel,
+              const std::vector<std::uint64_t> &keys);
+
+    std::uint64_t drawKey(std::uint64_t space);
+
+    WorkloadConfig cfg_;
+    Random rng_{42};
+    /** Zipf sampling state (computed lazily per key-space size). */
+    std::vector<double> zipfCdf_;
+    std::uint64_t zipfSpace_ = 0;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_ENGINE_WORKLOAD_HH

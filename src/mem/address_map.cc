@@ -1,0 +1,65 @@
+#include "mem/address_map.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mondrian {
+
+AddressMap::AddressMap(const MemGeometry &geo) : geo_(geo)
+{
+    if (!isPowerOf2(geo.rowBytes))
+        fatal("row size must be a power of two (got %llu)",
+              static_cast<unsigned long long>(geo.rowBytes));
+    if (geo.vaultBytes % (geo.rowBytes * geo.banksPerVault) != 0)
+        fatal("vault capacity must be a multiple of rowBytes*banks");
+    if (geo.numStacks == 0 || geo.vaultsPerStack == 0 || geo.banksPerVault == 0)
+        fatal("memory geometry must be non-degenerate");
+}
+
+DecodedAddr
+AddressMap::decode(Addr addr) const
+{
+    sim_assert(addr < geo_.totalBytes());
+    DecodedAddr d;
+    d.globalVault = static_cast<unsigned>(addr / geo_.vaultBytes);
+    d.stack = d.globalVault / geo_.vaultsPerStack;
+    d.vault = d.globalVault % geo_.vaultsPerStack;
+
+    std::uint64_t off = addr % geo_.vaultBytes;
+    d.column = off % geo_.rowBytes;
+    std::uint64_t row_slot = off / geo_.rowBytes; // global row slot in vault
+    d.bank = static_cast<unsigned>(row_slot % geo_.banksPerVault);
+    d.row = row_slot / geo_.banksPerVault;
+    return d;
+}
+
+Addr
+AddressMap::encode(const DecodedAddr &d) const
+{
+    std::uint64_t row_slot = d.row * geo_.banksPerVault + d.bank;
+    std::uint64_t off = row_slot * geo_.rowBytes + d.column;
+    return std::uint64_t{d.globalVault} * geo_.vaultBytes + off;
+}
+
+Addr
+AddressMap::vaultBase(unsigned global_vault) const
+{
+    sim_assert(global_vault < geo_.totalVaults());
+    return std::uint64_t{global_vault} * geo_.vaultBytes;
+}
+
+unsigned
+AddressMap::vaultOf(Addr addr) const
+{
+    sim_assert(addr < geo_.totalBytes());
+    return static_cast<unsigned>(addr / geo_.vaultBytes);
+}
+
+std::uint64_t
+AddressMap::rowId(Addr addr) const
+{
+    // (vault, bank, row) uniquely identified by the row-aligned address.
+    return addr / geo_.rowBytes;
+}
+
+} // namespace mondrian

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Physical address geometry of the NMP memory pool.
+ *
+ * The flat physical address space is carved into stacks (HMC cubes), each
+ * stack into vaults, each vault into DRAM banks of 256-byte rows (HMC's row
+ * buffer size; DDR-class parts would use 1-8 KiB).
+ *
+ * Layout (low to high bits):
+ *   [column within row][bank][row][vault][stack]
+ *
+ * A vault therefore owns one contiguous region of the address space (it is
+ * the paper's "memory partition"), while *within* a vault consecutive rows
+ * interleave across banks so a sequential stream naturally overlaps row
+ * activations in different banks.
+ */
+
+#ifndef MONDRIAN_MEM_ADDRESS_MAP_HH
+#define MONDRIAN_MEM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mondrian {
+
+/** Geometry parameters for the stacked-memory pool. */
+struct MemGeometry
+{
+    unsigned numStacks = 4;       ///< HMC cubes in the system
+    unsigned vaultsPerStack = 16; ///< vaults (partitions) per cube
+    unsigned banksPerVault = 8;   ///< independent DRAM banks per vault
+    std::uint64_t rowBytes = 256; ///< DRAM row (row buffer) size in bytes
+    std::uint64_t vaultBytes = 8 * kMiB; ///< per-vault capacity
+
+    unsigned totalVaults() const { return numStacks * vaultsPerStack; }
+    std::uint64_t totalBytes() const { return std::uint64_t{totalVaults()} * vaultBytes; }
+    std::uint64_t rowsPerBank() const { return vaultBytes / (rowBytes * banksPerVault); }
+};
+
+/** Fully decoded address. */
+struct DecodedAddr
+{
+    unsigned stack;
+    unsigned vault;       ///< vault index within its stack
+    unsigned globalVault; ///< stack * vaultsPerStack + vault
+    unsigned bank;
+    std::uint64_t row;    ///< row index within the bank
+    std::uint64_t column; ///< byte offset within the row
+};
+
+/** Bidirectional address encoder/decoder for a given geometry. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const MemGeometry &geo);
+
+    const MemGeometry &geometry() const { return geo_; }
+
+    /** Decode a physical address into its DRAM coordinates. */
+    DecodedAddr decode(Addr addr) const;
+
+    /** Inverse of decode(). */
+    Addr encode(const DecodedAddr &d) const;
+
+    /** First address of the given vault's contiguous region. */
+    Addr vaultBase(unsigned global_vault) const;
+
+    /** Global vault index owning @p addr. */
+    unsigned vaultOf(Addr addr) const;
+
+    /** Row-buffer identifier (unique per (vault,bank,row)) for @p addr. */
+    std::uint64_t rowId(Addr addr) const;
+
+  private:
+    MemGeometry geo_;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_MEM_ADDRESS_MAP_HH

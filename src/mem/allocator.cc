@@ -1,0 +1,56 @@
+#include "mem/allocator.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace mondrian {
+
+Addr
+VaultAllocator::alloc(std::uint64_t size, std::uint64_t align)
+{
+    sim_assert(isPowerOf2(align));
+    std::uint64_t aligned = roundUp(used_, align);
+    if (aligned + size > capacity_)
+        fatal("vault allocator exhausted: need %llu, have %llu of %llu",
+              static_cast<unsigned long long>(size),
+              static_cast<unsigned long long>(capacity_ - aligned),
+              static_cast<unsigned long long>(capacity_));
+    used_ = aligned + size;
+    return base_ + aligned;
+}
+
+void
+PermutableRegionTable::arm(unsigned vault, const PermutableRegion &region)
+{
+    sim_assert(vault < regions_.size());
+    sim_assert(region.objectBytes > 0);
+    regions_[vault] = region;
+    active_[vault] = true;
+}
+
+void
+PermutableRegionTable::disarm(unsigned vault)
+{
+    sim_assert(vault < regions_.size());
+    active_[vault] = false;
+}
+
+bool
+PermutableRegionTable::isPermutable(unsigned vault, Addr addr,
+                                    std::uint64_t size) const
+{
+    sim_assert(vault < regions_.size());
+    if (!active_[vault])
+        return false;
+    const auto &r = regions_[vault];
+    return addr >= r.base && addr + size <= r.base + r.size;
+}
+
+const PermutableRegion &
+PermutableRegionTable::region(unsigned vault) const
+{
+    sim_assert(vault < regions_.size() && active_[vault]);
+    return regions_[vault];
+}
+
+} // namespace mondrian

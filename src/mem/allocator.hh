@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-vault memory allocation and permutable-region bookkeeping.
+ *
+ * The engine allocates relation partitions inside specific vaults (the
+ * paper's malloc_permutable takes a vault list). A VaultAllocator is a bump
+ * allocator over one vault's contiguous address range. The
+ * PermutableRegionTable is the software/hardware contract from §5.3: during
+ * shuffle_begin..shuffle_end, stores landing in a registered region may be
+ * reordered by the destination vault controller at object granularity.
+ */
+
+#ifndef MONDRIAN_MEM_ALLOCATOR_HH
+#define MONDRIAN_MEM_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/address_map.hh"
+
+namespace mondrian {
+
+/** Bump allocator over a single vault's address range. */
+class VaultAllocator
+{
+  public:
+    VaultAllocator() = default;
+    VaultAllocator(Addr base, std::uint64_t capacity)
+        : base_(base), capacity_(capacity)
+    {}
+
+    /**
+     * Allocate @p size bytes aligned to @p align (power of two).
+     * @return base address of the allocation.
+     */
+    Addr alloc(std::uint64_t size, std::uint64_t align = 64);
+
+    /** Bytes still available. */
+    std::uint64_t remaining() const { return capacity_ - used_; }
+
+    std::uint64_t used() const { return used_; }
+    Addr base() const { return base_; }
+
+    /** Release everything (arena-style). */
+    void reset() { used_ = 0; }
+
+  private:
+    Addr base_ = 0;
+    std::uint64_t capacity_ = 0;
+    std::uint64_t used_ = 0;
+};
+
+/** A registered permutable destination buffer (one per vault per shuffle). */
+struct PermutableRegion
+{
+    Addr base = 0;
+    std::uint64_t size = 0;
+    std::uint32_t objectBytes = 0; ///< permutation granularity (§5.3)
+};
+
+/**
+ * Registry of active permutable regions, indexed by global vault.
+ *
+ * Models the memory-mapped registers the CPU writes during shuffle setup.
+ * At most one region per vault may be active at a time, mirroring the
+ * single set of registers in each vault controller.
+ */
+class PermutableRegionTable
+{
+  public:
+    explicit PermutableRegionTable(unsigned num_vaults)
+        : regions_(num_vaults), active_(num_vaults, false)
+    {}
+
+    /** Arm @p vault's permutable region. Replaces any previous region. */
+    void arm(unsigned vault, const PermutableRegion &region);
+
+    /** Disarm (shuffle_end). */
+    void disarm(unsigned vault);
+
+    /** True if @p addr within @p vault falls in an armed region. */
+    bool isPermutable(unsigned vault, Addr addr, std::uint64_t size) const;
+
+    /** The armed region for @p vault; vault must be armed. */
+    const PermutableRegion &region(unsigned vault) const;
+
+    bool armed(unsigned vault) const { return active_[vault]; }
+
+  private:
+    std::vector<PermutableRegion> regions_;
+    std::vector<bool> active_;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_MEM_ALLOCATOR_HH

@@ -1,0 +1,64 @@
+#include "mem/backing_store.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mondrian {
+
+const std::uint8_t BackingStore::kZeroChunk[BackingStore::kChunkBytes] = {};
+
+BackingStore::BackingStore(std::uint64_t capacity) : capacity_(capacity) {}
+
+std::uint8_t *
+BackingStore::chunkFor(Addr addr)
+{
+    std::uint64_t idx = addr / kChunkBytes;
+    auto it = chunks_.find(idx);
+    if (it == chunks_.end()) {
+        auto mem = std::make_unique<std::uint8_t[]>(kChunkBytes);
+        std::memset(mem.get(), 0, kChunkBytes);
+        it = chunks_.emplace(idx, std::move(mem)).first;
+    }
+    return it->second.get();
+}
+
+const std::uint8_t *
+BackingStore::chunkForRead(Addr addr) const
+{
+    std::uint64_t idx = addr / kChunkBytes;
+    auto it = chunks_.find(idx);
+    return it == chunks_.end() ? kZeroChunk : it->second.get();
+}
+
+void
+BackingStore::write(Addr addr, const void *src, std::uint64_t size)
+{
+    sim_assert(addr + size <= capacity_);
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    while (size > 0) {
+        std::uint64_t in_chunk = addr % kChunkBytes;
+        std::uint64_t n = std::min(size, kChunkBytes - in_chunk);
+        std::memcpy(chunkFor(addr) + in_chunk, bytes, n);
+        addr += n;
+        bytes += n;
+        size -= n;
+    }
+}
+
+void
+BackingStore::read(Addr addr, void *dst, std::uint64_t size) const
+{
+    sim_assert(addr + size <= capacity_);
+    auto *bytes = static_cast<std::uint8_t *>(dst);
+    while (size > 0) {
+        std::uint64_t in_chunk = addr % kChunkBytes;
+        std::uint64_t n = std::min(size, kChunkBytes - in_chunk);
+        std::memcpy(bytes, chunkForRead(addr) + in_chunk, n);
+        addr += n;
+        bytes += n;
+        size -= n;
+    }
+}
+
+} // namespace mondrian

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sparse functional backing store.
+ *
+ * Holds the actual bytes of the simulated physical memory so operators run
+ * *through* the simulated address space: a bug in address arithmetic shows
+ * up as a wrong query answer, not just a wrong cycle count. Storage is
+ * chunked and allocated on first touch, so a mostly-empty multi-GiB address
+ * space costs only what is actually written.
+ */
+
+#ifndef MONDRIAN_MEM_BACKING_STORE_HH
+#define MONDRIAN_MEM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mondrian {
+
+/** Chunked, lazily allocated byte store indexed by physical address. */
+class BackingStore
+{
+  public:
+    static constexpr std::uint64_t kChunkBytes = 64 * kKiB;
+
+    explicit BackingStore(std::uint64_t capacity);
+
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Copy @p size bytes from @p src into memory at @p addr. */
+    void write(Addr addr, const void *src, std::uint64_t size);
+
+    /** Copy @p size bytes from memory at @p addr into @p dst. */
+    void read(Addr addr, void *dst, std::uint64_t size) const;
+
+    /** Typed convenience accessors. */
+    template <typename T>
+    void
+    writeValue(Addr addr, const T &v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    readValue(Addr addr) const
+    {
+        T v{};
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Number of chunks materialized so far (for footprint reporting). */
+    std::size_t chunksAllocated() const { return chunks_.size(); }
+
+  private:
+    std::uint8_t *chunkFor(Addr addr);
+    const std::uint8_t *chunkForRead(Addr addr) const;
+
+    std::uint64_t capacity_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> chunks_;
+    static const std::uint8_t kZeroChunk[kChunkBytes];
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_MEM_BACKING_STORE_HH

@@ -1,0 +1,183 @@
+#include "noc/network.hh"
+
+#include "common/logging.hh"
+
+namespace mondrian {
+
+Network::Network(const MemGeometry &geo, Topology topo,
+                 const MeshConfig &mesh_cfg, const SerDesConfig &serdes_cfg,
+                 std::uint32_t packet_overhead)
+    : geo_(geo), topo_(topo), overhead_(packet_overhead)
+{
+    MeshConfig cfg = mesh_cfg;
+    // Size the mesh to cover the stack's vaults in a near-square grid.
+    cfg.width = 1;
+    while (cfg.width * cfg.width < geo.vaultsPerStack)
+        ++cfg.width;
+    cfg.height = (geo.vaultsPerStack + cfg.width - 1) / cfg.width;
+
+    for (unsigned s = 0; s < geo.numStacks; ++s)
+        meshes_.emplace_back(cfg);
+
+    if (topo_ == Topology::kFullyConnectedNmp) {
+        interStack_.assign(std::size_t{geo.numStacks} * geo.numStacks,
+                           SerDesLink{serdes_cfg});
+    }
+    cpuToStack_.assign(geo.numStacks, SerDesLink{serdes_cfg});
+    stackToCpu_.assign(geo.numStacks, SerDesLink{serdes_cfg});
+}
+
+unsigned
+Network::stackOf(unsigned node) const
+{
+    sim_assert(node != kCpuNode);
+    return node / geo_.vaultsPerStack;
+}
+
+unsigned
+Network::routerOf(unsigned node) const
+{
+    sim_assert(node != kCpuNode);
+    return node % geo_.vaultsPerStack;
+}
+
+unsigned
+Network::portRouter(unsigned stack, unsigned peer_stack) const
+{
+    (void)stack;
+    const MeshConfig &mc = meshes_[0].config();
+    const unsigned corners[4] = {
+        0, mc.width - 1, mc.width * (mc.height - 1),
+        mc.width * mc.height - 1};
+    if (peer_stack == kCpuNode)
+        return corners[0];
+    return corners[peer_stack % 4];
+}
+
+unsigned
+Network::serdesLinkCount() const
+{
+    unsigned n = 2 * geo_.numStacks; // CPU links, both directions
+    if (topo_ == Topology::kFullyConnectedNmp)
+        n += geo_.numStacks * (geo_.numStacks - 1);
+    return n;
+}
+
+Tick
+Network::delay(unsigned src, unsigned dst, std::uint64_t bytes, Tick start)
+{
+    packets_++;
+    payloadBytes_ += bytes;
+    const std::uint64_t wire_bytes = bytes + overhead_;
+
+    if (src == dst && src != kCpuNode)
+        return start; // vault-local access: never enters the network
+
+    // CPU <-> vault.
+    if (src == kCpuNode || dst == kCpuNode) {
+        unsigned vault = src == kCpuNode ? dst : src;
+        unsigned stack = stackOf(vault);
+        unsigned port = portRouter(stack, kCpuNode);
+        if (src == kCpuNode) {
+            Tick t = cpuToStack_[stack].transfer(wire_bytes, start);
+            // The SerDes link paces the hand-off into the mesh.
+            return meshes_[stack].route(port, routerOf(vault), wire_bytes,
+                                        t, /*reserve_inject=*/false,
+                                        /*reserve_eject=*/true);
+        }
+        Tick t = meshes_[stack].route(routerOf(vault), port, wire_bytes,
+                                      start, /*reserve_inject=*/true,
+                                      /*reserve_eject=*/false);
+        return stackToCpu_[stack].transfer(wire_bytes, t);
+    }
+
+    unsigned s_stack = stackOf(src), d_stack = stackOf(dst);
+    if (s_stack == d_stack) {
+        return meshes_[s_stack].route(routerOf(src), routerOf(dst),
+                                      wire_bytes, start);
+    }
+
+    // Cross-stack: exit via the corner port for the destination stack,
+    // enter via the corner port for the source stack. The SerDes link is
+    // the pacing resource at both corners, so neither corner's own
+    // vault ports are reserved.
+    Tick t = meshes_[s_stack].route(routerOf(src),
+                                    portRouter(s_stack, d_stack),
+                                    wire_bytes, start,
+                                    /*reserve_inject=*/true,
+                                    /*reserve_eject=*/false);
+    if (topo_ == Topology::kFullyConnectedNmp) {
+        t = interStack_[std::size_t{s_stack} * geo_.numStacks + d_stack]
+                .transfer(wire_bytes, t);
+    } else {
+        // Star: bounce through the CPU hub.
+        t = stackToCpu_[s_stack].transfer(wire_bytes, t);
+        t = cpuToStack_[d_stack].transfer(wire_bytes, t);
+    }
+    return meshes_[d_stack].route(portRouter(d_stack, s_stack),
+                                  routerOf(dst), wire_bytes, t,
+                                  /*reserve_inject=*/false,
+                                  /*reserve_eject=*/true);
+}
+
+Tick
+Network::baseLatency(unsigned src, unsigned dst, std::uint64_t bytes) const
+{
+    if (src == dst && src != kCpuNode)
+        return 0;
+    const std::uint64_t wire_bytes = bytes + overhead_;
+    const MeshConfig &mc = meshes_[0].config();
+    SerDesConfig sc; // default config matches construction
+
+    auto mesh_time = [&](unsigned a, unsigned b) {
+        return Tick{meshes_[0].hops(a, b)} * mc.hopLatency +
+               wire_bytes * mc.psPerByte();
+    };
+    auto serdes_time = [&]() {
+        return wire_bytes * sc.psPerByte() + sc.latency;
+    };
+
+    if (src == kCpuNode || dst == kCpuNode) {
+        unsigned vault = src == kCpuNode ? dst : src;
+        unsigned stack = stackOf(vault);
+        return serdes_time() +
+               mesh_time(portRouter(stack, kCpuNode), routerOf(vault));
+    }
+    unsigned s_stack = stackOf(src), d_stack = stackOf(dst);
+    if (s_stack == d_stack)
+        return mesh_time(routerOf(src), routerOf(dst));
+
+    Tick t = mesh_time(routerOf(src), portRouter(s_stack, d_stack)) +
+             mesh_time(portRouter(d_stack, s_stack), routerOf(dst));
+    if (topo_ == Topology::kFullyConnectedNmp)
+        return t + serdes_time();
+    return t + 2 * serdes_time();
+}
+
+Tick
+Network::maxMeshLinkReserved() const
+{
+    Tick m = 0;
+    for (const auto &mesh : meshes_)
+        m = std::max(m, mesh.maxPortReserved());
+    return m;
+}
+
+NetworkStats
+Network::stats() const
+{
+    NetworkStats s;
+    s.packets = packets_;
+    s.payloadBytes = payloadBytes_;
+    for (const auto &m : meshes_)
+        s.meshBitHops += m.stats().bitHops;
+    for (const auto &l : interStack_)
+        s.serdesBusyBits += l.busyBits();
+    for (const auto &l : cpuToStack_)
+        s.serdesBusyBits += l.busyBits();
+    for (const auto &l : stackToCpu_)
+        s.serdesBusyBits += l.busyBits();
+    return s;
+}
+
+} // namespace mondrian

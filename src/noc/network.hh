@@ -1,0 +1,115 @@
+/**
+ * @file
+ * System-level interconnect: per-stack meshes glued by SerDes links.
+ *
+ * Two topologies from the paper's methodology (§6, Fig. 3a / Fig. 5):
+ *  - kStarCpu: passive stacks, each linked only to the CPU chip; any
+ *    stack-to-stack traffic must bounce through the CPU hub.
+ *  - kFullyConnectedNmp: active stacks with direct SerDes links between
+ *    every pair of cubes (plus a supervisory CPU attachment).
+ *
+ * Nodes are addressed by global vault index, or kCpuNode for the CPU chip.
+ * Every transfer pays a fixed per-packet protocol overhead, modeling the
+ * HMC packetized request/response framing.
+ */
+
+#ifndef MONDRIAN_NOC_NETWORK_HH
+#define MONDRIAN_NOC_NETWORK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/address_map.hh"
+#include "noc/mesh.hh"
+#include "noc/serdes.hh"
+
+namespace mondrian {
+
+/** Interconnect topology selector. */
+enum class Topology
+{
+    kStarCpu,          ///< CPU hub, passive cubes (Fig. 5)
+    kFullyConnectedNmp ///< active cubes, all-to-all SerDes (Fig. 3a)
+};
+
+/** Aggregate network statistics (for reporting and energy). */
+struct NetworkStats
+{
+    std::uint64_t serdesBusyBits = 0;
+    std::uint64_t meshBitHops = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t payloadBytes = 0;
+};
+
+/** Topology-aware message timing across the whole machine. */
+class Network
+{
+  public:
+    static constexpr unsigned kCpuNode = 0xffffffffu;
+
+    Network(const MemGeometry &geo, Topology topo,
+            const MeshConfig &mesh_cfg = {},
+            const SerDesConfig &serdes_cfg = {},
+            std::uint32_t packet_overhead = 16);
+
+    /**
+     * Time for a @p bytes message from node @p src to node @p dst entering
+     * the network at @p start, including all contention along the way.
+     *
+     * @return tick at which the message is fully delivered.
+     */
+    Tick delay(unsigned src, unsigned dst, std::uint64_t bytes, Tick start);
+
+    /** Zero-contention latency estimate (for model sanity checks). */
+    Tick baseLatency(unsigned src, unsigned dst, std::uint64_t bytes) const;
+
+    Topology topology() const { return topo_; }
+
+    /** Number of directed SerDes links in this topology. */
+    unsigned serdesLinkCount() const;
+
+    NetworkStats stats() const;
+
+    /** Hotspot diagnostic: busiest mesh-link next-free-time per stack. */
+    Tick maxMeshLinkReserved() const;
+
+    /** Direct mesh access for diagnostics and tests. */
+    const Mesh &mesh(unsigned stack) const { return meshes_[stack]; }
+
+    /** Inter-stack link diagnostics (NMP topology only). */
+    const SerDesLink &interStackLink(unsigned s, unsigned d) const
+    {
+        return interStack_[std::size_t{s} * geo_.numStacks + d];
+    }
+
+    /**
+     * Mesh router terminating the SerDes link toward @p peer_stack (or
+     * the CPU when peer_stack == kCpuNode). Each link lands on a
+     * different corner of the mesh, like the four link quadrants of a
+     * real HMC, so one port router never funnels all external traffic.
+     */
+    unsigned portRouter(unsigned stack, unsigned peer_stack) const;
+
+  private:
+    unsigned stackOf(unsigned node) const;
+    unsigned routerOf(unsigned node) const;
+
+    MemGeometry geo_;
+    Topology topo_;
+    std::uint32_t overhead_;
+
+    std::vector<Mesh> meshes_; ///< one per stack
+    /** interStack_[s*numStacks+d]: directed link s -> d (NMP topology). */
+    std::vector<SerDesLink> interStack_;
+    std::vector<SerDesLink> cpuToStack_;
+    std::vector<SerDesLink> stackToCpu_;
+
+    std::uint64_t packets_ = 0;
+    std::uint64_t payloadBytes_ = 0;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_NOC_NETWORK_HH

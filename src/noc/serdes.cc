@@ -1,0 +1,3 @@
+// SerDesLink is header-only; this translation unit anchors the vtable-free
+// class so the build layout stays uniform (one .cc per module header).
+#include "noc/serdes.hh"

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace mondrian {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("scheduling event in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    events_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::step()
+{
+    sim_assert(!events_.empty());
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately after.
+    Event ev = std::move(const_cast<Event &>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+}
+
+Tick
+EventQueue::run()
+{
+    while (!events_.empty())
+        step();
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!events_.empty() && events_.top().when <= limit)
+        step();
+    if (now_ < limit && events_.empty())
+        return now_;
+    now_ = limit > now_ ? limit : now_;
+    return now_;
+}
+
+void
+EventQueue::reset()
+{
+    while (!events_.empty())
+        events_.pop();
+    now_ = 0;
+    nextSeq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace mondrian

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-order event queue drives every timing model in the
+ * simulator. Events are arbitrary callables scheduled at an absolute tick;
+ * ties are broken by insertion order so simulation is deterministic.
+ */
+
+#ifndef MONDRIAN_SIM_EVENT_QUEUE_HH
+#define MONDRIAN_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mondrian {
+
+/** Priority queue of timed callbacks; the heart of the simulator. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to run at absolute time @p when (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void scheduleIn(Tick delta, Callback cb) { schedule(now_ + delta, std::move(cb)); }
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Run until the queue drains. Returns the final tick. */
+    Tick run();
+
+    /** Run until the queue drains or @p limit is reached. */
+    Tick runUntil(Tick limit);
+
+    /** Pop and execute a single event. Queue must not be empty. */
+    void step();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+/**
+ * A clock domain converts between cycles and ticks for a component running
+ * at a fixed frequency (CPU 2 GHz, NMP cores 1 GHz, DRAM 625 MHz, ...).
+ */
+class ClockDomain
+{
+  public:
+    /** @param period_ticks clock period in ticks (ps). */
+    explicit ClockDomain(Tick period_ticks) : period_(period_ticks) {}
+
+    Tick period() const { return period_; }
+
+    /** Ticks covering @p cycles whole cycles. */
+    Tick cyclesToTicks(Cycles cycles) const { return cycles * period_; }
+
+    /** Whole cycles elapsed by @p t (floor). */
+    Cycles ticksToCycles(Tick t) const { return t / period_; }
+
+    /** Next clock edge at or after @p t. */
+    Tick
+    nextEdge(Tick t) const
+    {
+        Tick rem = t % period_;
+        return rem == 0 ? t : t + (period_ - rem);
+    }
+
+  private:
+    Tick period_;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_SIM_EVENT_QUEUE_HH

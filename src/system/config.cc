@@ -1,0 +1,140 @@
+#include "system/config.hh"
+
+#include "common/logging.hh"
+
+namespace mondrian {
+
+const char *
+systemKindName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::kCpu:
+        return "cpu";
+      case SystemKind::kNmp:
+        return "nmp";
+      case SystemKind::kNmpPerm:
+        return "nmp-perm";
+      case SystemKind::kNmpRand:
+        return "nmp-rand";
+      case SystemKind::kNmpSeq:
+        return "nmp-seq";
+      case SystemKind::kMondrianNoperm:
+        return "mondrian-noperm";
+      case SystemKind::kMondrian:
+        return "mondrian";
+    }
+    return "?";
+}
+
+MemGeometry
+defaultGeometry()
+{
+    MemGeometry geo;
+    geo.numStacks = 4;
+    geo.vaultsPerStack = 16;
+    geo.banksPerVault = 8;
+    geo.rowBytes = 256;      // HMC row buffer (§3.1)
+    geo.vaultBytes = 8 * kMiB; // scaled stand-in for 512 MB vaults
+    return geo;
+}
+
+namespace {
+
+/** Scaled private L1: preserves "working sets exceed the L1" ratios. */
+CacheConfig
+scaledL1()
+{
+    CacheConfig l1;
+    l1.sizeBytes = 4 * kKiB;
+    l1.associativity = 2;
+    l1.lineBytes = 64;
+    l1.hitLatency = 2;
+    l1.prefetchDepth = 3; // next-line prefetcher, 3 lines (§6)
+    return l1;
+}
+
+/** Scaled shared LLC (CPU-centric only). */
+CacheConfig
+scaledLlc()
+{
+    CacheConfig llc;
+    llc.sizeBytes = 64 * kKiB;
+    llc.associativity = 16;
+    llc.lineBytes = 64;
+    llc.hitLatency = 24; // 4-cycle bank + NUCA mesh hops
+    llc.prefetchDepth = 0;
+    return llc;
+}
+
+} // namespace
+
+SystemConfig
+makeSystem(SystemKind kind, const MemGeometry &geo)
+{
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.name = systemKindName(kind);
+    cfg.geo = geo;
+    const unsigned vaults = geo.totalVaults();
+
+    switch (kind) {
+      case SystemKind::kCpu:
+        cfg.topo = Topology::kStarCpu;
+        cfg.core = cortexA57();
+        cfg.hasL1 = true;
+        cfg.hasLlc = true;
+        cfg.l1 = scaledL1();
+        cfg.llc = scaledLlc();
+        cfg.exec = cpuExec(vaults);
+        break;
+
+      case SystemKind::kNmp:
+      case SystemKind::kNmpRand:
+        cfg.topo = Topology::kFullyConnectedNmp;
+        cfg.core = krait400();
+        cfg.hasL1 = true;
+        cfg.l1 = scaledL1();
+        cfg.exec = nmpExec(vaults, /*permutable=*/false,
+                           /*sort_probe=*/false);
+        break;
+
+      case SystemKind::kNmpPerm:
+        cfg.topo = Topology::kFullyConnectedNmp;
+        cfg.core = krait400();
+        cfg.hasL1 = true;
+        cfg.l1 = scaledL1();
+        cfg.exec = nmpExec(vaults, /*permutable=*/true,
+                           /*sort_probe=*/false);
+        break;
+
+      case SystemKind::kNmpSeq:
+        cfg.topo = Topology::kFullyConnectedNmp;
+        cfg.core = krait400();
+        cfg.hasL1 = true;
+        cfg.l1 = scaledL1();
+        cfg.exec = nmpExec(vaults, /*permutable=*/false,
+                           /*sort_probe=*/true);
+        break;
+
+      case SystemKind::kMondrianNoperm:
+        cfg.topo = Topology::kFullyConnectedNmp;
+        cfg.core = cortexA35Simd();
+        cfg.exec = mondrianExec(vaults, /*permutable=*/false);
+        break;
+
+      case SystemKind::kMondrian:
+        cfg.topo = Topology::kFullyConnectedNmp;
+        cfg.core = cortexA35Simd();
+        cfg.exec = mondrianExec(vaults, /*permutable=*/true);
+        break;
+    }
+    return cfg;
+}
+
+SystemConfig
+makeSystem(SystemKind kind)
+{
+    return makeSystem(kind, defaultGeometry());
+}
+
+} // namespace mondrian

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Full system configurations for the six evaluated machines (§6).
+ *
+ * A SystemConfig bundles the memory geometry, interconnect topology, core
+ * microarchitecture, cache hierarchy and execution style. Presets mirror
+ * Table 3:
+ *
+ *  - kCpu:            16 OoO A57 cores @ 2 GHz, L1 + shared LLC,
+ *                     star-connected passive cubes (Fig. 5)
+ *  - kNmp / kNmpPerm / kNmpRand / kNmpSeq:
+ *                     one Krait400-class OoO core per vault, L1 only,
+ *                     fully connected active cubes
+ *  - kMondrianNoperm / kMondrian:
+ *                     one A35+SIMD tile per vault with stream buffers
+ *
+ * Cache sizes default to the geometrically scaled system (DESIGN.md §5):
+ * the modeled pool is 512 MiB (64 x 8 MiB vaults) instead of 32 GB, and
+ * the caches shrink so the dataset/cache ratios that drive the paper's
+ * behavior are preserved.
+ */
+
+#ifndef MONDRIAN_SYSTEM_CONFIG_HH
+#define MONDRIAN_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "core/cache.hh"
+#include "core/core_model.hh"
+#include "dram/timing.hh"
+#include "engine/exec_config.hh"
+#include "mem/address_map.hh"
+#include "noc/network.hh"
+
+namespace mondrian {
+
+/** The evaluated system variants (§6, "Evaluated configurations"). */
+enum class SystemKind
+{
+    kCpu,            ///< CPU-centric baseline
+    kNmp,            ///< NMP baseline (exact shuffle + hash probe)
+    kNmpPerm,        ///< NMP + permutable shuffle
+    kNmpRand,        ///< NMP with hash (random-access) probe
+    kNmpSeq,         ///< NMP with sort (sequential) probe
+    kMondrianNoperm, ///< Mondrian tiles without permutability
+    kMondrian        ///< the full Mondrian Data Engine
+};
+
+const char *systemKindName(SystemKind kind);
+
+/** Everything needed to build a Machine. */
+struct SystemConfig
+{
+    std::string name;
+    SystemKind kind = SystemKind::kMondrian;
+
+    MemGeometry geo;
+    Topology topo = Topology::kFullyConnectedNmp;
+    DramTiming dram;
+    unsigned vaultWindow = 16; ///< FR-FCFS scheduling window
+
+    CoreConfig core;
+    bool hasL1 = false;
+    bool hasLlc = false;
+    CacheConfig l1;
+    CacheConfig llc;
+
+    ExecConfig exec;
+};
+
+/** Default scaled memory geometry: 4 cubes x 16 vaults x 8 MiB. */
+MemGeometry defaultGeometry();
+
+/** Build the preset configuration for @p kind over @p geo. */
+SystemConfig makeSystem(SystemKind kind, const MemGeometry &geo);
+
+/** Build with the default geometry. */
+SystemConfig makeSystem(SystemKind kind);
+
+} // namespace mondrian
+
+#endif // MONDRIAN_SYSTEM_CONFIG_HH

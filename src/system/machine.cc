@@ -1,0 +1,335 @@
+#include "system/machine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mondrian {
+
+/**
+ * Per-unit memory path: caches (when configured) in front of the
+ * network + vault controllers.
+ *
+ * Cacheability: CPU cores cache everything (one coherent hierarchy).
+ * NMP units cache only their local vault -- remote vaults are accessed
+ * uncached, which sidesteps inter-tile coherence exactly as the paper's
+ * partitioned execution model does. Permutable stores always bypass the
+ * caches (they are destined for the remote append engine).
+ */
+class Machine::Path : public MemoryPath
+{
+  public:
+    Path(Machine &m, unsigned unit) : m_(m), unit_(unit) {}
+
+    Result
+    request(Tick when, Addr addr, std::uint32_t size, bool is_write,
+            bool sequential, bool permutable,
+            std::function<void(Tick)> done) override
+    {
+        (void)sequential;
+        const unsigned home = m_.nodeOfUnit(unit_);
+        const unsigned target = m_.pool_.map().vaultOf(addr);
+        Cache *l1 = unit_ < m_.l1s_.size() ? m_.l1s_[unit_].get() : nullptr;
+
+        const bool cacheable =
+            !permutable && l1 &&
+            (m_.cfg_.exec.cpuStyle || target == unit_);
+
+        if (!cacheable) {
+            // Uncached: straight to the target vault through the network.
+            m_.issueDram(when, home, addr, size, is_write,
+                         /*need_response=*/!is_write, std::move(done));
+            return Result{false, 0};
+        }
+
+        const unsigned line = l1->config().lineBytes;
+        auto r1 = l1->access(addr, is_write);
+
+        // Next-line prefetches triggered by this access.
+        for (Addr pf : r1.prefetchFills) {
+            if (pf >= m_.pool_.store().capacity())
+                continue;
+            if (!l1->insertPrefetch(pf))
+                continue; // already resident: no fill traffic
+            if (m_.llc_) {
+                auto rp = m_.llc_->access(pf, false);
+                if (rp.writebackAddr)
+                    m_.asyncDram(when, home, *rp.writebackAddr, line, true);
+                if (rp.hit)
+                    continue; // fill served on-chip
+            }
+            m_.asyncDram(when, home, pf, line, false);
+        }
+
+        if (r1.hit) {
+            // A rolling prefetch stream lands lines before the demand
+            // touch; charge a short in-flight allowance over the L1 hit.
+            Cycles lat = r1.prefetchHit
+                             ? Cycles{5}
+                             : l1->config().hitLatency;
+            return Result{true, lat};
+        }
+
+        // L1 miss: dirty victim spills to the next level.
+        if (r1.writebackAddr) {
+            if (m_.llc_) {
+                auto rw = m_.llc_->access(*r1.writebackAddr, true);
+                if (rw.writebackAddr)
+                    m_.asyncDram(when, home, *rw.writebackAddr, line, true);
+            } else {
+                m_.asyncDram(when, home, *r1.writebackAddr, line, true);
+            }
+        }
+
+        if (m_.llc_) {
+            auto r2 = m_.llc_->access(addr, false);
+            if (r2.writebackAddr)
+                m_.asyncDram(when, home, *r2.writebackAddr, line, true);
+            if (r2.hit)
+                return Result{true, m_.llc_->config().hitLatency};
+        }
+
+        // Full miss: fetch the line from DRAM (read-for-ownership covers
+        // store misses too; the dirty data leaves later as a writeback).
+        Addr line_addr = addr & ~static_cast<Addr>(line - 1);
+        m_.issueDram(when, home, line_addr, line, /*is_write=*/false,
+                     /*need_response=*/true, std::move(done));
+        return Result{false, 0};
+    }
+
+  private:
+    Machine &m_;
+    unsigned unit_;
+};
+
+Machine::Machine(const SystemConfig &cfg, MemoryPool &pool)
+    : cfg_(cfg), pool_(pool)
+{
+    net_ = std::make_unique<Network>(cfg_.geo, cfg_.topo);
+
+    const unsigned vaults = cfg_.geo.totalVaults();
+    vaults_.reserve(vaults);
+    for (unsigned v = 0; v < vaults; ++v) {
+        vaults_.push_back(std::make_unique<VaultController>(
+            eq_, pool_.map(), v, cfg_.dram, cfg_.vaultWindow));
+    }
+
+    if (cfg_.hasL1) {
+        for (unsigned u = 0; u < cfg_.exec.numUnits; ++u)
+            l1s_.push_back(std::make_unique<Cache>(cfg_.l1));
+    }
+    if (cfg_.hasLlc)
+        llc_ = std::make_unique<Cache>(cfg_.llc);
+
+    for (unsigned u = 0; u < cfg_.exec.numUnits; ++u)
+        paths_.push_back(std::make_unique<Path>(*this, u));
+}
+
+Machine::~Machine() = default;
+
+unsigned
+Machine::nodeOfUnit(unsigned unit) const
+{
+    return cfg_.exec.cpuStyle ? Network::kCpuNode : unit;
+}
+
+void
+Machine::issueDram(Tick when, unsigned src_node, Addr addr,
+                   std::uint32_t size, bool is_write, bool need_response,
+                   std::function<void(Tick)> done)
+{
+    const unsigned dv = pool_.map().vaultOf(addr);
+    const bool local = src_node == dv;
+    // Request message: stores carry the payload, loads just the header.
+    Tick arrive = local
+                      ? when
+                      : net_->delay(src_node, dv, is_write ? size : 0, when);
+    eq_.schedule(std::max(arrive, eq_.now()), [this, dv, addr, size,
+                                               is_write, need_response,
+                                               src_node, local,
+                                               done = std::move(done)]() {
+        MemRequest req;
+        req.addr = addr;
+        req.size = size;
+        req.isWrite = is_write;
+        req.onComplete = [this, dv, size, need_response, src_node, local,
+                          done](Tick t) {
+            if (!done) {
+                return;
+            }
+            if (!need_response || local) {
+                done(t);
+                return;
+            }
+            Tick back = net_->delay(dv, src_node, size, t);
+            eq_.schedule(back, [done, back]() { done(back); });
+        };
+        vaults_[dv]->enqueue(std::move(req));
+    });
+}
+
+void
+Machine::asyncDram(Tick when, unsigned src_node, Addr addr,
+                   std::uint32_t size, bool is_write)
+{
+    // Fire-and-forget traffic still reserves bandwidth everywhere; for
+    // reads the response payload crosses the network too.
+    if (!is_write) {
+        issueDram(when, src_node, addr, size, false, true,
+                  std::function<void(Tick)>{});
+        return;
+    }
+    issueDram(when, src_node, addr, size, true, false,
+              std::function<void(Tick)>{});
+}
+
+std::uint64_t
+Machine::totalActivations() const
+{
+    std::uint64_t n = 0;
+    for (const auto &v : vaults_)
+        n += v->stats().rowActivations;
+    return n;
+}
+
+std::uint64_t
+Machine::totalDramBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &v : vaults_)
+        n += v->stats().bytesRead + v->stats().bytesWritten;
+    return n;
+}
+
+std::uint64_t
+Machine::llcAccesses() const
+{
+    return llc_ ? llc_->stats().accesses : 0;
+}
+
+PhaseResult
+Machine::runPhase(const PhaseExec &phase)
+{
+    sim_assert(phase.traces.size() == cfg_.exec.numUnits);
+
+    const Tick start = eq_.now();
+    const std::uint64_t act0 = totalActivations();
+    const std::uint64_t bytes0 = totalDramBytes();
+
+    for (const auto &[v, region] : phase.arming)
+        vaults_[v]->armPermutable(region);
+
+    std::vector<std::unique_ptr<TraceCore>> cores;
+    cores.reserve(phase.traces.size());
+    finished_ = 0;
+    for (unsigned u = 0; u < phase.traces.size(); ++u) {
+        auto core = std::make_unique<TraceCore>(eq_, cfg_.core, *paths_[u],
+                                                u);
+        core->setTrace(&phase.traces[u]);
+        core->onFinish = [this](unsigned, Tick) { ++finished_; };
+        cores.push_back(std::move(core));
+    }
+    for (auto &core : cores)
+        core->start();
+    eq_.run();
+
+    if (finished_ != cores.size())
+        panic("phase '%s': %u of %zu units deadlocked", phase.name.c_str(),
+              static_cast<unsigned>(cores.size() - finished_),
+              cores.size());
+
+    for (const auto &[v, region] : phase.arming)
+        vaults_[v]->disarmPermutable();
+
+    // Global barriers (histogram exchange, shuffle-end MSI): one all-to-all
+    // notification round each (§5.4: expensive but amortized over long
+    // phases).
+    if (phase.barriers > 0) {
+        Tick barrier = net_->baseLatency(
+            0, cfg_.geo.totalVaults() - 1, 8);
+        eq_.schedule(eq_.now() + phase.barriers * 2 * barrier, []() {});
+        eq_.run();
+    }
+
+    PhaseResult res;
+    res.name = phase.name;
+    res.kind = phase.kind;
+    res.time = eq_.now() - start;
+    res.activations = totalActivations() - act0;
+    res.dramBytes = totalDramBytes() - bytes0;
+    if (res.time > 0) {
+        res.avgVaultBWGBps =
+            bytesPerTickToGBps(static_cast<double>(res.dramBytes) /
+                                   static_cast<double>(vaults_.size()),
+                               res.time);
+    }
+
+    double util_sum = 0.0, st_store = 0.0, st_stream = 0.0, st_load = 0.0,
+           st_fence = 0.0;
+    for (const auto &core : cores) {
+        const auto &s = core->stats();
+        Tick span = s.finishedAt > start ? s.finishedAt - start : 0;
+        coreBusyTicks_ += s.computeTicks;
+        coreElapsedSum_ += span;
+        if (span > 0) {
+            double d = static_cast<double>(span);
+            util_sum += static_cast<double>(s.computeTicks) / d;
+            st_store += static_cast<double>(s.stallStoreTicks) / d;
+            st_stream += static_cast<double>(s.stallStreamTicks) / d;
+            st_load += static_cast<double>(s.stallLoadTicks) / d;
+            st_fence += static_cast<double>(s.stallFenceTicks) / d;
+        }
+    }
+    if (!cores.empty()) {
+        double n = static_cast<double>(cores.size());
+        res.coreUtilization = util_sum / n;
+        res.stallStore = st_store / n;
+        res.stallStream = st_stream / n;
+        res.stallLoad = st_load / n;
+        res.stallFence = st_fence / n;
+    }
+    return res;
+}
+
+std::vector<PhaseResult>
+Machine::run(const OperatorExecution &exec)
+{
+    std::vector<PhaseResult> results;
+    results.reserve(exec.phases.size());
+    for (const auto &phase : exec.phases)
+        results.push_back(runPhase(phase));
+    return results;
+}
+
+EnergyActivity
+Machine::energyActivity() const
+{
+    EnergyActivity a;
+    a.elapsed = eq_.now();
+    a.numCubes = cfg_.geo.numStacks;
+    a.numSerdesLinks = net_->serdesLinkCount();
+    a.numCores = cfg_.exec.numUnits;
+    a.rowActivations = totalActivations();
+    a.dramBitsMoved = totalDramBytes() * 8;
+    auto ns = net_->stats();
+    a.serdesBusyBits = ns.serdesBusyBits;
+    a.meshBitHops = ns.meshBitHops;
+    a.llcAccesses = llcAccesses();
+    a.hasLlc = llc_ != nullptr;
+    a.corePeakWattsEach = cfg_.core.peakPowerWatts;
+    if (a.elapsed > 0 && a.numCores > 0) {
+        a.coreUtilization =
+            static_cast<double>(coreBusyTicks_) /
+            (static_cast<double>(a.elapsed) *
+             static_cast<double>(a.numCores));
+    }
+    return a;
+}
+
+EnergyBreakdown
+Machine::energy() const
+{
+    return EnergyModel{}.compute(energyActivity());
+}
+
+} // namespace mondrian

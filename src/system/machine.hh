@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Machine: one fully wired system instance (cores + caches + network +
+ * vault controllers) that replays operator phases.
+ *
+ * The machine owns the timing state; the functional data lives in the
+ * MemoryPool shared with the engine. Phases run back-to-back on the same
+ * event queue, so DRAM bank state, cache contents and link reservations
+ * carry over between phases exactly as they would in hardware.
+ */
+
+#ifndef MONDRIAN_SYSTEM_MACHINE_HH
+#define MONDRIAN_SYSTEM_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cache.hh"
+#include "core/core_model.hh"
+#include "dram/vault.hh"
+#include "energy/energy_model.hh"
+#include "engine/operator.hh"
+#include "engine/relation.hh"
+#include "noc/network.hh"
+#include "sim/event_queue.hh"
+#include "system/config.hh"
+
+namespace mondrian {
+
+/** Timing outcome of one phase. */
+struct PhaseResult
+{
+    std::string name;
+    PhaseKind kind = PhaseKind::kProbe;
+    Tick time = 0;                 ///< wall-clock ticks for the phase
+    std::uint64_t dramBytes = 0;   ///< bytes moved at the row buffers
+    std::uint64_t activations = 0; ///< row activations during the phase
+    double avgVaultBWGBps = 0.0;   ///< mean per-vault bus bandwidth
+    double coreUtilization = 0.0;  ///< mean compute fraction across units
+    /** Mean stall fractions across units, by cause. */
+    double stallStore = 0.0;
+    double stallStream = 0.0;
+    double stallLoad = 0.0;
+    double stallFence = 0.0;
+};
+
+/** A wired system instance. */
+class Machine
+{
+  public:
+    Machine(const SystemConfig &cfg, MemoryPool &pool);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Replay one phase; returns its timing result. */
+    PhaseResult runPhase(const PhaseExec &phase);
+
+    /** Run all phases of an operator execution in order. */
+    std::vector<PhaseResult> run(const OperatorExecution &exec);
+
+    /** Total elapsed simulated time across the phases run so far. */
+    Tick elapsed() const { return eq_.now(); }
+
+    /** Aggregate energy activity since construction. */
+    EnergyActivity energyActivity() const;
+
+    /** Energy breakdown for everything run so far. */
+    EnergyBreakdown energy() const;
+
+    const SystemConfig &config() const { return cfg_; }
+    const Network &network() const { return *net_; }
+    const VaultController &vault(unsigned v) const { return *vaults_[v]; }
+    unsigned numVaults() const { return static_cast<unsigned>(vaults_.size()); }
+
+    /** Sum of row activations across vaults. */
+    std::uint64_t totalActivations() const;
+
+    /** Sum of bytes read+written at the vaults' row buffers. */
+    std::uint64_t totalDramBytes() const;
+
+    /** LLC accesses (0 when the system has no LLC). */
+    std::uint64_t llcAccesses() const;
+
+  private:
+    class Path; // per-core MemoryPath implementation
+    friend class Path;
+
+    /** Route a request to its vault; optional response and completion. */
+    void issueDram(Tick when, unsigned src_node, Addr addr,
+                   std::uint32_t size, bool is_write, bool need_response,
+                   std::function<void(Tick)> done);
+
+    /** Issue a fire-and-forget DRAM access (prefetch fill, writeback). */
+    void asyncDram(Tick when, unsigned src_node, Addr addr,
+                   std::uint32_t size, bool is_write);
+
+    /** Home network node of unit @p unit. */
+    unsigned nodeOfUnit(unsigned unit) const;
+
+    SystemConfig cfg_;
+    MemoryPool &pool_;
+    EventQueue eq_;
+    std::unique_ptr<Network> net_;
+    std::vector<std::unique_ptr<VaultController>> vaults_;
+    std::vector<std::unique_ptr<Cache>> l1s_; ///< per unit, if configured
+    std::unique_ptr<Cache> llc_;              ///< shared, CPU only
+    std::vector<std::unique_ptr<Path>> paths_;
+
+    // Cumulative activity for the energy model.
+    Tick coreBusyTicks_ = 0;  ///< sum over units of compute ticks
+    Tick coreElapsedSum_ = 0; ///< sum over units of per-phase durations
+    unsigned finished_ = 0;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_SYSTEM_MACHINE_HH

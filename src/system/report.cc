@@ -1,0 +1,116 @@
+#include "system/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mondrian {
+
+namespace {
+
+double
+ratio(double base, double sys)
+{
+    return sys > 0.0 ? base / sys : 0.0;
+}
+
+} // namespace
+
+double
+overallSpeedup(const RunResult &base, const RunResult &sys)
+{
+    return ratio(static_cast<double>(base.totalTime),
+                 static_cast<double>(sys.totalTime));
+}
+
+double
+partitionSpeedup(const RunResult &base, const RunResult &sys)
+{
+    return ratio(static_cast<double>(base.partitionTime),
+                 static_cast<double>(sys.partitionTime));
+}
+
+double
+probeSpeedup(const RunResult &base, const RunResult &sys)
+{
+    return ratio(static_cast<double>(base.probeTime),
+                 static_cast<double>(sys.probeTime));
+}
+
+double
+efficiencyImprovement(const RunResult &base, const RunResult &sys)
+{
+    // perf/W = (1/T) / (E/T) = 1/E; both runs do identical work.
+    return ratio(base.energy.total(), sys.energy.total());
+}
+
+EnergyShares
+energyShares(const RunResult &run)
+{
+    EnergyShares s;
+    double total = run.energy.total();
+    if (total <= 0.0)
+        return s;
+    s.dramDynamic = run.energy.dramDynamic / total;
+    s.dramStatic = run.energy.dramStatic / total;
+    s.cores = run.energy.cores / total;
+    s.network = run.energy.network / total;
+    return s;
+}
+
+std::string
+fmt(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+renderTable(const std::vector<std::vector<std::string>> &rows)
+{
+    if (rows.empty())
+        return "";
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    std::ostringstream out;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            out << rows[r][c];
+            if (c + 1 < rows[r].size())
+                out << std::string(widths[c] - rows[r][c].size() + 2, ' ');
+        }
+        out << '\n';
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+            out << std::string(total, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+std::string
+describeRun(const RunResult &run)
+{
+    std::ostringstream out;
+    out << run.op << " on " << run.system << ": total "
+        << fmt(ticksToSeconds(run.totalTime) * 1e3, 3) << " ms";
+    if (run.partitionTime > 0) {
+        out << " (partition "
+            << fmt(ticksToSeconds(run.partitionTime) * 1e3, 3)
+            << " ms @ " << fmt(run.partitionVaultBWGBps) << " GB/s/vault"
+            << ", probe " << fmt(ticksToSeconds(run.probeTime) * 1e3, 3)
+            << " ms @ " << fmt(run.probeVaultBWGBps) << " GB/s/vault)";
+    }
+    out << ", energy " << fmt(run.energy.total() * 1e3, 3) << " mJ";
+    return out.str();
+}
+
+} // namespace mondrian

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Report helpers: the tables and figure series of the paper's evaluation,
+ * rendered as text from RunResults.
+ */
+
+#ifndef MONDRIAN_SYSTEM_REPORT_HH
+#define MONDRIAN_SYSTEM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "system/runner.hh"
+
+namespace mondrian {
+
+/** Speedup of @p sys over @p base on total time. */
+double overallSpeedup(const RunResult &base, const RunResult &sys);
+
+/** Speedup restricted to partition phases (Table 5). */
+double partitionSpeedup(const RunResult &base, const RunResult &sys);
+
+/** Speedup restricted to probe phases (Fig. 6). */
+double probeSpeedup(const RunResult &base, const RunResult &sys);
+
+/**
+ * Efficiency (performance per watt) improvement over @p base (Fig. 9):
+ * equal work per run, so perf/W ratio reduces to the inverse energy ratio.
+ */
+double efficiencyImprovement(const RunResult &base, const RunResult &sys);
+
+/** Fig. 8 row: fractional energy breakdown of one run. */
+struct EnergyShares
+{
+    double dramDynamic = 0.0;
+    double dramStatic = 0.0;
+    double cores = 0.0;
+    double network = 0.0;
+};
+EnergyShares energyShares(const RunResult &run);
+
+/** Render one run as a human-readable block. */
+std::string describeRun(const RunResult &run);
+
+/** Render a fixed-width table; first row is the header. */
+std::string renderTable(const std::vector<std::vector<std::string>> &rows);
+
+/** Format @p v with @p digits decimals. */
+std::string fmt(double v, int digits = 2);
+
+} // namespace mondrian
+
+#endif // MONDRIAN_SYSTEM_REPORT_HH

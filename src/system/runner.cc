@@ -1,0 +1,103 @@
+#include "system/runner.hh"
+
+#include "common/logging.hh"
+#include "engine/ops.hh"
+
+namespace mondrian {
+
+const char *
+opKindName(OpKind op)
+{
+    switch (op) {
+      case OpKind::kScan:
+        return "scan";
+      case OpKind::kSort:
+        return "sort";
+      case OpKind::kGroupBy:
+        return "groupby";
+      case OpKind::kJoin:
+        return "join";
+    }
+    return "?";
+}
+
+RunResult
+Runner::run(SystemKind kind, OpKind op)
+{
+    return run(makeSystem(kind), op);
+}
+
+RunResult
+Runner::run(const SystemConfig &sys, OpKind op)
+{
+    MemoryPool pool(sys.geo);
+    WorkloadGenerator gen(workload_);
+
+    // Functional execution + trace recording.
+    OperatorExecution exec;
+    switch (op) {
+      case OpKind::kScan: {
+        Relation rel = gen.makeUniform(pool, workload_.tuples);
+        // Probe for a key that exists: the generator draws keys from
+        // [0, 4n), so key 1 is almost surely present but selectivity is
+        // tiny, matching a needle-in-haystack scan.
+        exec = runScan(pool, sys.exec, rel, 1);
+        break;
+      }
+      case OpKind::kSort: {
+        Relation rel = gen.makeUniform(pool, workload_.tuples);
+        exec = runSort(pool, sys.exec, rel);
+        break;
+      }
+      case OpKind::kGroupBy: {
+        Relation rel = gen.makeGroupBy(pool, workload_.tuples);
+        exec = runGroupBy(pool, sys.exec, rel);
+        break;
+      }
+      case OpKind::kJoin: {
+        auto pair = gen.makeJoinPair(pool);
+        exec = runJoin(pool, sys.exec, pair.r, pair.s);
+        break;
+      }
+    }
+
+    // Timed replay.
+    Machine machine(sys, pool);
+    auto phases = machine.run(exec);
+
+    RunResult res;
+    res.system = sys.name;
+    res.op = opKindName(op);
+    res.phases = phases;
+
+    std::uint64_t part_bytes = 0, probe_bytes = 0;
+    for (const auto &p : phases) {
+        res.totalTime += p.time;
+        if (p.kind == PhaseKind::kPartition) {
+            res.partitionTime += p.time;
+            part_bytes += p.dramBytes;
+        } else {
+            res.probeTime += p.time;
+            probe_bytes += p.dramBytes;
+        }
+    }
+    const double vaults = static_cast<double>(sys.geo.totalVaults());
+    if (res.partitionTime > 0) {
+        res.partitionVaultBWGBps = bytesPerTickToGBps(
+            static_cast<double>(part_bytes) / vaults, res.partitionTime);
+    }
+    if (res.probeTime > 0) {
+        res.probeVaultBWGBps = bytesPerTickToGBps(
+            static_cast<double>(probe_bytes) / vaults, res.probeTime);
+    }
+
+    res.activity = machine.energyActivity();
+    res.energy = machine.energy();
+    res.scanMatches = exec.scanMatches;
+    res.joinMatches = exec.joinMatches;
+    res.groupCount = exec.groupCount;
+    res.aggChecksum = exec.aggChecksum;
+    return res;
+}
+
+} // namespace mondrian

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Runner: end-to-end execution of one operator on one system.
+ *
+ * Builds a fresh memory pool, generates the (seed-deterministic) workload,
+ * executes the operator functionally to obtain kernel traces, replays them
+ * on a wired Machine, and packages timing + energy + functional results.
+ * Fresh state per run keeps systems comparable: every configuration sees
+ * the identical input data.
+ */
+
+#ifndef MONDRIAN_SYSTEM_RUNNER_HH
+#define MONDRIAN_SYSTEM_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.hh"
+#include "engine/operator.hh"
+#include "engine/workload.hh"
+#include "system/config.hh"
+#include "system/machine.hh"
+
+namespace mondrian {
+
+/** The four basic operators (Table 2). */
+enum class OpKind
+{
+    kScan,
+    kSort,
+    kGroupBy,
+    kJoin
+};
+
+const char *opKindName(OpKind op);
+
+/** Everything measured in one run. */
+struct RunResult
+{
+    std::string system;
+    std::string op;
+
+    Tick partitionTime = 0; ///< sum of partition-kind phases
+    Tick probeTime = 0;     ///< sum of probe-kind phases
+    Tick totalTime = 0;
+
+    std::vector<PhaseResult> phases;
+    EnergyBreakdown energy;
+    EnergyActivity activity;
+
+    // Functional outputs for verification.
+    std::uint64_t scanMatches = 0;
+    std::uint64_t joinMatches = 0;
+    std::uint64_t groupCount = 0;
+    std::uint64_t aggChecksum = 0;
+
+    /** Mean per-vault DRAM bandwidth during partition phases (GB/s). */
+    double partitionVaultBWGBps = 0.0;
+    /** Mean per-vault DRAM bandwidth during probe phases (GB/s). */
+    double probeVaultBWGBps = 0.0;
+
+    double
+    seconds() const
+    {
+        return ticksToSeconds(totalTime);
+    }
+};
+
+/** Runs operators on configured systems. */
+class Runner
+{
+  public:
+    explicit Runner(const WorkloadConfig &workload) : workload_(workload) {}
+
+    /** Run @p op on the preset system @p kind. */
+    RunResult run(SystemKind kind, OpKind op);
+
+    /** Run @p op on a fully custom system configuration. */
+    RunResult run(const SystemConfig &sys, OpKind op);
+
+    const WorkloadConfig &workload() const { return workload_; }
+
+  private:
+    WorkloadConfig workload_;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_SYSTEM_RUNNER_HH

@@ -1,0 +1,120 @@
+/** @file Unit and property tests for the address map. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "mem/address_map.hh"
+
+using namespace mondrian;
+
+namespace {
+
+MemGeometry
+smallGeo()
+{
+    MemGeometry g;
+    g.numStacks = 2;
+    g.vaultsPerStack = 4;
+    g.banksPerVault = 4;
+    g.rowBytes = 256;
+    g.vaultBytes = 64 * kKiB;
+    return g;
+}
+
+} // namespace
+
+TEST(AddressMap, GeometryDerived)
+{
+    MemGeometry g = smallGeo();
+    EXPECT_EQ(g.totalVaults(), 8u);
+    EXPECT_EQ(g.totalBytes(), 8u * 64 * kKiB);
+    EXPECT_EQ(g.rowsPerBank(), 64u * kKiB / (256 * 4));
+}
+
+TEST(AddressMap, VaultBasesContiguous)
+{
+    AddressMap map(smallGeo());
+    for (unsigned v = 0; v < 8; ++v)
+        EXPECT_EQ(map.vaultBase(v), std::uint64_t{v} * 64 * kKiB);
+}
+
+TEST(AddressMap, DecodeFields)
+{
+    AddressMap map(smallGeo());
+    DecodedAddr d = map.decode(0);
+    EXPECT_EQ(d.stack, 0u);
+    EXPECT_EQ(d.vault, 0u);
+    EXPECT_EQ(d.bank, 0u);
+    EXPECT_EQ(d.row, 0u);
+    EXPECT_EQ(d.column, 0u);
+
+    // Row slots interleave across banks within a vault.
+    d = map.decode(256);
+    EXPECT_EQ(d.bank, 1u);
+    EXPECT_EQ(d.row, 0u);
+    d = map.decode(256 * 4);
+    EXPECT_EQ(d.bank, 0u);
+    EXPECT_EQ(d.row, 1u);
+}
+
+TEST(AddressMap, VaultOfAndRowId)
+{
+    AddressMap map(smallGeo());
+    EXPECT_EQ(map.vaultOf(0), 0u);
+    EXPECT_EQ(map.vaultOf(64 * kKiB), 1u);
+    EXPECT_EQ(map.rowId(0), map.rowId(255));
+    EXPECT_NE(map.rowId(255), map.rowId(256));
+}
+
+/** Property: encode(decode(a)) == a over random addresses x geometries. */
+struct GeoParam
+{
+    unsigned stacks, vaults, banks;
+    std::uint64_t row, cap;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<GeoParam> {};
+
+TEST_P(RoundTripTest, EncodeDecodeRoundTrip)
+{
+    GeoParam p = GetParam();
+    MemGeometry g;
+    g.numStacks = p.stacks;
+    g.vaultsPerStack = p.vaults;
+    g.banksPerVault = p.banks;
+    g.rowBytes = p.row;
+    g.vaultBytes = p.cap;
+    AddressMap map(g);
+    Random rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = rng.nextBounded(g.totalBytes());
+        DecodedAddr d = map.decode(a);
+        EXPECT_EQ(map.encode(d), a);
+        EXPECT_LT(d.bank, g.banksPerVault);
+        EXPECT_LT(d.row, g.rowsPerBank());
+        EXPECT_LT(d.column, g.rowBytes);
+        EXPECT_EQ(d.globalVault, map.vaultOf(a));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RoundTripTest,
+    ::testing::Values(GeoParam{1, 1, 1, 256, 64 * kKiB},
+                      GeoParam{1, 4, 4, 256, 64 * kKiB},
+                      GeoParam{2, 4, 8, 256, 256 * kKiB},
+                      GeoParam{4, 16, 8, 256, 1 * kMiB},
+                      GeoParam{2, 8, 4, 1024, 512 * kKiB},
+                      GeoParam{3, 5, 2, 128, 64 * kKiB}));
+
+TEST(AddressMapDeath, BadGeometryFatal)
+{
+    MemGeometry g = smallGeo();
+    g.rowBytes = 300; // not a power of two
+    EXPECT_DEATH({ AddressMap map(g); }, "power of two");
+}
+
+TEST(AddressMapDeath, OutOfRangePanics)
+{
+    AddressMap map(smallGeo());
+    EXPECT_DEATH(map.decode(map.geometry().totalBytes()), "assert");
+}

@@ -1,0 +1,60 @@
+/** @file Unit tests for vault allocators and permutable regions. */
+
+#include <gtest/gtest.h>
+
+#include "mem/allocator.hh"
+
+using namespace mondrian;
+
+TEST(VaultAllocator, BumpAndAlign)
+{
+    VaultAllocator a(0x1000, 4096);
+    Addr p1 = a.alloc(10, 64);
+    Addr p2 = a.alloc(10, 64);
+    EXPECT_EQ(p1, 0x1000u);
+    EXPECT_EQ(p2, 0x1040u);
+    EXPECT_EQ(a.used(), 0x4au); // 0x40 aligned start + 10 bytes
+    Addr p3 = a.alloc(1, 256);
+    EXPECT_EQ(p3 % 256, 0u);
+}
+
+TEST(VaultAllocator, ResetReclaims)
+{
+    VaultAllocator a(0, 1024);
+    a.alloc(512);
+    a.reset();
+    EXPECT_EQ(a.remaining(), 1024u);
+    EXPECT_EQ(a.alloc(1024, 1), 0u);
+}
+
+TEST(VaultAllocatorDeath, Exhaustion)
+{
+    VaultAllocator a(0, 128);
+    a.alloc(100);
+    EXPECT_DEATH(a.alloc(100), "exhausted");
+}
+
+TEST(PermutableRegionTable, ArmDisarmQuery)
+{
+    PermutableRegionTable t(4);
+    EXPECT_FALSE(t.armed(2));
+    t.arm(2, PermutableRegion{0x100, 0x80, 16});
+    EXPECT_TRUE(t.armed(2));
+    EXPECT_TRUE(t.isPermutable(2, 0x100, 16));
+    EXPECT_TRUE(t.isPermutable(2, 0x170, 16));
+    EXPECT_FALSE(t.isPermutable(2, 0x178, 16)); // would straddle the end
+    EXPECT_FALSE(t.isPermutable(2, 0xf0, 16));  // below base
+    EXPECT_FALSE(t.isPermutable(1, 0x100, 16)); // different vault
+    t.disarm(2);
+    EXPECT_FALSE(t.isPermutable(2, 0x100, 16));
+    EXPECT_FALSE(t.armed(2));
+}
+
+TEST(PermutableRegionTable, RearmReplaces)
+{
+    PermutableRegionTable t(2);
+    t.arm(0, PermutableRegion{0, 64, 16});
+    t.arm(0, PermutableRegion{128, 64, 32});
+    EXPECT_FALSE(t.isPermutable(0, 0, 16));
+    EXPECT_TRUE(t.isPermutable(0, 128, 32));
+}

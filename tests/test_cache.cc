@@ -1,0 +1,156 @@
+/** @file Unit and property tests for the cache model. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/cache.hh"
+
+using namespace mondrian;
+
+namespace {
+
+CacheConfig
+smallCache(unsigned prefetch = 0)
+{
+    CacheConfig c;
+    c.sizeBytes = 1 * kKiB;
+    c.associativity = 2;
+    c.lineBytes = 64;
+    c.hitLatency = 2;
+    c.prefetchDepth = prefetch;
+    return c;
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0, false).hit);
+    EXPECT_TRUE(c.access(0, false).hit);
+    EXPECT_TRUE(c.access(63, false).hit);  // same line
+    EXPECT_FALSE(c.access(64, false).hit); // next line
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c(smallCache());
+    // 8 sets, 2 ways: lines 0, 8, 16 map to set 0.
+    c.access(0 * 64, false);
+    c.access(8 * 64, false);
+    c.access(0 * 64, false);       // refresh line 0
+    c.access(16 * 64, false);      // evicts line 8
+    EXPECT_TRUE(c.access(0 * 64, false).hit);
+    EXPECT_FALSE(c.access(8 * 64, false).hit);
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    Cache c(smallCache());
+    c.access(0, true); // dirty line 0
+    c.access(8 * 64, false);
+    auto r = c.access(16 * 64, false); // evicts dirty line 0
+    ASSERT_TRUE(r.writebackAddr.has_value());
+    EXPECT_EQ(*r.writebackAddr, 0u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionSilent)
+{
+    Cache c(smallCache());
+    c.access(0, false);
+    c.access(8 * 64, false);
+    auto r = c.access(16 * 64, false);
+    EXPECT_FALSE(r.writebackAddr.has_value());
+}
+
+TEST(Cache, PrefetcherIssuesNextLines)
+{
+    Cache c(smallCache(3));
+    auto r = c.access(0, false);
+    ASSERT_EQ(r.prefetchFills.size(), 3u);
+    EXPECT_EQ(r.prefetchFills[0], 64u);
+    EXPECT_EQ(r.prefetchFills[2], 192u);
+}
+
+TEST(Cache, PrefetchHitRearms)
+{
+    Cache c(smallCache(2));
+    auto miss = c.access(0, false);
+    for (Addr pf : miss.prefetchFills)
+        c.insertPrefetch(pf);
+    auto hit = c.access(64, false);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.prefetchHit);
+    EXPECT_EQ(hit.prefetchFills.size(), 2u); // stream keeps rolling
+    // Second touch of the same line is a plain hit.
+    auto hit2 = c.access(64, false);
+    EXPECT_TRUE(hit2.hit);
+    EXPECT_FALSE(hit2.prefetchHit);
+}
+
+TEST(Cache, InsertPrefetchIdempotent)
+{
+    Cache c(smallCache(1));
+    EXPECT_TRUE(c.insertPrefetch(128));
+    EXPECT_FALSE(c.insertPrefetch(128));
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache c(smallCache());
+    c.access(0, false);
+    c.flush();
+    EXPECT_FALSE(c.access(0, false).hit);
+}
+
+TEST(Cache, HitRateTracking)
+{
+    Cache c(smallCache());
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    EXPECT_NEAR(c.hitRate(), 2.0 / 3.0, 1e-9);
+}
+
+/** Property: working sets within capacity hit after warmup; beyond
+ *  capacity they thrash. */
+struct WsParam
+{
+    std::uint64_t workingSet;
+    bool expectHits;
+};
+
+class WorkingSetTest : public ::testing::TestWithParam<WsParam> {};
+
+TEST_P(WorkingSetTest, CapacityBehavior)
+{
+    auto p = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = 4 * kKiB;
+    cfg.associativity = 4;
+    cfg.lineBytes = 64;
+    Cache c(cfg);
+    // Two sweeps: warmup + measure.
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < p.workingSet; a += 64)
+            c.access(a, false);
+    double hr = c.hitRate();
+    if (p.expectHits)
+        EXPECT_GT(hr, 0.45);
+    else
+        EXPECT_LT(hr, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkingSets, WorkingSetTest,
+    ::testing::Values(WsParam{1 * kKiB, true}, WsParam{2 * kKiB, true},
+                      WsParam{4 * kKiB, true}, WsParam{16 * kKiB, false},
+                      WsParam{64 * kKiB, false}));
+
+TEST(CacheDeath, BadGeometryFatal)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1000; // not a multiple of line*assoc
+    EXPECT_DEATH({ Cache c(cfg); }, "multiple");
+}

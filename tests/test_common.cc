@@ -1,0 +1,128 @@
+/** @file Unit tests for common utilities: intmath, random, units. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/intmath.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+using namespace mondrian;
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+class Log2Test : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Log2Test, FloorCeilConsistent)
+{
+    unsigned bit = GetParam();
+    std::uint64_t v = 1ull << bit;
+    EXPECT_EQ(floorLog2(v), bit);
+    EXPECT_EQ(ceilLog2(v), bit);
+    if (bit > 1) {
+        EXPECT_EQ(floorLog2(v + 1), bit);
+        EXPECT_EQ(ceilLog2(v + 1), bit + 1);
+        EXPECT_EQ(floorLog2(v - 1), bit - 1);
+        EXPECT_EQ(ceilLog2(v - 1), bit);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, Log2Test,
+                         ::testing::Values(1u, 2u, 3u, 7u, 12u, 31u, 47u,
+                                           63u));
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(IntMath, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundDown(63, 64), 0u);
+    EXPECT_EQ(roundDown(65, 64), 64u);
+}
+
+TEST(IntMath, Bits)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 0, 8), 0u);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+}
+
+TEST(Random, Deterministic)
+{
+    Random a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 10; ++i)
+        differ |= a.next() != b.next();
+    EXPECT_TRUE(differ);
+}
+
+class RandomBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomBoundTest, BoundedStaysInRange)
+{
+    Random r(42);
+    std::uint64_t bound = GetParam();
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBounded(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RandomBoundTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 10ull, 64ull,
+                                           1000ull, 1ull << 33));
+
+TEST(Random, BoundedCoversRange)
+{
+    Random r(42);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(r.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Random r(3);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Units, PeriodsExact)
+{
+    EXPECT_EQ(periodFromMHz(1000), 1000u); // 1 GHz -> 1000 ps
+    EXPECT_EQ(periodFromMHz(2000), 500u);  // 2 GHz -> 500 ps
+}
+
+TEST(Units, BandwidthConversion)
+{
+    // 8 bytes per ns == 8 GB/s.
+    EXPECT_DOUBLE_EQ(bytesPerTickToGBps(8.0, 1000), 8.0);
+    EXPECT_DOUBLE_EQ(bytesPerTickToGBps(0.0, 1000), 0.0);
+    EXPECT_DOUBLE_EQ(bytesPerTickToGBps(100.0, 0), 0.0);
+}

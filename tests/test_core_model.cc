@@ -1,0 +1,216 @@
+/** @file Unit and property tests for the window-limited core model. */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "core/core_model.hh"
+
+using namespace mondrian;
+
+namespace {
+
+/** Fixed-latency memory path with optional cache-hit behavior. */
+class FakePath : public MemoryPath
+{
+  public:
+    explicit FakePath(EventQueue &eq, Tick latency, bool immediate = false,
+                      Cycles hit_latency = 2)
+        : eq_(eq), latency_(latency), immediate_(immediate),
+          hitLatency_(hit_latency)
+    {}
+
+    Result
+    request(Tick when, Addr, std::uint32_t, bool, bool, bool,
+            std::function<void(Tick)> done) override
+    {
+        ++requests;
+        if (immediate_)
+            return Result{true, hitLatency_};
+        Tick t = when + latency_;
+        eq_.schedule(t, [done = std::move(done), t]() { done(t); });
+        return Result{false, 0};
+    }
+
+    unsigned requests = 0;
+
+  private:
+    EventQueue &eq_;
+    Tick latency_;
+    bool immediate_;
+    Cycles hitLatency_;
+};
+
+CoreConfig
+testCore(unsigned loads = 4, unsigned stores = 4, unsigned streams = 4)
+{
+    CoreConfig c;
+    c.period = 1000;
+    c.maxOutstandingLoads = loads;
+    c.maxOutstandingStores = stores;
+    c.streamDepth = streams;
+    return c;
+}
+
+Tick
+runTrace(const KernelTrace &trace, const CoreConfig &cfg, Tick mem_latency,
+         bool immediate = false)
+{
+    EventQueue eq;
+    FakePath path(eq, mem_latency, immediate);
+    TraceCore core(eq, cfg, path, 0);
+    core.setTrace(&trace);
+    core.start();
+    eq.run();
+    EXPECT_TRUE(core.finished());
+    return core.stats().finishedAt;
+}
+
+} // namespace
+
+TEST(CoreModel, ComputeAdvancesAtClock)
+{
+    KernelTrace t;
+    t.addCompute(100);
+    EXPECT_EQ(runTrace(t, testCore(), 0), 100u * 1000);
+}
+
+TEST(CoreModel, SingleLoadLatency)
+{
+    KernelTrace t;
+    t.add(TraceOp::load(0, 64));
+    EXPECT_EQ(runTrace(t, testCore(), 50000), 50000u);
+}
+
+TEST(CoreModel, WindowOverlapsLoads)
+{
+    // 8 loads, window 4, latency 100 ns: two latency epochs.
+    KernelTrace t;
+    for (int i = 0; i < 8; ++i)
+        t.add(TraceOp::load(Addr(i) * 64, 64));
+    Tick dt = runTrace(t, testCore(4, 4, 4), 100000);
+    EXPECT_EQ(dt, 200000u);
+}
+
+/** Property (§3.2): throughput of random loads = window x size / latency. */
+class MlpTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MlpTest, BandwidthScalesWithWindow)
+{
+    const unsigned window = GetParam();
+    const Tick lat = 100000; // 100 ns
+    const unsigned n = 200;
+    KernelTrace t;
+    for (unsigned i = 0; i < n; ++i)
+        t.add(TraceOp::load(Addr(i) * 64, 64));
+    Tick dt = runTrace(t, testCore(window, 4, 4), lat);
+    double expected = static_cast<double>(n) / window * lat;
+    EXPECT_NEAR(static_cast<double>(dt), expected, expected * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, MlpTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 20u, 50u));
+
+TEST(CoreModel, BlockingLoadsSerialize)
+{
+    KernelTrace t;
+    for (int i = 0; i < 10; ++i)
+        t.add(TraceOp::loadBlocking(Addr(i) * 64, 8));
+    // Window 8 but each load gates the next: 10 x latency.
+    Tick dt = runTrace(t, testCore(8, 4, 4), 40000);
+    EXPECT_EQ(dt, 400000u);
+}
+
+TEST(CoreModel, BlockingLoadHitDoesNotStall)
+{
+    KernelTrace t;
+    for (int i = 0; i < 10; ++i)
+        t.add(TraceOp::loadBlocking(Addr(i) * 64, 8));
+    Tick dt = runTrace(t, testCore(8, 4, 4), 40000, /*immediate=*/true);
+    EXPECT_EQ(dt, 10u * 2 * 1000); // ten 2-cycle hits
+}
+
+TEST(CoreModel, StoreBufferBackpressure)
+{
+    KernelTrace t;
+    for (int i = 0; i < 32; ++i)
+        t.add(TraceOp::store(Addr(i) * 64, 16));
+    Tick dt = runTrace(t, testCore(4, 8, 4), 80000);
+    // 32 stores, 8 slots, 80 ns completion: 4 epochs.
+    EXPECT_EQ(dt, 4u * 80000);
+}
+
+TEST(CoreModel, StreamDepthGovernsStreams)
+{
+    KernelTrace t;
+    for (int i = 0; i < 16; ++i)
+        t.add(TraceOp::streamRead(Addr(i) * 256, 256));
+    Tick dt = runTrace(t, testCore(2, 2, 8), 100000);
+    EXPECT_EQ(dt, 200000u); // 16 streams / depth 8 = 2 epochs
+}
+
+TEST(CoreModel, FenceDrains)
+{
+    KernelTrace t;
+    t.add(TraceOp::store(0, 16));
+    t.add(TraceOp::fence());
+    t.addCompute(10);
+    Tick dt = runTrace(t, testCore(), 70000);
+    EXPECT_EQ(dt, 70000u + 10000u);
+}
+
+TEST(CoreModel, ComputeAndMemoryOverlap)
+{
+    KernelTrace t;
+    t.add(TraceOp::load(0, 64));
+    t.addCompute(100); // 100 ns of compute overlaps the 100 ns load
+    Tick dt = runTrace(t, testCore(), 100000);
+    EXPECT_EQ(dt, 100000u);
+}
+
+TEST(CoreModel, StallAccounting)
+{
+    EventQueue eq;
+    FakePath path(eq, 100000);
+    KernelTrace t;
+    for (int i = 0; i < 4; ++i)
+        t.add(TraceOp::loadBlocking(Addr(i) * 64, 8));
+    TraceCore core(eq, testCore(), path, 0);
+    core.setTrace(&t);
+    core.start();
+    eq.run();
+    EXPECT_EQ(core.stats().stallTicks, core.stats().stallLoadTicks);
+    EXPECT_GT(core.stats().stallLoadTicks, 0u);
+    EXPECT_LT(core.utilization(), 0.05);
+}
+
+TEST(CoreModel, Presets)
+{
+    EXPECT_EQ(cortexA57().period, 500u);
+    EXPECT_EQ(krait400().period, 1000u);
+    EXPECT_EQ(cortexA35Simd().period, 1000u);
+    EXPECT_GT(cortexA57().maxOutstandingLoads,
+              krait400().maxOutstandingLoads);
+    EXPECT_GT(cortexA57().peakPowerWatts, krait400().peakPowerWatts);
+    EXPECT_LT(cortexA35Simd().peakPowerWatts, krait400().peakPowerWatts);
+}
+
+TEST(CoreModel, OnFinishFires)
+{
+    EventQueue eq;
+    FakePath path(eq, 1000);
+    KernelTrace t;
+    t.addCompute(5);
+    TraceCore core(eq, testCore(), path, 7);
+    core.setTrace(&t);
+    bool fired = false;
+    core.onFinish = [&](unsigned id, Tick when) {
+        fired = true;
+        EXPECT_EQ(id, 7u);
+        EXPECT_EQ(when, 5000u);
+    };
+    core.start();
+    eq.run();
+    EXPECT_TRUE(fired);
+}

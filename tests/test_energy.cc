@@ -1,0 +1,115 @@
+/** @file Hand-checked unit tests for the energy model (Table 4). */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+using namespace mondrian;
+
+namespace {
+
+EnergyActivity
+baseActivity()
+{
+    EnergyActivity a;
+    a.elapsed = kSecond; // 1 s makes wattage == joules
+    a.numCubes = 4;
+    a.numSerdesLinks = 0;
+    a.numCores = 0;
+    return a;
+}
+
+} // namespace
+
+TEST(EnergyModel, DramDynamic)
+{
+    EnergyModel m;
+    EnergyActivity a = baseActivity();
+    a.rowActivations = 1'000'000; // 1M x 0.65 nJ = 0.65 mJ
+    a.dramBitsMoved = 8'000'000;  // 8 Mbit x 2 pJ = 16 uJ
+    auto e = m.compute(a);
+    EXPECT_NEAR(e.dramDynamic, 0.65e-3 + 16e-6, 1e-9);
+}
+
+TEST(EnergyModel, DramStaticScalesWithCubesAndTime)
+{
+    EnergyModel m;
+    EnergyActivity a = baseActivity();
+    auto e1 = m.compute(a);
+    EXPECT_NEAR(e1.dramStatic, 4 * 0.98, 1e-9);
+    a.elapsed = kSecond / 2;
+    EXPECT_NEAR(m.compute(a).dramStatic, 2 * 0.98, 1e-9);
+}
+
+TEST(EnergyModel, CoreUtilizationScaling)
+{
+    EnergyModel m;
+    EnergyActivity a = baseActivity();
+    a.numCores = 10;
+    a.corePeakWattsEach = 2.0;
+    a.coreUtilization = 1.0;
+    EXPECT_NEAR(m.compute(a).cores, 20.0, 1e-9);
+    a.coreUtilization = 0.0;
+    // Idle floor: 30% of peak.
+    EXPECT_NEAR(m.compute(a).cores, 6.0, 1e-9);
+}
+
+TEST(EnergyModel, LlcAddsAccessAndLeak)
+{
+    EnergyModel m;
+    EnergyActivity a = baseActivity();
+    a.hasLlc = true;
+    a.llcAccesses = 1'000'000; // 1M x 0.09 nJ = 90 uJ
+    auto e = m.compute(a);
+    EXPECT_NEAR(e.cores, 90e-6 + 0.110, 1e-9);
+}
+
+TEST(EnergyModel, SerdesIdlePlusBusy)
+{
+    EnergyModel m;
+    EnergyActivity a = baseActivity();
+    a.numSerdesLinks = 1;
+    // One 160 Gb/s link for 1 s = 160e9 bit slots.
+    a.serdesBusyBits = 60'000'000'000; // 60 Gbit busy
+    auto e = m.compute(a);
+    double noc_leak = 0.030 * 4; // 4 stacks of NOC leakage for 1 s
+    double expect = 60e9 * 3e-12 + (160e9 - 60e9) * 1e-12 + noc_leak;
+    EXPECT_NEAR(e.network, expect, 1e-6);
+}
+
+TEST(EnergyModel, SerdesBusyClampsAtLineRate)
+{
+    EnergyModel m;
+    EnergyActivity a = baseActivity();
+    a.numSerdesLinks = 1;
+    a.serdesBusyBits = 400'000'000'000; // more than the link can carry
+    auto e = m.compute(a);
+    EXPECT_NEAR(e.network, 160e9 * 3e-12 + 0.030 * 4, 1e-6);
+}
+
+TEST(EnergyModel, NocDynamicAndLeak)
+{
+    EnergyCoefficients coeff;
+    EnergyModel m(coeff);
+    EnergyActivity a = baseActivity();
+    a.meshBitHops = 1'000'000'000'000; // 1 Tbit-hop
+    auto e = m.compute(a);
+    double noc_dyn = 1e12 * coeff.nocPicojoulePerBitPerMm *
+                     coeff.nocHopMm * 1e-12;
+    double noc_leak = coeff.nocLeakWattPerStack * 4;
+    EXPECT_NEAR(e.network, noc_dyn + noc_leak, 1e-6);
+}
+
+TEST(EnergyModel, TotalSumsCategories)
+{
+    EnergyModel m;
+    EnergyActivity a = baseActivity();
+    a.numCores = 4;
+    a.corePeakWattsEach = 1.0;
+    a.coreUtilization = 0.5;
+    a.rowActivations = 1000;
+    a.numSerdesLinks = 2;
+    auto e = m.compute(a);
+    EXPECT_DOUBLE_EQ(e.total(), e.dramDynamic + e.dramStatic + e.cores +
+                                    e.network);
+}

@@ -1,0 +1,111 @@
+/** @file Unit tests for the event queue and clock domains. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+using namespace mondrian;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ExecutedCount)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueue, ResetClearsState)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(ClockDomain, Conversions)
+{
+    ClockDomain cd(1000); // 1 GHz
+    EXPECT_EQ(cd.cyclesToTicks(5), 5000u);
+    EXPECT_EQ(cd.ticksToCycles(5999), 5u);
+    EXPECT_EQ(cd.nextEdge(0), 0u);
+    EXPECT_EQ(cd.nextEdge(1), 1000u);
+    EXPECT_EQ(cd.nextEdge(1000), 1000u);
+}
+
+TEST(Stats, CounterAndRegistry)
+{
+    StatRegistry reg;
+    reg.counter("vault0.reads").inc(3);
+    reg.counter("vault1.reads").inc(4);
+    reg.counter("vault0.writes").inc();
+    EXPECT_EQ(reg.value("vault0.reads"), 3u);
+    EXPECT_EQ(reg.value("missing"), 0u);
+    EXPECT_EQ(reg.sumBySuffix(".reads"), 7u);
+    EXPECT_EQ(reg.sumByPrefix("vault0."), 4u);
+    EXPECT_EQ(reg.dump().size(), 3u);
+    reg.resetAll();
+    EXPECT_EQ(reg.sumBySuffix(".reads"), 0u);
+}

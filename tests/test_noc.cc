@@ -1,0 +1,160 @@
+/** @file Unit tests for mesh, SerDes links, and the Network facade. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/network.hh"
+#include "system/config.hh"
+
+using namespace mondrian;
+
+TEST(Mesh, HopsManhattan)
+{
+    MeshConfig cfg; // 4x4
+    Mesh m(cfg);
+    EXPECT_EQ(m.hops(0, 0), 0u);
+    EXPECT_EQ(m.hops(0, 3), 3u);
+    EXPECT_EQ(m.hops(0, 15), 6u);
+    EXPECT_EQ(m.hops(5, 6), 1u);
+    EXPECT_EQ(m.hops(12, 3), 6u);
+}
+
+TEST(Mesh, LocalDeliveryFree)
+{
+    Mesh m(MeshConfig{});
+    EXPECT_EQ(m.route(4, 4, 1000, 123), 123u);
+}
+
+TEST(Mesh, LatencyScalesWithHops)
+{
+    MeshConfig cfg;
+    Mesh m(cfg);
+    Tick ser = 32 * cfg.psPerByte();
+    Tick one = m.route(0, 1, 32, 0);
+    EXPECT_EQ(one, cfg.hopLatency + 2 * ser);
+    Mesh m2(cfg);
+    Tick six = m2.route(0, 15, 32, 0);
+    EXPECT_EQ(six, 6 * cfg.hopLatency + 2 * ser);
+}
+
+TEST(Mesh, InjectionSerializes)
+{
+    MeshConfig cfg;
+    Mesh m(cfg);
+    Tick ser = 64 * cfg.psPerByte();
+    Tick a = m.route(0, 5, 64, 0);
+    Tick b = m.route(0, 5, 64, 0); // same instant, same ports
+    // The second message pipelines behind the first: one serialization
+    // window later (inject and eject stages overlap across messages).
+    EXPECT_EQ(b - a, ser);
+}
+
+TEST(Mesh, DisjointPathsDontContend)
+{
+    MeshConfig cfg;
+    Mesh m(cfg);
+    Tick a = m.route(0, 1, 64, 0);
+    Tick b = m.route(14, 15, 64, 0);
+    EXPECT_EQ(a - 0, b - 0); // identical, no shared ports
+}
+
+TEST(Mesh, StatsAccumulate)
+{
+    Mesh m(MeshConfig{});
+    m.route(0, 3, 100, 0);
+    EXPECT_EQ(m.stats().packets, 1u);
+    EXPECT_EQ(m.stats().bytes, 100u);
+    EXPECT_EQ(m.stats().bitHops, 100u * 8 * 3);
+}
+
+TEST(SerDes, ThroughputAndLatency)
+{
+    SerDesLink link;
+    Tick t1 = link.transfer(160, 0); // 160 B @ 20 GB/s = 8 ns + 8 ns latency
+    EXPECT_EQ(t1, 8000u + 8000u);
+    Tick t2 = link.transfer(160, 0); // queues behind the first
+    EXPECT_EQ(t2, 16000u + 8000u);
+    EXPECT_EQ(link.busyBits(), 2u * 160 * 8);
+}
+
+namespace {
+
+MemGeometry
+netGeo()
+{
+    MemGeometry g = defaultGeometry();
+    return g;
+}
+
+} // namespace
+
+TEST(Network, LocalAccessSkipsNetwork)
+{
+    Network net(netGeo(), Topology::kFullyConnectedNmp);
+    EXPECT_EQ(net.delay(5, 5, 64, 1000), 1000u);
+}
+
+TEST(Network, IntraStackOnlyMesh)
+{
+    Network net(netGeo(), Topology::kFullyConnectedNmp);
+    Tick t = net.delay(0, 5, 16, 0);
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(net.stats().serdesBusyBits, 0u);
+    EXPECT_GT(net.stats().meshBitHops, 0u);
+}
+
+TEST(Network, CrossStackUsesOneSerDesHop)
+{
+    Network net(netGeo(), Topology::kFullyConnectedNmp);
+    net.delay(0, 20, 16, 0); // stack 0 -> stack 1
+    EXPECT_EQ(net.stats().serdesBusyBits, (16u + 16u) * 8);
+}
+
+TEST(Network, StarBouncesThroughCpu)
+{
+    Network star(netGeo(), Topology::kStarCpu);
+    star.delay(0, 20, 16, 0);
+    // Two serdes traversals: stack->CPU, CPU->stack.
+    EXPECT_EQ(star.stats().serdesBusyBits, 2u * (16 + 16) * 8);
+}
+
+TEST(Network, StarSlowerThanDirect)
+{
+    Network star(netGeo(), Topology::kStarCpu);
+    Network nmp(netGeo(), Topology::kFullyConnectedNmp);
+    EXPECT_GT(star.baseLatency(0, 20, 64), nmp.baseLatency(0, 20, 64));
+}
+
+TEST(Network, CpuPathsWork)
+{
+    Network star(netGeo(), Topology::kStarCpu);
+    Tick down = star.delay(Network::kCpuNode, 7, 64, 0);
+    Tick up = star.delay(7, Network::kCpuNode, 64, down);
+    EXPECT_GT(up, down);
+}
+
+TEST(Network, LinkCounts)
+{
+    Network star(netGeo(), Topology::kStarCpu);
+    EXPECT_EQ(star.serdesLinkCount(), 8u); // 4 stacks x 2 directions
+    Network nmp(netGeo(), Topology::kFullyConnectedNmp);
+    EXPECT_EQ(nmp.serdesLinkCount(), 8u + 12u);
+}
+
+TEST(Network, CornerPortsSpreadAcrossStacks)
+{
+    Network nmp(netGeo(), Topology::kFullyConnectedNmp);
+    std::set<unsigned> ports;
+    for (unsigned peer = 0; peer < 4; ++peer)
+        ports.insert(nmp.portRouter(0, peer));
+    EXPECT_EQ(ports.size(), 4u);
+}
+
+TEST(Network, BaseLatencyIsLowerBound)
+{
+    Network nmp(netGeo(), Topology::kFullyConnectedNmp);
+    Tick base = nmp.baseLatency(0, 20, 16);
+    Tick actual = nmp.delay(0, 20, 16, 0);
+    EXPECT_GE(actual + 1, base); // no contention yet: equal up to rounding
+}

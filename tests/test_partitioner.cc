@@ -1,0 +1,249 @@
+/** @file Tests for partition functions and the shuffle machinery. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "engine/partitioner.hh"
+#include "engine/workload.hh"
+#include "system/config.hh"
+
+using namespace mondrian;
+
+namespace {
+
+MemGeometry
+shuffleGeo()
+{
+    MemGeometry g;
+    g.numStacks = 1;
+    g.vaultsPerStack = 8;
+    g.banksPerVault = 4;
+    g.rowBytes = 256;
+    g.vaultBytes = 512 * kKiB;
+    return g;
+}
+
+std::multiset<std::pair<std::uint64_t, std::uint64_t>>
+asMultiset(const std::vector<Tuple> &tuples)
+{
+    std::multiset<std::pair<std::uint64_t, std::uint64_t>> m;
+    for (const Tuple &t : tuples)
+        m.insert({t.key, t.payload});
+    return m;
+}
+
+} // namespace
+
+TEST(PartitionFn, LowBitsRadix)
+{
+    PartitionFn fn = PartitionFn::lowBits(8);
+    EXPECT_EQ(fn(0), 0u);
+    EXPECT_EQ(fn(7), 7u);
+    EXPECT_EQ(fn(8), 0u);
+    EXPECT_EQ(fn(0xffffffff), 7u);
+}
+
+TEST(PartitionFn, RangePreservesOrder)
+{
+    PartitionFn fn = PartitionFn::range(4, 1000);
+    EXPECT_EQ(fn(0), 0u);
+    EXPECT_EQ(fn(249), 0u);
+    EXPECT_EQ(fn(250), 1u);
+    EXPECT_EQ(fn(999), 3u);
+    // Monotone: p(k1) <= p(k2) for k1 <= k2.
+    unsigned prev = 0;
+    for (std::uint64_t k = 0; k < 1000; k += 7) {
+        unsigned p = fn(k);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+class ShuffleTest : public ::testing::TestWithParam<bool>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        pool = std::make_unique<MemoryPool>(shuffleGeo());
+        WorkloadConfig wcfg;
+        wcfg.tuples = 2048;
+        WorkloadGenerator gen(wcfg);
+        input = gen.makeUniform(*pool, 2048);
+
+        cfg = nmpExec(8, /*permutable=*/GetParam(), false);
+    }
+
+    std::unique_ptr<MemoryPool> pool;
+    Relation input;
+    ExecConfig cfg;
+};
+
+TEST_P(ShuffleTest, OutputIsPermutationOfInput)
+{
+    Partitioner part(*pool, cfg);
+    std::vector<TraceRecorder> recs(8);
+    std::vector<std::pair<unsigned, PermutableRegion>> arming;
+    PartitionFn fn = PartitionFn::lowBits(8);
+    Relation out = part.shuffleNmp(input, fn, recs, &arming);
+    EXPECT_EQ(asMultiset(out.gatherAll(*pool)),
+              asMultiset(input.gatherAll(*pool)));
+}
+
+TEST_P(ShuffleTest, TuplesLandInCorrectPartition)
+{
+    Partitioner part(*pool, cfg);
+    std::vector<TraceRecorder> recs(8);
+    std::vector<std::pair<unsigned, PermutableRegion>> arming;
+    PartitionFn fn = PartitionFn::lowBits(8);
+    Relation out = part.shuffleNmp(input, fn, recs, &arming);
+    for (unsigned v = 0; v < 8; ++v)
+        for (const Tuple &t : out.gather(*pool, v))
+            EXPECT_EQ(fn(t.key), v);
+}
+
+TEST_P(ShuffleTest, ArmingMatchesMode)
+{
+    Partitioner part(*pool, cfg);
+    std::vector<TraceRecorder> recs(8);
+    std::vector<std::pair<unsigned, PermutableRegion>> arming;
+    PartitionFn fn = PartitionFn::lowBits(8);
+    part.shuffleNmp(input, fn, recs, &arming);
+    if (GetParam()) {
+        EXPECT_EQ(arming.size(), 8u);
+        for (auto &[v, region] : arming)
+            EXPECT_EQ(region.objectBytes, kTupleBytes);
+    } else {
+        EXPECT_TRUE(arming.empty());
+    }
+}
+
+TEST_P(ShuffleTest, TraceStoreKindsMatchMode)
+{
+    Partitioner part(*pool, cfg);
+    std::vector<TraceRecorder> recs(8);
+    std::vector<std::pair<unsigned, PermutableRegion>> arming;
+    PartitionFn fn = PartitionFn::lowBits(8);
+    part.shuffleNmp(input, fn, recs, &arming);
+    for (auto &rec : recs) {
+        auto s = rec.trace().summarize();
+        if (GetParam())
+            EXPECT_EQ(s.permutableStores, input.totalTuples() / 8);
+        else
+            EXPECT_EQ(s.permutableStores, 0u);
+        EXPECT_EQ(s.fences, 2u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ShuffleTest, ::testing::Bool());
+
+TEST(ShuffleModes, SamePerPartitionContent)
+{
+    // Permutable and exact shuffles must agree on each partition's
+    // multiset of tuples -- permutability only relaxes ordering (§4.1.2).
+    MemoryPool pool_a(shuffleGeo()), pool_b(shuffleGeo());
+    WorkloadConfig wcfg;
+    wcfg.tuples = 2048;
+    Relation in_a = WorkloadGenerator(wcfg).makeUniform(pool_a, 2048);
+    Relation in_b = WorkloadGenerator(wcfg).makeUniform(pool_b, 2048);
+
+    ExecConfig exact = nmpExec(8, false, false);
+    ExecConfig perm = nmpExec(8, true, false);
+    Partitioner pa(pool_a, exact), pb(pool_b, perm);
+    std::vector<TraceRecorder> ra(8), rb(8);
+    std::vector<std::pair<unsigned, PermutableRegion>> arming;
+    PartitionFn fn = PartitionFn::lowBits(8);
+    Relation out_a = pa.shuffleNmp(in_a, fn, ra, nullptr);
+    Relation out_b = pb.shuffleNmp(in_b, fn, rb, &arming);
+
+    for (unsigned v = 0; v < 8; ++v) {
+        EXPECT_EQ(asMultiset(out_a.gather(pool_a, v)),
+                  asMultiset(out_b.gather(pool_b, v)))
+            << "partition " << v;
+    }
+}
+
+TEST(CpuShuffle, BoundsPartitionTheGlobalArray)
+{
+    MemoryPool pool(shuffleGeo());
+    WorkloadConfig wcfg;
+    wcfg.tuples = 2048;
+    Relation in = WorkloadGenerator(wcfg).makeUniform(pool, 2048);
+    ExecConfig cfg = cpuExec(8);
+    cfg.numUnits = 4;
+    Partitioner part(pool, cfg);
+    std::vector<TraceRecorder> recs(4);
+    PartitionFn fn = PartitionFn::lowBits(16);
+    auto res = part.shuffleCpu(in, fn, 16, recs);
+
+    EXPECT_EQ(res.bounds.front(), 0u);
+    EXPECT_EQ(res.bounds.back(), 2048u);
+    // Every tuple sits in the partition its key hashes to.
+    for (unsigned p = 0; p < 16; ++p) {
+        for (std::uint64_t g = res.bounds[p]; g < res.bounds[p + 1]; ++g) {
+            Tuple t = pool.store().readValue<Tuple>(
+                Partitioner::globalTupleAddr(res.out, res.chunkTuples, g));
+            EXPECT_EQ(fn(t.key), p);
+        }
+    }
+}
+
+TEST(CpuShuffle, PreservesMultiset)
+{
+    MemoryPool pool(shuffleGeo());
+    WorkloadConfig wcfg;
+    wcfg.tuples = 1024;
+    Relation in = WorkloadGenerator(wcfg).makeUniform(pool, 1024);
+    ExecConfig cfg = cpuExec(8);
+    cfg.numUnits = 4;
+    Partitioner part(pool, cfg);
+    std::vector<TraceRecorder> recs(4);
+    PartitionFn fn = PartitionFn::lowBits(8);
+    auto res = part.shuffleCpu(in, fn, 8, recs);
+
+    std::vector<Tuple> out;
+    for (std::uint64_t g = 0; g < 1024; ++g)
+        out.push_back(pool.store().readValue<Tuple>(
+            Partitioner::globalTupleAddr(res.out, res.chunkTuples, g)));
+    EXPECT_EQ(asMultiset(out), asMultiset(in.gatherAll(pool)));
+}
+
+TEST(CpuShuffle, TlbPressureEmitsPageWalks)
+{
+    MemoryPool pool(shuffleGeo());
+    WorkloadConfig wcfg;
+    wcfg.tuples = 512;
+    Relation in = WorkloadGenerator(wcfg).makeUniform(pool, 512);
+    ExecConfig cfg = cpuExec(8);
+    cfg.numUnits = 4;
+    cfg.tlbEntries = 8;
+    Partitioner part(pool, cfg);
+    std::vector<TraceRecorder> recs(4);
+    auto res = part.shuffleCpu(in, PartitionFn::lowBits(16), 16, recs);
+    (void)res;
+    std::uint64_t blocking = 0;
+    for (auto &rec : recs)
+        for (const auto &op : rec.trace().ops())
+            blocking += op.kind == TraceOpKind::kLoadBlocking ? 1 : 0;
+    EXPECT_EQ(blocking, 3u * 512); // three-level walk per scattered store
+}
+
+TEST(CpuShuffle, NoWalksUnderTlbReach)
+{
+    MemoryPool pool(shuffleGeo());
+    WorkloadConfig wcfg;
+    wcfg.tuples = 512;
+    Relation in = WorkloadGenerator(wcfg).makeUniform(pool, 512);
+    ExecConfig cfg = cpuExec(8);
+    cfg.numUnits = 4;
+    cfg.tlbEntries = 64;
+    Partitioner part(pool, cfg);
+    std::vector<TraceRecorder> recs(4);
+    part.shuffleCpu(in, PartitionFn::lowBits(16), 16, recs);
+    for (auto &rec : recs)
+        for (const auto &op : rec.trace().ops())
+            EXPECT_NE(op.kind, TraceOpKind::kLoadBlocking);
+}

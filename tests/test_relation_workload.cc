@@ -1,0 +1,168 @@
+/** @file Tests for relations, memory pools, and workload generators. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "engine/relation.hh"
+#include "engine/workload.hh"
+#include "system/config.hh"
+
+using namespace mondrian;
+
+namespace {
+
+MemGeometry
+tinyGeo()
+{
+    MemGeometry g;
+    g.numStacks = 1;
+    g.vaultsPerStack = 4;
+    g.banksPerVault = 4;
+    g.rowBytes = 256;
+    g.vaultBytes = 512 * kKiB;
+    return g;
+}
+
+} // namespace
+
+TEST(Relation, AllocAndRoundTrip)
+{
+    MemoryPool pool(tinyGeo());
+    Relation r = Relation::alloc(pool, {0, 2}, 16);
+    EXPECT_EQ(r.numPartitions(), 2u);
+    EXPECT_EQ(r.partition(1).vault, 2u);
+    r.append(pool, 0, Tuple{1, 2});
+    r.append(pool, 0, Tuple{3, 4});
+    EXPECT_EQ(r.partition(0).count, 2u);
+    EXPECT_EQ(r.readTuple(pool, 0, 0), (Tuple{1, 2}));
+    EXPECT_EQ(r.readTuple(pool, 0, 1), (Tuple{3, 4}));
+}
+
+TEST(Relation, ScatterGather)
+{
+    MemoryPool pool(tinyGeo());
+    Relation r = Relation::alloc(pool, {1}, 64);
+    std::vector<Tuple> tuples;
+    for (std::uint64_t i = 0; i < 40; ++i)
+        tuples.push_back(Tuple{i, i * i});
+    r.scatter(pool, 0, tuples);
+    EXPECT_EQ(r.gather(pool, 0), tuples);
+    EXPECT_EQ(r.totalTuples(), 40u);
+}
+
+TEST(Relation, AllocAcrossAllSplitsEvenly)
+{
+    MemoryPool pool(tinyGeo());
+    Relation r = Relation::allocAcrossAll(pool, 100);
+    EXPECT_EQ(r.numPartitions(), 4u);
+    for (unsigned p = 0; p < 4; ++p)
+        EXPECT_EQ(r.partition(p).capacity, 25u);
+}
+
+TEST(Relation, TupleAddressesInsideVault)
+{
+    MemoryPool pool(tinyGeo());
+    Relation r = Relation::allocAcrossAll(pool, 64);
+    for (std::size_t p = 0; p < r.numPartitions(); ++p) {
+        Addr a = r.tupleAddr(p, 0);
+        EXPECT_EQ(pool.map().vaultOf(a), r.partition(p).vault);
+    }
+}
+
+TEST(MemoryPool, AllocationTracksRemaining)
+{
+    MemoryPool pool(tinyGeo());
+    std::uint64_t before = pool.remaining(3);
+    pool.allocBytes(3, 1024);
+    EXPECT_LE(pool.remaining(3), before - 1024);
+}
+
+TEST(Workload, UniformDeterministic)
+{
+    WorkloadConfig cfg;
+    cfg.tuples = 512;
+    cfg.seed = 9;
+    MemoryPool p1(tinyGeo()), p2(tinyGeo());
+    WorkloadGenerator g1(cfg), g2(cfg);
+    auto r1 = g1.makeUniform(p1, 512).gatherAll(p1);
+    auto r2 = g2.makeUniform(p2, 512).gatherAll(p2);
+    EXPECT_EQ(r1, r2);
+}
+
+TEST(Workload, SeedChangesData)
+{
+    WorkloadConfig a, b;
+    a.tuples = b.tuples = 256;
+    a.seed = 1;
+    b.seed = 2;
+    MemoryPool p1(tinyGeo()), p2(tinyGeo());
+    auto r1 = WorkloadGenerator(a).makeUniform(p1, 256).gatherAll(p1);
+    auto r2 = WorkloadGenerator(b).makeUniform(p2, 256).gatherAll(p2);
+    EXPECT_NE(r1, r2);
+}
+
+TEST(Workload, JoinPairForeignKeyProperty)
+{
+    WorkloadConfig cfg;
+    cfg.tuples = 1024;
+    cfg.joinSmallRatio = 0.25;
+    MemoryPool pool(tinyGeo());
+    auto pair = WorkloadGenerator(cfg).makeJoinPair(pool);
+    auto r = pair.r.gatherAll(pool);
+    auto s = pair.s.gatherAll(pool);
+    EXPECT_EQ(r.size(), 256u);
+    EXPECT_EQ(s.size(), 1024u);
+    // R keys are unique and cover [0, |R|).
+    std::set<std::uint64_t> r_keys;
+    for (const Tuple &t : r)
+        r_keys.insert(t.key);
+    EXPECT_EQ(r_keys.size(), r.size());
+    EXPECT_EQ(*r_keys.rbegin(), r.size() - 1);
+    // Every S key hits R exactly once.
+    for (const Tuple &t : s)
+        EXPECT_TRUE(r_keys.count(t.key));
+}
+
+TEST(Workload, GroupByCardinality)
+{
+    WorkloadConfig cfg;
+    cfg.tuples = 4096;
+    MemoryPool pool(tinyGeo());
+    auto rel = WorkloadGenerator(cfg).makeGroupBy(pool, 4096);
+    std::set<std::uint64_t> keys;
+    for (const Tuple &t : rel.gatherAll(pool))
+        keys.insert(t.key);
+    // Average group size ~4 (§6): cardinality near tuples/4.
+    EXPECT_LE(keys.size(), 1024u);
+    EXPECT_GT(keys.size(), 900u);
+}
+
+TEST(Workload, ZipfSkewsKeys)
+{
+    WorkloadConfig cfg;
+    cfg.tuples = 4096;
+    cfg.zipfTheta = 1.0;
+    MemoryPool pool(tinyGeo());
+    auto rel = WorkloadGenerator(cfg).makeGroupBy(pool, 4096);
+    std::map<std::uint64_t, unsigned> hist;
+    for (const Tuple &t : rel.gatherAll(pool))
+        hist[t.key]++;
+    unsigned max_count = 0;
+    for (auto &[k, c] : hist)
+        max_count = std::max(max_count, c);
+    // The hottest key dominates far beyond the uniform expectation (~4).
+    EXPECT_GT(max_count, 100u);
+}
+
+TEST(Workload, RoundRobinPlacementBalances)
+{
+    WorkloadConfig cfg;
+    cfg.tuples = 1000;
+    MemoryPool pool(tinyGeo());
+    auto rel = WorkloadGenerator(cfg).makeUniform(pool, 1000);
+    for (std::size_t p = 0; p < rel.numPartitions(); ++p)
+        EXPECT_NEAR(static_cast<double>(rel.partition(p).count), 250.0, 1.0);
+}

@@ -1,0 +1,135 @@
+/** @file Tests for the Spark-style dataflow layer (Table 1). */
+
+#include <gtest/gtest.h>
+
+#include "engine/spark.hh"
+#include "engine/workload.hh"
+#include "system/config.hh"
+
+using namespace mondrian;
+
+namespace {
+
+MemGeometry
+sparkGeo()
+{
+    MemGeometry g;
+    g.numStacks = 1;
+    g.vaultsPerStack = 8;
+    g.banksPerVault = 4;
+    g.rowBytes = 256;
+    g.vaultBytes = 1 * kMiB;
+    return g;
+}
+
+} // namespace
+
+TEST(Spark, Table1MappingComplete)
+{
+    const auto &table = sparkOperatorTable();
+    EXPECT_EQ(table.size(), 14u);
+    unsigned scans = 0, groups = 0, joins = 0, sorts = 0;
+    for (const auto &[name, basic] : table) {
+        switch (basic) {
+          case BasicOp::kScan:
+            ++scans;
+            break;
+          case BasicOp::kGroupBy:
+            ++groups;
+            break;
+          case BasicOp::kJoin:
+            ++joins;
+            break;
+          case BasicOp::kSort:
+            ++sorts;
+            break;
+        }
+    }
+    // Table 1 row counts.
+    EXPECT_EQ(scans, 6u);
+    EXPECT_EQ(groups, 6u);
+    EXPECT_EQ(joins, 1u);
+    EXPECT_EQ(sorts, 1u);
+}
+
+TEST(Spark, BasicOpNames)
+{
+    EXPECT_STREQ(basicOpName(BasicOp::kScan), "scan");
+    EXPECT_STREQ(basicOpName(BasicOp::kSort), "sort");
+}
+
+TEST(Spark, FilterLowersToScan)
+{
+    MemoryPool pool(sparkGeo());
+    WorkloadConfig wl;
+    wl.tuples = 1024;
+    Relation rel = WorkloadGenerator(wl).makeUniform(pool, 1024);
+    SparkContext ctx(pool, mondrianExec(8, true));
+    auto result = ctx.filter(rel, 1);
+    EXPECT_EQ(result.basicOp, BasicOp::kScan);
+    EXPECT_EQ(result.exec.op, "scan");
+}
+
+TEST(Spark, ReduceByKeyLowersToGroupBy)
+{
+    MemoryPool pool(sparkGeo());
+    WorkloadConfig wl;
+    wl.tuples = 1024;
+    Relation rel = WorkloadGenerator(wl).makeGroupBy(pool, 1024);
+    SparkContext ctx(pool, nmpExec(8, true, false));
+    auto result = ctx.reduceByKey(rel);
+    EXPECT_EQ(result.basicOp, BasicOp::kGroupBy);
+    EXPECT_GT(result.exec.groupCount, 0u);
+}
+
+TEST(Spark, SortByKeyProducesOrder)
+{
+    MemoryPool pool(sparkGeo());
+    WorkloadConfig wl;
+    wl.tuples = 1024;
+    Relation rel = WorkloadGenerator(wl).makeUniform(pool, 1024);
+    SparkContext ctx(pool, mondrianExec(8, true));
+    auto result = ctx.sortByKey(rel);
+    auto out = result.exec.output.gatherAll(pool);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
+                               [](const Tuple &a, const Tuple &b) {
+                                   return a.key < b.key;
+                               }));
+}
+
+TEST(Spark, JoinByName)
+{
+    MemoryPool pool(sparkGeo());
+    WorkloadConfig wl;
+    wl.tuples = 512;
+    auto pair = WorkloadGenerator(wl).makeJoinPair(pool);
+    SparkContext ctx(pool, nmpExec(8, false, false));
+    auto result = ctx.lower("Join", pair.r, &pair.s);
+    EXPECT_EQ(result.basicOp, BasicOp::kJoin);
+    EXPECT_EQ(result.exec.joinMatches, 512u);
+}
+
+TEST(Spark, EveryTableEntryLowers)
+{
+    MemoryPool pool(sparkGeo());
+    WorkloadConfig wl;
+    wl.tuples = 256;
+    WorkloadGenerator gen(wl);
+    auto pair = gen.makeJoinPair(pool);
+    SparkContext ctx(pool, nmpExec(8, true, true));
+    for (const auto &[name, basic] : sparkOperatorTable()) {
+        auto result = ctx.lower(name, pair.s, &pair.r);
+        EXPECT_EQ(result.basicOp, basic) << name;
+        EXPECT_EQ(result.sparkOp, name);
+    }
+}
+
+TEST(SparkDeath, UnknownOperatorFatal)
+{
+    MemoryPool pool(sparkGeo());
+    WorkloadConfig wl;
+    wl.tuples = 64;
+    Relation rel = WorkloadGenerator(wl).makeUniform(pool, 64);
+    SparkContext ctx(pool, nmpExec(8, false, false));
+    EXPECT_DEATH(ctx.lower("Mystery", rel), "unknown Spark");
+}

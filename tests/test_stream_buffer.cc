@@ -1,0 +1,75 @@
+/** @file Unit tests for the stream-buffer unit. */
+
+#include <gtest/gtest.h>
+
+#include "core/stream_buffer.hh"
+
+using namespace mondrian;
+
+TEST(StreamBuffer, ProgramSlicesRange)
+{
+    StreamBufferUnit sb;
+    sb.program(0x1000, 256, 4);
+    ASSERT_EQ(sb.streams().size(), 4u);
+    EXPECT_EQ(sb.streams()[0].start, 0x1000u);
+    EXPECT_EQ(sb.streams()[3].start, 0x1000u + 3 * 256);
+    EXPECT_EQ(sb.activeStreams(), 4u);
+    EXPECT_FALSE(sb.allDone());
+}
+
+TEST(StreamBuffer, PopAdvancesHead)
+{
+    StreamBufferUnit sb;
+    sb.program(0, 64, 2);
+    EXPECT_EQ(sb.pop(0, 16), 0u);
+    EXPECT_EQ(sb.pop(0, 16), 16u);
+    EXPECT_EQ(sb.headAddr(0), 32u);
+    EXPECT_EQ(sb.headAddr(1), 64u);
+    EXPECT_EQ(sb.bytesConsumed(), 32u);
+}
+
+TEST(StreamBuffer, CompletionTracking)
+{
+    StreamBufferUnit sb;
+    sb.program(0, 32, 2);
+    sb.pop(0, 32);
+    EXPECT_EQ(sb.activeStreams(), 1u);
+    sb.pop(1, 16);
+    sb.pop(1, 16);
+    EXPECT_TRUE(sb.allDone());
+}
+
+TEST(StreamBuffer, FetchDepthTracksActiveStreams)
+{
+    StreamBufferUnit sb(StreamBufferConfig{8, 384, 256});
+    sb.program(0, 128, 6);
+    EXPECT_EQ(sb.fetchDepth(), 6u);
+    sb.pop(0, 128);
+    EXPECT_EQ(sb.fetchDepth(), 5u);
+}
+
+TEST(StreamBuffer, ExplicitStreams)
+{
+    StreamBufferUnit sb;
+    std::vector<Stream> runs(3);
+    runs[0] = Stream{0, 100, 0};
+    runs[1] = Stream{1000, 50, 0};
+    runs[2] = Stream{5000, 10, 10}; // already done
+    sb.programStreams(runs);
+    EXPECT_EQ(sb.activeStreams(), 2u);
+    EXPECT_TRUE(sb.streams()[2].done());
+}
+
+TEST(StreamBufferDeath, TooManyStreamsFatal)
+{
+    StreamBufferUnit sb(StreamBufferConfig{4, 384, 256});
+    EXPECT_DEATH(sb.program(0, 64, 5), "buffers");
+}
+
+TEST(StreamBufferDeath, PopPastEndPanics)
+{
+    StreamBufferUnit sb;
+    sb.program(0, 16, 1);
+    sb.pop(0, 16);
+    EXPECT_DEATH(sb.pop(0, 16), "assert");
+}

@@ -1,0 +1,96 @@
+/** @file Unit tests for kernel traces and the trace recorder. */
+
+#include <gtest/gtest.h>
+
+#include "core/trace.hh"
+#include "engine/trace_recorder.hh"
+
+using namespace mondrian;
+
+TEST(KernelTrace, ComputeCoalesces)
+{
+    KernelTrace t;
+    t.addCompute(5);
+    t.addCompute(7);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.ops()[0].value, 12u);
+}
+
+TEST(KernelTrace, ComputeDoesNotCoalesceAcrossMemOps)
+{
+    KernelTrace t;
+    t.addCompute(5);
+    t.add(TraceOp::load(0, 64));
+    t.addCompute(7);
+    EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(KernelTrace, HugeComputeSplits)
+{
+    KernelTrace t;
+    t.addCompute(0x1'0000'0005ull);
+    auto s = t.summarize();
+    EXPECT_EQ(s.computeCycles, 0x1'0000'0005ull);
+}
+
+TEST(KernelTrace, SummaryCountsEverything)
+{
+    KernelTrace t;
+    t.addCompute(10);
+    t.add(TraceOp::load(0, 64));
+    t.add(TraceOp::loadBlocking(64, 8));
+    t.add(TraceOp::store(128, 16));
+    t.add(TraceOp::permutableStore(256, 16));
+    t.add(TraceOp::streamRead(512, 256));
+    t.add(TraceOp::fence());
+    auto s = t.summarize();
+    EXPECT_EQ(s.computeCycles, 10u);
+    EXPECT_EQ(s.loads, 2u);
+    EXPECT_EQ(s.loadBytes, 72u);
+    EXPECT_EQ(s.stores, 2u);
+    EXPECT_EQ(s.permutableStores, 1u);
+    EXPECT_EQ(s.storeBytes, 32u);
+    EXPECT_EQ(s.streamReads, 1u);
+    EXPECT_EQ(s.streamBytes, 256u);
+    EXPECT_EQ(s.fences, 1u);
+}
+
+TEST(TraceRecorder, FractionalCyclesAccumulate)
+{
+    TraceRecorder rec;
+    for (int i = 0; i < 10; ++i)
+        rec.compute(0.25);
+    EXPECT_EQ(rec.trace().summarize().computeCycles, 2u); // floor(2.5)
+    rec.compute(0.5);
+    EXPECT_EQ(rec.trace().summarize().computeCycles, 3u);
+}
+
+TEST(TraceRecorder, ReadRangeChunks)
+{
+    TraceRecorder rec;
+    rec.readRange(0, 200, 64, false);
+    auto s = rec.trace().summarize();
+    EXPECT_EQ(s.loads, 4u); // 64+64+64+8
+    EXPECT_EQ(s.loadBytes, 200u);
+}
+
+TEST(TraceRecorder, WriteRangeChunks)
+{
+    TraceRecorder rec;
+    rec.writeRange(0, 128, 256);
+    auto s = rec.trace().summarize();
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.storeBytes, 128u);
+}
+
+TEST(TraceRecorder, ScanEmitInterleaves)
+{
+    TraceRecorder rec;
+    int tuples_seen = 0;
+    scanEmit(rec, 0, 10, 16, 64, true,
+             [&](std::uint64_t) { ++tuples_seen; });
+    EXPECT_EQ(tuples_seen, 10);
+    auto s = rec.trace().summarize();
+    EXPECT_EQ(s.streamReads, 3u); // 4+4+2 tuples
+    EXPECT_EQ(s.streamBytes, 160u);
+}

@@ -1,0 +1,213 @@
+/** @file Unit and property tests for the vault controller. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/intmath.hh"
+#include "common/random.hh"
+#include "dram/vault.hh"
+#include "sim/event_queue.hh"
+
+using namespace mondrian;
+
+namespace {
+
+MemGeometry
+vaultGeo()
+{
+    MemGeometry g;
+    g.numStacks = 1;
+    g.vaultsPerStack = 2;
+    g.banksPerVault = 4;
+    g.rowBytes = 256;
+    g.vaultBytes = 256 * kKiB;
+    return g;
+}
+
+struct VaultFixture : public ::testing::Test
+{
+    VaultFixture() : map(vaultGeo()), vault(eq, map, 0, DramTiming{}, 16) {}
+
+    void
+    access(Addr addr, std::uint32_t size, bool write)
+    {
+        MemRequest r;
+        r.addr = addr;
+        r.size = size;
+        r.isWrite = write;
+        r.onComplete = [this](Tick) { ++completed; };
+        vault.enqueue(std::move(r));
+    }
+
+    EventQueue eq;
+    AddressMap map;
+    VaultController vault;
+    unsigned completed = 0;
+};
+
+} // namespace
+
+TEST_F(VaultFixture, SingleReadCompletes)
+{
+    access(0, 64, false);
+    eq.run();
+    EXPECT_EQ(completed, 1u);
+    EXPECT_EQ(vault.stats().reads, 1u);
+    EXPECT_EQ(vault.stats().bytesRead, 64u);
+    EXPECT_EQ(vault.stats().rowActivations, 1u);
+}
+
+TEST_F(VaultFixture, SequentialStreamActivatesEachRowOnce)
+{
+    // Read 16 KiB sequentially in row-sized chunks: one activation per
+    // 256 B row, no conflicts.
+    const unsigned rows = 64;
+    for (unsigned i = 0; i < rows; ++i)
+        access(Addr{i} * 256, 256, false);
+    eq.run();
+    EXPECT_EQ(vault.stats().rowActivations, rows);
+    EXPECT_EQ(vault.stats().rowHits, 0u);
+    EXPECT_EQ(completed, rows);
+}
+
+TEST_F(VaultFixture, SequentialBandwidthApproachesPeak)
+{
+    const unsigned rows = 256;
+    for (unsigned i = 0; i < rows; ++i)
+        access(Addr{i} * 256, 256, false);
+    Tick end = eq.run();
+    double gbps = bytesPerTickToGBps(rows * 256.0, end);
+    EXPECT_GT(gbps, 6.0); // 8 GB/s peak minus activation overheads
+    EXPECT_LE(gbps, 8.01);
+}
+
+TEST_F(VaultFixture, RandomSmallAccessesThrashRows)
+{
+    Random rng(11);
+    const unsigned n = 256;
+    for (unsigned i = 0; i < n; ++i) {
+        Addr a = roundDown(rng.nextBounded(256 * kKiB - 16), 16);
+        access(a, 16, false);
+    }
+    eq.run();
+    // Nearly every access activates a row (open rows rarely re-hit).
+    EXPECT_GT(vault.stats().rowActivations, n * 3 / 4);
+}
+
+TEST_F(VaultFixture, FrFcfsPrefersOpenRows)
+{
+    // A narrow scheduling window forces queueing; FR-FCFS should batch
+    // same-row requests (row hits) instead of ping-ponging two rows that
+    // share a bank.
+    VaultController narrow(eq, map, 0, DramTiming{}, 2);
+    unsigned done = 0;
+    for (int i = 0; i < 8; ++i) {
+        for (Addr base : {Addr{0}, Addr{8192}}) { // same bank, rows 0 and 8
+            MemRequest r;
+            r.addr = base + static_cast<Addr>(i) * 16;
+            r.size = 16;
+            r.isWrite = false;
+            r.onComplete = [&done](Tick) { ++done; };
+            narrow.enqueue(std::move(r));
+        }
+    }
+    eq.run();
+    EXPECT_EQ(done, 16u);
+    EXPECT_GE(narrow.stats().rowHits, 9u); // 16 reqs, 2 rows: >= 9 batched hits
+}
+
+TEST_F(VaultFixture, AppendEngineCoalescesToRows)
+{
+    vault.armPermutable(PermutableRegion{0, 8 * kKiB, 16});
+    // 256 appends of 16 B = 4 KiB = 16 rows; the append engine must
+    // activate each row exactly once and never more.
+    for (unsigned i = 0; i < 256; ++i)
+        access(Addr{4 * kKiB} + (i % 64) * 16, 16, true); // scattered addrs
+    eq.run();
+    EXPECT_EQ(vault.permutableCursor(), 256u * 16);
+    std::uint64_t appended = vault.disarmPermutable();
+    eq.run();
+    EXPECT_EQ(appended, 4 * kKiB);
+    EXPECT_EQ(vault.stats().permutableWrites, 256u);
+    EXPECT_EQ(vault.stats().rowActivations, 16u);
+    EXPECT_EQ(completed, 256u); // fast-acked
+}
+
+TEST_F(VaultFixture, AppendIgnoresSourceAddresses)
+{
+    vault.armPermutable(PermutableRegion{0, 8 * kKiB, 16});
+    Random rng(3);
+    for (unsigned i = 0; i < 64; ++i)
+        access(roundDown(rng.nextBounded(8 * kKiB - 16), 16), 16, true);
+    eq.run();
+    EXPECT_EQ(vault.permutableCursor(), 64u * 16);
+    vault.disarmPermutable();
+    eq.run();
+    // 1 KiB appended = 4 rows exactly.
+    EXPECT_EQ(vault.stats().rowActivations, 4u);
+}
+
+TEST_F(VaultFixture, WritesOutsideArmedRegionUntouched)
+{
+    vault.armPermutable(PermutableRegion{0, 4 * kKiB, 16});
+    access(64 * kKiB, 16, true); // outside the region
+    eq.run();
+    EXPECT_EQ(vault.stats().permutableWrites, 0u);
+    EXPECT_EQ(vault.permutableCursor(), 0u);
+    vault.disarmPermutable();
+}
+
+TEST_F(VaultFixture, DisarmFlushesPartialRow)
+{
+    vault.armPermutable(PermutableRegion{0, 4 * kKiB, 16});
+    for (unsigned i = 0; i < 3; ++i)
+        access(Addr{i} * 16, 16, true);
+    eq.run();
+    EXPECT_EQ(vault.stats().bytesWritten, 0u); // staged, not yet in DRAM
+    vault.disarmPermutable();
+    eq.run();
+    EXPECT_EQ(vault.stats().bytesWritten, 48u);
+}
+
+TEST_F(VaultFixture, RequestsSplitAtRowBoundaries)
+{
+    access(128, 256, false); // straddles two rows
+    eq.run();
+    EXPECT_EQ(vault.stats().rowActivations, 2u);
+    EXPECT_EQ(completed, 1u);
+}
+
+TEST_F(VaultFixture, OutstandingTracksQueue)
+{
+    for (int i = 0; i < 4; ++i)
+        access(Addr(i) * 4096, 16, false);
+    EXPECT_GT(vault.outstanding(), 0u);
+    eq.run();
+    EXPECT_EQ(vault.outstanding(), 0u);
+}
+
+TEST(VaultDeath, AppendOverflowFatal)
+{
+    EventQueue eq;
+    AddressMap map(vaultGeo());
+    VaultController vault(eq, map, 0, DramTiming{}, 16);
+    vault.armPermutable(PermutableRegion{0, 32, 16});
+    MemRequest r;
+    r.addr = 0;
+    r.size = 16;
+    r.isWrite = true;
+    vault.enqueue(MemRequest{0, 16, true, nullptr});
+    vault.enqueue(MemRequest{0, 16, true, nullptr});
+    EXPECT_DEATH(vault.enqueue(MemRequest{0, 16, true, nullptr}),
+                 "overflow");
+}
+
+TEST(VaultDeath, WrongVaultPanics)
+{
+    EventQueue eq;
+    AddressMap map(vaultGeo());
+    VaultController vault(eq, map, 0, DramTiming{}, 16);
+    EXPECT_DEATH(vault.enqueue(MemRequest{256 * kKiB, 16, false, nullptr}),
+                 "assert");
+}
