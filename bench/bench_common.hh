@@ -6,9 +6,12 @@
  * Every bench accepts:
  *   argv[1] (optional): log2 of |S| tuples (default 16)
  *   argv[2] (optional): random seed (default 42)
+ *   argv[3] (optional): path to dump the raw RunResults as JSON
  *
  * Benches print the paper-shaped table plus the measured raw numbers so
- * EXPERIMENTS.md can record paper-vs-measured side by side.
+ * EXPERIMENTS.md can record paper-vs-measured side by side. The JSON dump
+ * uses the campaign serializer (system/report.hh), so figure data and CI
+ * campaign artifacts share one schema.
  */
 
 #ifndef MONDRIAN_BENCH_BENCH_COMMON_HH
@@ -16,6 +19,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -49,6 +53,21 @@ banner(const char *what, const WorkloadConfig &wl)
                 "scaled 64-vault system (see DESIGN.md section 5)\n\n",
                 static_cast<unsigned long long>(wl.tuples),
                 static_cast<unsigned long long>(wl.seed));
+}
+
+/** Dump raw run results as JSON when the bench got a path in argv[3]. */
+inline void
+maybeWriteJson(int argc, char **argv, const std::vector<RunResult> &runs)
+{
+    if (argc <= 3)
+        return;
+    std::ofstream out(argv[3], std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", argv[3]);
+        std::exit(2);
+    }
+    out << runResultsJson(runs) << '\n';
+    std::fprintf(stderr, "raw run data written to %s\n", argv[3]);
 }
 
 } // namespace mondrian::bench

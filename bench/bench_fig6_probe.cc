@@ -29,11 +29,13 @@ main(int argc, char **argv)
     const SystemKind systems[] = {SystemKind::kNmpRand, SystemKind::kNmpSeq,
                                   SystemKind::kMondrian};
 
+    std::vector<RunResult> all;
     std::vector<std::vector<std::string>> table;
     table.push_back({"operator", "nmp-rand", "nmp-seq", "mondrian",
                      "cpu probe ms", "mondrian GB/s/vault"});
     for (OpKind op : ops) {
         RunResult cpu = runner.run(SystemKind::kCpu, op);
+        all.push_back(cpu);
         std::vector<std::string> row{opKindName(op)};
         double mon_bw = 0.0;
         for (SystemKind k : systems) {
@@ -43,6 +45,7 @@ main(int argc, char **argv)
                 continue;
             }
             RunResult r = runner.run(k, op);
+            all.push_back(r);
             row.push_back(fmt(probeSpeedup(cpu, r), 1) + "x");
             if (k == SystemKind::kMondrian)
                 mon_bw = r.probeVaultBWGBps;
@@ -54,5 +57,6 @@ main(int argc, char **argv)
     std::printf("%s", renderTable(table).c_str());
     std::printf("\npaper reference: Scan 2.4/2.4/~6x; Group-by & Join: "
                 "NMP-rand > NMP-seq, Mondrian up to 22x\n");
+    maybeWriteJson(argc, argv, all);
     return 0;
 }

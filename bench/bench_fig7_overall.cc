@@ -22,6 +22,7 @@ main(int argc, char **argv)
     const OpKind ops[] = {OpKind::kScan, OpKind::kSort, OpKind::kGroupBy,
                           OpKind::kJoin};
 
+    std::vector<RunResult> all;
     std::vector<std::vector<std::string>> table;
     table.push_back({"operator", "nmp", "nmp-perm", "mondrian",
                      "mondrian/best-nmp", "cpu part ms", "cpu probe ms"});
@@ -30,6 +31,8 @@ main(int argc, char **argv)
         RunResult nmp = runner.run(SystemKind::kNmp, op);
         RunResult perm = runner.run(SystemKind::kNmpPerm, op);
         RunResult mon = runner.run(SystemKind::kMondrian, op);
+        for (const RunResult &r : {cpu, nmp, perm, mon})
+            all.push_back(r);
         double best_nmp = std::max(overallSpeedup(cpu, nmp),
                                    overallSpeedup(cpu, perm));
         table.push_back(
@@ -43,5 +46,6 @@ main(int argc, char **argv)
     std::printf("%s", renderTable(table).c_str());
     std::printf("\npaper reference: Mondrian up to 49x vs CPU and 5x vs "
                 "the best NMP baseline\n");
+    maybeWriteJson(argc, argv, all);
     return 0;
 }

@@ -28,12 +28,14 @@ main(int argc, char **argv)
                                   SystemKind::kNmpPerm,
                                   SystemKind::kMondrian};
 
+    std::vector<RunResult> all;
     std::vector<std::vector<std::string>> table;
     table.push_back({"operator", "system", "DRAM dyn", "DRAM static",
                      "cores", "SerDes+NOC", "total mJ"});
     for (OpKind op : ops) {
         for (SystemKind k : systems) {
             RunResult r = runner.run(k, op);
+            all.push_back(r);
             EnergyShares s = energyShares(r);
             table.push_back({opKindName(op), r.system,
                              fmt(100 * s.dramDynamic, 1) + "%",
@@ -44,5 +46,6 @@ main(int argc, char **argv)
         }
     }
     std::printf("%s", renderTable(table).c_str());
+    maybeWriteJson(argc, argv, all);
     return 0;
 }

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     const OpKind ops[] = {OpKind::kScan, OpKind::kSort, OpKind::kGroupBy,
                           OpKind::kJoin};
 
+    std::vector<RunResult> all;
     std::vector<std::vector<std::string>> table;
     table.push_back({"operator", "nmp", "nmp-perm", "mondrian",
                      "mondrian speedup", "note"});
@@ -31,6 +32,8 @@ main(int argc, char **argv)
         RunResult nmp = runner.run(SystemKind::kNmp, op);
         RunResult perm = runner.run(SystemKind::kNmpPerm, op);
         RunResult mon = runner.run(SystemKind::kMondrian, op);
+        for (const RunResult &r : {cpu, nmp, perm, mon})
+            all.push_back(r);
         double eff = efficiencyImprovement(cpu, mon);
         double spd = overallSpeedup(cpu, mon);
         table.push_back(
@@ -42,5 +45,6 @@ main(int argc, char **argv)
     std::printf("%s", renderTable(table).c_str());
     std::printf("\npaper reference: Mondrian up to 28x vs CPU, 5x vs the "
                 "best NMP baseline\n");
+    maybeWriteJson(argc, argv, all);
     return 0;
 }

@@ -35,6 +35,7 @@ main(int argc, char **argv)
         {SystemKind::kMondrian, "273x", "4.5"},
     };
 
+    std::vector<RunResult> all{cpu};
     std::vector<std::vector<std::string>> table;
     table.push_back({"system", "partition speedup", "paper", "GB/s/vault",
                      "paper GB/s", "partition ms"});
@@ -45,11 +46,13 @@ main(int argc, char **argv)
         RunResult r = runner.run(row.kind, OpKind::kJoin);
         if (r.joinMatches != cpu.joinMatches)
             fatal("functional mismatch on %s", r.system.c_str());
+        all.push_back(r);
         table.push_back({r.system, fmt(partitionSpeedup(cpu, r), 1) + "x",
                          row.paperSpeedup, fmt(r.partitionVaultBWGBps),
                          row.paperBW,
                          fmt(ticksToSeconds(r.partitionTime) * 1e3, 3)});
     }
     std::printf("%s\n", renderTable(table).c_str());
+    maybeWriteJson(argc, argv, all);
     return 0;
 }

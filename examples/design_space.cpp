@@ -1,19 +1,24 @@
 /**
  * @file
- * Design-space exploration: run all four operators on all six evaluated
- * systems and print the full speedup/efficiency matrix -- the example a
- * systems researcher would start from when extending the Mondrian Data
- * Engine (new operators, different geometries, skewed keys).
+ * Design-space exploration, campaign edition: expand the full paper grid
+ * (4 operators x 7 systems) into a CampaignRunner sweep, execute it across
+ * hardware threads, and print the speedup/efficiency matrix plus the
+ * campaign-level geomean rollup -- the example a systems researcher would
+ * start from when extending the Mondrian Data Engine (new operators,
+ * different geometries, skewed keys).
  *
- * Usage: design_space [log2_tuples] [zipf_theta]
+ * Usage: design_space [log2_tuples] [zipf_theta] [jobs]
+ *   jobs: worker threads (default 0 = one per hardware thread)
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <tuple>
 
 #include "common/logging.hh"
+#include "system/campaign.hh"
 #include "system/report.hh"
-#include "system/runner.hh"
 
 using namespace mondrian;
 
@@ -21,41 +26,64 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    WorkloadConfig wl;
-    wl.tuples = 1ull << (argc > 1 ? std::atoi(argv[1]) : 15);
-    wl.zipfTheta = argc > 2 ? std::atof(argv[2]) : 0.0;
 
-    std::printf("Design space: 4 operators x 6 systems, %llu tuples%s\n\n",
-                static_cast<unsigned long long>(wl.tuples),
-                wl.zipfTheta > 0 ? " (Zipf-skewed keys)" : "");
+    int log2_tuples = argc > 1 ? std::atoi(argv[1]) : 15;
+    if (log2_tuples < 4 || log2_tuples > 24) {
+        std::fprintf(stderr, "log2_tuples must be in [4, 24]\n");
+        return 2;
+    }
+    int jobs_arg = argc > 3 ? std::atoi(argv[3]) : 0;
+    if (jobs_arg < 0 || jobs_arg > 1024) {
+        std::fprintf(stderr, "jobs must be in [0, 1024]\n");
+        return 2;
+    }
+    CampaignGrid grid = paperGrid(static_cast<unsigned>(log2_tuples));
+    grid.zipfTheta = argc > 2 ? std::atof(argv[2]) : 0.0;
+    unsigned jobs = static_cast<unsigned>(jobs_arg);
 
-    Runner runner(wl);
-    const OpKind ops[] = {OpKind::kScan, OpKind::kSort, OpKind::kGroupBy,
-                          OpKind::kJoin};
-    const SystemKind systems[] = {
-        SystemKind::kNmp,     SystemKind::kNmpPerm,
-        SystemKind::kNmpSeq,  SystemKind::kMondrianNoperm,
-        SystemKind::kMondrian};
+    std::printf("Design space: %zu ops x %zu systems = %zu runs%s\n\n",
+                grid.ops.size(), grid.systems.size(), grid.size(),
+                grid.zipfTheta > 0 ? " (Zipf-skewed keys)" : "");
+
+    CampaignRunner campaign(grid);
+    CampaignReport report = campaign.run(jobs);
+
+    // Baseline (cpu) run per (seed, scale, op) group, via the same index
+    // the campaign summary uses, for the per-run speedup columns.
+    auto cpu = baselineIndex(report.runs, SystemKind::kCpu);
 
     std::vector<std::vector<std::string>> table;
-    table.push_back({"operator", "system", "speedup", "partition",
-                     "probe", "perf/W", "GB/s/vault(probe)"});
-    for (OpKind op : ops) {
-        RunResult cpu = runner.run(SystemKind::kCpu, op);
-        table.push_back({opKindName(op), "cpu", "1.0x", "1.0x", "1.0x",
-                         "1.0x", fmt(cpu.probeVaultBWGBps)});
-        for (SystemKind k : systems) {
-            RunResult r = runner.run(k, op);
-            std::string part =
-                r.partitionTime > 0 ? fmt(partitionSpeedup(cpu, r), 1) + "x"
-                                    : "-";
-            table.push_back({opKindName(op), r.system,
-                             fmt(overallSpeedup(cpu, r), 1) + "x", part,
-                             fmt(probeSpeedup(cpu, r), 1) + "x",
-                             fmt(efficiencyImprovement(cpu, r), 1) + "x",
-                             fmt(r.probeVaultBWGBps)});
+    table.push_back({"operator", "system", "speedup", "partition", "probe",
+                     "perf/W", "GB/s/vault(probe)"});
+    for (const auto &r : report.runs) {
+        if (r.job.system == SystemKind::kCpu) {
+            table.push_back({r.result.op, r.result.system, "1.0x", "1.0x",
+                             "1.0x", "1.0x", fmt(r.result.probeVaultBWGBps)});
+            continue;
         }
+        auto it = cpu.find(gridGroupKey(r));
+        if (it == cpu.end()) {
+            // No baseline for this group: mark unknown, don't fake 1.0x.
+            table.push_back({r.result.op, r.result.system, "-", "-", "-",
+                             "-", fmt(r.result.probeVaultBWGBps)});
+            continue;
+        }
+        const RunResult &base = it->second->result;
+        std::string part = r.result.partitionTime > 0
+                               ? fmt(partitionSpeedup(base, r.result), 1) + "x"
+                               : "-";
+        table.push_back({r.result.op, r.result.system,
+                         fmt(overallSpeedup(base, r.result), 1) + "x", part,
+                         fmt(probeSpeedup(base, r.result), 1) + "x",
+                         fmt(efficiencyImprovement(base, r.result), 1) + "x",
+                         fmt(r.result.probeVaultBWGBps)});
     }
     std::printf("%s", renderTable(table).c_str());
+
+    if (!report.summaries.empty()) {
+        std::printf("\nCampaign rollup (geomean over all operators, vs. %s):\n%s",
+                    report.baseline.c_str(),
+                    campaignSummaryTable(report).c_str());
+    }
     return 0;
 }

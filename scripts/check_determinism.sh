@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Guard the campaign determinism contract: a smoke campaign run serially
+# and a run with many worker threads must produce byte-identical JSON
+# reports (results are aggregated by grid index, never completion order).
+#
+# Usage: scripts/check_determinism.sh [path/to/mondrian_campaign]
+set -euo pipefail
+
+CAMPAIGN_BIN="${1:-build/mondrian_campaign}"
+if [[ ! -x "$CAMPAIGN_BIN" ]]; then
+    echo "error: $CAMPAIGN_BIN not found or not executable" >&2
+    echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+    exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== smoke campaign, serial (--jobs 1)"
+"$CAMPAIGN_BIN" --smoke --jobs 1 --quiet --out "$workdir/serial.json"
+
+echo "== smoke campaign, parallel (--jobs 8)"
+"$CAMPAIGN_BIN" --smoke --jobs 8 --quiet --out "$workdir/parallel.json"
+
+echo "== same grid + seed, repeated serially (run-to-run determinism)"
+"$CAMPAIGN_BIN" --smoke --jobs 1 --quiet --out "$workdir/serial2.json"
+
+if ! cmp "$workdir/serial.json" "$workdir/parallel.json"; then
+    echo "FAIL: --jobs 8 report differs from --jobs 1" >&2
+    diff "$workdir/serial.json" "$workdir/parallel.json" | head -40 >&2 || true
+    exit 1
+fi
+
+if ! cmp "$workdir/serial.json" "$workdir/serial2.json"; then
+    echo "FAIL: repeated serial runs differ (nondeterministic simulation)" >&2
+    diff "$workdir/serial.json" "$workdir/serial2.json" | head -40 >&2 || true
+    exit 1
+fi
+
+echo "OK: reports are byte-identical across thread counts and reruns"

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Minimal deterministic JSON writer.
+ *
+ * Campaign reports must be byte-identical across runs and across --jobs
+ * counts, so the writer is fully deterministic: keys appear in insertion
+ * order, doubles format via std::to_chars in general style with 12
+ * significant digits (round-trippable for the magnitudes we emit), and
+ * there is no locale dependence. Output is pretty-printed with two-space
+ * indents so CI artifacts diff cleanly.
+ */
+
+#ifndef MONDRIAN_COMMON_JSON_HH
+#define MONDRIAN_COMMON_JSON_HH
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mondrian {
+
+/** Streaming JSON writer with deterministic formatting. */
+class JsonWriter
+{
+  public:
+    JsonWriter() { out_.reserve(4096); }
+
+    JsonWriter &beginObject() { open('{'); return *this; }
+    JsonWriter &endObject() { close('}'); return *this; }
+    JsonWriter &beginArray() { open('['); return *this; }
+    JsonWriter &endArray() { close(']'); return *this; }
+
+    /** Start a named member inside an object; follow with a value/begin. */
+    JsonWriter &
+    key(const std::string &k)
+    {
+        comma();
+        indent();
+        quote(k);
+        out_ += ": ";
+        pendingValue_ = true;
+        return *this;
+    }
+
+    JsonWriter &value(const std::string &v) { pre(); quote(v); return *this; }
+    JsonWriter &value(const char *v) { pre(); quote(v); return *this; }
+    JsonWriter &value(bool v) { pre(); out_ += v ? "true" : "false"; return *this; }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        pre();
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        out_ += buf;
+        return *this;
+    }
+
+    JsonWriter &value(std::uint32_t v) { return value(std::uint64_t{v}); }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        pre();
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+        out_ += buf;
+        return *this;
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        pre();
+        if (!std::isfinite(v)) { // JSON has no inf/nan
+            out_ += "null";
+            return *this;
+        }
+        // std::to_chars is locale-independent (snprintf "%g" honors
+        // LC_NUMERIC and would break both JSON validity and the
+        // byte-determinism contract under e.g. a de_DE host program).
+        char buf[40];
+        auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 12);
+        out_.append(buf, res.ptr);
+        return *this;
+    }
+
+    /** Shorthand for key(k).value(v). */
+    template <typename T>
+    JsonWriter &
+    member(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** Finished document (valid once all containers are closed). */
+    const std::string &str() const { return out_; }
+
+  private:
+    void
+    open(char c)
+    {
+        pre();
+        out_ += c;
+        first_.push_back(true);
+    }
+
+    void
+    close(char c)
+    {
+        bool empty = first_.back();
+        first_.pop_back();
+        if (!empty) {
+            out_ += '\n';
+            indentRaw();
+        }
+        out_ += c;
+    }
+
+    /** Handle comma/indent for a value in the current container. */
+    void
+    pre()
+    {
+        if (pendingValue_) {
+            pendingValue_ = false;
+            return; // already positioned after "key: "
+        }
+        if (!first_.empty()) {
+            comma();
+            indent();
+        }
+    }
+
+    void
+    comma()
+    {
+        if (first_.empty())
+            return;
+        if (!first_.back())
+            out_ += ',';
+        first_.back() = false;
+        out_ += '\n';
+    }
+
+    void
+    indent()
+    {
+        indentRaw();
+    }
+
+    void
+    indentRaw()
+    {
+        out_.append(2 * first_.size(), ' ');
+    }
+
+    void
+    quote(const std::string &s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': out_ += "\\\""; break;
+              case '\\': out_ += "\\\\"; break;
+              case '\n': out_ += "\\n"; break;
+              case '\t': out_ += "\\t"; break;
+              case '\r': out_ += "\\r"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    std::vector<bool> first_; ///< per open container: no member emitted yet
+    bool pendingValue_ = false;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_COMMON_JSON_HH

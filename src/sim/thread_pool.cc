@@ -1,0 +1,93 @@
+#include "sim/thread_pool.hh"
+
+#include <algorithm>
+
+namespace mondrian {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    if (workers_.empty()) {
+        job(); // inline mode
+        return;
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    if (workers_.empty())
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+unsigned
+ThreadPool::resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1u, hw);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        std::exception_ptr error;
+        try {
+            job();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (error && !firstError_)
+                firstError_ = error;
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace mondrian

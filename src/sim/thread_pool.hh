@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-size thread pool for campaign execution.
+ *
+ * Simulation campaigns are embarrassingly parallel: every job builds its
+ * own MemoryPool, Machine and workload, so jobs share no mutable state.
+ * The pool therefore needs no futures or work stealing — just a queue of
+ * closures drained by N worker threads, plus a wait() barrier.
+ *
+ * With threads == 0 the pool runs jobs inline on the submitting thread
+ * (useful for --jobs 1 determinism baselines and for debugging under a
+ * single-threaded sanitizer).
+ */
+
+#ifndef MONDRIAN_SIM_THREAD_POOL_HH
+#define MONDRIAN_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mondrian {
+
+/** N worker threads draining a FIFO of closures. */
+class ThreadPool
+{
+  public:
+    /** @p threads worker threads; 0 = run jobs inline in submit(). */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job. Must not be called concurrently with wait(). */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished. If any job threw, the
+     * first captured exception is rethrown here (remaining jobs still ran
+     * to completion or failure; only the first error is kept).
+     */
+    void wait();
+
+    unsigned numThreads() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Threads to use for @p requested jobs ("0" = hardware concurrency). */
+    static unsigned resolveThreads(unsigned requested);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    unsigned inFlight_ = 0; ///< queued + currently executing
+    bool stopping_ = false;
+    std::exception_ptr firstError_; ///< first job exception, for wait()
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_SIM_THREAD_POOL_HH

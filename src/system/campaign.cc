@@ -1,0 +1,251 @@
+#include "system/campaign.hh"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/thread_pool.hh"
+#include "system/report.hh"
+
+namespace mondrian {
+
+CampaignGrid
+paperGrid(unsigned log2_tuples)
+{
+    CampaignGrid grid;
+    grid.systems = allSystemKinds();
+    grid.ops = allOpKinds();
+    grid.log2Tuples = {log2_tuples};
+    grid.seeds = {42};
+    return grid;
+}
+
+CampaignGrid
+smokeGrid()
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kNmp, SystemKind::kMondrian};
+    grid.ops = {OpKind::kScan, OpKind::kJoin};
+    grid.log2Tuples = {10};
+    grid.seeds = {42};
+    return grid;
+}
+
+WorkloadConfig
+CampaignJob::workload() const
+{
+    if (log2Tuples > 32)
+        fatal("log2Tuples %u out of range (max 32)", log2Tuples);
+    WorkloadConfig wl;
+    wl.tuples = std::uint64_t{1} << log2Tuples;
+    wl.seed = seed;
+    wl.zipfTheta = zipfTheta;
+    return wl;
+}
+
+std::vector<CampaignJob>
+expandGrid(const CampaignGrid &grid)
+{
+    std::vector<CampaignJob> jobs;
+    jobs.reserve(grid.size());
+    for (std::uint64_t seed : grid.seeds) {
+        for (unsigned log2 : grid.log2Tuples) {
+            for (OpKind op : grid.ops) {
+                for (SystemKind sys : grid.systems) {
+                    CampaignJob job;
+                    job.index = jobs.size();
+                    job.system = sys;
+                    job.op = op;
+                    job.log2Tuples = log2;
+                    job.seed = seed;
+                    job.zipfTheta = grid.zipfTheta;
+                    jobs.push_back(job);
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+GridGroupKey
+gridGroupKey(const CampaignRun &run)
+{
+    return {run.job.seed, run.job.log2Tuples, run.result.op};
+}
+
+std::map<GridGroupKey, const CampaignRun *>
+baselineIndex(const std::vector<CampaignRun> &runs, SystemKind baseline)
+{
+    std::map<GridGroupKey, const CampaignRun *> base;
+    for (const auto &r : runs) {
+        if (r.job.system == baseline)
+            base[gridGroupKey(r)] = &r;
+    }
+    return base;
+}
+
+namespace {
+
+/** Baseline system for summaries: the first kCpu entry, if present. */
+bool
+findBaseline(const CampaignGrid &grid, SystemKind &out)
+{
+    for (SystemKind k : grid.systems) {
+        if (k == SystemKind::kCpu) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Compute per-system geomean rollups vs. the baseline. */
+std::vector<SystemSummary>
+summarize(const CampaignGrid &grid, const std::vector<CampaignRun> &runs,
+          SystemKind baseline)
+{
+    auto base = baselineIndex(runs, baseline);
+
+    std::vector<SystemSummary> out;
+    for (SystemKind sys : grid.systems) {
+        if (sys == baseline)
+            continue;
+        std::vector<double> speedups, perfPerWatt;
+        std::size_t n = 0;
+        for (const auto &r : runs) {
+            if (r.job.system != sys)
+                continue;
+            ++n;
+            auto it = base.find(gridGroupKey(r));
+            if (it == base.end())
+                continue;
+            speedups.push_back(overallSpeedup(it->second->result, r.result));
+            perfPerWatt.push_back(
+                efficiencyImprovement(it->second->result, r.result));
+        }
+        SystemSummary s;
+        s.system = systemKindName(sys);
+        s.runs = n;
+        s.geomeanSpeedup = geomean(speedups);
+        s.geomeanPerfPerWatt = geomean(perfPerWatt);
+        out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace
+
+CampaignReport
+CampaignRunner::run(unsigned jobs)
+{
+    const std::vector<CampaignJob> grid_jobs = expandGrid(grid_);
+
+    CampaignReport report;
+    report.grid = grid_;
+    report.runs.resize(grid_jobs.size());
+
+    // Each worker writes only its own grid slot; the mutex guards the
+    // progress callback, not the results.
+    std::mutex progress_mutex;
+    {
+        // jobs == 1 -> inline execution on this thread (no workers).
+        ThreadPool pool(jobs == 1 ? 0 : ThreadPool::resolveThreads(jobs));
+        for (const CampaignJob &job : grid_jobs) {
+            pool.submit([this, job, &report, &progress_mutex] {
+                Runner runner(job.workload());
+                CampaignRun &slot = report.runs[job.index];
+                slot.job = job;
+                slot.result = runner.run(job.system, job.op);
+                if (progress_) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    progress_(slot);
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    SystemKind baseline;
+    if (findBaseline(grid_, baseline)) {
+        report.baseline = systemKindName(baseline);
+        report.summaries = summarize(grid_, report.runs, baseline);
+    }
+    return report;
+}
+
+std::string
+campaignReportJson(const CampaignReport &report)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "mondrian-campaign-v1");
+    w.member("paper", "conf_isca_DrumondDMUPFGP17");
+
+    w.key("grid").beginObject();
+    w.key("systems").beginArray();
+    for (SystemKind k : report.grid.systems)
+        w.value(systemKindName(k));
+    w.endArray();
+    w.key("ops").beginArray();
+    for (OpKind op : report.grid.ops)
+        w.value(opKindName(op));
+    w.endArray();
+    w.key("log2_tuples").beginArray();
+    for (unsigned l : report.grid.log2Tuples)
+        w.value(std::uint64_t{l});
+    w.endArray();
+    w.key("seeds").beginArray();
+    for (std::uint64_t s : report.grid.seeds)
+        w.value(s);
+    w.endArray();
+    w.member("zipf_theta", report.grid.zipfTheta);
+    w.member("total_runs", std::uint64_t{report.runs.size()});
+    w.endObject();
+
+    w.key("runs").beginArray();
+    for (const auto &r : report.runs) {
+        w.beginObject();
+        w.member("index", std::uint64_t{r.job.index});
+        w.member("system", systemKindName(r.job.system));
+        w.member("op", opKindName(r.job.op));
+        w.member("log2_tuples", std::uint64_t{r.job.log2Tuples});
+        w.member("seed", r.job.seed);
+        w.key("result");
+        writeRunResult(w, r.result);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("summary").beginObject();
+    w.member("baseline", report.baseline);
+    w.key("systems").beginArray();
+    for (const auto &s : report.summaries) {
+        w.beginObject();
+        w.member("system", s.system);
+        w.member("runs", std::uint64_t{s.runs});
+        w.member("geomean_speedup", s.geomeanSpeedup);
+        w.member("geomean_perf_per_watt", s.geomeanPerfPerWatt);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+campaignSummaryTable(const CampaignReport &report)
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"system", "runs", "geomean speedup", "geomean perf/W"});
+    for (const auto &s : report.summaries) {
+        rows.push_back({s.system, std::to_string(s.runs),
+                        fmt(s.geomeanSpeedup, 2) + "x",
+                        fmt(s.geomeanPerfPerWatt, 2) + "x"});
+    }
+    return renderTable(rows);
+}
+
+} // namespace mondrian

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * CampaignRunner: parallel execution of a declarative simulation grid.
+ *
+ * The paper's evaluation (Figs. 6-9, Tables 1/5) is a cross-product of
+ * {system, operator, scale, seed} runs. A CampaignGrid declares that
+ * cross-product; expandGrid() flattens it into an ordered job list; and
+ * CampaignRunner executes the jobs on a thread pool. Each job builds a
+ * fresh MemoryPool/Machine, so jobs share no mutable state and the
+ * campaign is embarrassingly parallel.
+ *
+ * Determinism contract: results are aggregated by grid index, never by
+ * completion order, and report JSON contains no wall-clock or host state.
+ * A campaign run with --jobs N is therefore byte-identical to --jobs 1
+ * for the same grid. CI enforces this (scripts/check_determinism.sh).
+ */
+
+#ifndef MONDRIAN_SYSTEM_CAMPAIGN_HH
+#define MONDRIAN_SYSTEM_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "system/config.hh"
+#include "system/runner.hh"
+
+namespace mondrian {
+
+/** Declarative cross-product of runs. */
+struct CampaignGrid
+{
+    /** Systems to evaluate; the first kCpu entry (if any) is the baseline. */
+    std::vector<SystemKind> systems;
+    std::vector<OpKind> ops;
+    /** Scale factors: log2 of |S| tuples. */
+    std::vector<unsigned> log2Tuples;
+    std::vector<std::uint64_t> seeds;
+    /** Key skew for the whole campaign (0 = uniform, as in the paper). */
+    double zipfTheta = 0.0;
+
+    /** Number of jobs the grid expands to. */
+    std::size_t
+    size() const
+    {
+        return systems.size() * ops.size() * log2Tuples.size() * seeds.size();
+    }
+};
+
+/** The paper's full evaluation grid (4 ops x 7 systems) at @p log2_tuples. */
+CampaignGrid paperGrid(unsigned log2_tuples = 15);
+
+/** Tiny grid for CI smoke runs: 3 systems x 2 ops at 2^10 tuples. */
+CampaignGrid smokeGrid();
+
+/** One expanded grid point. */
+struct CampaignJob
+{
+    std::size_t index = 0; ///< position in grid order (aggregation key)
+    SystemKind system = SystemKind::kCpu;
+    OpKind op = OpKind::kScan;
+    unsigned log2Tuples = 15;
+    std::uint64_t seed = 42;
+    double zipfTheta = 0.0;
+
+    /** Workload this job runs. */
+    WorkloadConfig workload() const;
+};
+
+/**
+ * Flatten @p grid in deterministic order: seeds outermost, then scales,
+ * then ops, then systems — so one (seed, scale, op) group's systems are
+ * contiguous and baseline comparisons read naturally in the report.
+ */
+std::vector<CampaignJob> expandGrid(const CampaignGrid &grid);
+
+/** One finished grid point. */
+struct CampaignRun
+{
+    CampaignJob job;
+    RunResult result;
+};
+
+/**
+ * Comparison group of a run: baseline matching is per (seed, scale, op).
+ * Shared by the campaign summary and table-rendering callers so the two
+ * never drift when the grid grows new axes.
+ */
+using GridGroupKey = std::tuple<std::uint64_t, unsigned, std::string>;
+
+GridGroupKey gridGroupKey(const CampaignRun &run);
+
+/** Baseline run per comparison group (runs whose system == @p baseline). */
+std::map<GridGroupKey, const CampaignRun *>
+baselineIndex(const std::vector<CampaignRun> &runs, SystemKind baseline);
+
+/** Campaign-level rollup for one system (vs. the baseline runs). */
+struct SystemSummary
+{
+    std::string system;
+    std::size_t runs = 0;
+    /** Geomean of total-time speedup vs. baseline over matching runs. */
+    double geomeanSpeedup = 0.0;
+    /** Geomean of perf/W improvement vs. baseline (Fig. 9 rollup). */
+    double geomeanPerfPerWatt = 0.0;
+};
+
+/** Everything a campaign produced, in grid order. */
+struct CampaignReport
+{
+    CampaignGrid grid;
+    std::vector<CampaignRun> runs;          ///< ordered by job index
+    std::string baseline;                   ///< "" when no baseline in grid
+    std::vector<SystemSummary> summaries;   ///< empty when no baseline
+};
+
+/** Expands a grid and executes it on a thread pool. */
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(const CampaignGrid &grid) : grid_(grid) {}
+
+    /**
+     * Execute the campaign on @p jobs worker threads (1 = serial on the
+     * calling thread; 0 = one per hardware thread). Blocks until done.
+     */
+    CampaignReport run(unsigned jobs = 1);
+
+    /**
+     * Observe finished runs as they complete (any thread, serialized by
+     * the runner). Completion order is nondeterministic — only use this
+     * for progress output, never for aggregation.
+     */
+    void onRunDone(std::function<void(const CampaignRun &)> cb)
+    {
+        progress_ = std::move(cb);
+    }
+
+    const CampaignGrid &grid() const { return grid_; }
+
+  private:
+    CampaignGrid grid_;
+    std::function<void(const CampaignRun &)> progress_;
+};
+
+/**
+ * Render a campaign report as a deterministic JSON document (the CI
+ * artifact). Same report, same bytes, regardless of thread count.
+ */
+std::string campaignReportJson(const CampaignReport &report);
+
+/** Render the summary table (one row per system) for terminal output. */
+std::string campaignSummaryTable(const CampaignReport &report);
+
+} // namespace mondrian
+
+#endif // MONDRIAN_SYSTEM_CAMPAIGN_HH

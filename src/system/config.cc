@@ -26,6 +26,29 @@ systemKindName(SystemKind kind)
     return "?";
 }
 
+bool
+systemKindFromName(const std::string &name, SystemKind &out)
+{
+    for (SystemKind k : allSystemKinds()) {
+        if (name == systemKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<SystemKind> &
+allSystemKinds()
+{
+    static const std::vector<SystemKind> kinds = {
+        SystemKind::kCpu,     SystemKind::kNmp,
+        SystemKind::kNmpPerm, SystemKind::kNmpRand,
+        SystemKind::kNmpSeq,  SystemKind::kMondrianNoperm,
+        SystemKind::kMondrian};
+    return kinds;
+}
+
 MemGeometry
 defaultGeometry()
 {

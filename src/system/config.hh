@@ -24,6 +24,7 @@
 #define MONDRIAN_SYSTEM_CONFIG_HH
 
 #include <string>
+#include <vector>
 
 #include "core/cache.hh"
 #include "core/core_model.hh"
@@ -47,6 +48,12 @@ enum class SystemKind
 };
 
 const char *systemKindName(SystemKind kind);
+
+/** Parse a system name as printed by systemKindName(). */
+bool systemKindFromName(const std::string &name, SystemKind &out);
+
+/** All evaluated systems, in Table 3 order. */
+const std::vector<SystemKind> &allSystemKinds();
 
 /** Everything needed to build a Machine. */
 struct SystemConfig

@@ -1,6 +1,7 @@
 #include "system/report.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -111,6 +112,95 @@ describeRun(const RunResult &run)
     }
     out << ", energy " << fmt(run.energy.total() * 1e3, 3) << " mJ";
     return out.str();
+}
+
+const char *
+phaseKindName(PhaseKind kind)
+{
+    return kind == PhaseKind::kPartition ? "partition" : "probe";
+}
+
+void
+writeRunResult(JsonWriter &w, const RunResult &run)
+{
+    w.beginObject();
+    w.member("system", run.system);
+    w.member("op", run.op);
+    w.member("total_time_ps", run.totalTime);
+    w.member("partition_time_ps", run.partitionTime);
+    w.member("probe_time_ps", run.probeTime);
+    w.member("seconds", run.seconds());
+    w.member("partition_vault_bw_gbps", run.partitionVaultBWGBps);
+    w.member("probe_vault_bw_gbps", run.probeVaultBWGBps);
+
+    w.key("energy_j").beginObject();
+    w.member("dram_dynamic", run.energy.dramDynamic);
+    w.member("dram_static", run.energy.dramStatic);
+    w.member("cores", run.energy.cores);
+    w.member("network", run.energy.network);
+    w.member("total", run.energy.total());
+    w.endObject();
+
+    w.key("functional").beginObject();
+    w.member("scan_matches", run.scanMatches);
+    w.member("join_matches", run.joinMatches);
+    w.member("group_count", run.groupCount);
+    w.member("agg_checksum", run.aggChecksum);
+    w.endObject();
+
+    w.key("phases").beginArray();
+    for (const auto &p : run.phases) {
+        w.beginObject();
+        w.member("name", p.name);
+        w.member("kind", phaseKindName(p.kind));
+        w.member("time_ps", p.time);
+        w.member("dram_bytes", p.dramBytes);
+        w.member("activations", p.activations);
+        w.member("avg_vault_bw_gbps", p.avgVaultBWGBps);
+        w.member("core_utilization", p.coreUtilization);
+        w.key("stalls").beginObject();
+        w.member("store", p.stallStore);
+        w.member("stream", p.stallStream);
+        w.member("load", p.stallLoad);
+        w.member("fence", p.stallFence);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+runResultJson(const RunResult &run)
+{
+    JsonWriter w;
+    writeRunResult(w, run);
+    return w.str();
+}
+
+std::string
+runResultsJson(const std::vector<RunResult> &runs)
+{
+    JsonWriter w;
+    w.beginArray();
+    for (const auto &r : runs)
+        writeRunResult(w, r);
+    w.endArray();
+    return w.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            sum += std::log(v);
+            ++n;
+        }
+    }
+    return n > 0 ? std::exp(sum / static_cast<double>(n)) : 0.0;
 }
 
 } // namespace mondrian

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "system/runner.hh"
 
 namespace mondrian {
@@ -41,6 +42,27 @@ EnergyShares energyShares(const RunResult &run);
 
 /** Render one run as a human-readable block. */
 std::string describeRun(const RunResult &run);
+
+/** Printable name for a phase kind ("partition" / "probe"). */
+const char *phaseKindName(PhaseKind kind);
+
+/**
+ * Serialize one run as a JSON object into @p w (deterministic: same run,
+ * same bytes). Shared by the campaign CLI, the benches and tests.
+ */
+void writeRunResult(JsonWriter &w, const RunResult &run);
+
+/** One run as a standalone JSON document. */
+std::string runResultJson(const RunResult &run);
+
+/**
+ * Serialize a homogeneous list of runs as a JSON array. Used by benches
+ * to dump raw figure data next to the rendered tables.
+ */
+std::string runResultsJson(const std::vector<RunResult> &runs);
+
+/** Geometric mean of @p values (ignores non-positive entries). */
+double geomean(const std::vector<double> &values);
 
 /** Render a fixed-width table; first row is the header. */
 std::string renderTable(const std::vector<std::vector<std::string>> &rows);

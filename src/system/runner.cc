@@ -21,6 +21,26 @@ opKindName(OpKind op)
     return "?";
 }
 
+bool
+opKindFromName(const std::string &name, OpKind &out)
+{
+    for (OpKind op : allOpKinds()) {
+        if (name == opKindName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<OpKind> &
+allOpKinds()
+{
+    static const std::vector<OpKind> ops = {OpKind::kScan, OpKind::kSort,
+                                            OpKind::kGroupBy, OpKind::kJoin};
+    return ops;
+}
+
 RunResult
 Runner::run(SystemKind kind, OpKind op)
 {

@@ -35,6 +35,12 @@ enum class OpKind
 
 const char *opKindName(OpKind op);
 
+/** Parse an operator name ("scan"/"sort"/"groupby"/"join"). */
+bool opKindFromName(const std::string &name, OpKind &out);
+
+/** All operators, in evaluation order. */
+const std::vector<OpKind> &allOpKinds();
+
 /** Everything measured in one run. */
 struct RunResult
 {

@@ -1,0 +1,322 @@
+/** @file Campaign grid expansion, parallel determinism and JSON output. */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "sim/thread_pool.hh"
+#include "system/campaign.hh"
+#include "system/report.hh"
+
+#include <atomic>
+#include <limits>
+#include <set>
+
+using namespace mondrian;
+
+namespace {
+
+/** Small two-axis grid with a baseline, cheap enough for unit tests. */
+CampaignGrid
+testGrid()
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kNmp, SystemKind::kMondrian};
+    grid.ops = {OpKind::kScan, OpKind::kJoin};
+    grid.log2Tuples = {8, 9};
+    grid.seeds = {42, 7};
+    return grid;
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, InlineModeRunsOnSubmit)
+{
+    ThreadPool pool(0);
+    int count = 0;
+    pool.submit([&count] { ++count; });
+    EXPECT_EQ(count, 1);
+    pool.wait(); // no-op, must not hang
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstJobException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&count, i] {
+            if (i == 3)
+                throw std::runtime_error("job 3 failed");
+            ++count;
+        });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(count.load(), 7); // the other jobs still ran
+    // The pool stays usable after an error.
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Campaign, GridSizeIsCrossProduct)
+{
+    CampaignGrid grid = testGrid();
+    EXPECT_EQ(grid.size(), 3u * 2u * 2u * 2u);
+
+    grid.ops.clear();
+    EXPECT_EQ(grid.size(), 0u);
+}
+
+TEST(Campaign, ExpandGridCoversEveryPointOnce)
+{
+    CampaignGrid grid = testGrid();
+    auto jobs = expandGrid(grid);
+    ASSERT_EQ(jobs.size(), grid.size());
+
+    std::set<std::tuple<int, int, unsigned, std::uint64_t>> seen;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].index, i); // index == position, densely numbered
+        seen.insert({static_cast<int>(jobs[i].system),
+                     static_cast<int>(jobs[i].op), jobs[i].log2Tuples,
+                     jobs[i].seed});
+    }
+    EXPECT_EQ(seen.size(), jobs.size()); // no duplicates
+}
+
+TEST(Campaign, JobWorkloadReflectsGridPoint)
+{
+    CampaignGrid grid = testGrid();
+    grid.zipfTheta = 0.5;
+    auto jobs = expandGrid(grid);
+    for (const auto &job : jobs) {
+        WorkloadConfig wl = job.workload();
+        EXPECT_EQ(wl.tuples, std::uint64_t{1} << job.log2Tuples);
+        EXPECT_EQ(wl.seed, job.seed);
+        EXPECT_DOUBLE_EQ(wl.zipfTheta, 0.5);
+    }
+}
+
+TEST(Campaign, ParallelMatchesSerialByteForByte)
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
+    grid.ops = {OpKind::kScan, OpKind::kGroupBy};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+
+    CampaignReport serial = CampaignRunner(grid).run(1);
+    CampaignReport parallel = CampaignRunner(grid).run(4);
+
+    ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+        EXPECT_EQ(serial.runs[i].result.totalTime,
+                  parallel.runs[i].result.totalTime);
+        EXPECT_EQ(serial.runs[i].result.aggChecksum,
+                  parallel.runs[i].result.aggChecksum);
+    }
+    EXPECT_EQ(campaignReportJson(serial), campaignReportJson(parallel));
+}
+
+TEST(Campaign, SummaryUsesCpuBaseline)
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
+    grid.ops = {OpKind::kScan};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+
+    CampaignReport report = CampaignRunner(grid).run(1);
+    EXPECT_EQ(report.baseline, "cpu");
+    ASSERT_EQ(report.summaries.size(), 1u);
+    EXPECT_EQ(report.summaries[0].system, "mondrian");
+    EXPECT_EQ(report.summaries[0].runs, 1u);
+    // NMP beats the CPU baseline on every operator in the paper.
+    EXPECT_GT(report.summaries[0].geomeanSpeedup, 1.0);
+    EXPECT_GT(report.summaries[0].geomeanPerfPerWatt, 1.0);
+}
+
+TEST(Campaign, BaselineIndexKeysBySeedScaleOp)
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kNmp};
+    grid.ops = {OpKind::kScan};
+    grid.log2Tuples = {8, 9};
+    grid.seeds = {42};
+
+    CampaignReport report = CampaignRunner(grid).run(1);
+    auto base = baselineIndex(report.runs, SystemKind::kCpu);
+    ASSERT_EQ(base.size(), 2u); // one cpu run per scale
+    for (const auto &r : report.runs) {
+        auto it = base.find(gridGroupKey(r));
+        ASSERT_NE(it, base.end());
+        // Every run maps to the baseline of its own scale.
+        EXPECT_EQ(it->second->job.log2Tuples, r.job.log2Tuples);
+        EXPECT_EQ(it->second->job.system, SystemKind::kCpu);
+    }
+}
+
+TEST(Campaign, NoBaselineMeansNoSummaries)
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kNmp, SystemKind::kMondrian};
+    grid.ops = {OpKind::kScan};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+
+    CampaignReport report = CampaignRunner(grid).run(1);
+    EXPECT_EQ(report.baseline, "");
+    EXPECT_TRUE(report.summaries.empty());
+}
+
+TEST(Campaign, ProgressCallbackSeesEveryRun)
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kNmp};
+    grid.ops = {OpKind::kScan};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+
+    CampaignRunner campaign(grid);
+    std::set<std::size_t> indices;
+    campaign.onRunDone([&indices](const CampaignRun &r) {
+        indices.insert(r.job.index);
+    });
+    campaign.run(2);
+    EXPECT_EQ(indices.size(), grid.size());
+}
+
+TEST(CampaignJson, ReportRoundTripsThroughSchema)
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
+    grid.ops = {OpKind::kJoin};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+
+    CampaignReport report = CampaignRunner(grid).run(1);
+    std::string json = campaignReportJson(report);
+
+    // Schema markers and grid echo.
+    EXPECT_NE(json.find("\"schema\": \"mondrian-campaign-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"total_runs\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"baseline\": \"cpu\""), std::string::npos);
+
+    // Every run serializes with its grid coordinates and result payload.
+    EXPECT_NE(json.find("\"system\": \"mondrian\""), std::string::npos);
+    EXPECT_NE(json.find("\"op\": \"join\""), std::string::npos);
+    EXPECT_NE(json.find("\"log2_tuples\": 8"), std::string::npos);
+    EXPECT_NE(json.find("\"total_time_ps\""), std::string::npos);
+    EXPECT_NE(json.find("\"energy_j\""), std::string::npos);
+    EXPECT_NE(json.find("\"phases\""), std::string::npos);
+
+    // Identical reports serialize to identical bytes.
+    EXPECT_EQ(json, campaignReportJson(report));
+}
+
+TEST(CampaignJson, RunResultJsonMatchesRunnerOutput)
+{
+    WorkloadConfig wl;
+    wl.tuples = 1u << 8;
+    RunResult r = Runner(wl).run(SystemKind::kNmp, OpKind::kJoin);
+    std::string json = runResultJson(r);
+    EXPECT_NE(json.find("\"system\": \"nmp\""), std::string::npos);
+    EXPECT_NE(json.find("\"op\": \"join\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"partition\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"probe\""), std::string::npos);
+}
+
+TEST(JsonWriter, ProducesExpectedDocument)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("name", "x");
+    w.member("count", std::uint64_t{3});
+    w.member("ratio", 0.5);
+    w.member("flag", true);
+    w.key("list").beginArray();
+    w.value(std::uint64_t{1});
+    w.value(std::uint64_t{2});
+    w.endArray();
+    w.key("nested").beginObject();
+    w.member("inner", "y");
+    w.endObject();
+    w.endObject();
+
+    EXPECT_EQ(w.str(), "{\n"
+                       "  \"name\": \"x\",\n"
+                       "  \"count\": 3,\n"
+                       "  \"ratio\": 0.5,\n"
+                       "  \"flag\": true,\n"
+                       "  \"list\": [\n"
+                       "    1,\n"
+                       "    2\n"
+                       "  ],\n"
+                       "  \"nested\": {\n"
+                       "    \"inner\": \"y\"\n"
+                       "  }\n"
+                       "}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("s", "a\"b\\c\nd");
+    w.endObject();
+    EXPECT_NE(w.str().find("\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.endArray();
+    EXPECT_EQ(w.str(), "[\n  null,\n  null\n]");
+}
+
+TEST(Report, GeomeanIgnoresNonPositive)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 16.0}), 8.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0, 16.0, 0.0, -3.0}), 8.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Parsing, NamesRoundTrip)
+{
+    for (SystemKind k : allSystemKinds()) {
+        SystemKind parsed;
+        ASSERT_TRUE(systemKindFromName(systemKindName(k), parsed));
+        EXPECT_EQ(parsed, k);
+    }
+    for (OpKind op : allOpKinds()) {
+        OpKind parsed;
+        ASSERT_TRUE(opKindFromName(opKindName(op), parsed));
+        EXPECT_EQ(parsed, op);
+    }
+    SystemKind sink_s;
+    OpKind sink_o;
+    EXPECT_FALSE(systemKindFromName("gpu", sink_s));
+    EXPECT_FALSE(opKindFromName("union", sink_o));
+}

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * mondrian_campaign: CLI driver for parallel simulation campaigns.
+ *
+ * Expands a declarative {system x op x scale x seed} grid into independent
+ * runs, executes them across hardware threads, and writes a deterministic
+ * JSON report (the artifact CI archives on every push).
+ *
+ * Examples:
+ *   mondrian_campaign --smoke --out smoke.json
+ *   mondrian_campaign --systems cpu,nmp,mondrian --ops join,groupby \
+ *       --log2-tuples 12,14 --seeds 42,43 --jobs 8 --out sweep.json
+ *
+ * The report for a given grid is byte-identical for any --jobs value;
+ * scripts/check_determinism.sh guards that contract in CI.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "system/campaign.hh"
+#include "system/report.hh"
+
+using namespace mondrian;
+
+namespace {
+
+void
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+        "usage: %s [options]\n"
+        "\n"
+        "Grid selection:\n"
+        "  --smoke                tiny CI grid (3 systems x 2 ops, 2^10 tuples)\n"
+        "  --paper                full paper grid (7 systems x 4 ops, 2^15 tuples)\n"
+        "  --systems a,b,...      systems: cpu nmp nmp-perm nmp-rand nmp-seq\n"
+        "                         mondrian-noperm mondrian (default: all)\n"
+        "  --ops a,b,...          operators: scan sort groupby join (default: all)\n"
+        "  --log2-tuples a,b,...  scale factors, log2 of |S| (default: 15)\n"
+        "  --seeds a,b,...        workload seeds (default: 42)\n"
+        "  --zipf THETA           Zipf key skew for all runs (default: 0)\n"
+        "\n"
+        "Execution:\n"
+        "  --jobs N               worker threads; 0 = hardware threads (default: 1)\n"
+        "  --out PATH             write the JSON report to PATH (default: stdout)\n"
+        "  --quiet                suppress per-run progress on stderr\n"
+        "  --help                 this text\n",
+        prog);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "mondrian_campaign: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+std::string
+argValue(int argc, char **argv, int &i, const char *flag)
+{
+    if (i + 1 >= argc)
+        die(std::string(flag) + " requires a value");
+    return argv[++i];
+}
+
+std::uint64_t
+parseU64(const std::string &s, const char *flag)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        die(std::string(flag) + ": '" + s + "' is not an integer");
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+parseDouble(const std::string &s, const char *flag)
+{
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        die(std::string(flag) + ": '" + s + "' is not a number");
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    // Presets first (regardless of position), so explicit grid flags
+    // always override them: "--zipf 0.8 --smoke" keeps the skew.
+    CampaignGrid grid = paperGrid();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke")
+            grid = smokeGrid();
+        else if (arg == "--paper")
+            grid = paperGrid();
+    }
+
+    unsigned jobs = 1;
+    std::string out_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--smoke" || arg == "--paper") {
+            // handled in the preset pass above
+        } else if (arg == "--systems") {
+            grid.systems.clear();
+            for (const auto &name : splitCsv(argValue(argc, argv, i, "--systems"))) {
+                SystemKind k;
+                if (!systemKindFromName(name, k))
+                    die("unknown system '" + name + "'");
+                // Duplicate grid values would double-count summary rows.
+                if (std::find(grid.systems.begin(), grid.systems.end(), k) !=
+                    grid.systems.end())
+                    die("duplicate system '" + name + "'");
+                grid.systems.push_back(k);
+            }
+        } else if (arg == "--ops") {
+            grid.ops.clear();
+            for (const auto &name : splitCsv(argValue(argc, argv, i, "--ops"))) {
+                OpKind op;
+                if (!opKindFromName(name, op))
+                    die("unknown operator '" + name + "'");
+                if (std::find(grid.ops.begin(), grid.ops.end(), op) !=
+                    grid.ops.end())
+                    die("duplicate operator '" + name + "'");
+                grid.ops.push_back(op);
+            }
+        } else if (arg == "--log2-tuples") {
+            grid.log2Tuples.clear();
+            for (const auto &v : splitCsv(argValue(argc, argv, i, "--log2-tuples"))) {
+                std::uint64_t l = parseU64(v, "--log2-tuples");
+                if (l < 4 || l > 24)
+                    die("--log2-tuples values must be in [4, 24]");
+                if (std::find(grid.log2Tuples.begin(), grid.log2Tuples.end(),
+                              l) != grid.log2Tuples.end())
+                    die("duplicate --log2-tuples value '" + v + "'");
+                grid.log2Tuples.push_back(static_cast<unsigned>(l));
+            }
+        } else if (arg == "--seeds") {
+            grid.seeds.clear();
+            for (const auto &v : splitCsv(argValue(argc, argv, i, "--seeds"))) {
+                std::uint64_t s = parseU64(v, "--seeds");
+                if (std::find(grid.seeds.begin(), grid.seeds.end(), s) !=
+                    grid.seeds.end())
+                    die("duplicate seed '" + v + "'");
+                grid.seeds.push_back(s);
+            }
+        } else if (arg == "--zipf") {
+            grid.zipfTheta =
+                parseDouble(argValue(argc, argv, i, "--zipf"), "--zipf");
+            if (grid.zipfTheta < 0.0)
+                die("--zipf must be >= 0");
+        } else if (arg == "--jobs") {
+            std::uint64_t n =
+                parseU64(argValue(argc, argv, i, "--jobs"), "--jobs");
+            if (n > 1024)
+                die("--jobs must be in [0, 1024]");
+            jobs = static_cast<unsigned>(n);
+        } else if (arg == "--out") {
+            out_path = argValue(argc, argv, i, "--out");
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            usage(argv[0]);
+            die("unknown option '" + arg + "'");
+        }
+    }
+
+    if (grid.size() == 0)
+        die("empty grid (no systems, ops, scales or seeds)");
+
+    const std::size_t total = grid.size();
+    std::fprintf(stderr,
+                 "campaign: %zu runs (%zu systems x %zu ops x %zu scales x "
+                 "%zu seeds), jobs=%u\n",
+                 total, grid.systems.size(), grid.ops.size(),
+                 grid.log2Tuples.size(), grid.seeds.size(), jobs);
+
+    CampaignRunner campaign(grid);
+    std::size_t done = 0;
+    if (!quiet) {
+        campaign.onRunDone([&done, total](const CampaignRun &r) {
+            ++done;
+            std::fprintf(stderr, "[%zu/%zu] %s on %s: %s ms\n", done, total,
+                         r.result.op.c_str(), r.result.system.c_str(),
+                         fmt(r.result.seconds() * 1e3, 3).c_str());
+        });
+    }
+
+    CampaignReport report;
+    try {
+        report = campaign.run(jobs);
+    } catch (const std::exception &e) {
+        die(std::string("campaign failed: ") + e.what());
+    }
+    std::string json = campaignReportJson(report);
+
+    if (out_path.empty()) {
+        std::fwrite(json.data(), 1, json.size(), stdout);
+        std::fputc('\n', stdout);
+    } else {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out)
+            die("cannot open '" + out_path + "' for writing");
+        out << json << '\n';
+        std::fprintf(stderr, "report written to %s (%zu bytes)\n",
+                     out_path.c_str(), json.size() + 1);
+    }
+
+    if (!report.summaries.empty()) {
+        std::fprintf(stderr, "\nsummary vs. %s baseline:\n%s",
+                     report.baseline.c_str(),
+                     campaignSummaryTable(report).c_str());
+    }
+    return 0;
+}
