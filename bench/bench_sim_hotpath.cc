@@ -1,0 +1,273 @@
+/**
+ * @file
+ * bench_sim_hotpath: wall-clock benchmark of the simulator's two hottest
+ * layers — the event kernel and trace replay — plus the end-to-end
+ * 2^20-tuple smoke campaign. Emits BENCH_sim_hotpath.json so the perf
+ * trajectory is tracked from PR 2 onward.
+ *
+ * Usage: bench_sim_hotpath [log2_tuples] [seed] [out.json]
+ *   defaults: 20 42 BENCH_sim_hotpath.json
+ *
+ * The recorded baseline block holds the same measurements taken on the
+ * pre-overhaul tree (PR 1, std::function event queue + unencoded traces),
+ * Release -O3, on the machine that produced this file's reference run.
+ * speedup_vs_baseline therefore only means something on comparable
+ * hardware at the default scale; within one machine the trend is what
+ * matters. All numbers are wall clock: simulated results are byte-
+ * identical before and after the overhaul by design (the determinism
+ * contract), so time is the only thing this bench measures.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "core/core_model.hh"
+#include "engine/trace_recorder.hh"
+#include "sim/event_queue.hh"
+#include "system/campaign.hh"
+
+using namespace mondrian;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Reference numbers from the seed tree (see file comment). */
+struct Baseline
+{
+    double eventsPerSec = 1.21e7;
+    double campaignWallSeconds = 26.99; // smoke grid @ 2^20, --jobs 1
+    unsigned campaignLog2 = 20;
+};
+
+/**
+ * Event-kernel throughput: 64 self-rescheduling chains with pseudo-random
+ * near-now deltas — the scheduling pattern the calendar queue serves.
+ */
+double
+benchEventKernel(std::uint64_t &executed)
+{
+    EventQueue eq;
+    constexpr int kChains = 64;
+    constexpr std::uint64_t kPerChain = 100000;
+
+    struct Chain
+    {
+        EventQueue *eq;
+        std::uint64_t left;
+        std::uint64_t seed;
+
+        static void
+        step(Chain *ch)
+        {
+            if (--ch->left == 0)
+                return;
+            ch->seed = ch->seed * 6364136223846793005ull +
+                       1442695040888963407ull;
+            Tick d = 1 + ((ch->seed >> 40) & 4095);
+            ch->eq->scheduleIn(d, [ch]() { step(ch); });
+        }
+    };
+
+    std::vector<Chain> chains(kChains);
+    for (int c = 0; c < kChains; ++c) {
+        chains[c] = Chain{&eq, kPerChain,
+                          static_cast<std::uint64_t>(c) * 2654435761u};
+        Chain *ch = &chains[c];
+        eq.schedule(static_cast<Tick>(c), [ch]() { Chain::step(ch); });
+    }
+    auto t0 = Clock::now();
+    eq.run();
+    double dt = secondsSince(t0);
+    executed = eq.executed();
+    return static_cast<double>(executed) / dt;
+}
+
+/** Fixed-latency local memory path for the replay microbench. */
+class FixedPath : public MemoryPath
+{
+  public:
+    FixedPath(EventQueue &eq, Tick latency) : eq_(eq), latency_(latency) {}
+
+    Result
+    request(Tick when, Addr, std::uint32_t, bool, bool, bool,
+            DoneFn done) override
+    {
+        Tick t = when + latency_;
+        eq_.schedule(t, [done = std::move(done), t]() { done(t); });
+        return Result{false, 0};
+    }
+
+  private:
+    EventQueue &eq_;
+    Tick latency_;
+};
+
+struct ReplayResult
+{
+    std::uint64_t traceOps = 0;     ///< materialized (RLE) ops
+    std::uint64_t expandedOps = 0;  ///< ops after run expansion
+    double rleSeconds = 0.0;
+    double expandedSeconds = 0.0;
+    double opsPerSec = 0.0;         ///< expanded ops / rle wall second
+};
+
+double
+replayOnce(const KernelTrace &trace)
+{
+    EventQueue eq;
+    FixedPath path(eq, 50000);
+    CoreConfig cfg;
+    cfg.period = 1000;
+    cfg.streamDepth = 8;
+    TraceCore core(eq, cfg, path, 0);
+    core.setTrace(&trace);
+    auto t0 = Clock::now();
+    core.start();
+    eq.run();
+    double dt = secondsSince(t0);
+    if (!core.finished())
+        fatal("replay microbench deadlocked");
+    return dt;
+}
+
+/**
+ * Trace replay: a 2^22-tuple streaming scan recorded RLE and replayed,
+ * against the same trace expanded to per-chunk ops. Identical timing is
+ * asserted (the RLE determinism contract); the wall-clock gap is the
+ * encoding's win.
+ */
+ReplayResult
+benchTraceReplay()
+{
+    TraceRecorder rec;
+    const std::uint64_t tuples = std::uint64_t{1} << 22;
+    rec.scanFixed(0, tuples, 16, 256, true, 1.25);
+    rec.fence();
+    KernelTrace rle = rec.take();
+
+    KernelTrace expanded;
+    for (const TraceOp &op : rle.expanded())
+        expanded.add(op);
+
+    ReplayResult r;
+    r.traceOps = rle.size();
+    r.expandedOps = rle.expandedSize();
+    r.rleSeconds = replayOnce(rle);
+    r.expandedSeconds = replayOnce(expanded);
+    r.opsPerSec = static_cast<double>(r.expandedOps) / r.rleSeconds;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    unsigned log2_tuples = 20;
+    std::uint64_t seed = 42;
+    std::string out_path = "BENCH_sim_hotpath.json";
+    if (argc > 1)
+        log2_tuples = static_cast<unsigned>(std::atoi(argv[1]));
+    if (argc > 2)
+        seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+    if (argc > 3)
+        out_path = argv[3];
+
+    const Baseline base;
+
+    std::printf("=== sim hot-path benchmark ===\n");
+
+    std::uint64_t executed = 0;
+    double events_per_sec = benchEventKernel(executed);
+    std::printf("event kernel: %.3g events/s (%llu events)\n",
+                events_per_sec, static_cast<unsigned long long>(executed));
+
+    ReplayResult replay = benchTraceReplay();
+    std::printf("trace replay: %.3g expanded-ops/s; RLE %.2fs vs expanded "
+                "%.2fs (%llu ops encode %llu)\n",
+                replay.opsPerSec, replay.rleSeconds, replay.expandedSeconds,
+                static_cast<unsigned long long>(replay.traceOps),
+                static_cast<unsigned long long>(replay.expandedOps));
+
+    // End-to-end: the smoke grid (cpu, nmp, mondrian x scan, join) at the
+    // requested scale, serial so the number is a pure hot-path measure.
+    CampaignGrid grid = smokeGrid();
+    grid.log2Tuples = {log2_tuples};
+    grid.seeds = {seed};
+    CampaignRunner campaign(grid);
+    auto t0 = Clock::now();
+    CampaignReport report = campaign.run(1);
+    double campaign_seconds = secondsSince(t0);
+    std::printf("smoke campaign @ 2^%u: %.2fs wall (%zu runs)\n",
+                log2_tuples, campaign_seconds, report.runs.size());
+
+    const bool comparable =
+        log2_tuples == base.campaignLog2 && seed == 42;
+    double speedup =
+        comparable ? base.campaignWallSeconds / campaign_seconds : 0.0;
+    if (comparable) {
+        std::printf("speedup vs pre-overhaul baseline (same machine "
+                    "class): %.2fx campaign, %.2fx events/s\n",
+                    speedup, events_per_sec / base.eventsPerSec);
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "mondrian-bench-sim-hotpath-v1");
+    w.member("paper", "conf_isca_DrumondDMUPFGP17");
+    w.key("event_kernel").beginObject();
+    w.member("events_per_sec", events_per_sec);
+    w.member("events", executed);
+    w.endObject();
+    w.key("trace_replay").beginObject();
+    w.member("trace_ops_per_sec", replay.opsPerSec);
+    w.member("rle_ops", replay.traceOps);
+    w.member("expanded_ops", replay.expandedOps);
+    w.member("rle_trace_bytes", replay.traceOps * sizeof(TraceOp));
+    w.member("expanded_trace_bytes",
+             replay.expandedOps * sizeof(TraceOp));
+    w.member("rle_seconds", replay.rleSeconds);
+    w.member("expanded_seconds", replay.expandedSeconds);
+    w.endObject();
+    w.key("campaign").beginObject();
+    w.member("grid", "smoke");
+    w.member("log2_tuples", std::uint64_t{log2_tuples});
+    w.member("seed", seed);
+    w.member("runs", std::uint64_t{report.runs.size()});
+    w.member("jobs", std::uint64_t{1});
+    w.member("wall_seconds", campaign_seconds);
+    w.endObject();
+    w.key("baseline").beginObject();
+    w.member("description",
+             "seed tree (PR 1): std::function event queue, unencoded "
+             "traces; Release -O3, same harness, reference dev machine");
+    w.member("events_per_sec", base.eventsPerSec);
+    w.member("campaign_wall_seconds", base.campaignWallSeconds);
+    w.member("campaign_log2_tuples", std::uint64_t{base.campaignLog2});
+    w.endObject();
+    w.member("speedup_vs_baseline", speedup);
+    w.endObject();
+
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     out_path.c_str());
+        return 2;
+    }
+    out << w.str() << '\n';
+    std::fprintf(stderr, "results written to %s\n", out_path.c_str());
+    return 0;
+}

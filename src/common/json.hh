@@ -99,6 +99,20 @@ class JsonWriter
         return value(v);
     }
 
+    /**
+     * Emit @p raw verbatim as the next value. The caller guarantees it is
+     * a valid JSON value whose internal indentation matches this nesting
+     * depth — used to splice cached subtrees byte-identically (campaign
+     * --resume).
+     */
+    JsonWriter &
+    rawValue(const std::string &raw)
+    {
+        pre();
+        out_ += raw;
+        return *this;
+    }
+
     /** Finished document (valid once all containers are closed). */
     const std::string &str() const { return out_; }
 

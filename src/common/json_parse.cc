@@ -1,0 +1,313 @@
+#include "common/json_parse.hh"
+
+#include <cctype>
+#include <charconv>
+
+namespace mondrian {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::kObject)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::kNumber)
+        return 0;
+    std::uint64_t v = 0;
+    std::from_chars(text.data(), text.data() + text.size(), v);
+    return v;
+}
+
+double
+JsonValue::asDouble() const
+{
+    return kind == Kind::kNumber ? number : 0.0;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    static const std::string empty;
+    return kind == Kind::kString ? text : empty;
+}
+
+namespace {
+
+/** Recursive-descent parser over the source text. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        error_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("bad \\u escape");
+                // Pass-through (the writer only emits control codes).
+                unsigned long code =
+                    std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+                out += static_cast<char>(code & 0x7f);
+                pos_ += 4;
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        // Containers recurse; bound the depth so a malformed document
+        // fails with an error instead of overflowing the stack. The
+        // writer never nests past single digits.
+        if (depth_ >= kMaxDepth)
+            return fail("nesting deeper than 256 levels");
+        out.begin = pos_;
+        char c = text_[pos_];
+        bool ok;
+        switch (c) {
+          case '{':
+            ++depth_;
+            ok = parseObject(out);
+            --depth_;
+            break;
+          case '[':
+            ++depth_;
+            ok = parseArray(out);
+            --depth_;
+            break;
+          case '"':
+            out.kind = JsonValue::Kind::kString;
+            ok = parseString(out.text);
+            break;
+          case 't':
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = true;
+            ok = literal("true");
+            break;
+          case 'f':
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = false;
+            ok = literal("false");
+            break;
+          case 'n':
+            out.kind = JsonValue::Kind::kNull;
+            ok = literal("null");
+            break;
+          default:
+            ok = parseNumber(out);
+            break;
+        }
+        if (!ok)
+            return false;
+        out.end = pos_;
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                c == 'e' || c == 'E' || c == '-' || c == '+') {
+                digits = digits ||
+                         std::isdigit(static_cast<unsigned char>(c));
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (!digits) {
+            pos_ = start;
+            return fail("expected value");
+        }
+        out.kind = JsonValue::Kind::kNumber;
+        out.text = text_.substr(start, pos_ - start);
+        // std::from_chars, not strtod: the writer's locale-independence
+        // contract (json.hh) extends to the read path.
+        auto res = std::from_chars(out.text.data(),
+                                   out.text.data() + out.text.size(),
+                                   out.number);
+        if (res.ec != std::errc{}) {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        return true;
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::kObject;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::kArray;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    static constexpr int kMaxDepth = 256;
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    out = JsonValue{};
+    Parser p(text, error);
+    return p.parseDocument(out);
+}
+
+} // namespace mondrian

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal JSON parser for reading back campaign reports.
+ *
+ * Counterpart of JsonWriter (json.hh): parses the deterministic documents
+ * the simulator writes. Every value remembers its [begin, end) byte span
+ * in the source text, so callers that must reproduce a subtree
+ * byte-identically (campaign --resume splices cached run results
+ * verbatim) can copy the original text instead of re-serializing —
+ * re-serialization of doubles could disturb the last printed digit.
+ *
+ * Deliberately small: no \uXXXX decoding beyond pass-through, objects as
+ * insertion-ordered vectors (the writer emits deterministic key order),
+ * numbers kept both as double and as raw text (so 64-bit integers such as
+ * seeds survive exactly).
+ */
+
+#ifndef MONDRIAN_COMMON_JSON_PARSE_HH
+#define MONDRIAN_COMMON_JSON_PARSE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mondrian {
+
+/** One parsed JSON value (tree node). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject
+    };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text; ///< string value, or raw number literal
+    std::vector<JsonValue> items;                            ///< array
+    std::vector<std::pair<std::string, JsonValue>> members;  ///< object
+    std::size_t begin = 0; ///< byte offset of this value in the source
+    std::size_t end = 0;   ///< one past the value's last byte
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    bool isObject() const { return kind == Kind::kObject; }
+    bool isArray() const { return kind == Kind::kArray; }
+    bool isNumber() const { return kind == Kind::kNumber; }
+    bool isString() const { return kind == Kind::kString; }
+
+    /** Number as u64, parsed from the raw literal (exact for integers). */
+    std::uint64_t asU64() const;
+    /** Number as double (0.0 for null — the writer's non-finite marker). */
+    double asDouble() const;
+    /** String value ("" when not a string). */
+    const std::string &asString() const;
+};
+
+/**
+ * Parse @p text into @p out.
+ * @return true on success; false with a human-readable @p error otherwise.
+ */
+bool parseJson(const std::string &text, JsonValue &out, std::string &error);
+
+} // namespace mondrian
+
+#endif // MONDRIAN_COMMON_JSON_PARSE_HH

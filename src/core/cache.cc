@@ -1,6 +1,7 @@
 #include "core/cache.hh"
 
-#include "common/intmath.hh"
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace mondrian {
@@ -11,34 +12,56 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
         fatal("cache size must be a multiple of line*assoc");
     numSets_ = cfg_.sizeBytes / (std::uint64_t{cfg_.lineBytes} *
                                  cfg_.associativity);
-    lines_.assign(numSets_ * cfg_.associativity, Line{});
+    if (cfg_.prefetchDepth > CacheAccessResult::kMaxPrefetch)
+        fatal("prefetchDepth %u exceeds inline result capacity %u",
+              cfg_.prefetchDepth, CacheAccessResult::kMaxPrefetch);
+    tags_.assign(numSets_ * cfg_.associativity, kNoTag);
+    stamps_.assign(numSets_ * cfg_.associativity, 0);
+    flags_.assign(numSets_ * cfg_.associativity, 0);
+}
+
+Cache::Probe
+Cache::probe(std::uint64_t line) const
+{
+    // Single pass over the set: find the tag (dense scan — invalid ways
+    // hold kNoTag, which no real line equals) while tracking the victim
+    // a fill would pick: first invalid way, else LRU. The one victim
+    // policy serves demand fills and prefetch inserts alike, keeping the
+    // replacement behavior of the two paths identical by construction.
+    const std::size_t base = setOf(line) * cfg_.associativity;
+    Probe p{kNoWay, base};
+    bool invalid_victim = false;
+    for (std::size_t w = 0; w < cfg_.associativity; ++w) {
+        std::size_t i = base + w;
+        if (tags_[i] == line) {
+            p.hit = i;
+            return p; // victim is irrelevant on a hit
+        }
+        if (invalid_victim)
+            continue;
+        if (!(flags_[i] & kValid)) {
+            p.victim = i;
+            invalid_victim = true;
+        } else if (w == 0 || stamps_[i] < stamps_[p.victim]) {
+            p.victim = i;
+        }
+    }
+    return p;
 }
 
 std::optional<Addr>
-Cache::fill(std::uint64_t line, bool dirty, bool prefetched)
+Cache::fillAt(std::size_t idx, std::uint64_t line, bool dirty,
+              bool prefetched)
 {
-    std::size_t set = setOf(line);
-    Line *victim = nullptr;
-    for (std::size_t w = 0; w < cfg_.associativity; ++w) {
-        Line &l = lines_[set * cfg_.associativity + w];
-        if (!l.valid) {
-            victim = &l;
-            break;
-        }
-        if (!victim || l.lruStamp < victim->lruStamp)
-            victim = &l;
-    }
-
     std::optional<Addr> writeback;
-    if (victim->valid && victim->dirty) {
-        writeback = victim->tag * cfg_.lineBytes;
+    if ((flags_[idx] & (kValid | kDirty)) == (kValid | kDirty)) {
+        writeback = tags_[idx] * cfg_.lineBytes;
         stats_.writebacks++;
     }
-    victim->tag = line;
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->prefetched = prefetched;
-    victim->lruStamp = ++stamp_;
+    tags_[idx] = line;
+    flags_[idx] = static_cast<std::uint8_t>(
+        kValid | (dirty ? kDirty : 0) | (prefetched ? kPrefetched : 0));
+    stamps_[idx] = ++stamp_;
     return writeback;
 }
 
@@ -48,37 +71,35 @@ Cache::access(Addr addr, bool is_write)
     stats_.accesses++;
     CacheAccessResult res;
     std::uint64_t line = lineAddr(addr);
-    std::size_t set = setOf(line);
+    Probe p = probe(line);
 
-    for (std::size_t w = 0; w < cfg_.associativity; ++w) {
-        Line &l = lines_[set * cfg_.associativity + w];
-        if (l.valid && l.tag == line) {
-            res.hit = true;
-            res.prefetchHit = l.prefetched;
-            if (l.prefetched) {
-                stats_.prefetchHits++;
-                l.prefetched = false; // first demand touch consumes the tag
-                // Keep the stream rolling: prefetch ahead of the
-                // consumed line too, not just on demand misses.
-                for (unsigned i = 1; i <= cfg_.prefetchDepth; ++i) {
-                    res.prefetchFills.push_back((line + i) *
-                                                cfg_.lineBytes);
-                    stats_.prefetchIssued++;
-                }
-            } else {
-                stats_.hits++;
+    if (p.hit != kNoWay) {
+        std::size_t i = p.hit;
+        res.hit = true;
+        res.prefetchHit = (flags_[i] & kPrefetched) != 0;
+        if (res.prefetchHit) {
+            stats_.prefetchHits++;
+            flags_[i] &= static_cast<std::uint8_t>(~kPrefetched);
+            // Keep the stream rolling: prefetch ahead of the consumed
+            // line too, not just on demand misses.
+            for (unsigned d = 1; d <= cfg_.prefetchDepth; ++d) {
+                res.prefetchFills.push_back((line + d) * cfg_.lineBytes);
+                stats_.prefetchIssued++;
             }
-            l.dirty |= is_write;
-            l.lruStamp = ++stamp_;
-            return res;
+        } else {
+            stats_.hits++;
         }
+        if (is_write)
+            flags_[i] |= kDirty;
+        stamps_[i] = ++stamp_;
+        return res;
     }
 
-    // Miss: fill, and trigger the next-line prefetcher.
+    // Miss: fill over the probe's victim, trigger the prefetcher.
     stats_.misses++;
-    res.writebackAddr = fill(line, is_write, false);
-    for (unsigned i = 1; i <= cfg_.prefetchDepth; ++i) {
-        res.prefetchFills.push_back((line + i) * cfg_.lineBytes);
+    res.writebackAddr = fillAt(p.victim, line, is_write, false);
+    for (unsigned d = 1; d <= cfg_.prefetchDepth; ++d) {
+        res.prefetchFills.push_back((line + d) * cfg_.lineBytes);
         stats_.prefetchIssued++;
     }
     return res;
@@ -88,21 +109,19 @@ bool
 Cache::insertPrefetch(Addr addr)
 {
     std::uint64_t line = lineAddr(addr);
-    std::size_t set = setOf(line);
-    for (std::size_t w = 0; w < cfg_.associativity; ++w) {
-        Line &l = lines_[set * cfg_.associativity + w];
-        if (l.valid && l.tag == line)
-            return false; // already resident
-    }
-    fill(line, false, true);
+    Probe p = probe(line);
+    if (p.hit != kNoWay)
+        return false; // already resident
+    fillAt(p.victim, line, false, true);
     return true;
 }
 
 void
 Cache::flush()
 {
-    for (auto &l : lines_)
-        l = Line{};
+    std::fill(tags_.begin(), tags_.end(), kNoTag);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    std::fill(flags_.begin(), flags_.end(), 0);
 }
 
 } // namespace mondrian

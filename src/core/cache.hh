@@ -39,12 +39,32 @@ struct CacheConfig
 /** Result of one cache lookup. */
 struct CacheAccessResult
 {
+    /** Upper bound on prefetchDepth; keeps the result heap-free. */
+    static constexpr unsigned kMaxPrefetch = 8;
+
     bool hit = false;
     bool prefetchHit = false; ///< hit on a line brought in by the prefetcher
     /** Dirty line evicted by this access's fill, if any. */
     std::optional<Addr> writebackAddr;
-    /** Lines the prefetcher wants filled as a consequence of this access. */
-    std::vector<Addr> prefetchFills;
+
+    /**
+     * Lines the prefetcher wants filled as a consequence of this access.
+     * Inline storage: this struct is created on every access of the
+     * replay hot loop, so it must not allocate.
+     */
+    struct PrefetchList
+    {
+        Addr addrs[kMaxPrefetch];
+        unsigned count = 0;
+
+        void push_back(Addr a) { addrs[count++] = a; }
+        Addr operator[](unsigned i) const { return addrs[i]; }
+        const Addr *begin() const { return addrs; }
+        const Addr *end() const { return addrs + count; }
+        unsigned size() const { return count; }
+        bool empty() const { return count == 0; }
+    };
+    PrefetchList prefetchFills;
 };
 
 /** Cache statistics. */
@@ -92,24 +112,42 @@ class Cache
     }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;
-        std::uint64_t lruStamp = 0;
-    };
+    /** Tag value of an invalid way (no real line maps to it). */
+    static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
+
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kDirty = 2;
+    static constexpr std::uint8_t kPrefetched = 4;
 
     std::uint64_t lineAddr(Addr a) const { return a / cfg_.lineBytes; }
     std::size_t setOf(std::uint64_t line) const { return line % numSets_; }
 
-    /** Fill @p line into its set; returns dirty victim address if any. */
-    std::optional<Addr> fill(std::uint64_t line, bool dirty, bool prefetched);
+    /** Sentinel way index: no matching way in the set. */
+    static constexpr std::size_t kNoWay = ~std::size_t{0};
+
+    /** One-pass set lookup: matching way (or kNoWay) plus fill victim. */
+    struct Probe
+    {
+        std::size_t hit;    ///< way holding the line, or kNoWay
+        std::size_t victim; ///< way a fill would replace (miss only)
+    };
+    Probe probe(std::uint64_t line) const;
+
+    /**
+     * Install @p line over way @p idx (a victim probe() selected).
+     * @return dirty victim address if any.
+     */
+    std::optional<Addr> fillAt(std::size_t idx, std::uint64_t line,
+                               bool dirty, bool prefetched);
 
     CacheConfig cfg_;
     std::size_t numSets_;
-    std::vector<Line> lines_; ///< numSets_ x associativity
+    // Structure-of-arrays line metadata: the tag probe — the per-access
+    // hot loop — touches only the dense tag array. Invalid ways hold
+    // kNoTag so the probe needs no validity test.
+    std::vector<std::uint64_t> tags_;   ///< numSets_ x associativity
+    std::vector<std::uint64_t> stamps_; ///< LRU stamps
+    std::vector<std::uint8_t> flags_;   ///< kValid | kDirty | kPrefetched
     std::uint64_t stamp_ = 0;
     CacheStats stats_;
 };

@@ -63,6 +63,7 @@ TraceCore::setTrace(const KernelTrace *trace)
 {
     trace_ = trace;
     cursor_ = 0;
+    runPos_ = 0;
     time_ = 0;
     outLoads_ = outStreams_ = outStores_ = 0;
     blocked_ = waiting_ = fencing_ = false;
@@ -150,22 +151,21 @@ TraceCore::completion(Tick t, TraceOpKind kind)
 }
 
 bool
-TraceCore::issueMemOp(const TraceOp &op)
+TraceCore::issueMemOp(TraceOpKind kind, Addr addr, std::uint32_t size)
 {
-    const bool is_write = op.kind == TraceOpKind::kStore ||
-                          op.kind == TraceOpKind::kPermutableStore;
-    const bool sequential = op.kind == TraceOpKind::kStreamRead;
-    const bool permutable = op.kind == TraceOpKind::kPermutableStore;
+    const bool is_write = kind == TraceOpKind::kStore ||
+                          kind == TraceOpKind::kPermutableStore;
+    const bool sequential = kind == TraceOpKind::kStreamRead;
+    const bool permutable = kind == TraceOpKind::kPermutableStore;
 
     stats_.memOps++;
     if (is_write)
-        stats_.bytesToMem += op.value;
+        stats_.bytesToMem += size;
     else
-        stats_.bytesFromMem += op.value;
+        stats_.bytesFromMem += size;
 
-    TraceOpKind kind = op.kind;
     auto res = path_.request(
-        time_, op.addr, op.value, is_write, sequential, permutable,
+        time_, addr, size, is_write, sequential, permutable,
         [this, kind](Tick t) { completion(t, kind); });
 
     if (res.immediate) {
@@ -214,7 +214,7 @@ TraceCore::advance()
                 stallKind_ = TraceOpKind::kLoad;
                 return;
             }
-            issueMemOp(op);
+            issueMemOp(op.kind, op.addr, op.value);
             ++cursor_;
             break;
           case TraceOpKind::kLoadBlocking: {
@@ -223,7 +223,7 @@ TraceCore::advance()
                 stallKind_ = TraceOpKind::kLoad;
                 return;
             }
-            bool missed = issueMemOp(op);
+            bool missed = issueMemOp(op.kind, op.addr, op.value);
             ++cursor_;
             // A dependent load that missed gates further progress. (The
             // wake fires on the next load completion; blocking loads are
@@ -241,7 +241,7 @@ TraceCore::advance()
                 stallKind_ = TraceOpKind::kStreamRead;
                 return;
             }
-            issueMemOp(op);
+            issueMemOp(op.kind, op.addr, op.value);
             ++cursor_;
             break;
           case TraceOpKind::kStore:
@@ -251,7 +251,7 @@ TraceCore::advance()
                 stallKind_ = TraceOpKind::kStore;
                 return;
             }
-            issueMemOp(op);
+            issueMemOp(op.kind, op.addr, op.value);
             ++cursor_;
             break;
           case TraceOpKind::kFence:
@@ -262,6 +262,49 @@ TraceCore::advance()
             }
             ++cursor_;
             break;
+          case TraceOpKind::kLoadRun:
+          case TraceOpKind::kStreamRun:
+          case TraceOpKind::kStoreRun: {
+            // Expand the run on the fly: each access behaves exactly like
+            // the plain op it encodes (same window checks, same issue
+            // order), optionally followed by the per-access compute burst.
+            // runPos_ keeps the position across window stalls.
+            const TraceOpKind ek = TraceOp::expandedKind(op.kind);
+            while (runPos_ < op.count) {
+                bool full;
+                TraceOpKind stall;
+                switch (ek) {
+                  case TraceOpKind::kStreamRead:
+                    full = outStreams_ >= cfg_.streamDepth;
+                    stall = TraceOpKind::kStreamRead;
+                    break;
+                  case TraceOpKind::kStore:
+                    full = outStores_ >= cfg_.maxOutstandingStores;
+                    stall = TraceOpKind::kStore;
+                    break;
+                  default:
+                    full = outLoads_ >= cfg_.maxOutstandingLoads;
+                    stall = TraceOpKind::kLoad;
+                    break;
+                }
+                if (full) {
+                    waiting_ = true;
+                    stallKind_ = stall;
+                    return;
+                }
+                issueMemOp(ek, op.addr + Addr{runPos_} * op.value,
+                           op.value);
+                ++runPos_;
+                if (op.aux > 0) {
+                    Tick cost = Tick{op.aux} * cfg_.period;
+                    time_ += cost;
+                    stats_.computeTicks += cost;
+                }
+            }
+            runPos_ = 0;
+            ++cursor_;
+            break;
+          }
         }
     }
     maybeFinish();

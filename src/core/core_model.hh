@@ -29,6 +29,7 @@
 #include "common/types.hh"
 #include "core/trace.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 
 namespace mondrian {
 
@@ -62,6 +63,12 @@ class MemoryPath
   public:
     virtual ~MemoryPath() = default;
 
+    /**
+     * Completion callback type. Allocation-free up to 64 capture bytes —
+     * enough for every completion closure on the hot path.
+     */
+    using DoneFn = InlineFunction<void(Tick), 64>;
+
     /** Outcome of a request: either satisfied immediately (cache hit)... */
     struct Result
     {
@@ -78,7 +85,7 @@ class MemoryPath
      */
     virtual Result request(Tick when, Addr addr, std::uint32_t size,
                            bool is_write, bool sequential, bool permutable,
-                           std::function<void(Tick)> done) = 0;
+                           DoneFn done) = 0;
 };
 
 /** Statistics of one core's trace replay. */
@@ -123,7 +130,7 @@ class TraceCore
   private:
     void advance();
     /** @return true when the op went outstanding (miss), false on a hit. */
-    bool issueMemOp(const TraceOp &op);
+    bool issueMemOp(TraceOpKind kind, Addr addr, std::uint32_t size);
     void completion(Tick t, TraceOpKind kind);
     void maybeFinish();
     bool finishedTraceButDraining() const;
@@ -135,6 +142,7 @@ class TraceCore
 
     const KernelTrace *trace_ = nullptr;
     std::size_t cursor_ = 0;
+    std::uint32_t runPos_ = 0; ///< accesses already issued of a run op
     Tick time_ = 0; ///< core-local clock (>= eq.now() at wake points)
 
     unsigned outLoads_ = 0;

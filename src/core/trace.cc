@@ -32,9 +32,60 @@ KernelTrace::summarize() const
           case TraceOpKind::kFence:
             s.fences++;
             break;
+          case TraceOpKind::kLoadRun:
+            s.loads += op.count;
+            s.loadBytes += std::uint64_t{op.count} * op.value;
+            s.computeCycles += std::uint64_t{op.count} * op.aux;
+            break;
+          case TraceOpKind::kStreamRun:
+            s.streamReads += op.count;
+            s.streamBytes += std::uint64_t{op.count} * op.value;
+            s.computeCycles += std::uint64_t{op.count} * op.aux;
+            break;
+          case TraceOpKind::kStoreRun:
+            s.stores += op.count;
+            s.storeBytes += std::uint64_t{op.count} * op.value;
+            s.computeCycles += std::uint64_t{op.count} * op.aux;
+            break;
         }
     }
     return s;
+}
+
+std::uint64_t
+KernelTrace::expandedSize() const
+{
+    std::uint64_t n = 0;
+    for (const auto &op : ops_) {
+        if (op.isRun())
+            n += std::uint64_t{op.count} * (op.aux > 0 ? 2 : 1);
+        else
+            ++n;
+    }
+    return n;
+}
+
+std::vector<TraceOp>
+KernelTrace::expanded() const
+{
+    std::vector<TraceOp> out;
+    out.reserve(expandedSize());
+    for (const auto &op : ops_) {
+        if (!op.isRun()) {
+            out.push_back(op);
+            continue;
+        }
+        TraceOp unit;
+        unit.value = op.value;
+        unit.kind = TraceOp::expandedKind(op.kind);
+        for (std::uint32_t i = 0; i < op.count; ++i) {
+            unit.addr = op.addr + Addr{i} * op.value;
+            out.push_back(unit);
+            if (op.aux > 0)
+                out.push_back(TraceOp::compute(op.aux));
+        }
+    }
+    return out;
 }
 
 } // namespace mondrian

@@ -9,6 +9,14 @@
  * permutable stores, and stream reads. A core timing model then replays
  * the trace against the cache/NoC/DRAM models to produce time and energy.
  *
+ * Sequential sweeps — the dominant access pattern of every operator — are
+ * recorded run-length encoded: one kLoadRun/kStreamRun/kStoreRun op stands
+ * for `count` consecutive chunk accesses (optionally each followed by
+ * `aux` compute cycles), so a 2^20-tuple scan records O(runs) ops instead
+ * of O(chunks). The replay loop expands runs on the fly into exactly the
+ * op sequence the unencoded trace would contain, so encoding changes
+ * nothing about timing — only memory footprint and replay speed.
+ *
  * This mirrors the paper's methodology (§6): measured instruction counts
  * combined with microarchitectural timing, except our timing comes from an
  * event-driven model instead of sampled Flexus IPC.
@@ -33,52 +41,116 @@ enum class TraceOpKind : std::uint8_t
     kStore,           ///< posted store (store-buffer limited)
     kPermutableStore, ///< posted store tagged permutable (§5.3)
     kStreamRead,      ///< sequential read via stream buffer / prefetcher
-    kFence            ///< drain all outstanding memory operations
+    kFence,           ///< drain all outstanding memory operations
+    kLoadRun,         ///< RLE: count contiguous kLoad chunks
+    kStreamRun,       ///< RLE: count contiguous kStreamRead chunks
+    kStoreRun         ///< RLE: count contiguous kStore chunks
 };
 
-/** One trace operation (16 bytes). */
+/**
+ * One trace operation (24 bytes).
+ *
+ * Non-run ops use addr/value only (count = 1, aux = 0). Run ops encode
+ * `count` back-to-back accesses of `value` bytes starting at `addr`
+ * (access i touches addr + i*value); when `aux` is nonzero each access is
+ * followed by `aux` cycles of compute, reproducing the scan idiom's
+ * read-then-process interleave.
+ */
 struct TraceOp
 {
-    Addr addr = 0;           ///< target address (memory ops)
-    std::uint32_t value = 0; ///< size in bytes, or cycles for kCompute
+    Addr addr = 0;            ///< target address (memory ops)
+    std::uint32_t value = 0;  ///< size in bytes, or cycles for kCompute
+    std::uint32_t count = 1;  ///< run length (run kinds only)
+    std::uint32_t aux = 0;    ///< run kinds: compute cycles per access
     TraceOpKind kind = TraceOpKind::kCompute;
 
     static TraceOp
     compute(std::uint32_t cycles)
     {
-        return TraceOp{0, cycles, TraceOpKind::kCompute};
+        return TraceOp{0, cycles, 1, 0, TraceOpKind::kCompute};
     }
     static TraceOp
     load(Addr a, std::uint32_t size)
     {
-        return TraceOp{a, size, TraceOpKind::kLoad};
+        return TraceOp{a, size, 1, 0, TraceOpKind::kLoad};
     }
     static TraceOp
     loadBlocking(Addr a, std::uint32_t size)
     {
-        return TraceOp{a, size, TraceOpKind::kLoadBlocking};
+        return TraceOp{a, size, 1, 0, TraceOpKind::kLoadBlocking};
     }
     static TraceOp
     store(Addr a, std::uint32_t size)
     {
-        return TraceOp{a, size, TraceOpKind::kStore};
+        return TraceOp{a, size, 1, 0, TraceOpKind::kStore};
     }
     static TraceOp
     permutableStore(Addr a, std::uint32_t size)
     {
-        return TraceOp{a, size, TraceOpKind::kPermutableStore};
+        return TraceOp{a, size, 1, 0, TraceOpKind::kPermutableStore};
     }
     static TraceOp
     streamRead(Addr a, std::uint32_t size)
     {
-        return TraceOp{a, size, TraceOpKind::kStreamRead};
+        return TraceOp{a, size, 1, 0, TraceOpKind::kStreamRead};
     }
     static TraceOp
     fence()
     {
-        return TraceOp{0, 0, TraceOpKind::kFence};
+        return TraceOp{0, 0, 1, 0, TraceOpKind::kFence};
+    }
+    static TraceOp
+    loadRun(Addr a, std::uint32_t size, std::uint32_t count,
+            std::uint32_t aux_cycles = 0)
+    {
+        return TraceOp{a, size, count, aux_cycles, TraceOpKind::kLoadRun};
+    }
+    static TraceOp
+    streamRun(Addr a, std::uint32_t size, std::uint32_t count,
+              std::uint32_t aux_cycles = 0)
+    {
+        return TraceOp{a, size, count, aux_cycles, TraceOpKind::kStreamRun};
+    }
+    static TraceOp
+    storeRun(Addr a, std::uint32_t size, std::uint32_t count,
+             std::uint32_t aux_cycles = 0)
+    {
+        return TraceOp{a, size, count, aux_cycles, TraceOpKind::kStoreRun};
+    }
+
+    bool
+    isRun() const
+    {
+        return kind == TraceOpKind::kLoadRun ||
+               kind == TraceOpKind::kStreamRun ||
+               kind == TraceOpKind::kStoreRun;
+    }
+
+    /** Kind each access of a run replays as (identity for non-runs). */
+    static TraceOpKind
+    expandedKind(TraceOpKind k)
+    {
+        switch (k) {
+          case TraceOpKind::kLoadRun:
+            return TraceOpKind::kLoad;
+          case TraceOpKind::kStreamRun:
+            return TraceOpKind::kStreamRead;
+          case TraceOpKind::kStoreRun:
+            return TraceOpKind::kStore;
+          default:
+            return k;
+        }
+    }
+
+    bool
+    operator==(const TraceOp &o) const
+    {
+        return addr == o.addr && value == o.value && count == o.count &&
+               aux == o.aux && kind == o.kind;
     }
 };
+
+static_assert(sizeof(TraceOp) == 24, "TraceOp layout drifted");
 
 /** The recorded instruction stream of one compute unit for one phase. */
 class KernelTrace
@@ -114,6 +186,21 @@ class KernelTrace
     bool empty() const { return ops_.empty(); }
     void clear() { ops_.clear(); }
     void reserve(std::size_t n) { ops_.reserve(n); }
+
+    /**
+     * Number of ops after expanding runs: the op count the un-encoded
+     * trace would have (each run access and its aux compute burst count
+     * separately, matching what expanded() produces).
+     */
+    std::uint64_t expandedSize() const;
+
+    /**
+     * The trace with every run op expanded into its plain-op sequence
+     * (access, then a compute burst when aux > 0). Replaying the expanded
+     * trace is timing-identical to replaying this one; tests use that as
+     * the RLE correctness oracle.
+     */
+    std::vector<TraceOp> expanded() const;
 
     /** Summary statistics over the trace (for reports and tests). */
     struct Summary

@@ -19,7 +19,7 @@ VaultController::VaultController(EventQueue &eq, const AddressMap &map,
 }
 
 void
-VaultController::enqueue(MemRequest req)
+VaultController::enqueue(MemRequest &&req)
 {
     sim_assert(req.size > 0);
     sim_assert(map_.vaultOf(req.addr) == vault_);
@@ -51,7 +51,11 @@ VaultController::enqueue(MemRequest req)
         return;
     }
 
+    DecodedAddr d = map_.decode(req.addr);
+    req.bank = d.bank;
+    req.row = static_cast<std::uint32_t>(d.row);
     queue_.push_back(std::move(req));
+    ++live_;
     trySchedule();
 }
 
@@ -94,7 +98,11 @@ VaultController::flushAppendRows(bool final_flush)
         flush.addr = start;
         flush.size = static_cast<std::uint32_t>(row_end - start);
         flush.isWrite = true;
+        DecodedAddr d = map_.decode(start);
+        flush.bank = d.bank;
+        flush.row = static_cast<std::uint32_t>(d.row);
         queue_.push_back(std::move(flush));
+        ++live_;
         permFlushed_ += row_end - start;
     }
     trySchedule();
@@ -112,32 +120,62 @@ VaultController::rowHitRate() const
 void
 VaultController::trySchedule()
 {
-    while (issued_ < window_ && !queue_.empty()) {
+    // Picked requests leave a tombstone (size == 0) instead of an erase:
+    // erasing mid-queue would shift every request behind the pick — an
+    // O(window) move of callback-carrying objects per issue, the dominant
+    // cost of the old deque scheduler. Tombstones pop cheaply once they
+    // reach the head. The pick order is identical either way.
+    while (issued_ < window_ && live_ > 0) {
+        while (head_ < queue_.size() && queue_[head_].size == 0)
+            ++head_;
+        // live_ > 0 guarantees a live entry at or after head_; reaching
+        // the end would mean the live_ bookkeeping broke.
+        sim_assert(head_ < queue_.size());
+        if (head_ >= 1024 && head_ * 2 >= queue_.size()) {
+            // Reclaim the consumed prefix once it dominates the vector.
+            queue_.erase(queue_.begin(),
+                         queue_.begin() +
+                             static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+
         // FR-FCFS: prefer the oldest request that hits an open row;
-        // otherwise take the oldest request.
-        std::size_t pick = 0;
+        // otherwise take the oldest request. Scan the oldest `window_`
+        // live requests, skipping tombstones.
+        std::size_t pick = head_;
         bool found_hit = false;
-        const std::size_t scan = std::min<std::size_t>(queue_.size(), window_);
-        for (std::size_t i = 0; i < scan; ++i) {
-            DecodedAddr d = map_.decode(queue_[i].addr);
-            const auto &open = banks_[d.bank].openRow();
-            if (open && *open == d.row) {
+        std::size_t seen = 0;
+        for (std::size_t i = head_;
+             i < queue_.size() && seen < window_; ++i) {
+            if (queue_[i].size == 0)
+                continue;
+            ++seen;
+            const auto &open = banks_[queue_[i].bank].openRow();
+            if (open && *open == queue_[i].row) {
                 pick = i;
                 found_hit = true;
                 break;
             }
         }
         if (!found_hit)
-            pick = 0;
+            pick = head_; // head is live after the pop loop above
 
-        MemRequest req = std::move(queue_[pick]);
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
-        issue(std::move(req));
+        MemRequest &req = queue_[pick];
+        --live_;
+        issue(std::move(req)); // consumes the callback; fields stay valid
+        req.size = 0;          // tombstone
+        if (pick == head_)
+            ++head_;
+    }
+    if (live_ == 0 && !queue_.empty()) {
+        // Fully drained: everything left is a tombstone.
+        queue_.clear();
+        head_ = 0;
     }
 }
 
 void
-VaultController::issue(MemRequest req)
+VaultController::issue(MemRequest &&req)
 {
     const auto &geo = map_.geometry();
     ++issued_;
@@ -177,8 +215,9 @@ VaultController::issue(MemRequest req)
         remaining -= chunk;
     }
 
-    auto cb = std::move(req.onComplete);
-    eq_.schedule(done, [this, cb = std::move(cb), done]() {
+    // NB: the 16-byte-aligned callback is captured first so the closure
+    // packs tightly and stays within the event's inline buffer.
+    eq_.schedule(done, [cb = std::move(req.onComplete), this, done]() {
         --issued_;
         if (cb)
             cb(done);

@@ -15,8 +15,6 @@
 #define MONDRIAN_DRAM_VAULT_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +24,7 @@
 #include "mem/address_map.hh"
 #include "mem/allocator.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "sim/stats.hh"
 
 namespace mondrian {
@@ -33,11 +32,24 @@ namespace mondrian {
 /** One memory access presented to a vault controller. */
 struct MemRequest
 {
+    /**
+     * Inline capacity sized for the machine's pointer-sized completion
+     * closure with headroom; larger captures (tests) heap-allocate.
+     */
+    using Callback = InlineFunction<void(Tick), 40>;
+
     Addr addr = 0;
     std::uint32_t size = 0;
     bool isWrite = false;
+    /**
+     * Cached (bank, row) of addr, filled by the vault on acceptance so
+     * the FR-FCFS scan — which revisits queued requests many times —
+     * never re-decodes the address.
+     */
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
     /** Completion callback, invoked at the tick the data burst finishes. */
-    std::function<void(Tick)> onComplete;
+    Callback onComplete;
 };
 
 /** Per-vault statistics snapshot. */
@@ -71,7 +83,7 @@ class VaultController
                     unsigned window = 16);
 
     /** Present a request at the current tick. */
-    void enqueue(MemRequest req);
+    void enqueue(MemRequest &&req);
 
     /** Arm the permutable append engine over @p region (shuffle_begin). */
     void armPermutable(const PermutableRegion &region);
@@ -92,11 +104,11 @@ class VaultController
     unsigned globalVault() const { return vault_; }
 
     /** Number of requests accepted but not yet completed. */
-    unsigned outstanding() const { return issued_ + static_cast<unsigned>(queue_.size()); }
+    unsigned outstanding() const { return issued_ + static_cast<unsigned>(live_); }
 
   private:
     void trySchedule();
-    void issue(MemRequest req);
+    void issue(MemRequest &&req);
 
     EventQueue &eq_;
     const AddressMap &map_;
@@ -105,7 +117,14 @@ class VaultController
     unsigned window_;
 
     std::vector<Bank> banks_;
-    std::deque<MemRequest> queue_;
+    /**
+     * FR-FCFS queue as a vector ring: entries [head_, size) are the
+     * waiting requests in arrival order; picked entries tombstone
+     * (size == 0) in place and pop cheaply once they reach head_.
+     */
+    std::vector<MemRequest> queue_;
+    std::size_t head_ = 0; ///< index of the oldest entry
+    std::size_t live_ = 0; ///< non-tombstone entries in queue_
     unsigned issued_ = 0;
     Tick busFreeAt_ = 0;
 

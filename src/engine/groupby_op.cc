@@ -111,6 +111,20 @@ runGroupBy(MemoryPool &pool, const ExecConfig &cfg, const Relation &rel)
                 64);
         }
 
+        // One cardinality-based reservation per core: ~3 ops per tuple of
+        // hash aggregation plus two per emitted group.
+        {
+            std::vector<std::uint64_t> unit_tuples(cfg.numUnits, 0);
+            for (unsigned p = 0; p < P; ++p) {
+                unit_tuples[cpuUnitOfPartition(p, P, cfg.numUnits)] +=
+                    res.bounds[p + 1] - res.bounds[p];
+            }
+            for (unsigned u = 0; u < cfg.numUnits; ++u) {
+                probe_recs[u].reserveMore(3 * unit_tuples[u] +
+                                          2 * unit_groups[u] + 2 * P);
+            }
+        }
+
         for (unsigned p = 0; p < P; ++p) {
             unsigned u = cpuUnitOfPartition(p, P, cfg.numUnits);
             TraceRecorder &rec = probe_recs[u];
@@ -161,6 +175,11 @@ runGroupBy(MemoryPool &pool, const ExecConfig &cfg, const Relation &rel)
             auto groups = aggregate(tuples);
             group_total += groups.size();
 
+            // Hash aggregation emits ~3 ops per tuple plus a store per
+            // emitted group; the sorted sweep is RLE and needs the tail.
+            rec.reserveMore((cfg.sortProbe ? 1 : 3) * part.count +
+                            groups.size() + 16);
+
             Addr out_addr = pool.allocBytes(
                 v, std::max<std::uint64_t>(1, groups.size()) *
                        kGroupRecBytes,
@@ -189,9 +208,8 @@ runGroupBy(MemoryPool &pool, const ExecConfig &cfg, const Relation &rel)
                 // Sort then sweep: groups come out contiguous, the sweep
                 // is one sequential pass with a store per group boundary.
                 sorter.sortPartition(out, v, rec);
-                scanEmit(rec, part.base, part.count, kTupleBytes,
-                         cfg.readChunkBytes, cfg.simd,
-                         [&](std::uint64_t) { rec.compute(k.aggregate); });
+                rec.scanFixed(part.base, part.count, kTupleBytes,
+                              cfg.readChunkBytes, cfg.simd, k.aggregate);
             }
             std::uint64_t g_idx = 0;
             for (auto &[key, g] : groups) {

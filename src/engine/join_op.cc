@@ -113,6 +113,20 @@ runJoin(MemoryPool &pool, const ExecConfig &cfg, const Relation &r,
                 64);
         }
 
+        // One cardinality-based reservation per core: ~2 ops per build
+        // tuple and ~4 per probe tuple.
+        {
+            std::vector<std::uint64_t> r_n(cfg.numUnits, 0),
+                s_n(cfg.numUnits, 0);
+            for (unsigned p = 0; p < P; ++p) {
+                unsigned u = cpuUnitOfPartition(p, P, cfg.numUnits);
+                r_n[u] += r_res.bounds[p + 1] - r_res.bounds[p];
+                s_n[u] += s_res.bounds[p + 1] - s_res.bounds[p];
+            }
+            for (unsigned u = 0; u < cfg.numUnits; ++u)
+                probe_recs[u].reserveMore(2 * r_n[u] + 4 * s_n[u] + 2 * P);
+        }
+
         for (unsigned p = 0; p < P; ++p) {
             unsigned u = cpuUnitOfPartition(p, P, cfg.numUnits);
             TraceRecorder &rec = probe_recs[u];
@@ -204,6 +218,10 @@ runJoin(MemoryPool &pool, const ExecConfig &cfg, const Relation &r,
             auto sp = s_out.gather(pool, v);
             auto out_tuples = joinPartition(rp, sp);
 
+            // Probe traces are per-tuple: ~2 ops per build tuple and ~3
+            // per probe tuple (hash path); the sort path needs far less.
+            rec.reserveMore(2 * rp.size() + 3 * sp.size() + 16);
+
             Addr out_addr = pool.allocBytes(
                 v,
                 std::max<std::uint64_t>(1, out_tuples.size()) * kTupleBytes,
@@ -245,9 +263,8 @@ runJoin(MemoryPool &pool, const ExecConfig &cfg, const Relation &r,
                 // then a single sequential merge pass joins them.
                 sorter.sortPartition(r_out, v, rec);
                 sorter.sortPartition(s_out, v, rec);
-                scanEmit(rec, r_part.base, r_part.count, kTupleBytes,
-                         cfg.readChunkBytes, cfg.simd,
-                         [&](std::uint64_t) { rec.compute(k.joinMerge); });
+                rec.scanFixed(r_part.base, r_part.count, kTupleBytes,
+                              cfg.readChunkBytes, cfg.simd, k.joinMerge);
                 std::uint64_t oc = 0;
                 scanEmit(rec, s_part.base, s_part.count, kTupleBytes,
                          cfg.readChunkBytes, cfg.simd,

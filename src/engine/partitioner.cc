@@ -62,28 +62,30 @@ Partitioner::shuffleNmp(
         }
     }
 
-    // Destination buffers: best-effort overprovisioned estimate (§5.3).
-    const std::uint64_t cap =
+    // Destination buffers: the flat shuffleCapacityFactor headroom covers
+    // uniform keys (§5.3's overprovisioning); skewed keys (Zipf studies)
+    // can exceed any flat factor, so each destination is additionally
+    // sized from the exchanged histogram — exactly the per-destination
+    // counts every vault already computes before distribution. Uniform
+    // workloads keep the flat capacity (and therefore an identical memory
+    // layout); only destinations the histogram proves hotter grow.
+    const std::uint64_t flat_cap =
         static_cast<std::uint64_t>(
             static_cast<double>(divCeil(total, vaults)) *
             cfg_.shuffleCapacityFactor) +
         16;
-    std::vector<unsigned> all(vaults);
-    for (unsigned v = 0; v < vaults; ++v)
-        all[v] = v;
-    Relation out = Relation::alloc(pool_, all, cap);
-
     std::vector<std::uint64_t> inbound(vaults, 0);
     for (unsigned dv = 0; dv < vaults; ++dv)
         for (unsigned sv = 0; sv < vaults; ++sv)
             inbound[dv] += counts[sv][dv];
-    for (unsigned dv = 0; dv < vaults; ++dv) {
-        if (inbound[dv] > cap)
-            fatal("shuffle destination %u overflows (%llu > %llu); raise "
-                  "shuffleCapacityFactor",
-                  dv, static_cast<unsigned long long>(inbound[dv]),
-                  static_cast<unsigned long long>(cap));
+
+    std::vector<unsigned> all(vaults);
+    std::vector<std::uint64_t> caps(vaults);
+    for (unsigned v = 0; v < vaults; ++v) {
+        all[v] = v;
+        caps[v] = std::max(flat_cap, inbound[v]);
     }
+    Relation out = Relation::alloc(pool_, all, caps);
 
     // --- Placement. ------------------------------------------------------
     // addrOf[sv][j]: final address of source sv's j-th tuple.
@@ -148,7 +150,8 @@ Partitioner::shuffleNmp(
             for (unsigned dv = 0; dv < vaults; ++dv) {
                 arming->emplace_back(
                     dv, PermutableRegion{out.partition(dv).base,
-                                         cap * kTupleBytes, kTupleBytes});
+                                         caps[dv] * kTupleBytes,
+                                         kTupleBytes});
             }
         }
     }
@@ -164,15 +167,21 @@ Partitioner::shuffleNmp(
 
     // --- Traces. ----------------------------------------------------------
     const KernelCosts &k = cfg_.costs;
+    const std::uint64_t per_chunk =
+        std::max<std::uint64_t>(1, cfg_.readChunkBytes / kTupleBytes);
     for (unsigned sv = 0; sv < vaults; ++sv) {
         TraceRecorder &rec = recs[sv];
         const auto &part = in.partition(sv);
 
+        // Size the trace once from the known cardinality: the scatter
+        // loop below emits two ops per tuple plus a read per chunk.
+        rec.reserveMore(2 * part.count + part.count / per_chunk + vaults +
+                        8);
+
         // Histogram build: sequential scan + hash/count per tuple. The
         // 64-entry histogram lives in registers/L1 on an NMP unit.
-        scanEmit(rec, part.base, part.count, kTupleBytes,
-                 cfg_.readChunkBytes, cfg_.simd,
-                 [&](std::uint64_t) { rec.compute(k.histogram); });
+        rec.scanFixed(part.base, part.count, kTupleBytes,
+                      cfg_.readChunkBytes, cfg_.simd, k.histogram);
         // Exchange: write own counts to every vault's predefined slot.
         for (unsigned dv = 0; dv < vaults; ++dv)
             rec.store(exchangeBlocks_[dv] + sv * 8, 8);
@@ -309,8 +318,17 @@ Partitioner::shuffleCpu(const Relation &in, const PartitionFn &fn,
 
     // --- Traces. ----------------------------------------------------------
     const KernelCosts &k = cfg_.costs;
+    const std::uint64_t per_chunk =
+        std::max<std::uint64_t>(1, cfg_.readChunkBytes / kTupleBytes);
     for (unsigned u = 0; u < units; ++u) {
         TraceRecorder &rec = recs[u];
+
+        // Cardinality-based sizing: histogram emits 2 ops/tuple, the
+        // scatter 3 (plus 3 page-walk loads under TLB pressure), and each
+        // chunked sweep adds a read per chunk.
+        const std::uint64_t n_u = src[u].size();
+        rec.reserveMore((tlb_pressure ? 8 : 5) * n_u +
+                        2 * (n_u / per_chunk) + 16);
 
         // Histogram step: scan own share; count into the private array
         // (P entries; modeled as a load per tuple through the caches).

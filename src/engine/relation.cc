@@ -38,13 +38,23 @@ Relation
 Relation::alloc(MemoryPool &pool, const std::vector<unsigned> &vaults,
                 std::uint64_t capacity_per_vault)
 {
+    return alloc(pool, vaults,
+                 std::vector<std::uint64_t>(vaults.size(),
+                                            capacity_per_vault));
+}
+
+Relation
+Relation::alloc(MemoryPool &pool, const std::vector<unsigned> &vaults,
+                const std::vector<std::uint64_t> &capacities)
+{
+    sim_assert(capacities.size() == vaults.size());
     Relation r;
     r.parts_.reserve(vaults.size());
-    for (unsigned v : vaults) {
+    for (std::size_t i = 0; i < vaults.size(); ++i) {
         RelationPartition p;
-        p.vault = v;
-        p.base = pool.allocTuples(v, capacity_per_vault);
-        p.capacity = capacity_per_vault;
+        p.vault = vaults[i];
+        p.base = pool.allocTuples(vaults[i], capacities[i]);
+        p.capacity = capacities[i];
         p.count = 0;
         r.parts_.push_back(p);
     }

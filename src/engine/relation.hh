@@ -73,6 +73,14 @@ class Relation
     static Relation alloc(MemoryPool &pool, const std::vector<unsigned> &vaults,
                           std::uint64_t capacity_per_vault);
 
+    /**
+     * Allocate with an individual tuple capacity per vault (skew-aware
+     * shuffle destinations are sized from the exchanged histogram).
+     */
+    static Relation alloc(MemoryPool &pool,
+                          const std::vector<unsigned> &vaults,
+                          const std::vector<std::uint64_t> &capacities);
+
     /** Allocate with uniform capacity across all vaults in the system. */
     static Relation allocAcrossAll(MemoryPool &pool,
                                    std::uint64_t total_capacity);

@@ -28,11 +28,9 @@ runScan(MemoryPool &pool, const ExecConfig &cfg, const Relation &rel,
             // Functional: evaluate the predicate.
             for (const Tuple &t : rel.gather(pool, v))
                 matches += (t.key == probe_key) ? 1 : 0;
-            // Trace: one sequential sweep, one compare per tuple.
-            scanEmit(rec, part.base, part.count, kTupleBytes,
-                     cfg.readChunkBytes, cfg.simd, [&](std::uint64_t) {
-                         rec.compute(cfg.costs.scan);
-                     });
+            // Trace: one sequential sweep, one compare per tuple (RLE).
+            rec.scanFixed(part.base, part.count, kTupleBytes,
+                          cfg.readChunkBytes, cfg.simd, cfg.costs.scan);
         }
         rec.fence();
     }

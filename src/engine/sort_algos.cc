@@ -62,9 +62,8 @@ LocalSorter::emitMergesort(Addr base, std::uint64_t count, unsigned vault,
         // Bitonic intra-stream pass: one streaming sweep sorts 16-tuple
         // groups in registers, cutting log2(16) = 4 merge passes (§5.2).
         passes.bitonicPasses = 1;
-        scanEmit(rec, base, count, kTupleBytes, cfg_.readChunkBytes,
-                 /*stream=*/true,
-                 [&](std::uint64_t) { rec.compute(k.bitonicPass); });
+        rec.scanFixed(base, count, kTupleBytes, cfg_.readChunkBytes,
+                      /*stream=*/true, k.bitonicPass);
         rec.writeRange(base, bytes, cfg_.readChunkBytes);
         rec.fence();
         run = kBitonicGroup;
@@ -82,9 +81,8 @@ LocalSorter::emitMergesort(Addr base, std::uint64_t count, unsigned vault,
     if (n_passes % 2 == 1)
         std::swap(src, dst);
     for (unsigned pass = 0; pass < n_passes; ++pass) {
-        scanEmit(rec, src, count, kTupleBytes, cfg_.readChunkBytes,
-                 cfg_.simd,
-                 [&](std::uint64_t) { rec.compute(k.mergePass); });
+        rec.scanFixed(src, count, kTupleBytes, cfg_.readChunkBytes,
+                      cfg_.simd, k.mergePass);
         rec.writeRange(dst, bytes, cfg_.readChunkBytes);
         rec.fence();
         std::swap(src, dst);
@@ -110,9 +108,8 @@ LocalSorter::emitQuicksort(Addr base, std::uint64_t count,
     unsigned levels = count <= 1 ? 0 : ceilLog2(count);
     passes.quicksortLevels = levels;
     for (unsigned level = 0; level < levels; ++level) {
-        scanEmit(rec, base, count, kTupleBytes, cfg_.readChunkBytes,
-                 /*stream=*/false,
-                 [&](std::uint64_t) { rec.compute(k.quicksortLevel); });
+        rec.scanFixed(base, count, kTupleBytes, cfg_.readChunkBytes,
+                      /*stream=*/false, k.quicksortLevel);
         // In-place partitioning writes roughly half the tuples per level.
         rec.writeRange(base, bytes / 2, cfg_.readChunkBytes);
         rec.fence();
@@ -177,9 +174,8 @@ LocalSorter::sortSegments(
     passes.quicksortLevels = levels;
     for (unsigned level = 0; level < levels; ++level) {
         for (const auto &[base, n] : segments) {
-            scanEmit(rec, base, n, kTupleBytes, cfg_.readChunkBytes,
-                     /*stream=*/false,
-                     [&](std::uint64_t) { rec.compute(k.quicksortLevel); });
+            rec.scanFixed(base, n, kTupleBytes, cfg_.readChunkBytes,
+                          /*stream=*/false, k.quicksortLevel);
             rec.writeRange(base, n * kTupleBytes / 2, cfg_.readChunkBytes);
         }
         rec.fence();

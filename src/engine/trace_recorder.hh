@@ -7,6 +7,12 @@
  * remainder so long loops charge the exact average) and with helpers that
  * express common access idioms (line-granular sequential reads, tuple
  * stores, stream pops).
+ *
+ * Sequential idioms emit run-length-encoded ops (see trace.hh): readRange,
+ * writeRange and scanFixed record one run op per maximal uniform stretch
+ * instead of one op per chunk. The encoded trace expands to exactly the op
+ * sequence the per-chunk emission used to produce, so timing results are
+ * unchanged — traces are just far smaller and faster to replay.
  */
 
 #ifndef MONDRIAN_ENGINE_TRACE_RECORDER_HH
@@ -14,6 +20,7 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "core/trace.hh"
 
@@ -56,21 +63,46 @@ class TraceRecorder
     }
     void fence() { trace_.add(TraceOp::fence()); }
 
+    /** Grow the trace's reservation by @p more ops (cardinality hint). */
+    void
+    reserveMore(std::size_t more)
+    {
+        trace_.reserve(trace_.size() + more);
+    }
+
     /**
      * Sequential read of [base, base+bytes) in @p chunk-sized pieces.
+     * Whole chunks are recorded as one run op; a trailing partial chunk
+     * is recorded individually.
      * @param stream use stream-buffer reads instead of demand loads.
      */
     void
     readRange(Addr base, std::uint64_t bytes, std::uint32_t chunk,
               bool stream)
     {
-        for (std::uint64_t off = 0; off < bytes; off += chunk) {
+        const std::uint64_t full = bytes / chunk;
+        const auto tail = static_cast<std::uint32_t>(bytes % chunk);
+        Addr at = base;
+        for (std::uint64_t left = full; left > 0;) {
             auto n = static_cast<std::uint32_t>(
-                bytes - off < chunk ? bytes - off : chunk);
+                left > 0xffffffffull ? 0xffffffffull : left);
+            if (n == 1) {
+                if (stream)
+                    streamRead(at, chunk);
+                else
+                    load(at, chunk);
+            } else {
+                trace_.add(stream ? TraceOp::streamRun(at, chunk, n)
+                                  : TraceOp::loadRun(at, chunk, n));
+            }
+            at += Addr{n} * chunk;
+            left -= n;
+        }
+        if (tail > 0) {
             if (stream)
-                streamRead(base + off, n);
+                streamRead(at, tail);
             else
-                load(base + off, n);
+                load(at, tail);
         }
     }
 
@@ -78,11 +110,106 @@ class TraceRecorder
     void
     writeRange(Addr base, std::uint64_t bytes, std::uint32_t chunk)
     {
-        for (std::uint64_t off = 0; off < bytes; off += chunk) {
+        const std::uint64_t full = bytes / chunk;
+        const auto tail = static_cast<std::uint32_t>(bytes % chunk);
+        Addr at = base;
+        for (std::uint64_t left = full; left > 0;) {
             auto n = static_cast<std::uint32_t>(
-                bytes - off < chunk ? bytes - off : chunk);
-            store(base + off, n);
+                left > 0xffffffffull ? 0xffffffffull : left);
+            if (n == 1)
+                store(at, chunk);
+            else
+                trace_.add(TraceOp::storeRun(at, chunk, n));
+            at += Addr{n} * chunk;
+            left -= n;
         }
+        if (tail > 0)
+            store(at, tail);
+    }
+
+    /**
+     * The scan idiom for a *uniform* per-tuple compute cost, run-length
+     * encoded: `count` tuples are read from @p base in @p chunk_bytes
+     * pieces, and every tuple costs @p cycles_per_tuple cycles.
+     *
+     * Emits exactly the ops that
+     *   scanEmit(rec, base, count, tb, cb, stream,
+     *            [&](std::uint64_t) { rec.compute(cycles_per_tuple); });
+     * would (same fractional-cycle carry behavior, chunk by chunk), but
+     * collapses maximal stretches of identical (chunk bytes, chunk
+     * compute) into single run ops. Note a compute() call immediately
+     * after this will not coalesce with the final chunk's compute burst
+     * when that burst ended inside a run op; callers that need byte-exact
+     * continuation emit a memory op or fence next (all current ones do).
+     */
+    void
+    scanFixed(Addr base, std::uint64_t count, std::uint32_t tuple_bytes,
+              std::uint32_t chunk_bytes, bool stream,
+              double cycles_per_tuple)
+    {
+        const std::uint64_t per_chunk = chunk_bytes / tuple_bytes;
+        sim_assert(per_chunk > 0); // chunk must hold >= 1 tuple
+        Addr run_base = 0;
+        std::uint32_t run_bytes = 0;
+        std::uint64_t run_cycles = 0;
+        std::uint32_t run_len = 0;
+
+        auto flush = [&]() {
+            if (run_len == 0)
+                return;
+            if (run_len == 1) {
+                if (stream)
+                    streamRead(run_base, run_bytes);
+                else
+                    load(run_base, run_bytes);
+                if (run_cycles > 0)
+                    trace_.addCompute(run_cycles);
+            } else {
+                auto aux = static_cast<std::uint32_t>(run_cycles);
+                trace_.add(stream ? TraceOp::streamRun(run_base, run_bytes,
+                                                       run_len, aux)
+                                  : TraceOp::loadRun(run_base, run_bytes,
+                                                     run_len, aux));
+            }
+            run_len = 0;
+        };
+
+        for (std::uint64_t start = 0; start < count; start += per_chunk) {
+            const std::uint64_t n =
+                (count - start) < per_chunk ? (count - start) : per_chunk;
+            const auto bytes = static_cast<std::uint32_t>(n * tuple_bytes);
+            // Whole cycles this chunk emits, with the identical carry
+            // stepping compute() would perform per tuple.
+            std::uint64_t chunk_cycles = 0;
+            for (std::uint64_t j = 0; j < n; ++j) {
+                carry_ += cycles_per_tuple;
+                auto whole = static_cast<std::uint64_t>(carry_);
+                if (whole > 0) {
+                    chunk_cycles += whole;
+                    carry_ -= static_cast<double>(whole);
+                }
+            }
+            if (run_len > 0 && bytes == run_bytes &&
+                chunk_cycles == run_cycles && run_len < 0xffffffffu &&
+                chunk_cycles <= 0xffffffffull) {
+                ++run_len;
+            } else {
+                flush();
+                run_base = base + start * tuple_bytes;
+                run_bytes = bytes;
+                run_cycles = chunk_cycles;
+                run_len = chunk_cycles <= 0xffffffffull ? 1 : 0;
+                if (run_len == 0) {
+                    // Absurdly large per-chunk burst: emit unencoded.
+                    if (stream)
+                        streamRead(base + start * tuple_bytes, bytes);
+                    else
+                        load(base + start * tuple_bytes, bytes);
+                    trace_.addCompute(chunk_cycles);
+                }
+            }
+        }
+        flush();
     }
 
     KernelTrace &trace() { return trace_; }
@@ -101,6 +228,9 @@ class TraceRecorder
  * tuples from @p base, interleaved with per-tuple work so the timing model
  * sees compute and memory overlap the way the real loop would.
  *
+ * Use TraceRecorder::scanFixed instead when the per-tuple work is a fixed
+ * compute cost — it records the same stream run-length encoded.
+ *
  * @param f callback invoked once per tuple index with (tuple_index).
  */
 template <typename PerTuple>
@@ -110,6 +240,7 @@ scanEmit(TraceRecorder &rec, Addr base, std::uint64_t count,
          PerTuple f)
 {
     const std::uint64_t per_chunk = chunk_bytes / tuple_bytes;
+    sim_assert(per_chunk > 0); // chunk must hold >= 1 tuple
     for (std::uint64_t start = 0; start < count; start += per_chunk) {
         const std::uint64_t n =
             (count - start) < per_chunk ? (count - start) : per_chunk;

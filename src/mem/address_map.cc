@@ -14,23 +14,21 @@ AddressMap::AddressMap(const MemGeometry &geo) : geo_(geo)
         fatal("vault capacity must be a multiple of rowBytes*banks");
     if (geo.numStacks == 0 || geo.vaultsPerStack == 0 || geo.banksPerVault == 0)
         fatal("memory geometry must be non-degenerate");
-}
 
-DecodedAddr
-AddressMap::decode(Addr addr) const
-{
-    sim_assert(addr < geo_.totalBytes());
-    DecodedAddr d;
-    d.globalVault = static_cast<unsigned>(addr / geo_.vaultBytes);
-    d.stack = d.globalVault / geo_.vaultsPerStack;
-    d.vault = d.globalVault % geo_.vaultsPerStack;
-
-    std::uint64_t off = addr % geo_.vaultBytes;
-    d.column = off % geo_.rowBytes;
-    std::uint64_t row_slot = off / geo_.rowBytes; // global row slot in vault
-    d.bank = static_cast<unsigned>(row_slot % geo_.banksPerVault);
-    d.row = row_slot / geo_.banksPerVault;
-    return d;
+    // Hot-path fast decode: precompute shifts/masks when every factor is
+    // a power of two (true for the default and all preset geometries).
+    pow2_ = isPowerOf2(geo.vaultBytes) && isPowerOf2(geo.vaultsPerStack) &&
+            isPowerOf2(geo.banksPerVault);
+    if (pow2_) {
+        vaultShift_ = static_cast<unsigned>(floorLog2(geo.vaultBytes));
+        vpsShift_ = static_cast<unsigned>(floorLog2(geo.vaultsPerStack));
+        vpsMask_ = geo.vaultsPerStack - 1;
+        rowShift_ = static_cast<unsigned>(floorLog2(geo.rowBytes));
+        bankShift_ = static_cast<unsigned>(floorLog2(geo.banksPerVault));
+        bankMask_ = geo.banksPerVault - 1;
+        vaultMask_ = geo.vaultBytes - 1;
+        colMask_ = geo.rowBytes - 1;
+    }
 }
 
 Addr
@@ -46,20 +44,6 @@ AddressMap::vaultBase(unsigned global_vault) const
 {
     sim_assert(global_vault < geo_.totalVaults());
     return std::uint64_t{global_vault} * geo_.vaultBytes;
-}
-
-unsigned
-AddressMap::vaultOf(Addr addr) const
-{
-    sim_assert(addr < geo_.totalBytes());
-    return static_cast<unsigned>(addr / geo_.vaultBytes);
-}
-
-std::uint64_t
-AddressMap::rowId(Addr addr) const
-{
-    // (vault, bank, row) uniquely identified by the row-aligned address.
-    return addr / geo_.rowBytes;
 }
 
 } // namespace mondrian

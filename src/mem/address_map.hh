@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace mondrian {
@@ -49,7 +50,14 @@ struct DecodedAddr
     std::uint64_t column; ///< byte offset within the row
 };
 
-/** Bidirectional address encoder/decoder for a given geometry. */
+/**
+ * Bidirectional address encoder/decoder for a given geometry.
+ *
+ * decode()/vaultOf()/rowId() run on every simulated memory access, so for
+ * power-of-two geometries (the default and every preset) the divisions
+ * reduce to precomputed shifts and masks; non-power-of-two geometries fall
+ * back to the division path.
+ */
 class AddressMap
 {
   public:
@@ -58,7 +66,32 @@ class AddressMap
     const MemGeometry &geometry() const { return geo_; }
 
     /** Decode a physical address into its DRAM coordinates. */
-    DecodedAddr decode(Addr addr) const;
+    DecodedAddr
+    decode(Addr addr) const
+    {
+        sim_assert(addr < geo_.totalBytes());
+        DecodedAddr d;
+        if (pow2_) {
+            d.globalVault = static_cast<unsigned>(addr >> vaultShift_);
+            d.stack = d.globalVault >> vpsShift_;
+            d.vault = d.globalVault & vpsMask_;
+            std::uint64_t off = addr & vaultMask_;
+            d.column = off & colMask_;
+            std::uint64_t row_slot = off >> rowShift_;
+            d.bank = static_cast<unsigned>(row_slot) & bankMask_;
+            d.row = row_slot >> bankShift_;
+            return d;
+        }
+        d.globalVault = static_cast<unsigned>(addr / geo_.vaultBytes);
+        d.stack = d.globalVault / geo_.vaultsPerStack;
+        d.vault = d.globalVault % geo_.vaultsPerStack;
+        std::uint64_t off = addr % geo_.vaultBytes;
+        d.column = off % geo_.rowBytes;
+        std::uint64_t row_slot = off / geo_.rowBytes;
+        d.bank = static_cast<unsigned>(row_slot % geo_.banksPerVault);
+        d.row = row_slot / geo_.banksPerVault;
+        return d;
+    }
 
     /** Inverse of decode(). */
     Addr encode(const DecodedAddr &d) const;
@@ -67,13 +100,36 @@ class AddressMap
     Addr vaultBase(unsigned global_vault) const;
 
     /** Global vault index owning @p addr. */
-    unsigned vaultOf(Addr addr) const;
+    unsigned
+    vaultOf(Addr addr) const
+    {
+        sim_assert(addr < geo_.totalBytes());
+        if (pow2_)
+            return static_cast<unsigned>(addr >> vaultShift_);
+        return static_cast<unsigned>(addr / geo_.vaultBytes);
+    }
 
     /** Row-buffer identifier (unique per (vault,bank,row)) for @p addr. */
-    std::uint64_t rowId(Addr addr) const;
+    std::uint64_t
+    rowId(Addr addr) const
+    {
+        // (vault, bank, row) uniquely identified by the row-aligned addr.
+        if (pow2_)
+            return addr >> rowShift_;
+        return addr / geo_.rowBytes;
+    }
 
   private:
     MemGeometry geo_;
+    bool pow2_ = false;      ///< all geometry factors are powers of two
+    unsigned vaultShift_ = 0;
+    unsigned vpsShift_ = 0;
+    unsigned vpsMask_ = 0;
+    unsigned rowShift_ = 0;
+    unsigned bankShift_ = 0;
+    unsigned bankMask_ = 0;
+    std::uint64_t vaultMask_ = 0;
+    std::uint64_t colMask_ = 0;
 };
 
 } // namespace mondrian

@@ -1,5 +1,6 @@
 #include "noc/network.hh"
 
+#include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace mondrian {
@@ -25,20 +26,28 @@ Network::Network(const MemGeometry &geo, Topology topo,
     }
     cpuToStack_.assign(geo.numStacks, SerDesLink{serdes_cfg});
     stackToCpu_.assign(geo.numStacks, SerDesLink{serdes_cfg});
+
+    // delay() runs several node decompositions per simulated message;
+    // strength-reduce them for the (universal) power-of-two case.
+    vpsPow2_ = isPowerOf2(geo_.vaultsPerStack);
+    if (vpsPow2_) {
+        vpsShift_ = static_cast<unsigned>(floorLog2(geo_.vaultsPerStack));
+        vpsMask_ = geo_.vaultsPerStack - 1;
+    }
 }
 
 unsigned
 Network::stackOf(unsigned node) const
 {
     sim_assert(node != kCpuNode);
-    return node / geo_.vaultsPerStack;
+    return vpsPow2_ ? node >> vpsShift_ : node / geo_.vaultsPerStack;
 }
 
 unsigned
 Network::routerOf(unsigned node) const
 {
     sim_assert(node != kCpuNode);
-    return node % geo_.vaultsPerStack;
+    return vpsPow2_ ? node & vpsMask_ : node % geo_.vaultsPerStack;
 }
 
 unsigned

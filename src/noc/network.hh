@@ -99,6 +99,9 @@ class Network
     MemGeometry geo_;
     Topology topo_;
     std::uint32_t overhead_;
+    bool vpsPow2_ = false;   ///< vaultsPerStack is a power of two
+    unsigned vpsShift_ = 0;  ///< log2(vaultsPerStack) when vpsPow2_
+    unsigned vpsMask_ = 0;   ///< vaultsPerStack - 1 when vpsPow2_
 
     std::vector<Mesh> meshes_; ///< one per stack
     /** interStack_[s*numStacks+d]: directed link s -> d (NMP topology). */

@@ -1,36 +1,173 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace mondrian {
 
-void
-EventQueue::schedule(Tick when, Callback cb)
+namespace {
+
+/** Heap comparator: true when @p a orders after @p b (min at front). */
+struct LaterWhen
 {
-    if (when < now_)
-        panic("scheduling event in the past (when=%llu now=%llu)",
-              static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(now_));
-    events_.push(Event{when, nextSeq_++, std::move(cb)});
+    template <typename E>
+    bool
+    operator()(const E &a, const E &b) const
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+EventQueue::EventQueue()
+    : buckets_(kNumBuckets), occupied_(kNumBuckets / 64, 0)
+{}
+
+void
+EventQueue::schedulePastPanic(Tick when) const
+{
+    panic("scheduling event in the past (when=%llu now=%llu)",
+          static_cast<unsigned long long>(when),
+          static_cast<unsigned long long>(now_));
+}
+
+void
+EventQueue::placeOverflow(Tick when, std::uint64_t seq, Callback &&cb)
+{
+    overflow_.emplace_back(when, seq, std::move(cb));
+    std::push_heap(overflow_.begin(), overflow_.end(), LaterWhen{});
+}
+
+void
+EventQueue::pullOverflow()
+{
+    while (!overflow_.empty() && overflow_.front().when < base_ + kHorizon) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), LaterWhen{});
+        Event ev = std::move(overflow_.back());
+        overflow_.pop_back();
+        // Always lands in a bucket (inside the window).
+        place(ev.when, ev.seq, std::move(ev.cb));
+    }
+}
+
+void
+EventQueue::advanceToOccupied()
+{
+    std::size_t cur = bucketIndexOf(base_);
+    if (!buckets_[cur].empty())
+        return;
+    // Scan the occupancy bitmap cyclically from the bucket after cur.
+    std::size_t steps = 0;
+    std::size_t idx = (cur + 1) & (kNumBuckets - 1);
+    std::size_t word = idx >> 6;
+    std::uint64_t mask = occupied_[word] & (~std::uint64_t{0} << (idx & 63));
+    for (std::size_t scanned = 0;; ++scanned) {
+        sim_assert(scanned <= occupied_.size()); // nearCount_ > 0 ensures hit
+        if (mask != 0) {
+            std::size_t found =
+                (word << 6) + static_cast<std::size_t>(std::countr_zero(mask));
+            steps = (found - cur) & (kNumBuckets - 1);
+            break;
+        }
+        word = (word + 1) % occupied_.size();
+        mask = occupied_[word];
+    }
+    base_ += static_cast<Tick>(steps) * kWidth;
+    // The window moved forward; overflow events may have entered it. They
+    // are all >= the old horizon, hence strictly beyond the bucket just
+    // found, so the minimum stays where we found it.
+    pullOverflow();
+}
+
+std::size_t
+EventQueue::findMin()
+{
+    sim_assert(size_ > 0);
+    if (nearCount_ == 0) {
+        // Only far-future events remain: jump the window to the earliest.
+        base_ = overflow_.front().when & ~(kWidth - 1);
+        pullOverflow();
+    }
+    advanceToOccupied();
+
+    const auto &keys = buckets_[bucketIndexOf(base_)].keys;
+    std::size_t min_i = keys.size();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const Bucket::Key &k = keys[i];
+        if (k.seq == kConsumed)
+            continue;
+        if (min_i == keys.size() || k.when < keys[min_i].when ||
+            (k.when == keys[min_i].when && k.seq < keys[min_i].seq))
+            min_i = i;
+    }
+    sim_assert(min_i < keys.size());
+    return min_i;
+}
+
+Tick
+EventQueue::headWhen()
+{
+    // findMin() first: it may advance base_ to the bucket it reports.
+    std::size_t min_i = findMin();
+    return buckets_[bucketIndexOf(base_)].keys[min_i].when;
 }
 
 void
 EventQueue::step()
 {
-    sim_assert(!events_.empty());
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately after.
-    Event ev = std::move(const_cast<Event &>(events_.top()));
-    events_.pop();
-    now_ = ev.when;
-    ++executed_;
-    ev.cb();
+    // The min-scan touches only the compact key array; the consumed entry
+    // stays in its bucket until the bucket drains (no hole-filling move).
+    std::size_t min_i = findMin();
+    std::size_t idx = bucketIndexOf(base_);
+    {
+        Bucket &b0 = buckets_[idx];
+        now_ = b0.keys[min_i].when;
+        ++executed_;
+        b0.keys[min_i].seq = kConsumed;
+        ++b0.consumed;
+    }
+    --nearCount_;
+    --size_;
+    // Move the callback to the stack before invoking: the callback may
+    // schedule into this very bucket and reallocate its storage, which
+    // must not happen underneath the executing closure.
+    Callback cb = std::move(buckets_[idx].cbs[min_i]);
+    cb();
+    Bucket &b = buckets_[idx];
+    if (b.consumed == b.keys.size()) {
+        b.clear();
+        occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    } else if (b.consumed >= 32 &&
+               std::size_t{b.consumed} * 2 >= b.keys.size()) {
+        // A busy bucket that keeps receiving events while draining would
+        // otherwise accumulate consumed entries and stretch every
+        // min-scan; compact once they are half the bucket (amortized one
+        // callback move per executed event at most).
+        std::size_t w = 0;
+        for (std::size_t i = 0; i < b.keys.size(); ++i) {
+            if (b.keys[i].seq == kConsumed)
+                continue;
+            if (w != i) {
+                b.keys[w] = b.keys[i];
+                b.cbs[w] = std::move(b.cbs[i]);
+            }
+            ++w;
+        }
+        b.keys.resize(w);
+        b.cbs.resize(w);
+        b.consumed = 0;
+    }
 }
 
 Tick
 EventQueue::run()
 {
-    while (!events_.empty())
+    while (size_ > 0)
         step();
     return now_;
 }
@@ -38,9 +175,9 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!events_.empty() && events_.top().when <= limit)
+    while (size_ > 0 && headWhen() <= limit)
         step();
-    if (now_ < limit && events_.empty())
+    if (now_ < limit && size_ == 0)
         return now_;
     now_ = limit > now_ ? limit : now_;
     return now_;
@@ -49,8 +186,13 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::reset()
 {
-    while (!events_.empty())
-        events_.pop();
+    for (auto &bucket : buckets_)
+        bucket.clear();
+    std::fill(occupied_.begin(), occupied_.end(), 0);
+    overflow_.clear();
+    base_ = 0;
+    nearCount_ = 0;
+    size_ = 0;
     now_ = 0;
     nextSeq_ = 0;
     executed_ = 0;

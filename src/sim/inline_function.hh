@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable wrapper for hot paths.
+ *
+ * The simulator schedules millions of events and memory-completion
+ * callbacks per run; wrapping each in a std::function costs a heap
+ * allocation whenever the capture exceeds the library's tiny SSO buffer.
+ * InlineFunction stores the callable inline in a caller-chosen buffer, so
+ * the common capture sizes (a `this` pointer, a few PODs, a nested
+ * completion callback) never touch the allocator. Oversized or
+ * over-aligned callables fall back to the heap transparently, so the type
+ * is always correct and only ever *faster* than std::function.
+ *
+ * Differences from std::function, all deliberate:
+ *  - move-only (so it can carry move-only captures, which the event and
+ *    completion paths use to hand callbacks through without copies);
+ *  - no target()/target_type() RTTI;
+ *  - calling an empty InlineFunction is undefined (callers check bool()).
+ */
+
+#ifndef MONDRIAN_SIM_INLINE_FUNCTION_HH
+#define MONDRIAN_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mondrian {
+
+template <typename Signature, std::size_t InlineBytes>
+class InlineFunction; // primary template; only the partial spec exists
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes>
+{
+  public:
+    static constexpr std::size_t kInlineBytes = InlineBytes;
+
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&f) // NOLINT: implicit, like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                (Fn *)(new Fn(std::forward<F>(f)));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t)
+    {
+        destroy();
+        ops_ = nullptr;
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { destroy(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke. Undefined when empty (callers test operator bool first). */
+    R
+    operator()(Args... args) const
+    {
+        return ops_->invoke(buf_, std::forward<Args>(args)...);
+    }
+
+    /** Whether a callable of type @p Fn is stored without allocating. */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= InlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t);
+    }
+
+  private:
+    /** Per-callable-type vtable (invoke / relocate / destroy). */
+    struct Ops
+    {
+        R (*invoke)(unsigned char *, Args &&...);
+        /** Move-construct into @p dst from @p src, destroying @p src. */
+        void (*relocate)(unsigned char *dst, unsigned char *src);
+        void (*destroy)(unsigned char *);
+    };
+
+    template <typename Fn>
+    static Fn *
+    inlinePtr(unsigned char *buf)
+    {
+        return std::launder(reinterpret_cast<Fn *>(buf));
+    }
+
+    template <typename Fn>
+    static Fn *&
+    heapPtr(unsigned char *buf)
+    {
+        return *std::launder(reinterpret_cast<Fn **>(buf));
+    }
+
+    template <typename Fn>
+    static R
+    invokeInline(unsigned char *buf, Args &&...args)
+    {
+        return (*inlinePtr<Fn>(buf))(std::forward<Args>(args)...);
+    }
+
+    template <typename Fn>
+    static void
+    relocateInline(unsigned char *dst, unsigned char *src)
+    {
+        Fn *from = inlinePtr<Fn>(src);
+        ::new (static_cast<void *>(dst)) Fn(std::move(*from));
+        from->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    destroyInline(unsigned char *buf)
+    {
+        inlinePtr<Fn>(buf)->~Fn();
+    }
+
+    template <typename Fn>
+    static R
+    invokeHeap(unsigned char *buf, Args &&...args)
+    {
+        return (*heapPtr<Fn>(buf))(std::forward<Args>(args)...);
+    }
+
+    template <typename Fn>
+    static void
+    relocateHeap(unsigned char *dst, unsigned char *src)
+    {
+        ::new (static_cast<void *>(dst)) (Fn *)(heapPtr<Fn>(src));
+    }
+
+    template <typename Fn>
+    static void
+    destroyHeap(unsigned char *buf)
+    {
+        delete heapPtr<Fn>(buf);
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps{&invokeInline<Fn>, &relocateInline<Fn>,
+                                   &destroyInline<Fn>};
+
+    template <typename Fn>
+    static constexpr Ops heapOps{&invokeHeap<Fn>, &relocateHeap<Fn>,
+                                 &destroyHeap<Fn>};
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    destroy()
+    {
+        if (ops_)
+            ops_->destroy(buf_);
+    }
+
+    alignas(std::max_align_t) mutable unsigned char buf_[InlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace mondrian
+
+#endif // MONDRIAN_SIM_INLINE_FUNCTION_HH

@@ -1,10 +1,13 @@
 #include "system/campaign.hh"
 
+#include <charconv>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <tuple>
 
 #include "common/json.hh"
+#include "common/json_parse.hh"
 #include "common/logging.hh"
 #include "sim/thread_pool.hh"
 #include "system/report.hh"
@@ -137,6 +140,81 @@ summarize(const CampaignGrid &grid, const std::vector<CampaignRun> &runs,
 
 } // namespace
 
+std::string
+ResumeCache::gridPointHash(const std::string &system, const std::string &op,
+                           unsigned log2_tuples, std::uint64_t seed,
+                           double zipf_theta)
+{
+    // Canonical identity string; 17 significant digits round-trip
+    // doubles exactly, so equal thetas hash equally whether parsed from
+    // a report or the CLI. std::to_chars keeps it locale-independent.
+    char zbuf[40];
+    auto zres = std::to_chars(zbuf, zbuf + sizeof(zbuf), zipf_theta,
+                              std::chars_format::general, 17);
+    std::string key = system + "|" + op + "|" +
+                      std::to_string(log2_tuples) + "|" +
+                      std::to_string(seed) + "|";
+    key.append(zbuf, zres.ptr);
+
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a 64
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char out[17];
+    std::snprintf(out, sizeof(out), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return out;
+}
+
+const ResumeCache::Entry *
+ResumeCache::find(const std::string &hash) const
+{
+    auto it = entries_.find(hash);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool
+ResumeCache::load(const std::string &json_text, std::string &error)
+{
+    entries_.clear();
+    JsonValue doc;
+    if (!parseJson(json_text, doc, error))
+        return false;
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || schema->asString() != "mondrian-campaign-v1") {
+        error = "not a mondrian-campaign-v1 report";
+        return false;
+    }
+    double zipf = 0.0;
+    if (const JsonValue *grid = doc.find("grid"))
+        if (const JsonValue *z = grid->find("zipf_theta"))
+            zipf = z->asDouble();
+    const JsonValue *runs = doc.find("runs");
+    if (!runs || !runs->isArray()) {
+        error = "report has no runs array";
+        return false;
+    }
+    for (const JsonValue &r : runs->items) {
+        const JsonValue *sys = r.find("system");
+        const JsonValue *op = r.find("op");
+        const JsonValue *log2 = r.find("log2_tuples");
+        const JsonValue *seed = r.find("seed");
+        const JsonValue *result = r.find("result");
+        if (!sys || !op || !log2 || !seed || !result)
+            continue; // malformed entry: simply not cached
+        Entry e;
+        if (!readRunResult(*result, e.result))
+            continue;
+        e.rawResultJson =
+            json_text.substr(result->begin, result->end - result->begin);
+        entries_[gridPointHash(sys->asString(), op->asString(),
+                               static_cast<unsigned>(log2->asU64()),
+                               seed->asU64(), zipf)] = std::move(e);
+    }
+    return true;
+}
+
 CampaignReport
 CampaignRunner::run(unsigned jobs)
 {
@@ -153,6 +231,21 @@ CampaignRunner::run(unsigned jobs)
         // jobs == 1 -> inline execution on this thread (no workers).
         ThreadPool pool(jobs == 1 ? 0 : ThreadPool::resolveThreads(jobs));
         for (const CampaignJob &job : grid_jobs) {
+            if (resume_) {
+                const ResumeCache::Entry *hit =
+                    resume_->find(ResumeCache::gridPointHash(
+                        systemKindName(job.system), opKindName(job.op),
+                        job.log2Tuples, job.seed, job.zipfTheta));
+                if (hit) {
+                    CampaignRun &slot = report.runs[job.index];
+                    slot.job = job;
+                    slot.result = hit->result;
+                    slot.rawResultJson = hit->rawResultJson;
+                    slot.cached = true;
+                    report.cachedRuns++;
+                    continue;
+                }
+            }
             pool.submit([this, job, &report, &progress_mutex] {
                 Runner runner(job.workload());
                 CampaignRun &slot = report.runs[job.index];
@@ -213,7 +306,10 @@ campaignReportJson(const CampaignReport &report)
         w.member("log2_tuples", std::uint64_t{r.job.log2Tuples});
         w.member("seed", r.job.seed);
         w.key("result");
-        writeRunResult(w, r.result);
+        if (!r.rawResultJson.empty())
+            w.rawValue(r.rawResultJson); // cached: splice byte-identically
+        else
+            writeRunResult(w, r.result);
         w.endObject();
     }
     w.endArray();

@@ -82,6 +82,14 @@ struct CampaignRun
 {
     CampaignJob job;
     RunResult result;
+    /**
+     * When the run was satisfied from a resume cache, the prior report's
+     * verbatim "result" JSON subtree; campaignReportJson splices it so a
+     * resumed report is byte-identical to a fresh one. Empty for runs
+     * executed in this campaign.
+     */
+    std::string rawResultJson;
+    bool cached = false;
 };
 
 /**
@@ -115,6 +123,52 @@ struct CampaignReport
     std::vector<CampaignRun> runs;          ///< ordered by job index
     std::string baseline;                   ///< "" when no baseline in grid
     std::vector<SystemSummary> summaries;   ///< empty when no baseline
+    std::size_t cachedRuns = 0;             ///< grid points reused (resume)
+};
+
+/**
+ * Cache of finished grid points loaded from a prior campaign report.
+ *
+ * Keyed by the (config, workload) identity hash of a grid point —
+ * (system, op, log2 tuples, seed, zipf theta) — which is everything that
+ * determines a run's result. A CampaignRunner consults the cache before
+ * executing each job and reuses the stored result for hits, so
+ * incremental reruns only simulate new grid points (ROADMAP "incremental
+ * reruns"). Cached run entries splice back into reports byte-identically
+ * (verbatim subtree copy); the summary rollups are recomputed from
+ * values that round-tripped the writer's 12-significant-digit encoding,
+ * so a resumed summary could in principle differ from a fresh one in the
+ * final printed digit of a geomean.
+ */
+class ResumeCache
+{
+  public:
+    /**
+     * Load entries from a prior report's JSON text (schema
+     * mondrian-campaign-v1). Replaces the current contents.
+     * @return false with @p error set on parse/schema problems.
+     */
+    bool load(const std::string &json_text, std::string &error);
+
+    std::size_t size() const { return entries_.size(); }
+
+    /** FNV-1a hash identifying one (config, workload) grid point. */
+    static std::string gridPointHash(const std::string &system,
+                                     const std::string &op,
+                                     unsigned log2_tuples,
+                                     std::uint64_t seed, double zipf_theta);
+
+    struct Entry
+    {
+        RunResult result;         ///< parsed (for summaries and progress)
+        std::string rawResultJson; ///< verbatim subtree (for splicing)
+    };
+
+    /** Lookup by grid-point hash; nullptr on miss. */
+    const Entry *find(const std::string &hash) const;
+
+  private:
+    std::map<std::string, Entry> entries_;
 };
 
 /** Expands a grid and executes it on a thread pool. */
@@ -141,9 +195,16 @@ class CampaignRunner
 
     const CampaignGrid &grid() const { return grid_; }
 
+    /**
+     * Reuse results from @p cache: grid points whose (config, workload)
+     * hash is cached are not executed. The cache must outlive run().
+     */
+    void setResume(const ResumeCache *cache) { resume_ = cache; }
+
   private:
     CampaignGrid grid_;
     std::function<void(const CampaignRun &)> progress_;
+    const ResumeCache *resume_ = nullptr;
 };
 
 /**

@@ -23,8 +23,7 @@ class Machine::Path : public MemoryPath
 
     Result
     request(Tick when, Addr addr, std::uint32_t size, bool is_write,
-            bool sequential, bool permutable,
-            std::function<void(Tick)> done) override
+            bool sequential, bool permutable, DoneFn done) override
     {
         (void)sequential;
         const unsigned home = m_.nodeOfUnit(unit_);
@@ -133,10 +132,63 @@ Machine::nodeOfUnit(unsigned unit) const
     return cfg_.exec.cpuStyle ? Network::kCpuNode : unit;
 }
 
+Machine::Flight *
+Machine::allocFlight()
+{
+    if (freeFlight_) {
+        Flight *f = freeFlight_;
+        freeFlight_ = f->nextFree;
+        return f;
+    }
+    flightArena_.emplace_back();
+    return &flightArena_.back();
+}
+
+void
+Machine::freeFlight(Flight *f)
+{
+    f->done = nullptr;
+    f->nextFree = freeFlight_;
+    freeFlight_ = f;
+}
+
+void
+Machine::deliverFlight(Flight *f)
+{
+    MemRequest req;
+    req.addr = f->addr;
+    req.size = f->size;
+    req.isWrite = f->isWrite;
+    req.onComplete = [f](Tick t) { f->m->completeFlight(f, t); };
+    vaults_[f->dv]->enqueue(std::move(req));
+}
+
+void
+Machine::completeFlight(Flight *f, Tick t)
+{
+    if (!f->done) { // fire-and-forget traffic: nothing to notify
+        freeFlight(f);
+        return;
+    }
+    if (!f->needResponse || f->local) {
+        MemoryPath::DoneFn done = std::move(f->done);
+        freeFlight(f);
+        done(t);
+        return;
+    }
+    // Response payload crosses the network back to the requester.
+    Tick back = net_->delay(f->dv, f->srcNode, f->size, t);
+    eq_.schedule(back, [f, back]() {
+        MemoryPath::DoneFn done = std::move(f->done);
+        f->m->freeFlight(f);
+        done(back);
+    });
+}
+
 void
 Machine::issueDram(Tick when, unsigned src_node, Addr addr,
                    std::uint32_t size, bool is_write, bool need_response,
-                   std::function<void(Tick)> done)
+                   MemoryPath::DoneFn done)
 {
     const unsigned dv = pool_.map().vaultOf(addr);
     const bool local = src_node == dv;
@@ -144,28 +196,18 @@ Machine::issueDram(Tick when, unsigned src_node, Addr addr,
     Tick arrive = local
                       ? when
                       : net_->delay(src_node, dv, is_write ? size : 0, when);
-    eq_.schedule(std::max(arrive, eq_.now()), [this, dv, addr, size,
-                                               is_write, need_response,
-                                               src_node, local,
-                                               done = std::move(done)]() {
-        MemRequest req;
-        req.addr = addr;
-        req.size = size;
-        req.isWrite = is_write;
-        req.onComplete = [this, dv, size, need_response, src_node, local,
-                          done](Tick t) {
-            if (!done) {
-                return;
-            }
-            if (!need_response || local) {
-                done(t);
-                return;
-            }
-            Tick back = net_->delay(dv, src_node, size, t);
-            eq_.schedule(back, [done, back]() { done(back); });
-        };
-        vaults_[dv]->enqueue(std::move(req));
-    });
+    Flight *f = allocFlight();
+    f->m = this;
+    f->addr = addr;
+    f->size = size;
+    f->dv = dv;
+    f->srcNode = src_node;
+    f->isWrite = is_write;
+    f->needResponse = need_response;
+    f->local = local;
+    f->done = std::move(done);
+    eq_.schedule(std::max(arrive, eq_.now()),
+                 [f]() { f->m->deliverFlight(f); });
 }
 
 void
@@ -176,11 +218,11 @@ Machine::asyncDram(Tick when, unsigned src_node, Addr addr,
     // reads the response payload crosses the network too.
     if (!is_write) {
         issueDram(when, src_node, addr, size, false, true,
-                  std::function<void(Tick)>{});
+                  MemoryPath::DoneFn{});
         return;
     }
     issueDram(when, src_node, addr, size, true, false,
-              std::function<void(Tick)>{});
+              MemoryPath::DoneFn{});
 }
 
 std::uint64_t

@@ -12,6 +12,7 @@
 #ifndef MONDRIAN_SYSTEM_MACHINE_HH
 #define MONDRIAN_SYSTEM_MACHINE_HH
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -88,10 +89,37 @@ class Machine
     class Path; // per-core MemoryPath implementation
     friend class Path;
 
+    /**
+     * One DRAM request in flight. All routing context and the completion
+     * callback live here, pooled and recycled, so the event closures along
+     * the request's path capture a single pointer — the hot path performs
+     * no per-request allocation and events stay small.
+     */
+    struct Flight
+    {
+        Machine *m = nullptr;
+        Addr addr = 0;
+        std::uint32_t size = 0;
+        unsigned dv = 0;
+        unsigned srcNode = 0;
+        bool isWrite = false;
+        bool needResponse = false;
+        bool local = false;
+        MemoryPath::DoneFn done;
+        Flight *nextFree = nullptr;
+    };
+
+    Flight *allocFlight();
+    void freeFlight(Flight *f);
+    /** Present the flight's request to its vault (arrival tick). */
+    void deliverFlight(Flight *f);
+    /** Vault finished the burst at @p t: respond / complete / recycle. */
+    void completeFlight(Flight *f, Tick t);
+
     /** Route a request to its vault; optional response and completion. */
     void issueDram(Tick when, unsigned src_node, Addr addr,
                    std::uint32_t size, bool is_write, bool need_response,
-                   std::function<void(Tick)> done);
+                   MemoryPath::DoneFn done);
 
     /** Issue a fire-and-forget DRAM access (prefetch fill, writeback). */
     void asyncDram(Tick when, unsigned src_node, Addr addr,
@@ -108,6 +136,9 @@ class Machine
     std::vector<std::unique_ptr<Cache>> l1s_; ///< per unit, if configured
     std::unique_ptr<Cache> llc_;              ///< shared, CPU only
     std::vector<std::unique_ptr<Path>> paths_;
+
+    std::deque<Flight> flightArena_; ///< stable storage for the pool
+    Flight *freeFlight_ = nullptr;   ///< intrusive free list
 
     // Cumulative activity for the energy model.
     Tick coreBusyTicks_ = 0;  ///< sum over units of compute ticks

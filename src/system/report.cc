@@ -170,6 +170,75 @@ writeRunResult(JsonWriter &w, const RunResult &run)
     w.endObject();
 }
 
+bool
+readRunResult(const JsonValue &v, RunResult &out)
+{
+    if (!v.isObject())
+        return false;
+    out = RunResult{};
+
+    auto u64 = [&](const JsonValue &obj, const char *k,
+                   std::uint64_t &dst) {
+        if (const JsonValue *p = obj.find(k))
+            dst = p->asU64();
+    };
+    auto dbl = [&](const JsonValue &obj, const char *k, double &dst) {
+        if (const JsonValue *p = obj.find(k))
+            dst = p->asDouble();
+    };
+
+    if (const JsonValue *p = v.find("system"))
+        out.system = p->asString();
+    if (const JsonValue *p = v.find("op"))
+        out.op = p->asString();
+    if (out.system.empty() || out.op.empty())
+        return false;
+    u64(v, "total_time_ps", out.totalTime);
+    u64(v, "partition_time_ps", out.partitionTime);
+    u64(v, "probe_time_ps", out.probeTime);
+    dbl(v, "partition_vault_bw_gbps", out.partitionVaultBWGBps);
+    dbl(v, "probe_vault_bw_gbps", out.probeVaultBWGBps);
+
+    if (const JsonValue *e = v.find("energy_j")) {
+        dbl(*e, "dram_dynamic", out.energy.dramDynamic);
+        dbl(*e, "dram_static", out.energy.dramStatic);
+        dbl(*e, "cores", out.energy.cores);
+        dbl(*e, "network", out.energy.network);
+    }
+    if (const JsonValue *f = v.find("functional")) {
+        u64(*f, "scan_matches", out.scanMatches);
+        u64(*f, "join_matches", out.joinMatches);
+        u64(*f, "group_count", out.groupCount);
+        u64(*f, "agg_checksum", out.aggChecksum);
+    }
+    if (const JsonValue *phases = v.find("phases");
+        phases && phases->isArray()) {
+        for (const JsonValue &pv : phases->items) {
+            PhaseResult ph;
+            if (const JsonValue *p = pv.find("name"))
+                ph.name = p->asString();
+            if (const JsonValue *p = pv.find("kind")) {
+                ph.kind = p->asString() == "partition"
+                              ? PhaseKind::kPartition
+                              : PhaseKind::kProbe;
+            }
+            u64(pv, "time_ps", ph.time);
+            u64(pv, "dram_bytes", ph.dramBytes);
+            u64(pv, "activations", ph.activations);
+            dbl(pv, "avg_vault_bw_gbps", ph.avgVaultBWGBps);
+            dbl(pv, "core_utilization", ph.coreUtilization);
+            if (const JsonValue *s = pv.find("stalls")) {
+                dbl(*s, "store", ph.stallStore);
+                dbl(*s, "stream", ph.stallStream);
+                dbl(*s, "load", ph.stallLoad);
+                dbl(*s, "fence", ph.stallFence);
+            }
+            out.phases.push_back(std::move(ph));
+        }
+    }
+    return true;
+}
+
 std::string
 runResultJson(const RunResult &run)
 {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "common/json_parse.hh"
 #include "system/runner.hh"
 
 namespace mondrian {
@@ -54,6 +55,14 @@ void writeRunResult(JsonWriter &w, const RunResult &run);
 
 /** One run as a standalone JSON document. */
 std::string runResultJson(const RunResult &run);
+
+/**
+ * Inverse of writeRunResult: reconstruct a RunResult from its parsed JSON
+ * object (campaign --resume). Timing fields are exact (integers);
+ * double-valued fields round-trip through the writer's 12-significant-
+ * digit encoding. @return false when @p v is not a run-result object.
+ */
+bool readRunResult(const JsonValue &v, RunResult &out);
 
 /**
  * Serialize a homogeneous list of runs as a JSON array. Used by benches

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/json.hh"
+#include "common/json_parse.hh"
 #include "sim/thread_pool.hh"
 #include "system/campaign.hh"
 #include "system/report.hh"
@@ -319,4 +320,174 @@ TEST(Parsing, NamesRoundTrip)
     OpKind sink_o;
     EXPECT_FALSE(systemKindFromName("gpu", sink_s));
     EXPECT_FALSE(opKindFromName("union", sink_o));
+}
+
+// --- Resume cache: incremental reruns skip cached (config, workload)
+// grid points and splice their results back byte-identically. ---
+
+namespace {
+
+CampaignGrid
+resumeGrid()
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
+    grid.ops = {OpKind::kScan, OpKind::kGroupBy};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+    return grid;
+}
+
+} // namespace
+
+TEST(Resume, GridPointHashIsStableAndDiscriminating)
+{
+    std::string h = ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0);
+    EXPECT_EQ(h, ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0));
+    EXPECT_EQ(h.size(), 16u);
+    std::set<std::string> all{h};
+    all.insert(ResumeCache::gridPointHash("nmp", "join", 15, 42, 0.0));
+    all.insert(ResumeCache::gridPointHash("cpu", "scan", 15, 42, 0.0));
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 16, 42, 0.0));
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 43, 0.0));
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.8));
+    EXPECT_EQ(all.size(), 6u); // every coordinate distinguishes
+}
+
+TEST(Resume, FullyCachedRerunMatchesFreshReport)
+{
+    CampaignGrid grid = resumeGrid();
+    CampaignReport fresh = CampaignRunner(grid).run(1);
+    std::string fresh_json = campaignReportJson(fresh);
+
+    ResumeCache cache;
+    std::string err;
+    ASSERT_TRUE(cache.load(fresh_json, err)) << err;
+    EXPECT_EQ(cache.size(), grid.size());
+
+    CampaignRunner resumed_runner(grid);
+    resumed_runner.setResume(&cache);
+    // No run may execute: the progress callback must never fire.
+    resumed_runner.onRunDone(
+        [](const CampaignRun &) { FAIL() << "cached run executed"; });
+    CampaignReport resumed = resumed_runner.run(1);
+    EXPECT_EQ(resumed.cachedRuns, grid.size());
+    std::string resumed_json = campaignReportJson(resumed);
+
+    // The splice contract: the runs subtree is byte-identical. (The
+    // summary section is recomputed from 12-digit round-tripped values
+    // and is only numerically — not bit — guaranteed; see campaign.hh.)
+    auto runsSpan = [](const std::string &json) {
+        JsonValue doc;
+        std::string perr;
+        EXPECT_TRUE(parseJson(json, doc, perr)) << perr;
+        const JsonValue *runs = doc.find("runs");
+        EXPECT_NE(runs, nullptr);
+        return json.substr(runs->begin, runs->end - runs->begin);
+    };
+    EXPECT_EQ(runsSpan(resumed_json), runsSpan(fresh_json));
+
+    ASSERT_EQ(resumed.summaries.size(), fresh.summaries.size());
+    for (std::size_t i = 0; i < fresh.summaries.size(); ++i) {
+        EXPECT_EQ(resumed.summaries[i].system, fresh.summaries[i].system);
+        EXPECT_NEAR(resumed.summaries[i].geomeanSpeedup,
+                    fresh.summaries[i].geomeanSpeedup,
+                    fresh.summaries[i].geomeanSpeedup * 1e-9);
+        EXPECT_NEAR(resumed.summaries[i].geomeanPerfPerWatt,
+                    fresh.summaries[i].geomeanPerfPerWatt,
+                    fresh.summaries[i].geomeanPerfPerWatt * 1e-9);
+    }
+}
+
+TEST(Resume, SupersetGridRunsOnlyNewPoints)
+{
+    CampaignGrid small = resumeGrid();
+    CampaignReport prior = CampaignRunner(small).run(1);
+    ResumeCache cache;
+    std::string err;
+    ASSERT_TRUE(cache.load(campaignReportJson(prior), err)) << err;
+
+    CampaignGrid big = small;
+    big.systems.push_back(SystemKind::kNmp);
+    CampaignRunner runner(big);
+    runner.setResume(&cache);
+    std::size_t executed = 0;
+    runner.onRunDone([&executed](const CampaignRun &r) {
+        ++executed;
+        EXPECT_EQ(r.job.system, SystemKind::kNmp);
+    });
+    CampaignReport report = CampaignRunner(big).run(1); // reference
+    CampaignReport resumed = runner.run(1);
+
+    EXPECT_EQ(resumed.cachedRuns, small.size());
+    EXPECT_EQ(executed, big.size() - small.size());
+    // Cached and fresh points agree with an uncached full run.
+    ASSERT_EQ(resumed.runs.size(), report.runs.size());
+    for (std::size_t i = 0; i < report.runs.size(); ++i) {
+        EXPECT_EQ(resumed.runs[i].result.totalTime,
+                  report.runs[i].result.totalTime);
+        EXPECT_EQ(resumed.runs[i].result.aggChecksum,
+                  report.runs[i].result.aggChecksum);
+    }
+}
+
+TEST(Resume, DifferentWorkloadIsNotReused)
+{
+    CampaignGrid grid = resumeGrid();
+    CampaignReport prior = CampaignRunner(grid).run(1);
+    ResumeCache cache;
+    std::string err;
+    ASSERT_TRUE(cache.load(campaignReportJson(prior), err)) << err;
+
+    CampaignGrid other = grid;
+    other.seeds = {7}; // different workload: nothing may be reused
+    CampaignRunner runner(other);
+    runner.setResume(&cache);
+    CampaignReport report = runner.run(1);
+    EXPECT_EQ(report.cachedRuns, 0u);
+
+    CampaignGrid skewed = grid;
+    skewed.zipfTheta = 0.5; // same seeds, different keys: no reuse either
+    CampaignRunner skew_runner(skewed);
+    skew_runner.setResume(&cache);
+    EXPECT_EQ(skew_runner.run(1).cachedRuns, 0u);
+}
+
+TEST(Resume, RejectsForeignDocuments)
+{
+    ResumeCache cache;
+    std::string err;
+    EXPECT_FALSE(cache.load("{\"schema\": \"something-else\"}", err));
+    EXPECT_FALSE(cache.load("not json at all", err));
+    EXPECT_FALSE(cache.load("", err));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(JsonParse, RoundTripsWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("name", "x\"y\\z\n");
+    w.member("count", std::uint64_t{18446744073709551615ull});
+    w.member("ratio", -0.125);
+    w.member("flag", true);
+    w.key("list").beginArray();
+    w.value(std::uint64_t{1});
+    w.value("two");
+    w.endArray();
+    w.endObject();
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(w.str(), doc, err)) << err;
+    EXPECT_EQ(doc.find("name")->asString(), "x\"y\\z\n");
+    EXPECT_EQ(doc.find("count")->asU64(), 18446744073709551615ull);
+    EXPECT_DOUBLE_EQ(doc.find("ratio")->asDouble(), -0.125);
+    EXPECT_TRUE(doc.find("flag")->boolean);
+    ASSERT_TRUE(doc.find("list")->isArray());
+    EXPECT_EQ(doc.find("list")->items.size(), 2u);
+    // Spans reproduce the source text verbatim.
+    const JsonValue *list = doc.find("list");
+    EXPECT_EQ(w.str().substr(list->begin, list->end - list->begin),
+              "[\n    1,\n    \"two\"\n  ]");
 }

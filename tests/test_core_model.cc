@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/core_model.hh"
+#include "engine/trace_recorder.hh"
 
 using namespace mondrian;
 
@@ -23,7 +24,7 @@ class FakePath : public MemoryPath
 
     Result
     request(Tick when, Addr, std::uint32_t, bool, bool, bool,
-            std::function<void(Tick)> done) override
+            DoneFn done) override
     {
         ++requests;
         if (immediate_)
@@ -194,6 +195,78 @@ TEST(CoreModel, Presets)
               krait400().maxOutstandingLoads);
     EXPECT_GT(cortexA57().peakPowerWatts, krait400().peakPowerWatts);
     EXPECT_LT(cortexA35Simd().peakPowerWatts, krait400().peakPowerWatts);
+}
+
+namespace {
+
+/** Replay @p trace and return the full core stats. */
+CoreStats
+statsOf(const KernelTrace &trace, const CoreConfig &cfg, Tick mem_latency)
+{
+    EventQueue eq;
+    FakePath path(eq, mem_latency);
+    TraceCore core(eq, cfg, path, 0);
+    core.setTrace(&trace);
+    core.start();
+    eq.run();
+    EXPECT_TRUE(core.finished());
+    return core.stats();
+}
+
+/** Expanded copy of @p trace as its own KernelTrace. */
+KernelTrace
+expandedTrace(const KernelTrace &trace)
+{
+    KernelTrace out;
+    for (const TraceOp &op : trace.expanded())
+        out.add(op);
+    return out;
+}
+
+} // namespace
+
+/**
+ * The RLE determinism contract: replaying a run-length-encoded trace must
+ * produce bit-identical stats to replaying its expanded form, under
+ * window pressure (stalls mid-run) and with interleaved compute.
+ */
+TEST(CoreModelRle, RunReplayMatchesExpandedReplay)
+{
+    TraceRecorder rec;
+    rec.scanFixed(0, 500, 16, 64, true, 1.25); // stream run + compute
+    rec.fence();
+    rec.readRange(0x8000, 64 * 300 + 32, 64, false); // load run (stalls)
+    rec.writeRange(0x20000, 256 * 64, 256);          // store run (stalls)
+    rec.fence();
+    rec.scanFixed(0x40000, 333, 16, 256, false, 0.3);
+    KernelTrace rle = rec.take();
+    KernelTrace plain = expandedTrace(rle);
+    ASSERT_LT(rle.size(), plain.size()); // the encoding is actually used
+
+    for (Tick lat : {Tick{0}, Tick{40000}, Tick{100000}}) {
+        CoreStats a = statsOf(rle, testCore(4, 4, 4), lat);
+        CoreStats b = statsOf(plain, testCore(4, 4, 4), lat);
+        EXPECT_EQ(a.finishedAt, b.finishedAt) << "latency " << lat;
+        EXPECT_EQ(a.computeTicks, b.computeTicks);
+        EXPECT_EQ(a.stallTicks, b.stallTicks);
+        EXPECT_EQ(a.stallStoreTicks, b.stallStoreTicks);
+        EXPECT_EQ(a.stallStreamTicks, b.stallStreamTicks);
+        EXPECT_EQ(a.stallLoadTicks, b.stallLoadTicks);
+        EXPECT_EQ(a.stallFenceTicks, b.stallFenceTicks);
+        EXPECT_EQ(a.memOps, b.memOps);
+        EXPECT_EQ(a.bytesFromMem, b.bytesFromMem);
+        EXPECT_EQ(a.bytesToMem, b.bytesToMem);
+    }
+}
+
+TEST(CoreModelRle, RunStallsInsideRunResume)
+{
+    // A run longer than the window must stall and resume mid-run without
+    // losing position: 32 loads, window 2, latency L => ~16 epochs.
+    KernelTrace t;
+    t.add(TraceOp::loadRun(0, 64, 32));
+    Tick dt = runTrace(t, testCore(2, 2, 2), 100000);
+    EXPECT_EQ(dt, 16u * 100000);
 }
 
 TEST(CoreModel, OnFinishFires)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -83,6 +85,145 @@ TEST(EventQueueDeath, PastSchedulingPanics)
     eq.schedule(100, [] {});
     eq.run();
     EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+// --- Calendar-queue specifics: the bucketed front-end must preserve the
+// exact (tick, insertion-seq) total order of the plain priority queue. ---
+
+TEST(EventQueue, RandomizedOrderMatchesReference)
+{
+    // Pseudo-random ticks spanning buckets, bucket boundaries, ties and
+    // far-future overflow territory; compare execution order against a
+    // stable sort by (tick, insertion index).
+    EventQueue eq;
+    std::uint64_t lcg = 12345;
+    std::vector<Tick> when;
+    std::vector<int> order;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        Tick t;
+        switch ((lcg >> 33) % 4) {
+          case 0: // near now, heavy ties
+            t = (lcg >> 40) % 64;
+            break;
+          case 1: // within the calendar window
+            t = (lcg >> 35) % 100000;
+            break;
+          case 2: // bucket-width multiples (boundary ticks)
+            t = ((lcg >> 40) % 128) * 2048;
+            break;
+          default: // far future: overflow heap
+            t = 10'000'000 + (lcg >> 35) % 100'000'000;
+            break;
+        }
+        when.push_back(t);
+        eq.schedule(t, [&order, i] { order.push_back(i); });
+    }
+    std::vector<int> expect(n);
+    for (int i = 0; i < n; ++i)
+        expect[i] = i;
+    std::stable_sort(expect.begin(), expect.end(),
+                     [&](int a, int b) { return when[a] < when[b]; });
+    eq.run();
+    EXPECT_EQ(order, expect);
+    EXPECT_EQ(eq.executed(), static_cast<std::uint64_t>(n));
+}
+
+TEST(EventQueue, EventsScheduledDuringDrainKeepOrder)
+{
+    // Callbacks scheduling at the current tick and slightly ahead, into
+    // the bucket currently being drained.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(0);
+        eq.schedule(10, [&] { order.push_back(2); }); // same tick: after 1
+        eq.schedule(11, [&] { order.push_back(3); });
+    });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(12, [&] { order.push_back(4); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, FarFutureEventsMigrateFromOverflow)
+{
+    // Events far beyond the calendar window must still run in order, and
+    // scheduling near-now events after a far jump must work.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(1, [&] { order.push_back(0); });
+    eq.schedule(100'000'000, [&] {
+        order.push_back(2);
+        eq.scheduleIn(5, [&] { order.push_back(3); });
+    });
+    eq.schedule(50'000'000, [&] { order.push_back(1); });
+    eq.schedule(200'000'000, [&] { order.push_back(4); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(eq.now(), 200'000'000u);
+}
+
+TEST(EventQueue, RunUntilAcrossEmptyBucketsAndOverflow)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.schedule(90'000'000, [&] { ++fired; }); // far beyond the window
+    eq.runUntil(1000);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.now(), 1000u);
+    // Scheduling behind the peeked-ahead window but >= now must be legal.
+    eq.schedule(2000, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, MoveOnlyCallbacks)
+{
+    // InlineFunction carries move-only captures (std::function could not).
+    EventQueue eq;
+    auto payload = std::make_unique<int>(7);
+    int seen = 0;
+    eq.schedule(1, [p = std::move(payload), &seen] { seen = *p; });
+    eq.run();
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(EventQueue, LargeCapturesFallBackToHeap)
+{
+    // Captures beyond the inline buffer still work (transparent heap
+    // fallback).
+    EventQueue eq;
+    struct Big
+    {
+        char data[512];
+    };
+    Big big{};
+    big.data[0] = 42;
+    char seen = 0;
+    eq.schedule(1, [big, &seen] { seen = big.data[0]; });
+    eq.run();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, ResetAfterMixedScheduling)
+{
+    EventQueue eq;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(static_cast<Tick>(i) * 4096, [] {});
+    eq.schedule(500'000'000, [] {});
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.now(), 0u);
+    // Queue is fully usable after reset.
+    int fired = 0;
+    eq.schedule(3, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
 }
 
 TEST(ClockDomain, Conversions)

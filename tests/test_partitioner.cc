@@ -166,6 +166,62 @@ TEST(ShuffleModes, SamePerPartitionContent)
     }
 }
 
+class SkewedShuffleTest : public ::testing::TestWithParam<bool>
+{};
+
+TEST_P(SkewedShuffleTest, ZipfSkewDoesNotOverflow)
+{
+    // Regression: heavily skewed keys used to die with "shuffle
+    // destination overflows" because destinations were sized by the flat
+    // shuffleCapacityFactor. They are now sized per destination from the
+    // exchanged histogram, so any theta works.
+    MemoryPool pool(shuffleGeo());
+    WorkloadConfig wcfg;
+    wcfg.tuples = 4096;
+    wcfg.zipfTheta = 0.99; // hottest destination far beyond 1.7x average
+    WorkloadGenerator gen(wcfg);
+    Relation in = gen.makeGroupBy(pool, 4096);
+
+    ExecConfig cfg = nmpExec(8, /*permutable=*/GetParam(), false);
+    Partitioner part(pool, cfg);
+    std::vector<TraceRecorder> recs(8);
+    std::vector<std::pair<unsigned, PermutableRegion>> arming;
+    PartitionFn fn = PartitionFn::lowBits(8);
+    Relation out = part.shuffleNmp(in, fn, recs, &arming);
+
+    // No overflow, nothing lost, and the skew really was present.
+    EXPECT_EQ(asMultiset(out.gatherAll(pool)), asMultiset(in.gatherAll(pool)));
+    std::uint64_t max_part = 0;
+    for (unsigned v = 0; v < 8; ++v) {
+        EXPECT_LE(out.partition(v).count, out.partition(v).capacity);
+        max_part = std::max(max_part, out.partition(v).count);
+    }
+    EXPECT_GT(max_part, (4096 / 8) * 17 / 10) << "workload was not skewed "
+                                                 "enough to exercise the fix";
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SkewedShuffleTest, ::testing::Bool());
+
+TEST(SkewedShuffle, UniformCapacityUnchanged)
+{
+    // The skew fix must not disturb uniform workloads: capacities stay at
+    // the flat estimate, preserving memory layout (and byte-identical
+    // campaign reports).
+    MemoryPool pool(shuffleGeo());
+    WorkloadConfig wcfg;
+    wcfg.tuples = 2048;
+    Relation in = WorkloadGenerator(wcfg).makeUniform(pool, 2048);
+    ExecConfig cfg = nmpExec(8, false, false);
+    Partitioner part(pool, cfg);
+    std::vector<TraceRecorder> recs(8);
+    PartitionFn fn = PartitionFn::lowBits(8);
+    Relation out = part.shuffleNmp(in, fn, recs, nullptr);
+    const std::uint64_t flat = static_cast<std::uint64_t>(
+        (2048.0 / 8) * cfg.shuffleCapacityFactor) + 16;
+    for (unsigned v = 0; v < 8; ++v)
+        EXPECT_EQ(out.partition(v).capacity, flat);
+}
+
 TEST(CpuShuffle, BoundsPartitionTheGlobalArray)
 {
     MemoryPool pool(shuffleGeo());

@@ -74,6 +74,84 @@ TEST(TraceRecorder, ReadRangeChunks)
     EXPECT_EQ(s.loadBytes, 200u);
 }
 
+// --- Run-length encoding: sequential sweeps must be recorded compactly
+// and expand to exactly the per-chunk op sequence they replace. ---
+
+TEST(TraceRle, ReadRangeEmitsOneRunPlusTail)
+{
+    TraceRecorder rec;
+    rec.readRange(0x1000, 64 * 100 + 8, 64, false);
+    const auto &ops = rec.trace().ops();
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[0].kind, TraceOpKind::kLoadRun);
+    EXPECT_EQ(ops[0].addr, 0x1000u);
+    EXPECT_EQ(ops[0].value, 64u);
+    EXPECT_EQ(ops[0].count, 100u);
+    EXPECT_EQ(ops[1].kind, TraceOpKind::kLoad);
+    EXPECT_EQ(ops[1].value, 8u);
+
+    auto s = rec.trace().summarize();
+    EXPECT_EQ(s.loads, 101u);
+    EXPECT_EQ(s.loadBytes, 64u * 100 + 8);
+}
+
+TEST(TraceRle, WriteRangeEmitsStoreRun)
+{
+    TraceRecorder rec;
+    rec.writeRange(0, 256 * 10, 256);
+    const auto &ops = rec.trace().ops();
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].kind, TraceOpKind::kStoreRun);
+    EXPECT_EQ(ops[0].count, 10u);
+    EXPECT_EQ(rec.trace().summarize().stores, 10u);
+}
+
+TEST(TraceRle, ExpansionMatchesRange)
+{
+    TraceRecorder rle, plain;
+    rle.readRange(0, 64 * 7 + 16, 64, true);
+    // Reference: the pre-RLE per-chunk emission.
+    for (std::uint64_t off = 0; off < 64 * 7; off += 64)
+        plain.streamRead(off, 64);
+    plain.streamRead(64 * 7, 16);
+    EXPECT_EQ(rle.trace().expanded(), plain.trace().ops());
+    EXPECT_EQ(rle.trace().expandedSize(), plain.trace().size());
+}
+
+TEST(TraceRle, ScanFixedExpandsToScanEmit)
+{
+    // scanFixed must produce (after expansion) exactly what scanEmit with
+    // a fixed per-tuple compute produces — including the fractional carry
+    // pattern of a non-integral cost.
+    for (double cost : {2.0, 1.25, 0.3, 7.0}) {
+        TraceRecorder rle, plain;
+        rle.scanFixed(0x2000, 1000, 16, 64, false, cost);
+        scanEmit(plain, 0x2000, 1000, 16, 64, false,
+                 [&](std::uint64_t) { plain.compute(cost); });
+        EXPECT_EQ(rle.trace().expanded(), plain.trace().ops())
+            << "cost " << cost;
+        // And the RLE form must actually be compact for uniform costs.
+        EXPECT_LT(rle.trace().size(), plain.trace().size());
+    }
+}
+
+TEST(TraceRle, ScanFixedCarryContinuesAcrossCalls)
+{
+    // The fractional-cycle carry must continue across scanFixed and
+    // compute() exactly as it would across scanEmit and compute().
+    TraceRecorder rle, plain;
+    rle.compute(0.7);
+    rle.scanFixed(0, 10, 16, 64, false, 0.6);
+    rle.store(0, 8);
+    rle.compute(0.7);
+    plain.compute(0.7);
+    scanEmit(plain, 0, 10, 16, 64, false,
+             [&](std::uint64_t) { plain.compute(0.6); });
+    plain.store(0, 8);
+    plain.compute(0.7);
+    EXPECT_EQ(rle.trace().expanded(), plain.trace().ops());
+}
+
 TEST(TraceRecorder, WriteRangeChunks)
 {
     TraceRecorder rec;

@@ -197,9 +197,9 @@ TEST(VaultDeath, AppendOverflowFatal)
     r.addr = 0;
     r.size = 16;
     r.isWrite = true;
-    vault.enqueue(MemRequest{0, 16, true, nullptr});
-    vault.enqueue(MemRequest{0, 16, true, nullptr});
-    EXPECT_DEATH(vault.enqueue(MemRequest{0, 16, true, nullptr}),
+    vault.enqueue(MemRequest{0, 16, true, 0, 0, nullptr});
+    vault.enqueue(MemRequest{0, 16, true, 0, 0, nullptr});
+    EXPECT_DEATH(vault.enqueue(MemRequest{0, 16, true, 0, 0, nullptr}),
                  "overflow");
 }
 
@@ -208,6 +208,6 @@ TEST(VaultDeath, WrongVaultPanics)
     EventQueue eq;
     AddressMap map(vaultGeo());
     VaultController vault(eq, map, 0, DramTiming{}, 16);
-    EXPECT_DEATH(vault.enqueue(MemRequest{256 * kKiB, 16, false, nullptr}),
+    EXPECT_DEATH(vault.enqueue(MemRequest{256 * kKiB, 16, false, 0, 0, nullptr}),
                  "assert");
 }

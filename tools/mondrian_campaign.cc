@@ -51,6 +51,9 @@ usage(const char *prog)
         "Execution:\n"
         "  --jobs N               worker threads; 0 = hardware threads (default: 1)\n"
         "  --out PATH             write the JSON report to PATH (default: stdout)\n"
+        "  --resume REPORT        reuse results from a prior report: grid points\n"
+        "                         whose (config, workload) hash matches are not\n"
+        "                         re-simulated (incremental reruns)\n"
         "  --quiet                suppress per-run progress on stderr\n"
         "  --help                 this text\n",
         prog);
@@ -123,6 +126,7 @@ main(int argc, char **argv)
 
     unsigned jobs = 1;
     std::string out_path;
+    std::string resume_path;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -188,6 +192,8 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(n);
         } else if (arg == "--out") {
             out_path = argValue(argc, argv, i, "--out");
+        } else if (arg == "--resume") {
+            resume_path = argValue(argc, argv, i, "--resume");
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -207,6 +213,22 @@ main(int argc, char **argv)
                  grid.log2Tuples.size(), grid.seeds.size(), jobs);
 
     CampaignRunner campaign(grid);
+
+    ResumeCache cache;
+    if (!resume_path.empty()) {
+        std::ifstream in(resume_path, std::ios::binary);
+        if (!in)
+            die("cannot open resume report '" + resume_path + "'");
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string err;
+        if (!cache.load(ss.str(), err))
+            die("cannot resume from '" + resume_path + "': " + err);
+        std::fprintf(stderr, "resume: %zu cached grid points loaded from %s\n",
+                     cache.size(), resume_path.c_str());
+        campaign.setResume(&cache);
+    }
+
     std::size_t done = 0;
     if (!quiet) {
         campaign.onRunDone([&done, total](const CampaignRun &r) {
@@ -222,6 +244,10 @@ main(int argc, char **argv)
         report = campaign.run(jobs);
     } catch (const std::exception &e) {
         die(std::string("campaign failed: ") + e.what());
+    }
+    if (report.cachedRuns > 0) {
+        std::fprintf(stderr, "resume: %zu of %zu grid points reused\n",
+                     report.cachedRuns, total);
     }
     std::string json = campaignReportJson(report);
 
