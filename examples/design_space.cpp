@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <tuple>
 
 #include "common/logging.hh"
@@ -38,15 +39,26 @@ main(int argc, char **argv)
         return 2;
     }
     CampaignGrid grid = paperGrid(static_cast<unsigned>(log2_tuples));
-    grid.zipfTheta = argc > 2 ? std::atof(argv[2]) : 0.0;
+    double theta = argc > 2 ? std::atof(argv[2]) : 0.0;
+    if (theta < 0.0 || theta >= 2.0) {
+        std::fprintf(stderr, "zipf_theta must be in [0, 2)\n");
+        return 2;
+    }
+    grid.zipfThetas = {theta};
     unsigned jobs = static_cast<unsigned>(jobs_arg);
 
     std::printf("Design space: %zu ops x %zu systems = %zu runs%s\n\n",
                 grid.ops.size(), grid.systems.size(), grid.size(),
-                grid.zipfTheta > 0 ? " (Zipf-skewed keys)" : "");
+                grid.zipfThetas[0] > 0 ? " (Zipf-skewed keys)" : "");
 
     CampaignRunner campaign(grid);
-    CampaignReport report = campaign.run(jobs);
+    CampaignReport report;
+    try {
+        report = campaign.run(jobs);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
 
     // Baseline (cpu) run per (seed, scale, op) group, via the same index
     // the campaign summary uses, for the per-run speedup columns.

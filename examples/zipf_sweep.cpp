@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Zipf-skew study: where do permutable shuffles lose their edge?
+ *
+ * The paper evaluates uniform keys and defers skew to future work (§7).
+ * This study drives the campaign's zipf-theta axis over
+ * {0, 0.5, 0.75, 0.99} for the two permutable systems and their
+ * non-permutable siblings, on the shuffle-heavy operators (join,
+ * group-by). The interesting quantity is the *permutability edge*: the
+ * speedup of nmp-perm over nmp and of mondrian over mondrian-noperm at
+ * each theta. Under skew, the hottest destination vault serializes the
+ * shuffle no matter how writes are ordered, so the edge shrinks as theta
+ * grows — this sweep quantifies by how much.
+ *
+ * Usage: zipf_sweep [log2_tuples] [jobs]
+ *   log2_tuples: scale factor (default 12)
+ *   jobs: worker threads (default 0 = one per hardware thread)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/logging.hh"
+#include "system/campaign.hh"
+#include "system/report.hh"
+
+using namespace mondrian;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    int log2_tuples = argc > 1 ? std::atoi(argv[1]) : 12;
+    if (log2_tuples < 8 || log2_tuples > 22) {
+        std::fprintf(stderr, "log2_tuples must be in [8, 22]\n");
+        return 2;
+    }
+    int jobs_arg = argc > 2 ? std::atoi(argv[2]) : 0;
+    if (jobs_arg < 0 || jobs_arg > 1024) {
+        std::fprintf(stderr, "jobs must be in [0, 1024]\n");
+        return 2;
+    }
+
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kNmp, SystemKind::kNmpPerm,
+                    SystemKind::kMondrianNoperm, SystemKind::kMondrian};
+    grid.ops = {OpKind::kJoin, OpKind::kGroupBy};
+    grid.log2Tuples = {static_cast<unsigned>(log2_tuples)};
+    grid.seeds = {42};
+    grid.zipfThetas = {0.0, 0.5, 0.75, 0.99};
+
+    std::printf("Zipf-skew study: %zu thetas x %zu ops x %zu systems = "
+                "%zu runs at 2^%d tuples\n\n",
+                grid.zipfThetas.size(), grid.ops.size(), grid.systems.size(),
+                grid.size(), log2_tuples);
+
+    CampaignRunner campaign(grid);
+    CampaignReport report;
+    try {
+        report = campaign.run(static_cast<unsigned>(jobs_arg));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    // Index runs by (theta, op, system) for the pairwise edge table.
+    std::map<std::tuple<double, std::string, std::string>, const RunResult *>
+        byPoint;
+    for (const auto &r : report.runs)
+        byPoint[{r.job.zipfTheta, r.result.op, r.result.system}] = &r.result;
+
+    const std::pair<const char *, const char *> pairs[] = {
+        {"nmp", "nmp-perm"}, {"mondrian-noperm", "mondrian"}};
+
+    std::vector<std::vector<std::string>> table;
+    table.push_back({"theta", "op", "pair", "speedup", "partition",
+                     "perm GB/s/vault"});
+    // edge[pair] tracks the theta at which permutability stops paying.
+    std::map<std::string, double> lastWinningTheta;
+    for (double theta : grid.zipfThetas) {
+        for (OpKind op : grid.ops) {
+            for (const auto &[noperm, perm] : pairs) {
+                const RunResult *base =
+                    byPoint[{theta, opKindName(op), noperm}];
+                const RunResult *p = byPoint[{theta, opKindName(op), perm}];
+                if (!base || !p)
+                    continue;
+                double speedup = overallSpeedup(*base, *p);
+                std::string part =
+                    p->partitionTime > 0 && base->partitionTime > 0
+                        ? fmt(partitionSpeedup(*base, *p), 2) + "x"
+                        : "-";
+                std::string pairName =
+                    std::string(perm) + "/" + std::string(noperm);
+                table.push_back({fmt(theta, 2), opKindName(op), pairName,
+                                 fmt(speedup, 2) + "x", part,
+                                 fmt(p->partitionVaultBWGBps, 2)});
+                if (speedup > 1.005)
+                    lastWinningTheta[pairName] =
+                        std::max(lastWinningTheta[pairName], theta);
+            }
+        }
+    }
+    std::printf("%s\n", renderTable(table).c_str());
+
+    std::printf("Permutability edge (speedup > 1.005x) survives up to:\n");
+    for (const auto &[pairName, theta] : lastWinningTheta)
+        std::printf("  %-25s theta <= %s\n", pairName.c_str(),
+                    fmt(theta, 2).c_str());
+    if (lastWinningTheta.empty())
+        std::printf("  (no winning configuration at this scale)\n");
+    return 0;
+}

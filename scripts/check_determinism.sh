@@ -38,3 +38,51 @@ if ! cmp "$workdir/serial.json" "$workdir/serial2.json"; then
 fi
 
 echo "OK: reports are byte-identical across thread counts and reruns"
+
+# --- Geometry-sweep determinism + cross-axis resume splicing ---------------
+# The design-space axes (geometry, exec-ablation, zipf) must honor the same
+# contract: identical bytes for any --jobs, and a partial sweep resumed into
+# a larger one must splice cached points byte-identically.
+SWEEP=(--systems cpu,mondrian --ops join --log2-tuples 10
+       --geometry 4x8,4x16,4x32 --quiet)
+
+echo "== geometry sweep (vaults/cube 8/16/32), serial"
+"$CAMPAIGN_BIN" "${SWEEP[@]}" --jobs 1 --out "$workdir/geo_serial.json"
+
+echo "== geometry sweep, parallel (--jobs 8)"
+"$CAMPAIGN_BIN" "${SWEEP[@]}" --jobs 8 --out "$workdir/geo_parallel.json"
+
+if ! cmp "$workdir/geo_serial.json" "$workdir/geo_parallel.json"; then
+    echo "FAIL: geometry sweep differs across --jobs" >&2
+    diff "$workdir/geo_serial.json" "$workdir/geo_parallel.json" | head -40 >&2 || true
+    exit 1
+fi
+
+echo "== partial sweep (one geometry), then --resume into the full sweep"
+"$CAMPAIGN_BIN" --systems cpu,mondrian --ops join --log2-tuples 10 \
+    --geometry 4x8 --quiet --jobs 1 --out "$workdir/geo_partial.json"
+"$CAMPAIGN_BIN" "${SWEEP[@]}" --jobs 8 --resume "$workdir/geo_partial.json" \
+    --out "$workdir/geo_resumed.json"
+
+# The spliced runs subtree must be byte-identical to the fresh sweep's.
+extract_runs() {
+    sed -n '/^  "runs": \[$/,/^  \],$/p' "$1"
+}
+# Guard against a vacuous pass: if the sed anchors ever stop matching the
+# writer's formatting, fail loudly instead of comparing empty streams.
+for f in geo_serial geo_resumed; do
+    if [[ -z "$(extract_runs "$workdir/$f.json")" ]]; then
+        echo "FAIL: could not extract the runs section from $f.json" >&2
+        echo "      (did the report formatting change?)" >&2
+        exit 1
+    fi
+done
+if ! cmp <(extract_runs "$workdir/geo_serial.json") \
+         <(extract_runs "$workdir/geo_resumed.json"); then
+    echo "FAIL: resumed sweep's runs differ from a fresh sweep" >&2
+    diff <(extract_runs "$workdir/geo_serial.json") \
+         <(extract_runs "$workdir/geo_resumed.json") | head -40 >&2 || true
+    exit 1
+fi
+
+echo "OK: geometry sweep deterministic; cross-axis resume splices byte-identically"

@@ -72,6 +72,25 @@ class JsonWriter
         return *this;
     }
 
+    /**
+     * The canonical numeric encoding of report values: 12 significant
+     * digits, locale-independent. Public because identity-sensitive
+     * callers (the campaign resume key, duplicate-axis rejection) must
+     * encode doubles exactly the way reports do — if this precision ever
+     * changes, those invariants follow automatically.
+     */
+    static void
+    appendDouble(std::string &out, double v)
+    {
+        // std::to_chars is locale-independent (snprintf "%g" honors
+        // LC_NUMERIC and would break both JSON validity and the
+        // byte-determinism contract under e.g. a de_DE host program).
+        char buf[40];
+        auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 12);
+        out.append(buf, res.ptr);
+    }
+
     JsonWriter &
     value(double v)
     {
@@ -80,13 +99,7 @@ class JsonWriter
             out_ += "null";
             return *this;
         }
-        // std::to_chars is locale-independent (snprintf "%g" honors
-        // LC_NUMERIC and would break both JSON validity and the
-        // byte-determinism contract under e.g. a de_DE host program).
-        char buf[40];
-        auto res = std::to_chars(buf, buf + sizeof(buf), v,
-                                 std::chars_format::general, 12);
-        out_.append(buf, res.ptr);
+        appendDouble(out_, v);
         return *this;
     }
 

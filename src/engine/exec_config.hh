@@ -14,6 +14,7 @@
 #define MONDRIAN_ENGINE_EXEC_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "engine/kernel_costs.hh"
@@ -83,6 +84,54 @@ struct ExecConfig
 ExecConfig cpuExec(unsigned total_vaults);
 ExecConfig nmpExec(unsigned total_vaults, bool permutable, bool sort_probe);
 ExecConfig mondrianExec(unsigned total_vaults, bool permutable);
+
+/**
+ * Named delta on top of a preset ExecConfig — the exec-ablation axis of a
+ * design-space campaign. Each knob is an override when >= 0 and "inherit
+ * the preset" when negative; the empty override is the "base" point.
+ *
+ * The knobs are the three sensitivity parameters of the paper's
+ * CPU-vs-NMP partitioning story: the radix fanout (2^bits destinations),
+ * the sequential read granularity, and the TLB reach that caps the
+ * fanout CPU cores can scatter to without a page walk per store.
+ */
+struct ExecOverride
+{
+    int radixBits = -1;      ///< ExecConfig::cpuPartitionBits
+    int readChunkBytes = -1; ///< ExecConfig::readChunkBytes
+    int tlbEntries = -1;     ///< ExecConfig::tlbEntries
+
+    bool isBase() const
+    {
+        return radixBits < 0 && readChunkBytes < 0 && tlbEntries < 0;
+    }
+
+    /**
+     * Canonical name, e.g. "base" or "chunk=256+radix=9" (keys in fixed
+     * chunk/radix/tlb order). Equal names imply equal deltas, so the name
+     * doubles as the axis label in reports and the resume identity.
+     */
+    std::string name() const;
+
+    /** Apply the set knobs to @p cfg. */
+    void apply(ExecConfig &cfg) const;
+};
+
+/**
+ * Parse an exec-ablation spec: "base" or '+'-joined knobs from
+ * {radix=N, chunk=N, tlb=N}, e.g. "radix=9+tlb=16".
+ * @return false with @p error set on unknown keys or out-of-range values.
+ */
+bool parseExecOverride(const std::string &spec, ExecOverride &out,
+                       std::string &error);
+
+/**
+ * Range-check an override's set knobs (radix in [1,24], chunk a power of
+ * two in [16,4096], tlb in [1,2^20]) — the same bounds parseExecOverride
+ * enforces, for overrides built through the library API.
+ * @return false with @p error set when a knob is out of range.
+ */
+bool validateExecOverride(const ExecOverride &ov, std::string &error);
 
 } // namespace mondrian
 

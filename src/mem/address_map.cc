@@ -31,6 +31,50 @@ AddressMap::AddressMap(const MemGeometry &geo) : geo_(geo)
     }
 }
 
+bool
+validateGeometry(const MemGeometry &geo, std::string &error)
+{
+    auto fail = [&error](const std::string &msg) {
+        error = msg;
+        return false;
+    };
+    if (geo.numStacks == 0 || geo.vaultsPerStack == 0 ||
+        geo.banksPerVault == 0 || geo.rowBytes == 0 || geo.vaultBytes == 0)
+        return fail("geometry has a zero factor");
+    if (!isPowerOf2(geo.numStacks))
+        return fail("stacks must be a power of two (got " +
+                    std::to_string(geo.numStacks) + ")");
+    if (!isPowerOf2(geo.vaultsPerStack))
+        return fail("vaults/stack must be a power of two (got " +
+                    std::to_string(geo.vaultsPerStack) + ")");
+    if (!isPowerOf2(geo.banksPerVault))
+        return fail("banks/vault must be a power of two (got " +
+                    std::to_string(geo.banksPerVault) + ")");
+    if (!isPowerOf2(geo.rowBytes))
+        return fail("row size must be a power of two (got " +
+                    std::to_string(geo.rowBytes) + ")");
+    if (!isPowerOf2(geo.vaultBytes))
+        return fail("vault capacity must be a power of two (got " +
+                    std::to_string(geo.vaultBytes) + ")");
+    if (geo.rowBytes < 64 || geo.rowBytes > 64 * kKiB)
+        return fail("row size must be in [64 B, 64 KiB]");
+    if (geo.banksPerVault > 256)
+        return fail("banks/vault must be at most 256");
+    if (geo.vaultBytes > 64 * kGiB)
+        return fail("vault capacity exceeds 64 GiB");
+    if (geo.numStacks > 4096 || geo.vaultsPerStack > 4096 ||
+        geo.totalVaults() > 4096)
+        return fail("geometry has " + std::to_string(geo.totalVaults()) +
+                    " vaults (max 4096)");
+    if (geo.vaultBytes < geo.rowBytes * geo.banksPerVault)
+        return fail("vault capacity smaller than one row per bank");
+    if (geo.vaultBytes < 64 * kKiB)
+        return fail("vault capacity must be at least 64 KiB");
+    if (geo.totalBytes() > 64ull * kGiB)
+        return fail("total pool exceeds 64 GiB");
+    return true;
+}
+
 Addr
 AddressMap::encode(const DecodedAddr &d) const
 {

@@ -19,6 +19,7 @@
 #define MONDRIAN_MEM_ADDRESS_MAP_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/types.hh"
@@ -38,6 +39,20 @@ struct MemGeometry
     std::uint64_t totalBytes() const { return std::uint64_t{totalVaults()} * vaultBytes; }
     std::uint64_t rowsPerBank() const { return vaultBytes / (rowBytes * banksPerVault); }
 };
+
+/**
+ * Strict validation for sweepable geometries (campaign axes).
+ *
+ * AddressMap itself tolerates any non-degenerate shape (non-power-of-two
+ * factors take the division path), but design-space sweeps only admit
+ * geometries every preset can be built over: all factors powers of two —
+ * so address decode, NoC node decomposition and the CPU core-to-vault
+ * partitioning divide evenly — with sane row/capacity bounds.
+ *
+ * @return true when @p geo is sweepable; false with @p error set to a
+ *         human-readable reason otherwise.
+ */
+bool validateGeometry(const MemGeometry &geo, std::string &error);
 
 /** Fully decoded address. */
 struct DecodedAddr

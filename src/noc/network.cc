@@ -10,12 +10,23 @@ Network::Network(const MemGeometry &geo, Topology topo,
                  std::uint32_t packet_overhead)
     : geo_(geo), topo_(topo), overhead_(packet_overhead)
 {
+    if (geo.numStacks == 0 || geo.vaultsPerStack == 0)
+        fatal("network geometry must have stacks and vaults");
+
     MeshConfig cfg = mesh_cfg;
     // Size the mesh to cover the stack's vaults in a near-square grid.
-    cfg.width = 1;
-    while (cfg.width * cfg.width < geo.vaultsPerStack)
-        ++cfg.width;
-    cfg.height = (geo.vaultsPerStack + cfg.width - 1) / cfg.width;
+    // Power-of-two vault counts (every sweepable geometry) get an exact
+    // rectangle with no unused routers: 8 vaults -> 4x2, 32 -> 8x4.
+    if (isPowerOf2(geo.vaultsPerStack)) {
+        unsigned l = static_cast<unsigned>(floorLog2(geo.vaultsPerStack));
+        cfg.width = 1u << ((l + 1) / 2);
+        cfg.height = geo.vaultsPerStack / cfg.width;
+    } else {
+        cfg.width = 1;
+        while (cfg.width * cfg.width < geo.vaultsPerStack)
+            ++cfg.width;
+        cfg.height = (geo.vaultsPerStack + cfg.width - 1) / cfg.width;
+    }
 
     for (unsigned s = 0; s < geo.numStacks; ++s)
         meshes_.emplace_back(cfg);

@@ -1,9 +1,12 @@
 #include "system/campaign.hh"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <map>
 #include <mutex>
+#include <set>
+#include <stdexcept>
 #include <tuple>
 
 #include "common/json.hh"
@@ -13,6 +16,23 @@
 #include "system/report.hh"
 
 namespace mondrian {
+
+namespace {
+
+/**
+ * Render a double exactly as report JSON does (JsonWriter's canonical
+ * 12-significant-digit encoding). Keying through this encoding makes a
+ * theta parsed back from a report hash identically to the CLI-parsed
+ * original; thetas that differ only beyond the report precision are
+ * already indistinguishable in the report itself.
+ */
+void
+appendDouble(std::string &key, double v)
+{
+    JsonWriter::appendDouble(key, v);
+}
+
+} // namespace
 
 CampaignGrid
 paperGrid(unsigned log2_tuples)
@@ -36,6 +56,138 @@ smokeGrid()
     return grid;
 }
 
+bool
+validateGrid(const CampaignGrid &grid, std::string &error)
+{
+    if (grid.systems.empty()) {
+        error = "systems axis is empty";
+        return false;
+    }
+    if (grid.ops.empty()) {
+        error = "ops axis is empty";
+        return false;
+    }
+    if (grid.log2Tuples.empty()) {
+        error = "log2-tuples axis is empty";
+        return false;
+    }
+    if (grid.seeds.empty()) {
+        error = "seeds axis is empty";
+        return false;
+    }
+    if (grid.geometries.empty()) {
+        error = "geometry axis is empty";
+        return false;
+    }
+    if (grid.execOverrides.empty()) {
+        error = "exec-ablation axis is empty";
+        return false;
+    }
+    if (grid.zipfThetas.empty()) {
+        error = "zipf-theta axis is empty";
+        return false;
+    }
+    for (unsigned l : grid.log2Tuples) {
+        if (l > 32) {
+            error = "log2-tuples " + std::to_string(l) + " out of range";
+            return false;
+        }
+    }
+    std::set<std::string> theta_names;
+    for (double z : grid.zipfThetas) {
+        if (!(z >= 0.0) || z >= 2.0) {
+            error = "zipf theta must be in [0, 2)";
+            return false;
+        }
+        // Thetas are labeled (and resume-keyed) at the report's 12-digit
+        // encoding; values identical at that precision would share one
+        // axis label and cache identity, so reject them as duplicates.
+        std::string name;
+        appendDouble(name, z);
+        if (!theta_names.insert(name).second) {
+            error = "duplicate zipf-theta axis value " + name +
+                    " (identical at the report's 12-digit precision)";
+            return false;
+        }
+    }
+    std::set<std::string> geo_names;
+    for (const MemGeometry &geo : grid.geometries) {
+        std::string geo_error;
+        if (!validateGeometry(geo, geo_error)) {
+            error = "invalid geometry " + geometryName(geo) + ": " +
+                    geo_error;
+            return false;
+        }
+        if (!geo_names.insert(geometryName(geo)).second) {
+            error = "duplicate geometry " + geometryName(geo);
+            return false;
+        }
+    }
+    std::set<std::string> exec_names;
+    for (const ExecOverride &ov : grid.execOverrides) {
+        std::string ov_error;
+        if (!validateExecOverride(ov, ov_error)) {
+            error = "invalid exec-ablation point " + ov.name() + ": " +
+                    ov_error;
+            return false;
+        }
+        if (!exec_names.insert(ov.name()).second) {
+            error = "duplicate exec-ablation point " + ov.name();
+            return false;
+        }
+    }
+    for (const MemGeometry &geo : grid.geometries) {
+        // A stream fetch is served from one row activation, so a read
+        // chunk wider than the row buffer is physically meaningless
+        // (presets clamp to the row size; overrides must not un-clamp).
+        for (const ExecOverride &ov : grid.execOverrides) {
+            if (ov.readChunkBytes > 0 &&
+                static_cast<std::uint64_t>(ov.readChunkBytes) >
+                    geo.rowBytes) {
+                error = "exec-ablation " + ov.name() + " read chunk "
+                        "exceeds the " + std::to_string(geo.rowBytes) +
+                        " B row buffer of geometry " + geometryName(geo);
+                return false;
+            }
+        }
+        // Fail fast on scales that cannot fit the swept pool instead of
+        // aborting mid-campaign in the vault allocator. Heuristic upper
+        // bound per op on the footprint in units of the 16 B/tuple
+        // input: scan reads in place (2x slack); sort adds a shuffled
+        // copy with 1.7x headroom (4x); group-by/join add the R side,
+        // hash tables and outputs (6x) — plus the fixed
+        // page-table/cursor blocks (~4 MiB). The allocator remains the
+        // hard guard.
+        std::uint64_t factor = 0;
+        for (OpKind op : grid.ops) {
+            switch (op) {
+              case OpKind::kScan:
+                factor = std::max<std::uint64_t>(factor, 2);
+                break;
+              case OpKind::kSort:
+                factor = std::max<std::uint64_t>(factor, 4);
+                break;
+              case OpKind::kGroupBy:
+              case OpKind::kJoin:
+                factor = std::max<std::uint64_t>(factor, 6);
+                break;
+            }
+        }
+        for (unsigned l : grid.log2Tuples) {
+            const std::uint64_t footprint =
+                (std::uint64_t{1} << l) * 16 * factor + 4 * kMiB;
+            if (footprint > geo.totalBytes()) {
+                error = "scale 2^" + std::to_string(l) + " does not fit "
+                        "geometry " + geometryName(geo) + " (needs ~" +
+                        std::to_string(footprint / kMiB) + " MiB, pool is " +
+                        std::to_string(geo.totalBytes() / kMiB) + " MiB)";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
 WorkloadConfig
 CampaignJob::workload() const
 {
@@ -48,23 +200,39 @@ CampaignJob::workload() const
     return wl;
 }
 
+SystemConfig
+CampaignJob::systemConfig() const
+{
+    SystemConfig cfg = makeSystem(system, geometry);
+    exec.apply(cfg.exec);
+    return cfg;
+}
+
 std::vector<CampaignJob>
 expandGrid(const CampaignGrid &grid)
 {
     std::vector<CampaignJob> jobs;
     jobs.reserve(grid.size());
-    for (std::uint64_t seed : grid.seeds) {
-        for (unsigned log2 : grid.log2Tuples) {
-            for (OpKind op : grid.ops) {
-                for (SystemKind sys : grid.systems) {
-                    CampaignJob job;
-                    job.index = jobs.size();
-                    job.system = sys;
-                    job.op = op;
-                    job.log2Tuples = log2;
-                    job.seed = seed;
-                    job.zipfTheta = grid.zipfTheta;
-                    jobs.push_back(job);
+    for (const MemGeometry &geo : grid.geometries) {
+        for (const ExecOverride &exec : grid.execOverrides) {
+            for (double theta : grid.zipfThetas) {
+                for (std::uint64_t seed : grid.seeds) {
+                    for (unsigned log2 : grid.log2Tuples) {
+                        for (OpKind op : grid.ops) {
+                            for (SystemKind sys : grid.systems) {
+                                CampaignJob job;
+                                job.index = jobs.size();
+                                job.system = sys;
+                                job.op = op;
+                                job.log2Tuples = log2;
+                                job.seed = seed;
+                                job.geometry = geo;
+                                job.exec = exec;
+                                job.zipfTheta = theta;
+                                jobs.push_back(job);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -73,9 +241,19 @@ expandGrid(const CampaignGrid &grid)
 }
 
 GridGroupKey
+gridGroupKey(const CampaignJob &job)
+{
+    return {geometryName(job.geometry), job.exec.name(), job.zipfTheta,
+            job.seed, job.log2Tuples, opKindName(job.op)};
+}
+
+GridGroupKey
 gridGroupKey(const CampaignRun &run)
 {
-    return {run.job.seed, run.job.log2Tuples, run.result.op};
+    // RunResult::op always equals opKindName(job.op) (the runner sets it
+    // and the resume identity includes it), so keying by the job alone
+    // is equivalent.
+    return gridGroupKey(run.job);
 }
 
 std::map<GridGroupKey, const CampaignRun *>
@@ -143,28 +321,28 @@ summarize(const CampaignGrid &grid, const std::vector<CampaignRun> &runs,
 std::string
 ResumeCache::gridPointHash(const std::string &system, const std::string &op,
                            unsigned log2_tuples, std::uint64_t seed,
-                           double zipf_theta)
+                           double zipf_theta, const MemGeometry &geo,
+                           const ExecOverride &exec)
 {
-    // Canonical identity string; 17 significant digits round-trip
-    // doubles exactly, so equal thetas hash equally whether parsed from
-    // a report or the CLI. std::to_chars keeps it locale-independent.
-    char zbuf[40];
-    auto zres = std::to_chars(zbuf, zbuf + sizeof(zbuf), zipf_theta,
-                              std::chars_format::general, 17);
+    // Canonical identity string: every axis field at a fixed, delimited
+    // position, so the key is injective over grid points — two distinct
+    // axis points cannot collide by construction. The key itself is the
+    // cache identity (no lossy digest in the identity path); theta is
+    // canonicalized to the report's 12-digit encoding first (see
+    // appendDouble).
     std::string key = system + "|" + op + "|" +
                       std::to_string(log2_tuples) + "|" +
                       std::to_string(seed) + "|";
-    key.append(zbuf, zres.ptr);
-
-    std::uint64_t h = 1469598103934665603ull; // FNV-1a 64
-    for (unsigned char c : key) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    char out[17];
-    std::snprintf(out, sizeof(out), "%016llx",
-                  static_cast<unsigned long long>(h));
-    return out;
+    appendDouble(key, zipf_theta);
+    key += "|" + std::to_string(geo.numStacks) + "|" +
+           std::to_string(geo.vaultsPerStack) + "|" +
+           std::to_string(geo.banksPerVault) + "|" +
+           std::to_string(geo.rowBytes) + "|" +
+           std::to_string(geo.vaultBytes) + "|" +
+           std::to_string(exec.radixBits) + "|" +
+           std::to_string(exec.readChunkBytes) + "|" +
+           std::to_string(exec.tlbEntries);
+    return key;
 }
 
 const ResumeCache::Entry *
@@ -182,14 +360,63 @@ ResumeCache::load(const std::string &json_text, std::string &error)
     if (!parseJson(json_text, doc, error))
         return false;
     const JsonValue *schema = doc.find("schema");
-    if (!schema || schema->asString() != "mondrian-campaign-v1") {
-        error = "not a mondrian-campaign-v1 report";
+    const std::string schema_name = schema ? schema->asString() : "";
+    const bool v2 = schema_name == "mondrian-campaign-v2";
+    if (!v2 && schema_name != "mondrian-campaign-v1") {
+        error = "not a mondrian-campaign-v1/v2 report";
         return false;
     }
-    double zipf = 0.0;
-    if (const JsonValue *grid = doc.find("grid"))
+
+    // Axis tables. v1 reports have none: every run is at the default
+    // geometry and the "base" exec point, with the campaign-wide theta.
+    std::map<std::string, MemGeometry> geometries;
+    std::map<std::string, ExecOverride> overrides;
+    double v1_zipf = 0.0;
+    const JsonValue *grid = doc.find("grid");
+    if (v2) {
+        if (!grid) {
+            error = "v2 report has no grid block";
+            return false;
+        }
+        if (const JsonValue *gs = grid->find("geometries")) {
+            for (const JsonValue &g : gs->items) {
+                const JsonValue *name = g.find("name");
+                const JsonValue *stacks = g.find("stacks");
+                const JsonValue *vaults = g.find("vaults_per_stack");
+                const JsonValue *banks = g.find("banks_per_vault");
+                const JsonValue *row = g.find("row_bytes");
+                const JsonValue *cap = g.find("vault_bytes");
+                if (!name || !stacks || !vaults || !banks || !row || !cap)
+                    continue;
+                MemGeometry geo;
+                geo.numStacks = static_cast<unsigned>(stacks->asU64());
+                geo.vaultsPerStack = static_cast<unsigned>(vaults->asU64());
+                geo.banksPerVault = static_cast<unsigned>(banks->asU64());
+                geo.rowBytes = row->asU64();
+                geo.vaultBytes = cap->asU64();
+                geometries[name->asString()] = geo;
+            }
+        }
+        if (const JsonValue *os = grid->find("exec_overrides")) {
+            for (const JsonValue &o : os->items) {
+                const JsonValue *name = o.find("name");
+                if (!name)
+                    continue;
+                ExecOverride ov;
+                if (const JsonValue *r = o.find("radix_bits"))
+                    ov.radixBits = static_cast<int>(r->asDouble());
+                if (const JsonValue *c = o.find("read_chunk_bytes"))
+                    ov.readChunkBytes = static_cast<int>(c->asDouble());
+                if (const JsonValue *t = o.find("tlb_entries"))
+                    ov.tlbEntries = static_cast<int>(t->asDouble());
+                overrides[name->asString()] = ov;
+            }
+        }
+    } else if (grid) {
         if (const JsonValue *z = grid->find("zipf_theta"))
-            zipf = z->asDouble();
+            v1_zipf = z->asDouble();
+    }
+
     const JsonValue *runs = doc.find("runs");
     if (!runs || !runs->isArray()) {
         error = "report has no runs array";
@@ -203,6 +430,23 @@ ResumeCache::load(const std::string &json_text, std::string &error)
         const JsonValue *result = r.find("result");
         if (!sys || !op || !log2 || !seed || !result)
             continue; // malformed entry: simply not cached
+        MemGeometry geo = defaultGeometry();
+        ExecOverride exec;
+        double zipf = v1_zipf;
+        if (v2) {
+            const JsonValue *gname = r.find("geometry");
+            const JsonValue *ename = r.find("exec");
+            const JsonValue *z = r.find("zipf_theta");
+            if (!gname || !ename || !z)
+                continue;
+            auto git = geometries.find(gname->asString());
+            auto eit = overrides.find(ename->asString());
+            if (git == geometries.end() || eit == overrides.end())
+                continue; // label without an axis-table entry: not cached
+            geo = git->second;
+            exec = eit->second;
+            zipf = z->asDouble();
+        }
         Entry e;
         if (!readRunResult(*result, e.result))
             continue;
@@ -210,7 +454,8 @@ ResumeCache::load(const std::string &json_text, std::string &error)
             json_text.substr(result->begin, result->end - result->begin);
         entries_[gridPointHash(sys->asString(), op->asString(),
                                static_cast<unsigned>(log2->asU64()),
-                               seed->asU64(), zipf)] = std::move(e);
+                               seed->asU64(), zipf, geo, exec)] =
+            std::move(e);
     }
     return true;
 }
@@ -218,6 +463,10 @@ ResumeCache::load(const std::string &json_text, std::string &error)
 CampaignReport
 CampaignRunner::run(unsigned jobs)
 {
+    std::string grid_error;
+    if (!validateGrid(grid_, grid_error))
+        throw std::invalid_argument("invalid campaign grid: " + grid_error);
+
     const std::vector<CampaignJob> grid_jobs = expandGrid(grid_);
 
     CampaignReport report;
@@ -235,7 +484,8 @@ CampaignRunner::run(unsigned jobs)
                 const ResumeCache::Entry *hit =
                     resume_->find(ResumeCache::gridPointHash(
                         systemKindName(job.system), opKindName(job.op),
-                        job.log2Tuples, job.seed, job.zipfTheta));
+                        job.log2Tuples, job.seed, job.zipfTheta,
+                        job.geometry, job.exec));
                 if (hit) {
                     CampaignRun &slot = report.runs[job.index];
                     slot.job = job;
@@ -250,7 +500,7 @@ CampaignRunner::run(unsigned jobs)
                 Runner runner(job.workload());
                 CampaignRun &slot = report.runs[job.index];
                 slot.job = job;
-                slot.result = runner.run(job.system, job.op);
+                slot.result = runner.run(job.systemConfig(), job.op);
                 if (progress_) {
                     std::lock_guard<std::mutex> lock(progress_mutex);
                     progress_(slot);
@@ -273,7 +523,7 @@ campaignReportJson(const CampaignReport &report)
 {
     JsonWriter w;
     w.beginObject();
-    w.member("schema", "mondrian-campaign-v1");
+    w.member("schema", "mondrian-campaign-v2");
     w.member("paper", "conf_isca_DrumondDMUPFGP17");
 
     w.key("grid").beginObject();
@@ -293,7 +543,36 @@ campaignReportJson(const CampaignReport &report)
     for (std::uint64_t s : report.grid.seeds)
         w.value(s);
     w.endArray();
-    w.member("zipf_theta", report.grid.zipfTheta);
+    w.key("geometries").beginArray();
+    for (const MemGeometry &geo : report.grid.geometries) {
+        w.beginObject();
+        w.member("name", geometryName(geo));
+        w.member("stacks", std::uint64_t{geo.numStacks});
+        w.member("vaults_per_stack", std::uint64_t{geo.vaultsPerStack});
+        w.member("banks_per_vault", std::uint64_t{geo.banksPerVault});
+        w.member("row_bytes", geo.rowBytes);
+        w.member("vault_bytes", geo.vaultBytes);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("exec_overrides").beginArray();
+    for (const ExecOverride &ov : report.grid.execOverrides) {
+        w.beginObject();
+        w.member("name", ov.name());
+        // Only overridden knobs appear; absent means "inherit preset".
+        if (ov.radixBits >= 0)
+            w.member("radix_bits", std::int64_t{ov.radixBits});
+        if (ov.readChunkBytes >= 0)
+            w.member("read_chunk_bytes", std::int64_t{ov.readChunkBytes});
+        if (ov.tlbEntries >= 0)
+            w.member("tlb_entries", std::int64_t{ov.tlbEntries});
+        w.endObject();
+    }
+    w.endArray();
+    w.key("zipf_thetas").beginArray();
+    for (double z : report.grid.zipfThetas)
+        w.value(z);
+    w.endArray();
     w.member("total_runs", std::uint64_t{report.runs.size()});
     w.endObject();
 
@@ -305,6 +584,9 @@ campaignReportJson(const CampaignReport &report)
         w.member("op", opKindName(r.job.op));
         w.member("log2_tuples", std::uint64_t{r.job.log2Tuples});
         w.member("seed", r.job.seed);
+        w.member("geometry", geometryName(r.job.geometry));
+        w.member("exec", r.job.exec.name());
+        w.member("zipf_theta", r.job.zipfTheta);
         w.key("result");
         if (!r.rawResultJson.empty())
             w.rawValue(r.rawResultJson); // cached: splice byte-identically
@@ -342,6 +624,72 @@ campaignSummaryTable(const CampaignReport &report)
                         fmt(s.geomeanPerfPerWatt, 2) + "x"});
     }
     return renderTable(rows);
+}
+
+std::string
+campaignDryRun(const CampaignGrid &grid, const ResumeCache *resume)
+{
+    std::string grid_error;
+    if (!validateGrid(grid, grid_error))
+        throw std::invalid_argument("invalid campaign grid: " + grid_error);
+
+    const std::vector<CampaignJob> jobs = expandGrid(grid);
+
+    // Baseline pairing: index of the kCpu job in each comparison group.
+    std::map<GridGroupKey, std::size_t> base;
+    for (const CampaignJob &job : jobs) {
+        if (job.system == SystemKind::kCpu)
+            base[gridGroupKey(job)] = job.index;
+    }
+
+    std::string out;
+    std::size_t cached = 0, paired = 0;
+    for (const CampaignJob &job : jobs) {
+        auto it = base.find(gridGroupKey(job));
+        const bool is_baseline =
+            it != base.end() && it->second == job.index;
+        if (it != base.end() && !is_baseline)
+            ++paired;
+
+        bool hit = false;
+        if (resume) {
+            hit = resume->find(ResumeCache::gridPointHash(
+                      systemKindName(job.system), opKindName(job.op),
+                      job.log2Tuples, job.seed, job.zipfTheta,
+                      job.geometry, job.exec)) != nullptr;
+            if (hit)
+                ++cached;
+        }
+
+        std::string pairing = "no-baseline";
+        if (is_baseline)
+            pairing = "baseline";
+        else if (it != base.end())
+            pairing = "vs [" + std::to_string(it->second) + "]";
+
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "[%4zu] %-8s %-15s 2^%-2u seed=%-6llu geo=%-18s "
+                      "exec=%-12s zipf=%-5g %s%s\n",
+                      job.index, opKindName(job.op),
+                      systemKindName(job.system), job.log2Tuples,
+                      static_cast<unsigned long long>(job.seed),
+                      geometryName(job.geometry).c_str(),
+                      job.exec.name().c_str(), job.zipfTheta,
+                      pairing.c_str(), hit ? " (cached)" : "");
+        out += line;
+    }
+    char tail[256];
+    std::snprintf(tail, sizeof(tail),
+                  "%zu runs (%zu systems x %zu ops x %zu scales x %zu seeds "
+                  "x %zu geometries x %zu exec points x %zu thetas), "
+                  "%zu baseline-paired, %zu cached\n",
+                  jobs.size(), grid.systems.size(), grid.ops.size(),
+                  grid.log2Tuples.size(), grid.seeds.size(),
+                  grid.geometries.size(), grid.execOverrides.size(),
+                  grid.zipfThetas.size(), paired, cached);
+    out += tail;
+    return out;
 }
 
 } // namespace mondrian

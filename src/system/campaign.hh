@@ -3,8 +3,16 @@
  * CampaignRunner: parallel execution of a declarative simulation grid.
  *
  * The paper's evaluation (Figs. 6-9, Tables 1/5) is a cross-product of
- * {system, operator, scale, seed} runs. A CampaignGrid declares that
- * cross-product; expandGrid() flattens it into an ordered job list; and
+ * {system, operator, scale, seed} runs at one fixed memory geometry and
+ * one execution configuration per system. A CampaignGrid generalizes that
+ * into a seven-axis design space:
+ *
+ *   {geometry x exec-override x zipf-theta x seed x scale x op x system}
+ *
+ * Geometry points are full MemGeometry variants (cubes, vaults/cube,
+ * vault capacity, row-buffer size); exec overrides are named ExecConfig
+ * deltas (radix bits, read chunk, TLB reach); zipf-theta sweeps key skew.
+ * expandGrid() flattens the cross-product into an ordered job list and
  * CampaignRunner executes the jobs on a thread pool. Each job builds a
  * fresh MemoryPool/Machine, so jobs share no mutable state and the
  * campaign is embarrassingly parallel.
@@ -39,16 +47,29 @@ struct CampaignGrid
     /** Scale factors: log2 of |S| tuples. */
     std::vector<unsigned> log2Tuples;
     std::vector<std::uint64_t> seeds;
-    /** Key skew for the whole campaign (0 = uniform, as in the paper). */
-    double zipfTheta = 0.0;
+    /** Memory geometry axis; labeled by geometryName() in reports. */
+    std::vector<MemGeometry> geometries = {defaultGeometry()};
+    /** Exec-config ablation axis; the default single point is "base". */
+    std::vector<ExecOverride> execOverrides = {ExecOverride{}};
+    /** Key-skew axis (0 = uniform, as in the paper). */
+    std::vector<double> zipfThetas = {0.0};
 
     /** Number of jobs the grid expands to. */
     std::size_t
     size() const
     {
-        return systems.size() * ops.size() * log2Tuples.size() * seeds.size();
+        return systems.size() * ops.size() * log2Tuples.size() *
+               seeds.size() * geometries.size() * execOverrides.size() *
+               zipfThetas.size();
     }
 };
+
+/**
+ * Check that every axis is non-empty and every axis value is valid
+ * (geometries pass validateGeometry(), no duplicate axis points).
+ * @return false with @p error naming the offending axis otherwise.
+ */
+bool validateGrid(const CampaignGrid &grid, std::string &error);
 
 /** The paper's full evaluation grid (4 ops x 7 systems) at @p log2_tuples. */
 CampaignGrid paperGrid(unsigned log2_tuples = 15);
@@ -64,16 +85,22 @@ struct CampaignJob
     OpKind op = OpKind::kScan;
     unsigned log2Tuples = 15;
     std::uint64_t seed = 42;
+    MemGeometry geometry = defaultGeometry();
+    ExecOverride exec;
     double zipfTheta = 0.0;
 
     /** Workload this job runs. */
     WorkloadConfig workload() const;
+
+    /** Preset for (system, geometry) with the exec override applied. */
+    SystemConfig systemConfig() const;
 };
 
 /**
- * Flatten @p grid in deterministic order: seeds outermost, then scales,
- * then ops, then systems — so one (seed, scale, op) group's systems are
- * contiguous and baseline comparisons read naturally in the report.
+ * Flatten @p grid in deterministic order: geometries outermost, then exec
+ * overrides, thetas, seeds, scales, ops, and systems innermost — so one
+ * (geometry, exec, theta, seed, scale, op) group's systems are contiguous
+ * and baseline comparisons read naturally in the report.
  */
 std::vector<CampaignJob> expandGrid(const CampaignGrid &grid);
 
@@ -93,12 +120,15 @@ struct CampaignRun
 };
 
 /**
- * Comparison group of a run: baseline matching is per (seed, scale, op).
- * Shared by the campaign summary and table-rendering callers so the two
- * never drift when the grid grows new axes.
+ * Comparison group of a run: baseline matching is per (geometry, exec,
+ * theta, seed, scale, op), so speedups always compare two systems at the
+ * same axis point. Shared by the campaign summary and table-rendering
+ * callers so the two never drift when the grid grows new axes.
  */
-using GridGroupKey = std::tuple<std::uint64_t, unsigned, std::string>;
+using GridGroupKey = std::tuple<std::string, std::string, double,
+                                std::uint64_t, unsigned, std::string>;
 
+GridGroupKey gridGroupKey(const CampaignJob &job);
 GridGroupKey gridGroupKey(const CampaignRun &run);
 
 /** Baseline run per comparison group (runs whose system == @p baseline). */
@@ -130,33 +160,51 @@ struct CampaignReport
  * Cache of finished grid points loaded from a prior campaign report.
  *
  * Keyed by the (config, workload) identity hash of a grid point —
- * (system, op, log2 tuples, seed, zipf theta) — which is everything that
- * determines a run's result. A CampaignRunner consults the cache before
- * executing each job and reuses the stored result for hits, so
- * incremental reruns only simulate new grid points (ROADMAP "incremental
- * reruns"). Cached run entries splice back into reports byte-identically
- * (verbatim subtree copy); the summary rollups are recomputed from
- * values that round-tripped the writer's 12-significant-digit encoding,
- * so a resumed summary could in principle differ from a fresh one in the
+ * (system, op, log2 tuples, seed, zipf theta, memory geometry, exec
+ * override) — which is everything that determines a run's result. The
+ * hash input encodes every numeric geometry/override field at a fixed
+ * position, so two distinct axis points can never collide by
+ * construction. A CampaignRunner consults the cache before executing
+ * each job and reuses the stored result for hits, so incremental reruns
+ * only simulate new grid points (ROADMAP "incremental reruns"). Cached
+ * run entries splice back into reports byte-identically (verbatim
+ * subtree copy); the summary rollups are recomputed from values that
+ * round-tripped the writer's 12-significant-digit encoding, so a
+ * resumed summary could in principle differ from a fresh one in the
  * final printed digit of a geomean.
+ *
+ * Schema compatibility: loads both mondrian-campaign-v2 reports (per-run
+ * geometry/exec/zipf_theta labels, resolved against the grid's axis
+ * tables) and legacy v1 reports. A v1 report carries no geometry or
+ * exec axes, so its runs are cached at the default geometry, the "base"
+ * exec point and the report's campaign-wide zipf_theta — exactly the
+ * points a v1 campaign simulated — and therefore resume seamlessly into
+ * v2 sweeps that include those default axis values.
  */
 class ResumeCache
 {
   public:
     /**
      * Load entries from a prior report's JSON text (schema
-     * mondrian-campaign-v1). Replaces the current contents.
+     * mondrian-campaign-v2, or legacy v1 as described above). Replaces
+     * the current contents.
      * @return false with @p error set on parse/schema problems.
      */
     bool load(const std::string &json_text, std::string &error);
 
     std::size_t size() const { return entries_.size(); }
 
-    /** FNV-1a hash identifying one (config, workload) grid point. */
+    /**
+     * Canonical key identifying one (config, workload) grid point: the
+     * injective delimited-field encoding of every axis coordinate (no
+     * lossy digest — distinct points cannot collide).
+     */
     static std::string gridPointHash(const std::string &system,
                                      const std::string &op,
                                      unsigned log2_tuples,
-                                     std::uint64_t seed, double zipf_theta);
+                                     std::uint64_t seed, double zipf_theta,
+                                     const MemGeometry &geo,
+                                     const ExecOverride &exec);
 
     struct Entry
     {
@@ -180,6 +228,7 @@ class CampaignRunner
     /**
      * Execute the campaign on @p jobs worker threads (1 = serial on the
      * calling thread; 0 = one per hardware thread). Blocks until done.
+     * @throw std::invalid_argument when the grid fails validateGrid().
      */
     CampaignReport run(unsigned jobs = 1);
 
@@ -209,12 +258,23 @@ class CampaignRunner
 
 /**
  * Render a campaign report as a deterministic JSON document (the CI
- * artifact). Same report, same bytes, regardless of thread count.
+ * artifact, schema mondrian-campaign-v2). Same report, same bytes,
+ * regardless of thread count.
  */
 std::string campaignReportJson(const CampaignReport &report);
 
 /** Render the summary table (one row per system) for terminal output. */
 std::string campaignSummaryTable(const CampaignReport &report);
+
+/**
+ * Render the expanded job list without simulating anything (--dry-run):
+ * one line per job with every axis value, the job's baseline pairing
+ * (the cpu run of its comparison group, if any), whether a resume cache
+ * would satisfy it, and a trailing count summary.
+ * @throw std::invalid_argument when the grid fails validateGrid().
+ */
+std::string campaignDryRun(const CampaignGrid &grid,
+                           const ResumeCache *resume = nullptr);
 
 } // namespace mondrian
 

@@ -1,5 +1,9 @@
 #include "system/config.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace mondrian {
@@ -61,14 +65,130 @@ defaultGeometry()
     return geo;
 }
 
+std::string
+geometryName(const MemGeometry &geo)
+{
+    auto sizeLabel = [](std::uint64_t bytes) {
+        if (bytes >= kMiB && bytes % kMiB == 0)
+            return std::to_string(bytes / kMiB) + "MiB";
+        if (bytes >= kKiB && bytes % kKiB == 0)
+            return std::to_string(bytes / kKiB) + "KiB";
+        return std::to_string(bytes) + "B";
+    };
+    return std::to_string(geo.numStacks) + "x" +
+           std::to_string(geo.vaultsPerStack) + "x" +
+           std::to_string(geo.banksPerVault) + "-" +
+           sizeLabel(geo.vaultBytes) + "-r" + std::to_string(geo.rowBytes);
+}
+
+bool
+parseGeometrySpec(const std::string &spec, MemGeometry &out, std::string &error)
+{
+    out = defaultGeometry();
+    if (spec == "default")
+        return true;
+    if (spec.empty()) {
+        error = "empty geometry spec";
+        return false;
+    }
+
+    auto parseUnsigned = [](const std::string &s, std::uint64_t &v,
+                            bool allow_suffix) {
+        char *end = nullptr;
+        unsigned long long raw = std::strtoull(s.c_str(), &end, 10);
+        // Cap before scaling so a suffix cannot overflow the multiply.
+        if (end == s.c_str() || s[0] == '-' || s[0] == '+' ||
+            raw > 64 * kGiB)
+            return false;
+        std::string suffix(end);
+        std::uint64_t scale = 1;
+        if (suffix == "KiB" && allow_suffix)
+            scale = kKiB;
+        else if (suffix == "MiB" && allow_suffix)
+            scale = kMiB;
+        else if (!suffix.empty())
+            return false;
+        v = static_cast<std::uint64_t>(raw) * scale;
+        return true;
+    };
+
+    // Leading "SxV[xB]" shape, then ":"-separated knobs.
+    std::size_t colon = spec.find(':');
+    std::string shape = spec.substr(0, colon);
+    std::vector<std::uint64_t> dims;
+    std::size_t pos = 0;
+    while (pos <= shape.size()) {
+        std::size_t x = shape.find('x', pos);
+        std::string tok = shape.substr(
+            pos, x == std::string::npos ? std::string::npos : x - pos);
+        std::uint64_t v = 0;
+        if (!parseUnsigned(tok, v, /*allow_suffix=*/false) || v == 0 ||
+            v > (std::uint64_t{1} << 20)) {
+            error = "geometry shape '" + shape + "' is not SxV[xB]";
+            return false;
+        }
+        dims.push_back(v);
+        if (x == std::string::npos)
+            break;
+        pos = x + 1;
+    }
+    if (dims.size() < 2 || dims.size() > 3) {
+        error = "geometry shape '" + shape + "' is not SxV[xB]";
+        return false;
+    }
+    out.numStacks = static_cast<unsigned>(dims[0]);
+    out.vaultsPerStack = static_cast<unsigned>(dims[1]);
+    if (dims.size() == 3)
+        out.banksPerVault = static_cast<unsigned>(dims[2]);
+
+    while (colon != std::string::npos) {
+        std::size_t next = spec.find(':', colon + 1);
+        std::string knob = spec.substr(
+            colon + 1,
+            next == std::string::npos ? std::string::npos : next - colon - 1);
+        std::size_t eq = knob.find('=');
+        std::string key = eq == std::string::npos ? knob : knob.substr(0, eq);
+        std::uint64_t v = 0;
+        if (eq == std::string::npos ||
+            !parseUnsigned(knob.substr(eq + 1), v, /*allow_suffix=*/true) ||
+            v == 0 || v > 64 * kGiB) {
+            error = "geometry knob '" + knob + "' is not row=N or vault=N "
+                    "in (0, 64 GiB]";
+            return false;
+        }
+        if (key == "row")
+            out.rowBytes = v;
+        else if (key == "vault")
+            out.vaultBytes = v;
+        else {
+            error = "unknown geometry knob '" + key +
+                    "' (expected row/vault)";
+            return false;
+        }
+        colon = next;
+    }
+    return validateGeometry(out, error);
+}
+
 namespace {
 
-/** Scaled private L1: preserves "working sets exceed the L1" ratios. */
+/** Largest power of two <= @p v, clamped to [@p lo, @p hi]. */
+std::uint64_t
+pow2Clamp(std::uint64_t v, std::uint64_t lo, std::uint64_t hi)
+{
+    v = std::max(v, std::uint64_t{1});
+    return std::clamp(std::uint64_t{1} << floorLog2(v), lo, hi);
+}
+
+/**
+ * Scaled private L1: preserves "working sets exceed the L1" ratios by
+ * scaling with per-vault capacity (default 8 MiB vault -> 4 KiB L1).
+ */
 CacheConfig
-scaledL1()
+scaledL1(const MemGeometry &geo)
 {
     CacheConfig l1;
-    l1.sizeBytes = 4 * kKiB;
+    l1.sizeBytes = pow2Clamp(geo.vaultBytes / 2048, kKiB, 64 * kKiB);
     l1.associativity = 2;
     l1.lineBytes = 64;
     l1.hitLatency = 2;
@@ -76,12 +196,15 @@ scaledL1()
     return l1;
 }
 
-/** Scaled shared LLC (CPU-centric only). */
+/**
+ * Scaled shared LLC (CPU-centric only): scales with total pool capacity
+ * (default 512 MiB pool -> 64 KiB LLC).
+ */
 CacheConfig
-scaledLlc()
+scaledLlc(const MemGeometry &geo)
 {
     CacheConfig llc;
-    llc.sizeBytes = 64 * kKiB;
+    llc.sizeBytes = pow2Clamp(geo.totalBytes() / 8192, 16 * kKiB, 8 * kMiB);
     llc.associativity = 16;
     llc.lineBytes = 64;
     llc.hitLatency = 24; // 4-cycle bank + NUCA mesh hops
@@ -106,8 +229,8 @@ makeSystem(SystemKind kind, const MemGeometry &geo)
         cfg.core = cortexA57();
         cfg.hasL1 = true;
         cfg.hasLlc = true;
-        cfg.l1 = scaledL1();
-        cfg.llc = scaledLlc();
+        cfg.l1 = scaledL1(geo);
+        cfg.llc = scaledLlc(geo);
         cfg.exec = cpuExec(vaults);
         break;
 
@@ -116,7 +239,7 @@ makeSystem(SystemKind kind, const MemGeometry &geo)
         cfg.topo = Topology::kFullyConnectedNmp;
         cfg.core = krait400();
         cfg.hasL1 = true;
-        cfg.l1 = scaledL1();
+        cfg.l1 = scaledL1(geo);
         cfg.exec = nmpExec(vaults, /*permutable=*/false,
                            /*sort_probe=*/false);
         break;
@@ -125,7 +248,7 @@ makeSystem(SystemKind kind, const MemGeometry &geo)
         cfg.topo = Topology::kFullyConnectedNmp;
         cfg.core = krait400();
         cfg.hasL1 = true;
-        cfg.l1 = scaledL1();
+        cfg.l1 = scaledL1(geo);
         cfg.exec = nmpExec(vaults, /*permutable=*/true,
                            /*sort_probe=*/false);
         break;
@@ -134,7 +257,7 @@ makeSystem(SystemKind kind, const MemGeometry &geo)
         cfg.topo = Topology::kFullyConnectedNmp;
         cfg.core = krait400();
         cfg.hasL1 = true;
-        cfg.l1 = scaledL1();
+        cfg.l1 = scaledL1(geo);
         cfg.exec = nmpExec(vaults, /*permutable=*/false,
                            /*sort_probe=*/true);
         break;
@@ -151,6 +274,10 @@ makeSystem(SystemKind kind, const MemGeometry &geo)
         cfg.exec = mondrianExec(vaults, /*permutable=*/true);
         break;
     }
+    // Mondrian's stream-buffer fetch granularity is row-sized; geometries
+    // with rows narrower than the 256 B preset fetch whole rows instead.
+    if (cfg.exec.readChunkBytes > geo.rowBytes)
+        cfg.exec.readChunkBytes = static_cast<std::uint32_t>(geo.rowBytes);
     return cfg;
 }
 

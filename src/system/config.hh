@@ -14,10 +14,12 @@
  *  - kMondrianNoperm / kMondrian:
  *                     one A35+SIMD tile per vault with stream buffers
  *
- * Cache sizes default to the geometrically scaled system (DESIGN.md §5):
- * the modeled pool is 512 MiB (64 x 8 MiB vaults) instead of 32 GB, and
- * the caches shrink so the dataset/cache ratios that drive the paper's
- * behavior are preserved.
+ * Cache sizes scale with the memory geometry (DESIGN.md §5): the default
+ * modeled pool is 512 MiB (64 x 8 MiB vaults) instead of 32 GB, and the
+ * caches shrink so the dataset/cache ratios that drive the paper's
+ * behavior are preserved. Sweeping the geometry axis (campaign
+ * design-space exploration) re-derives the cache sizes from the same
+ * ratios, so a 2x-capacity pool also doubles the caches.
  */
 
 #ifndef MONDRIAN_SYSTEM_CONFIG_HH
@@ -77,6 +79,30 @@ struct SystemConfig
 
 /** Default scaled memory geometry: 4 cubes x 16 vaults x 8 MiB. */
 MemGeometry defaultGeometry();
+
+/**
+ * Canonical geometry label, e.g. "4x16x8-8MiB-r256" for the default
+ * (stacks x vaults/stack x banks/vault - vault capacity - row bytes).
+ * Bijective over valid geometries: equal names imply equal geometries, so
+ * the name doubles as the axis label in campaign reports and the resume
+ * identity.
+ */
+std::string geometryName(const MemGeometry &geo);
+
+/**
+ * Parse a geometry spec into @p out, starting from defaultGeometry().
+ *
+ * Spec grammar: "default", or "SxV[xB]" (stacks x vaults/stack
+ * [x banks/vault], plain integers) optionally followed by ":"-separated
+ * knobs "row=BYTES" and "vault=SIZE" (knob values accept KiB/MiB
+ * suffixes). Examples: "2x8", "8x32", "4x16:row=2048",
+ * "4x16:vault=256KiB".
+ *
+ * The result is validated with validateGeometry().
+ * @return false with @p error set on malformed or invalid specs.
+ */
+bool parseGeometrySpec(const std::string &spec, MemGeometry &out,
+                       std::string &error);
 
 /** Build the preset configuration for @p kind over @p geo. */
 SystemConfig makeSystem(SystemKind kind, const MemGeometry &geo);

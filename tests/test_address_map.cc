@@ -104,7 +104,88 @@ INSTANTIATE_TEST_SUITE_P(
                       GeoParam{2, 4, 8, 256, 256 * kKiB},
                       GeoParam{4, 16, 8, 256, 1 * kMiB},
                       GeoParam{2, 8, 4, 1024, 512 * kKiB},
-                      GeoParam{3, 5, 2, 128, 64 * kKiB}));
+                      GeoParam{3, 5, 2, 128, 64 * kKiB},
+                      // Campaign geometry-axis shapes (design-space sweep):
+                      // narrow/wide fan-out, small vaults, DDR-class rows.
+                      GeoParam{2, 8, 8, 256, 8 * kMiB},
+                      GeoParam{8, 32, 8, 256, 8 * kMiB},
+                      GeoParam{4, 16, 4, 256, 256 * kKiB},
+                      GeoParam{4, 16, 8, 2 * kKiB, 8 * kMiB}));
+
+/**
+ * Vault-count invariants across non-default geometries: every vault owns
+ * one contiguous [vaultBase, vaultBase + vaultBytes) region, decode
+ * assigns each boundary address to the right (stack, vault), and the
+ * regions tile the pool exactly.
+ */
+TEST(AddressMap, VaultRegionInvariantsAcrossGeometries)
+{
+    const GeoParam shapes[] = {{2, 8, 8, 256, 8 * kMiB},
+                               {8, 32, 8, 256, 8 * kMiB},
+                               {4, 16, 4, 256, 256 * kKiB},
+                               {4, 16, 8, 2 * kKiB, 8 * kMiB}};
+    for (const GeoParam &p : shapes) {
+        MemGeometry g;
+        g.numStacks = p.stacks;
+        g.vaultsPerStack = p.vaults;
+        g.banksPerVault = p.banks;
+        g.rowBytes = p.row;
+        g.vaultBytes = p.cap;
+        std::string err;
+        ASSERT_TRUE(validateGeometry(g, err)) << err;
+
+        AddressMap map(g);
+        EXPECT_EQ(g.totalVaults(), p.stacks * p.vaults);
+        for (unsigned v = 0; v < g.totalVaults(); ++v) {
+            Addr base = map.vaultBase(v);
+            EXPECT_EQ(base, std::uint64_t{v} * g.vaultBytes);
+            EXPECT_EQ(map.vaultOf(base), v);
+            EXPECT_EQ(map.vaultOf(base + g.vaultBytes - 1), v);
+            DecodedAddr d = map.decode(base);
+            EXPECT_EQ(d.globalVault, v);
+            EXPECT_EQ(d.stack, v / g.vaultsPerStack);
+            EXPECT_EQ(d.vault, v % g.vaultsPerStack);
+            EXPECT_EQ(d.bank, 0u);
+            EXPECT_EQ(d.row, 0u);
+            EXPECT_EQ(d.column, 0u);
+        }
+        // Row ids are unique per (vault, bank, row): counting distinct
+        // row-aligned addresses covers the whole pool.
+        EXPECT_EQ(map.rowId(g.totalBytes() - 1),
+                  g.totalBytes() / g.rowBytes - 1);
+    }
+}
+
+TEST(AddressMap, ValidateGeometryRejectsInvalidShapes)
+{
+    auto check = [](auto mutate, const char *expect) {
+        MemGeometry g; // default 4x16x8, 8 MiB vaults, 256 B rows
+        mutate(g);
+        std::string err;
+        EXPECT_FALSE(validateGeometry(g, err));
+        EXPECT_NE(err.find(expect), std::string::npos) << err;
+    };
+    check([](MemGeometry &g) { g.numStacks = 3; }, "stacks");
+    check([](MemGeometry &g) { g.vaultsPerStack = 5; }, "vaults/stack");
+    check([](MemGeometry &g) { g.banksPerVault = 6; }, "banks/vault");
+    check([](MemGeometry &g) { g.rowBytes = 300; }, "row size");
+    check([](MemGeometry &g) { g.rowBytes = 32; }, "row size");
+    check([](MemGeometry &g) { g.vaultBytes = 3 * kMiB; }, "vault capacity");
+    check([](MemGeometry &g) { g.vaultBytes = 32 * kKiB; }, "64 KiB");
+    check([](MemGeometry &g) { g.numStacks = 0; }, "zero factor");
+    check([](MemGeometry &g) {
+        g.numStacks = 512;
+        g.vaultsPerStack = 16;
+    }, "vaults");
+
+    std::string err;
+    MemGeometry ok;
+    EXPECT_TRUE(validateGeometry(ok, err)) << err;
+    ok.vaultsPerStack = 32;
+    ok.rowBytes = 2 * kKiB;
+    ok.vaultBytes = 256 * kKiB;
+    EXPECT_TRUE(validateGeometry(ok, err)) << err;
+}
 
 TEST(AddressMapDeath, BadGeometryFatal)
 {

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <limits>
 #include <set>
+#include <stdexcept>
 
 using namespace mondrian;
 
@@ -106,7 +107,7 @@ TEST(Campaign, ExpandGridCoversEveryPointOnce)
 TEST(Campaign, JobWorkloadReflectsGridPoint)
 {
     CampaignGrid grid = testGrid();
-    grid.zipfTheta = 0.5;
+    grid.zipfThetas = {0.5};
     auto jobs = expandGrid(grid);
     for (const auto &job : jobs) {
         WorkloadConfig wl = job.workload();
@@ -114,6 +115,251 @@ TEST(Campaign, JobWorkloadReflectsGridPoint)
         EXPECT_EQ(wl.seed, job.seed);
         EXPECT_DOUBLE_EQ(wl.zipfTheta, 0.5);
     }
+}
+
+TEST(Campaign, AxesExpandAsCrossProduct)
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
+    grid.ops = {OpKind::kJoin};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+    MemGeometry narrow = defaultGeometry();
+    narrow.vaultsPerStack = 8;
+    grid.geometries = {defaultGeometry(), narrow};
+    ExecOverride radix9;
+    radix9.radixBits = 9;
+    grid.execOverrides = {ExecOverride{}, radix9};
+    grid.zipfThetas = {0.0, 0.75};
+
+    EXPECT_EQ(grid.size(), 2u * 1 * 1 * 1 * 2 * 2 * 2);
+    auto jobs = expandGrid(grid);
+    ASSERT_EQ(jobs.size(), grid.size());
+
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].index, i);
+        seen.insert(geometryName(jobs[i].geometry) + "|" +
+                    jobs[i].exec.name() + "|" +
+                    std::to_string(jobs[i].zipfTheta) + "|" +
+                    systemKindName(jobs[i].system));
+    }
+    EXPECT_EQ(seen.size(), jobs.size()); // every axis point hit exactly once
+
+    // Geometries are outermost: the first half of the jobs run the first
+    // geometry, and within one geometry systems stay contiguous.
+    for (std::size_t i = 0; i < jobs.size() / 2; ++i)
+        EXPECT_EQ(geometryName(jobs[i].geometry),
+                  geometryName(defaultGeometry()));
+    EXPECT_EQ(jobs[0].system, SystemKind::kCpu);
+    EXPECT_EQ(jobs[1].system, SystemKind::kMondrian);
+}
+
+TEST(Campaign, SystemConfigAppliesGeometryAndOverride)
+{
+    CampaignJob job;
+    job.system = SystemKind::kCpu;
+    job.geometry = defaultGeometry();
+    job.geometry.vaultsPerStack = 8;
+    job.exec.radixBits = 9;
+    job.exec.tlbEntries = 16;
+
+    SystemConfig cfg = job.systemConfig();
+    EXPECT_EQ(cfg.geo.totalVaults(), 32u);
+    EXPECT_EQ(cfg.exec.cpuPartitionBits, 9u);
+    EXPECT_EQ(cfg.exec.tlbEntries, 16u);
+    // Unset knobs inherit the preset.
+    EXPECT_EQ(cfg.exec.readChunkBytes, makeSystem(SystemKind::kCpu).exec.readChunkBytes);
+}
+
+TEST(Campaign, ValidateGridNamesTheEmptyAxis)
+{
+    CampaignGrid grid = testGrid();
+    std::string err;
+    EXPECT_TRUE(validateGrid(grid, err)) << err;
+
+    CampaignGrid no_geo = grid;
+    no_geo.geometries.clear();
+    EXPECT_FALSE(validateGrid(no_geo, err));
+    EXPECT_NE(err.find("geometry axis"), std::string::npos);
+
+    CampaignGrid no_exec = grid;
+    no_exec.execOverrides.clear();
+    EXPECT_FALSE(validateGrid(no_exec, err));
+    EXPECT_NE(err.find("exec-ablation axis"), std::string::npos);
+
+    CampaignGrid no_theta = grid;
+    no_theta.zipfThetas.clear();
+    EXPECT_FALSE(validateGrid(no_theta, err));
+    EXPECT_NE(err.find("zipf-theta axis"), std::string::npos);
+
+    CampaignGrid bad_geo = grid;
+    bad_geo.geometries[0].vaultsPerStack = 5; // not a power of two
+    EXPECT_FALSE(validateGrid(bad_geo, err));
+    EXPECT_NE(err.find("invalid geometry"), std::string::npos);
+
+    EXPECT_THROW(CampaignRunner(bad_geo).run(1), std::invalid_argument);
+}
+
+TEST(Campaign, GeometrySpecsParseAndRoundTrip)
+{
+    MemGeometry geo;
+    std::string err;
+    ASSERT_TRUE(parseGeometrySpec("default", geo, err)) << err;
+    EXPECT_EQ(geometryName(geo), "4x16x8-8MiB-r256");
+
+    ASSERT_TRUE(parseGeometrySpec("2x8", geo, err)) << err;
+    EXPECT_EQ(geo.numStacks, 2u);
+    EXPECT_EQ(geo.vaultsPerStack, 8u);
+    EXPECT_EQ(geo.banksPerVault, 8u); // inherited from the default
+    EXPECT_EQ(geometryName(geo), "2x8x8-8MiB-r256");
+
+    ASSERT_TRUE(parseGeometrySpec("8x32x4:row=2048:vault=256KiB", geo, err))
+        << err;
+    EXPECT_EQ(geo.banksPerVault, 4u);
+    EXPECT_EQ(geo.rowBytes, 2048u);
+    EXPECT_EQ(geo.vaultBytes, 256 * kKiB);
+    EXPECT_EQ(geometryName(geo), "8x32x4-256KiB-r2048");
+
+    // Size suffixes belong to the row=/vault= knobs only; shape dims are
+    // plain integers ("2KiBx2" must not become a 2048-stack machine).
+    ASSERT_TRUE(parseGeometrySpec("4x16:row=2KiB", geo, err)) << err;
+    EXPECT_EQ(geo.rowBytes, 2048u);
+    EXPECT_FALSE(parseGeometrySpec("2KiBx2", geo, err));
+    EXPECT_FALSE(parseGeometrySpec("4x2KiB", geo, err));
+
+    // Oversized dimensions are rejected, not truncated into a different
+    // (valid-looking) machine.
+    EXPECT_FALSE(parseGeometrySpec("4294967298x16", geo, err));
+    EXPECT_FALSE(parseGeometrySpec("4x16:vault=99999999MiB", geo, err));
+
+    EXPECT_FALSE(parseGeometrySpec("", geo, err));
+    EXPECT_FALSE(parseGeometrySpec("4", geo, err));
+    EXPECT_FALSE(parseGeometrySpec("4x", geo, err));
+    EXPECT_FALSE(parseGeometrySpec("4x16:bogus=3", geo, err));
+    EXPECT_FALSE(parseGeometrySpec("4x16:row=300", geo, err)); // not pow2
+    EXPECT_FALSE(parseGeometrySpec("3x16", geo, err));         // not pow2
+}
+
+TEST(Campaign, ValidateGridRejectsInfeasibleCombinations)
+{
+    // A scale that cannot fit the swept pool fails fast instead of
+    // aborting mid-campaign in the vault allocator.
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
+    grid.ops = {OpKind::kJoin};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+    MemGeometry tiny;
+    std::string err;
+    ASSERT_TRUE(parseGeometrySpec("1x4:vault=64KiB", tiny, err)) << err;
+    grid.geometries = {tiny}; // 256 KiB pool, needs ~4 MiB
+    EXPECT_FALSE(validateGrid(grid, err));
+    EXPECT_NE(err.find("does not fit"), std::string::npos) << err;
+
+    // A read-chunk override wider than a geometry's row buffer is
+    // physically meaningless and rejected.
+    CampaignGrid chunky;
+    chunky.systems = {SystemKind::kMondrian};
+    chunky.ops = {OpKind::kScan};
+    chunky.log2Tuples = {8};
+    chunky.seeds = {42};
+    MemGeometry narrow_row;
+    ASSERT_TRUE(parseGeometrySpec("4x16:row=64", narrow_row, err)) << err;
+    chunky.geometries = {narrow_row};
+    ExecOverride big_chunk;
+    big_chunk.readChunkBytes = 256;
+    chunky.execOverrides = {big_chunk};
+    EXPECT_FALSE(validateGrid(chunky, err));
+    EXPECT_NE(err.find("row buffer"), std::string::npos) << err;
+
+    // The same chunk on the default 256 B rows is fine.
+    chunky.geometries = {defaultGeometry()};
+    EXPECT_TRUE(validateGrid(chunky, err)) << err;
+
+    // Overrides built through the library API get the same range checks
+    // as CLI-parsed ones (a chunk of 0 would divide by zero mid-run).
+    ExecOverride zero_chunk;
+    zero_chunk.readChunkBytes = 0;
+    chunky.execOverrides = {zero_chunk};
+    EXPECT_FALSE(validateGrid(chunky, err));
+    EXPECT_NE(err.find("invalid exec-ablation"), std::string::npos) << err;
+
+    ExecOverride wild_radix;
+    wild_radix.radixBits = 40;
+    chunky.execOverrides = {wild_radix};
+    EXPECT_FALSE(validateGrid(chunky, err));
+    EXPECT_NE(err.find("radix bits"), std::string::npos) << err;
+}
+
+TEST(Resume, ThetaHashMatchesReportEncoding)
+{
+    // The hash canonicalizes theta at the report writer's 12 significant
+    // digits, so a theta parsed back from a report hashes identically to
+    // the CLI-parsed original even when the original had more digits.
+    const MemGeometry geo = defaultGeometry();
+    const ExecOverride base;
+    const double cli = 0.1234567890123456;   // what strtod produced
+    const double report = 0.123456789012;    // what the report stores
+    EXPECT_EQ(
+        ResumeCache::gridPointHash("cpu", "join", 15, 42, cli, geo, base),
+        ResumeCache::gridPointHash("cpu", "join", 15, 42, report, geo, base));
+    // ... while thetas that differ within 12 digits still differ.
+    EXPECT_NE(
+        ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.5, geo, base),
+        ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.75, geo, base));
+}
+
+TEST(Campaign, ExecOverrideParseAndCanonicalName)
+{
+    ExecOverride ov;
+    std::string err;
+    ASSERT_TRUE(parseExecOverride("base", ov, err)) << err;
+    EXPECT_TRUE(ov.isBase());
+    EXPECT_EQ(ov.name(), "base");
+
+    ASSERT_TRUE(parseExecOverride("tlb=16+radix=9", ov, err)) << err;
+    EXPECT_EQ(ov.radixBits, 9);
+    EXPECT_EQ(ov.tlbEntries, 16);
+    EXPECT_EQ(ov.readChunkBytes, -1);
+    // Canonical name is order-independent (fixed chunk/radix/tlb order).
+    EXPECT_EQ(ov.name(), "radix=9+tlb=16");
+    ExecOverride ov2;
+    ASSERT_TRUE(parseExecOverride("radix=9+tlb=16", ov2, err)) << err;
+    EXPECT_EQ(ov.name(), ov2.name());
+
+    ASSERT_TRUE(parseExecOverride("chunk=256", ov, err)) << err;
+    EXPECT_EQ(ov.readChunkBytes, 256);
+    EXPECT_EQ(ov.name(), "chunk=256");
+
+    EXPECT_FALSE(parseExecOverride("", ov, err));
+    EXPECT_FALSE(parseExecOverride("radix", ov, err));
+    EXPECT_FALSE(parseExecOverride("radix=0", ov, err));
+    EXPECT_FALSE(parseExecOverride("chunk=100", ov, err)); // not pow2
+    EXPECT_FALSE(parseExecOverride("turbo=1", ov, err));
+    EXPECT_FALSE(parseExecOverride("radix=9+", ov, err));
+    // A repeated knob is a typo'd ablation point, not "last wins".
+    EXPECT_FALSE(parseExecOverride("chunk=256+chunk=128", ov, err));
+    EXPECT_NE(err.find("twice"), std::string::npos) << err;
+}
+
+TEST(Campaign, ValidateGridRejectsThetaDuplicates)
+{
+    CampaignGrid grid = testGrid();
+    std::string err;
+
+    grid.zipfThetas = {0.5, 0.5};
+    EXPECT_FALSE(validateGrid(grid, err));
+    EXPECT_NE(err.find("duplicate zipf-theta"), std::string::npos) << err;
+
+    // Thetas identical at the report's 12-digit precision would share
+    // one axis label and resume identity — also rejected.
+    grid.zipfThetas = {0.123456789012, 0.1234567890121};
+    EXPECT_FALSE(validateGrid(grid, err));
+    EXPECT_NE(err.find("12-digit"), std::string::npos) << err;
+
+    grid.zipfThetas = {0.0, 0.5, 0.75};
+    EXPECT_TRUE(validateGrid(grid, err)) << err;
 }
 
 TEST(Campaign, ParallelMatchesSerialByteForByte)
@@ -217,10 +463,20 @@ TEST(CampaignJson, ReportRoundTripsThroughSchema)
     std::string json = campaignReportJson(report);
 
     // Schema markers and grid echo.
-    EXPECT_NE(json.find("\"schema\": \"mondrian-campaign-v1\""),
+    EXPECT_NE(json.find("\"schema\": \"mondrian-campaign-v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"total_runs\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"baseline\": \"cpu\""), std::string::npos);
+
+    // v2 axis tables and per-run axis labels.
+    EXPECT_NE(json.find("\"geometries\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"4x16x8-8MiB-r256\""), std::string::npos);
+    EXPECT_NE(json.find("\"exec_overrides\""), std::string::npos);
+    EXPECT_NE(json.find("\"zipf_thetas\""), std::string::npos);
+    EXPECT_NE(json.find("\"geometry\": \"4x16x8-8MiB-r256\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"exec\": \"base\""), std::string::npos);
+    EXPECT_NE(json.find("\"zipf_theta\": 0"), std::string::npos);
 
     // Every run serializes with its grid coordinates and result payload.
     EXPECT_NE(json.find("\"system\": \"mondrian\""), std::string::npos);
@@ -342,16 +598,53 @@ resumeGrid()
 
 TEST(Resume, GridPointHashIsStableAndDiscriminating)
 {
-    std::string h = ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0);
-    EXPECT_EQ(h, ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0));
-    EXPECT_EQ(h.size(), 16u);
+    const MemGeometry geo = defaultGeometry();
+    const ExecOverride base;
+    std::string h =
+        ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, geo, base);
+    EXPECT_EQ(h, ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, geo,
+                                            base));
+    // The identity is the injective delimited encoding itself, not a
+    // lossy digest: every axis coordinate appears at a fixed position.
+    EXPECT_EQ(h, "cpu|join|15|42|0|4|16|8|256|8388608|-1|-1|-1");
     std::set<std::string> all{h};
-    all.insert(ResumeCache::gridPointHash("nmp", "join", 15, 42, 0.0));
-    all.insert(ResumeCache::gridPointHash("cpu", "scan", 15, 42, 0.0));
-    all.insert(ResumeCache::gridPointHash("cpu", "join", 16, 42, 0.0));
-    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 43, 0.0));
-    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.8));
-    EXPECT_EQ(all.size(), 6u); // every coordinate distinguishes
+    all.insert(ResumeCache::gridPointHash("nmp", "join", 15, 42, 0.0, geo,
+                                          base));
+    all.insert(ResumeCache::gridPointHash("cpu", "scan", 15, 42, 0.0, geo,
+                                          base));
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 16, 42, 0.0, geo,
+                                          base));
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 43, 0.0, geo,
+                                          base));
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.8, geo,
+                                          base));
+    // Every geometry field is an axis coordinate of its own.
+    MemGeometry g2 = geo;
+    g2.vaultsPerStack = 8;
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, g2,
+                                          base));
+    g2 = geo;
+    g2.rowBytes = 2048;
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, g2,
+                                          base));
+    g2 = geo;
+    g2.vaultBytes = 256 * kKiB;
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, g2,
+                                          base));
+    // ... and so is every exec-override knob.
+    ExecOverride ov;
+    ov.radixBits = 9;
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, geo,
+                                          ov));
+    ov = ExecOverride{};
+    ov.readChunkBytes = 256;
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, geo,
+                                          ov));
+    ov = ExecOverride{};
+    ov.tlbEntries = 16;
+    all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, geo,
+                                          ov));
+    EXPECT_EQ(all.size(), 12u); // every coordinate distinguishes
 }
 
 TEST(Resume, FullyCachedRerunMatchesFreshReport)
@@ -447,10 +740,170 @@ TEST(Resume, DifferentWorkloadIsNotReused)
     EXPECT_EQ(report.cachedRuns, 0u);
 
     CampaignGrid skewed = grid;
-    skewed.zipfTheta = 0.5; // same seeds, different keys: no reuse either
+    skewed.zipfThetas = {0.5}; // same seeds, different keys: no reuse either
     CampaignRunner skew_runner(skewed);
     skew_runner.setResume(&cache);
     EXPECT_EQ(skew_runner.run(1).cachedRuns, 0u);
+
+    CampaignGrid other_geo = grid;
+    other_geo.geometries[0].vaultsPerStack = 8; // different machine: no reuse
+    CampaignRunner geo_runner(other_geo);
+    geo_runner.setResume(&cache);
+    EXPECT_EQ(geo_runner.run(1).cachedRuns, 0u);
+
+    CampaignGrid other_exec = grid;
+    other_exec.execOverrides[0].readChunkBytes = 128; // ablated: no reuse
+    CampaignRunner exec_runner(other_exec);
+    exec_runner.setResume(&cache);
+    EXPECT_EQ(exec_runner.run(1).cachedRuns, 0u);
+}
+
+TEST(Resume, SplicesAcrossAxisValues)
+{
+    // A partial sweep (one geometry) resumed into a multi-axis sweep must
+    // splice the cached points and only run the new geometry's points.
+    CampaignGrid one;
+    one.systems = {SystemKind::kCpu, SystemKind::kMondrian};
+    one.ops = {OpKind::kScan};
+    one.log2Tuples = {8};
+    one.seeds = {42};
+    CampaignReport prior = CampaignRunner(one).run(1);
+    ResumeCache cache;
+    std::string err;
+    ASSERT_TRUE(cache.load(campaignReportJson(prior), err)) << err;
+
+    CampaignGrid sweep = one;
+    MemGeometry narrow = defaultGeometry();
+    narrow.vaultsPerStack = 8;
+    sweep.geometries = {defaultGeometry(), narrow};
+
+    CampaignRunner runner(sweep);
+    runner.setResume(&cache);
+    std::size_t executed = 0;
+    runner.onRunDone([&executed, &narrow](const CampaignRun &r) {
+        ++executed;
+        EXPECT_EQ(geometryName(r.job.geometry), geometryName(narrow));
+    });
+    CampaignReport reference = CampaignRunner(sweep).run(1);
+    CampaignReport resumed = runner.run(1);
+
+    EXPECT_EQ(resumed.cachedRuns, one.size());
+    EXPECT_EQ(executed, sweep.size() - one.size());
+    EXPECT_EQ(campaignReportJson(resumed).find("\"cached\""),
+              std::string::npos);
+    // The spliced report's runs subtree is byte-identical to a fresh
+    // full-sweep report.
+    auto runsSpan = [](const std::string &json) {
+        JsonValue doc;
+        std::string perr;
+        EXPECT_TRUE(parseJson(json, doc, perr)) << perr;
+        const JsonValue *runs = doc.find("runs");
+        EXPECT_NE(runs, nullptr);
+        return json.substr(runs->begin, runs->end - runs->begin);
+    };
+    EXPECT_EQ(runsSpan(campaignReportJson(resumed)),
+              runsSpan(campaignReportJson(reference)));
+}
+
+TEST(Resume, LoadsLegacyV1ReportsAtDefaultAxes)
+{
+    // Hand-built v1 report (the pre-axis schema): one cpu/scan run at
+    // 2^8, seed 42, campaign-wide zipf_theta 0. Its result payload is a
+    // real RunResult so the cache can parse it.
+    WorkloadConfig wl;
+    wl.tuples = 1u << 8;
+    RunResult r = Runner(wl).run(SystemKind::kCpu, OpKind::kScan);
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "mondrian-campaign-v1");
+    w.key("grid").beginObject();
+    w.member("zipf_theta", 0.0);
+    w.endObject();
+    w.key("runs").beginArray();
+    w.beginObject();
+    w.member("index", std::uint64_t{0});
+    w.member("system", "cpu");
+    w.member("op", "scan");
+    w.member("log2_tuples", std::uint64_t{8});
+    w.member("seed", std::uint64_t{42});
+    w.key("result");
+    writeRunResult(w, r);
+    w.endObject();
+    w.endArray();
+    w.endObject();
+
+    ResumeCache cache;
+    std::string err;
+    ASSERT_TRUE(cache.load(w.str(), err)) << err;
+    EXPECT_EQ(cache.size(), 1u);
+
+    // The v1 point lands at the default geometry + base exec, so a v2
+    // campaign over those axis values reuses it...
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu};
+    grid.ops = {OpKind::kScan};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+    CampaignRunner runner(grid);
+    runner.setResume(&cache);
+    CampaignReport report = runner.run(1);
+    EXPECT_EQ(report.cachedRuns, 1u);
+    EXPECT_EQ(report.runs[0].result.totalTime, r.totalTime);
+
+    // ... and a campaign at any other geometry does not.
+    CampaignGrid other = grid;
+    other.geometries[0].vaultsPerStack = 8;
+    CampaignRunner other_runner(other);
+    other_runner.setResume(&cache);
+    EXPECT_EQ(other_runner.run(1).cachedRuns, 0u);
+}
+
+TEST(Campaign, BaselinePairingIsPerAxisPoint)
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kNmp};
+    grid.ops = {OpKind::kScan};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+    MemGeometry narrow = defaultGeometry();
+    narrow.vaultsPerStack = 8;
+    grid.geometries = {defaultGeometry(), narrow};
+
+    CampaignReport report = CampaignRunner(grid).run(1);
+    auto base = baselineIndex(report.runs, SystemKind::kCpu);
+    ASSERT_EQ(base.size(), 2u); // one cpu baseline per geometry point
+    for (const auto &r : report.runs) {
+        auto it = base.find(gridGroupKey(r));
+        ASSERT_NE(it, base.end());
+        EXPECT_EQ(geometryName(it->second->job.geometry),
+                  geometryName(r.job.geometry));
+    }
+    // Summaries geomean across both geometry points.
+    ASSERT_EQ(report.summaries.size(), 1u);
+    EXPECT_EQ(report.summaries[0].runs, 2u);
+}
+
+TEST(Campaign, DryRunListsAxesWithoutSimulating)
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
+    grid.ops = {OpKind::kJoin};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+    grid.zipfThetas = {0.0, 0.75};
+
+    std::string listing = campaignDryRun(grid);
+    EXPECT_NE(listing.find("4 runs"), std::string::npos);
+    EXPECT_NE(listing.find("geo=4x16x8-8MiB-r256"), std::string::npos);
+    EXPECT_NE(listing.find("exec=base"), std::string::npos);
+    EXPECT_NE(listing.find("zipf=0.75"), std::string::npos);
+    EXPECT_NE(listing.find("baseline"), std::string::npos);
+    EXPECT_NE(listing.find("vs [0]"), std::string::npos);
+    EXPECT_NE(listing.find("2 baseline-paired"), std::string::npos);
+
+    CampaignGrid bad = grid;
+    bad.ops.clear();
+    EXPECT_THROW(campaignDryRun(bad), std::invalid_argument);
 }
 
 TEST(Resume, RejectsForeignDocuments)

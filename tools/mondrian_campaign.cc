@@ -2,14 +2,18 @@
  * @file
  * mondrian_campaign: CLI driver for parallel simulation campaigns.
  *
- * Expands a declarative {system x op x scale x seed} grid into independent
- * runs, executes them across hardware threads, and writes a deterministic
- * JSON report (the artifact CI archives on every push).
+ * Expands a declarative design-space grid — {system x op x scale x seed x
+ * geometry x exec-override x zipf-theta} — into independent runs, executes
+ * them across hardware threads, and writes a deterministic JSON report
+ * (the artifact CI archives on every push).
  *
  * Examples:
  *   mondrian_campaign --smoke --out smoke.json
  *   mondrian_campaign --systems cpu,nmp,mondrian --ops join,groupby \
  *       --log2-tuples 12,14 --seeds 42,43 --jobs 8 --out sweep.json
+ *   mondrian_campaign --systems cpu,mondrian --ops join \
+ *       --geometry 4x8,4x16,4x32 --exec-ablation base,radix=9+tlb=16 \
+ *       --zipf 0,0.75 --dry-run
  *
  * The report for a given grid is byte-identical for any --jobs value;
  * scripts/check_determinism.sh guards that contract in CI.
@@ -46,14 +50,23 @@ usage(const char *prog)
         "  --ops a,b,...          operators: scan sort groupby join (default: all)\n"
         "  --log2-tuples a,b,...  scale factors, log2 of |S| (default: 15)\n"
         "  --seeds a,b,...        workload seeds (default: 42)\n"
-        "  --zipf THETA           Zipf key skew for all runs (default: 0)\n"
+        "  --geometry a,b,...     memory geometry axis; each spec is\n"
+        "                         SxV[xB][:row=N][:vault=SIZE] or 'default',\n"
+        "                         e.g. 2x8 8x32 4x16:row=2048 4x16:vault=256KiB\n"
+        "  --exec-ablation a,b,.. exec-config ablation axis; each point is\n"
+        "                         'base' or '+'-joined knobs radix=N chunk=N\n"
+        "                         tlb=N, e.g. base,radix=9,chunk=256+tlb=16\n"
+        "  --zipf t1,t2,...       Zipf key-skew axis (default: 0)\n"
         "\n"
         "Execution:\n"
         "  --jobs N               worker threads; 0 = hardware threads (default: 1)\n"
         "  --out PATH             write the JSON report to PATH (default: stdout)\n"
-        "  --resume REPORT        reuse results from a prior report: grid points\n"
-        "                         whose (config, workload) hash matches are not\n"
-        "                         re-simulated (incremental reruns)\n"
+        "  --resume REPORT        reuse results from a prior report (v1 or v2):\n"
+        "                         grid points whose (config, workload) hash\n"
+        "                         matches are not re-simulated\n"
+        "  --dry-run              print the expanded job list (all axes,\n"
+        "                         baseline pairing, cache hits) and exit\n"
+        "                         without simulating\n"
         "  --quiet                suppress per-run progress on stderr\n"
         "  --help                 this text\n",
         prog);
@@ -128,6 +141,7 @@ main(int argc, char **argv)
     std::string out_path;
     std::string resume_path;
     bool quiet = false;
+    bool dry_run = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -179,11 +193,41 @@ main(int argc, char **argv)
                     die("duplicate seed '" + v + "'");
                 grid.seeds.push_back(s);
             }
+        } else if (arg == "--geometry") {
+            grid.geometries.clear();
+            for (const auto &spec : splitCsv(argValue(argc, argv, i, "--geometry"))) {
+                MemGeometry geo;
+                std::string err;
+                if (!parseGeometrySpec(spec, geo, err))
+                    die("--geometry '" + spec + "': " + err);
+                for (const MemGeometry &g : grid.geometries)
+                    if (geometryName(g) == geometryName(geo))
+                        die("duplicate geometry '" + spec + "'");
+                grid.geometries.push_back(geo);
+            }
+        } else if (arg == "--exec-ablation") {
+            grid.execOverrides.clear();
+            for (const auto &spec : splitCsv(argValue(argc, argv, i, "--exec-ablation"))) {
+                ExecOverride ov;
+                std::string err;
+                if (!parseExecOverride(spec, ov, err))
+                    die("--exec-ablation '" + spec + "': " + err);
+                for (const ExecOverride &o : grid.execOverrides)
+                    if (o.name() == ov.name())
+                        die("duplicate exec-ablation point '" + spec + "'");
+                grid.execOverrides.push_back(ov);
+            }
         } else if (arg == "--zipf") {
-            grid.zipfTheta =
-                parseDouble(argValue(argc, argv, i, "--zipf"), "--zipf");
-            if (grid.zipfTheta < 0.0)
-                die("--zipf must be >= 0");
+            grid.zipfThetas.clear();
+            for (const auto &v : splitCsv(argValue(argc, argv, i, "--zipf"))) {
+                double z = parseDouble(v, "--zipf");
+                if (z < 0.0 || z >= 2.0)
+                    die("--zipf values must be in [0, 2)");
+                if (std::find(grid.zipfThetas.begin(), grid.zipfThetas.end(),
+                              z) != grid.zipfThetas.end())
+                    die("duplicate --zipf value '" + v + "'");
+                grid.zipfThetas.push_back(z);
+            }
         } else if (arg == "--jobs") {
             std::uint64_t n =
                 parseU64(argValue(argc, argv, i, "--jobs"), "--jobs");
@@ -194,6 +238,8 @@ main(int argc, char **argv)
             out_path = argValue(argc, argv, i, "--out");
         } else if (arg == "--resume") {
             resume_path = argValue(argc, argv, i, "--resume");
+        } else if (arg == "--dry-run") {
+            dry_run = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -202,19 +248,16 @@ main(int argc, char **argv)
         }
     }
 
-    if (grid.size() == 0)
-        die("empty grid (no systems, ops, scales or seeds)");
-
-    const std::size_t total = grid.size();
-    std::fprintf(stderr,
-                 "campaign: %zu runs (%zu systems x %zu ops x %zu scales x "
-                 "%zu seeds), jobs=%u\n",
-                 total, grid.systems.size(), grid.ops.size(),
-                 grid.log2Tuples.size(), grid.seeds.size(), jobs);
+    // Fail fast on empty axes or invalid geometries — a grid that cannot
+    // run must never emit an empty report.
+    std::string grid_error;
+    if (!validateGrid(grid, grid_error))
+        die(grid_error);
 
     CampaignRunner campaign(grid);
 
     ResumeCache cache;
+    bool have_cache = false;
     if (!resume_path.empty()) {
         std::ifstream in(resume_path, std::ios::binary);
         if (!in)
@@ -227,15 +270,51 @@ main(int argc, char **argv)
         std::fprintf(stderr, "resume: %zu cached grid points loaded from %s\n",
                      cache.size(), resume_path.c_str());
         campaign.setResume(&cache);
+        have_cache = true;
     }
+
+    if (dry_run) {
+        std::string listing;
+        try {
+            listing = campaignDryRun(grid, have_cache ? &cache : nullptr);
+        } catch (const std::exception &e) {
+            die(e.what());
+        }
+        std::fwrite(listing.data(), 1, listing.size(), stdout);
+        return 0;
+    }
+
+    const std::size_t total = grid.size();
+    std::fprintf(stderr,
+                 "campaign: %zu runs (%zu systems x %zu ops x %zu scales x "
+                 "%zu seeds x %zu geometries x %zu exec points x %zu "
+                 "thetas), jobs=%u\n",
+                 total, grid.systems.size(), grid.ops.size(),
+                 grid.log2Tuples.size(), grid.seeds.size(),
+                 grid.geometries.size(), grid.execOverrides.size(),
+                 grid.zipfThetas.size(), jobs);
 
     std::size_t done = 0;
     if (!quiet) {
-        campaign.onRunDone([&done, total](const CampaignRun &r) {
+        const bool multi_axis = grid.geometries.size() > 1 ||
+                                grid.execOverrides.size() > 1 ||
+                                grid.zipfThetas.size() > 1;
+        campaign.onRunDone([&done, total, multi_axis](const CampaignRun &r) {
             ++done;
-            std::fprintf(stderr, "[%zu/%zu] %s on %s: %s ms\n", done, total,
-                         r.result.op.c_str(), r.result.system.c_str(),
-                         fmt(r.result.seconds() * 1e3, 3).c_str());
+            if (multi_axis) {
+                std::fprintf(stderr, "[%zu/%zu] %s on %s (%s, %s, zipf %g): "
+                             "%s ms\n",
+                             done, total, r.result.op.c_str(),
+                             r.result.system.c_str(),
+                             geometryName(r.job.geometry).c_str(),
+                             r.job.exec.name().c_str(), r.job.zipfTheta,
+                             fmt(r.result.seconds() * 1e3, 3).c_str());
+            } else {
+                std::fprintf(stderr, "[%zu/%zu] %s on %s: %s ms\n", done,
+                             total, r.result.op.c_str(),
+                             r.result.system.c_str(),
+                             fmt(r.result.seconds() * 1e3, 3).c_str());
+            }
         });
     }
 
