@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_args.hh"
+
 #include "common/logging.hh"
 #include "engine/spark.hh"
 #include "engine/workload.hh"
@@ -77,7 +79,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    std::uint64_t events = 1ull << (argc > 1 ? std::atoi(argv[1]) : 15);
+    std::uint64_t events =
+        1ull << example_args::intArg(argc, argv, 1, "log2_events", 8, 24, 15);
     std::printf("Clickstream pipeline: filter -> join -> reduceByKey -> "
                 "sortByKey over %llu events\n\n",
                 static_cast<unsigned long long>(events));

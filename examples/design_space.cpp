@@ -17,6 +17,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "example_args.hh"
+
 #include "common/logging.hh"
 #include "system/campaign.hh"
 #include "system/report.hh"
@@ -28,22 +30,12 @@ main(int argc, char **argv)
 {
     setVerbose(false);
 
-    int log2_tuples = argc > 1 ? std::atoi(argv[1]) : 15;
-    if (log2_tuples < 4 || log2_tuples > 24) {
-        std::fprintf(stderr, "log2_tuples must be in [4, 24]\n");
-        return 2;
-    }
-    int jobs_arg = argc > 3 ? std::atoi(argv[3]) : 0;
-    if (jobs_arg < 0 || jobs_arg > 1024) {
-        std::fprintf(stderr, "jobs must be in [0, 1024]\n");
-        return 2;
-    }
+    long log2_tuples =
+        example_args::intArg(argc, argv, 1, "log2_tuples", 4, 24, 15);
+    long jobs_arg = example_args::intArg(argc, argv, 3, "jobs", 0, 1024, 0);
     CampaignGrid grid = paperGrid(static_cast<unsigned>(log2_tuples));
-    double theta = argc > 2 ? std::atof(argv[2]) : 0.0;
-    if (theta < 0.0 || theta >= 2.0) {
-        std::fprintf(stderr, "zipf_theta must be in [0, 2)\n");
-        return 2;
-    }
+    double theta =
+        example_args::doubleArg(argc, argv, 2, "zipf_theta", 0.0, 2.0, 0.0);
     grid.zipfThetas = {theta};
     unsigned jobs = static_cast<unsigned>(jobs_arg);
 

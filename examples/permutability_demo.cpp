@@ -17,6 +17,8 @@
 #include <cstdlib>
 #include <set>
 
+#include "example_args.hh"
+
 #include "common/logging.hh"
 #include "engine/ops.hh"
 #include "engine/partitioner.hh"
@@ -30,7 +32,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    std::uint64_t tuples = 1ull << (argc > 1 ? std::atoi(argv[1]) : 15);
+    std::uint64_t tuples =
+        1ull << example_args::intArg(argc, argv, 1, "log2_tuples", 8, 24, 15);
     std::printf("Permutable shuffle demo: %llu tuples across 64 vaults\n\n",
                 static_cast<unsigned long long>(tuples));
 

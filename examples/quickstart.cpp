@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_args.hh"
+
 #include "common/logging.hh"
 #include "system/report.hh"
 #include "system/runner.hh"
@@ -19,7 +21,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    unsigned log2_tuples = argc > 1 ? std::atoi(argv[1]) : 16;
+    unsigned log2_tuples = static_cast<unsigned>(
+        example_args::intArg(argc, argv, 1, "log2_tuples", 8, 24, 16));
 
     WorkloadConfig wl;
     wl.tuples = 1ull << log2_tuples;

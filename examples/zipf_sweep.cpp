@@ -12,9 +12,12 @@
  * shuffle no matter how writes are ordered, so the edge shrinks as theta
  * grows — this sweep quantifies by how much.
  *
- * Usage: zipf_sweep [log2_tuples] [jobs]
+ * Usage: zipf_sweep [log2_tuples] [jobs] [csv_prefix]
  *   log2_tuples: scale factor (default 12)
  *   jobs: worker threads (default 0 = one per hardware thread)
+ *   csv_prefix: when given, write chart-ready CSV next to the tables:
+ *     <prefix>-runs.csv (every run, via the report-analysis layer) and
+ *     <prefix>-edge.csv (the per-theta permutability edge)
  */
 
 #include <cstdio>
@@ -25,27 +28,42 @@
 #include <tuple>
 #include <vector>
 
+#include "example_args.hh"
+
+#include "common/file_io.hh"
 #include "common/logging.hh"
+#include "system/analysis.hh"
 #include "system/campaign.hh"
 #include "system/report.hh"
+#include "system/report_model.hh"
 
 using namespace mondrian;
+
+namespace {
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::string error;
+    if (!writeTextFile(path, text, error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return false;
+    }
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), text.size());
+    return true;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     setVerbose(false);
 
-    int log2_tuples = argc > 1 ? std::atoi(argv[1]) : 12;
-    if (log2_tuples < 8 || log2_tuples > 22) {
-        std::fprintf(stderr, "log2_tuples must be in [8, 22]\n");
-        return 2;
-    }
-    int jobs_arg = argc > 2 ? std::atoi(argv[2]) : 0;
-    if (jobs_arg < 0 || jobs_arg > 1024) {
-        std::fprintf(stderr, "jobs must be in [0, 1024]\n");
-        return 2;
-    }
+    long log2_tuples =
+        example_args::intArg(argc, argv, 1, "log2_tuples", 8, 22, 12);
+    long jobs_arg = example_args::intArg(argc, argv, 2, "jobs", 0, 1024, 0);
+    std::string csv_prefix = argc > 3 ? argv[3] : "";
 
     CampaignGrid grid;
     grid.systems = {SystemKind::kNmp, SystemKind::kNmpPerm,
@@ -56,7 +74,7 @@ main(int argc, char **argv)
     grid.zipfThetas = {0.0, 0.5, 0.75, 0.99};
 
     std::printf("Zipf-skew study: %zu thetas x %zu ops x %zu systems = "
-                "%zu runs at 2^%d tuples\n\n",
+                "%zu runs at 2^%ld tuples\n\n",
                 grid.zipfThetas.size(), grid.ops.size(), grid.systems.size(),
                 grid.size(), log2_tuples);
 
@@ -81,6 +99,9 @@ main(int argc, char **argv)
     std::vector<std::vector<std::string>> table;
     table.push_back({"theta", "op", "pair", "speedup", "partition",
                      "perm GB/s/vault"});
+    // Chart-ready form of the same rows, full precision.
+    std::string edge_csv =
+        "theta,op,pair,speedup,partition_speedup,perm_vault_bw_gbps\n";
     // edge[pair] tracks the theta at which permutability stops paying.
     std::map<std::string, double> lastWinningTheta;
     for (double theta : grid.zipfThetas) {
@@ -101,6 +122,15 @@ main(int argc, char **argv)
                 table.push_back({fmt(theta, 2), opKindName(op), pairName,
                                  fmt(speedup, 2) + "x", part,
                                  fmt(p->partitionVaultBWGBps, 2)});
+                edge_csv += fmt(theta, 2) + "," + opKindName(op) + "," +
+                            pairName + ",";
+                JsonWriter::appendDouble(edge_csv, speedup);
+                edge_csv += ",";
+                JsonWriter::appendDouble(edge_csv,
+                                         partitionSpeedup(*base, *p));
+                edge_csv += ",";
+                JsonWriter::appendDouble(edge_csv, p->partitionVaultBWGBps);
+                edge_csv += "\n";
                 if (speedup > 1.005)
                     lastWinningTheta[pairName] =
                         std::max(lastWinningTheta[pairName], theta);
@@ -108,6 +138,21 @@ main(int argc, char **argv)
         }
     }
     std::printf("%s\n", renderTable(table).c_str());
+
+    if (!csv_prefix.empty()) {
+        // Round-trip the report through its JSON schema into the
+        // analysis layer, so the CSV is exactly what any consumer of the
+        // report artifact would compute.
+        ReportModel model;
+        std::string err;
+        if (!loadReportModel(campaignReportJson(report), model, err)) {
+            std::fprintf(stderr, "report model: %s\n", err.c_str());
+            return 2;
+        }
+        if (!writeFile(csv_prefix + "-runs.csv", runsCsv(model, "")) ||
+            !writeFile(csv_prefix + "-edge.csv", edge_csv))
+            return 2;
+    }
 
     std::printf("Permutability edge (speedup > 1.005x) survives up to:\n");
     for (const auto &[pairName, theta] : lastWinningTheta)

@@ -1,84 +1,36 @@
 #!/usr/bin/env bash
-# Diff a campaign report's summary geomeans against committed golden
-# values (the nightly full-paper-grid regression gate).
+# Diff a campaign report against the committed golden report (the
+# nightly full-paper-grid regression gate) with mondrian_report — a
+# structured, field-by-field comparison of every run and summary row,
+# instead of text-scraping the JSON with awk.
 #
-# Golden file format: one line per system, whitespace-separated:
-#   <system> <geomean_speedup> <geomean_perf_per_watt>
+# Timing is integer-tick deterministic, but energy and the summary
+# geomeans go through floating point (exp/log in libm), so the
+# comparison uses a relative tolerance (GOLDEN_RTOL, default 1e-6)
+# instead of byte equality.
 #
-# Timing is integer-tick deterministic, but the geomeans go through
-# exp/log in libm, so the comparison uses a relative tolerance
-# (GOLDEN_RTOL, default 1e-6) instead of byte equality.
-#
-# Usage: scripts/check_golden.sh report.json golden.txt
+# Usage: scripts/check_golden.sh report.json golden-report.json [report-bin]
 set -euo pipefail
 
-REPORT="${1:?usage: check_golden.sh report.json golden.txt}"
-GOLDEN="${2:?usage: check_golden.sh report.json golden.txt}"
+REPORT="${1:?usage: check_golden.sh report.json golden-report.json [report-bin]}"
+GOLDEN="${2:?usage: check_golden.sh report.json golden-report.json [report-bin]}"
+REPORT_BIN="${3:-build/mondrian_report}"
 RTOL="${GOLDEN_RTOL:-1e-6}"
 
 [[ -f "$REPORT" ]] || { echo "error: report '$REPORT' not found" >&2; exit 2; }
 [[ -f "$GOLDEN" ]] || { echo "error: golden '$GOLDEN' not found" >&2; exit 2; }
-
-# Extract "<system> <speedup> <perf/W>" rows from the report's summary
-# section (the deterministic writer always renders it last, one member
-# per line).
-extract_summary() {
-    awk '
-        /^  "summary":/ { in_summary = 1 }
-        !in_summary { next }
-        /"system":/  { gsub(/[",]/, "", $2); sys = $2 }
-        /"geomean_speedup":/    { gsub(/,/, "", $2); sp = $2 }
-        /"geomean_perf_per_watt":/ {
-            gsub(/,/, "", $2); print sys, sp, $2
-        }
-    ' "$1"
-}
-
-extract_summary "$REPORT" > /tmp/golden_actual.$$
-trap 'rm -f /tmp/golden_actual.$$' EXIT
-
-if [[ ! -s /tmp/golden_actual.$$ ]]; then
-    echo "FAIL: no summary rows found in $REPORT" >&2
-    exit 1
+if [[ ! -x "$REPORT_BIN" ]]; then
+    echo "error: $REPORT_BIN not found or not executable" >&2
+    echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+    exit 2
 fi
 
-echo "== summary geomeans in $REPORT"
-cat /tmp/golden_actual.$$
+echo "== summary of $REPORT"
+"$REPORT_BIN" summary "$REPORT"
 
-# Join on system name and compare each metric within RTOL.
-awk -v rtol="$RTOL" '
-    function relerr(a, b) {
-        d = a - b; if (d < 0) d = -d
-        m = a < 0 ? -a : a; if (m < 1e-300) m = 1e-300
-        return d / m
-    }
-    NR == FNR {
-        if (NF >= 3 && $1 !~ /^#/) { gsp[$1] = $2; gpw[$1] = $3; n++ }
-        next
-    }
-    {
-        seen[$1] = 1
-        if (!($1 in gsp)) {
-            printf "FAIL: system %s missing from golden file\n", $1
-            bad = 1; next
-        }
-        if (relerr(gsp[$1], $2) > rtol) {
-            printf "FAIL: %s geomean_speedup %s != golden %s (rtol %s)\n",
-                   $1, $2, gsp[$1], rtol
-            bad = 1
-        }
-        if (relerr(gpw[$1], $3) > rtol) {
-            printf "FAIL: %s geomean_perf_per_watt %s != golden %s (rtol %s)\n",
-                   $1, $3, gpw[$1], rtol
-            bad = 1
-        }
-    }
-    END {
-        for (s in gsp) if (!(s in seen)) {
-            printf "FAIL: golden system %s missing from report\n", s
-            bad = 1
-        }
-        if (bad) exit 1
-        printf "OK: %d systems match golden geomeans within rtol %s\n", n, rtol
-    }
-' "$GOLDEN" /tmp/golden_actual.$$
+echo "== diff vs $GOLDEN (rtol $RTOL)"
+if ! "$REPORT_BIN" diff "$GOLDEN" "$REPORT" --rtol "$RTOL"; then
+    echo "FAIL: $REPORT differs from golden $GOLDEN beyond rtol $RTOL" >&2
+    exit 1
+fi
+echo "OK: report matches golden within rtol $RTOL"

@@ -91,6 +91,16 @@ class JsonWriter
         out.append(buf, res.ptr);
     }
 
+    /** appendDouble() as a fresh string — the canonical label of a
+     *  double-valued axis coordinate (report text, resume keys, CSV). */
+    static std::string
+    doubleString(double v)
+    {
+        std::string out;
+        appendDouble(out, v);
+        return out;
+    }
+
     JsonWriter &
     value(double v)
     {

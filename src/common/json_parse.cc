@@ -42,6 +42,115 @@ JsonValue::asString() const
 
 namespace {
 
+/** Append one Unicode code point to @p out as UTF-8. */
+void
+appendUtf8(std::string &out, std::uint32_t code)
+{
+    if (code < 0x80) {
+        out += static_cast<char>(code);
+    } else if (code < 0x800) {
+        out += static_cast<char>(0xc0 | (code >> 6));
+        out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+        out += static_cast<char>(0xe0 | (code >> 12));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+        out += static_cast<char>(0xf0 | (code >> 18));
+        out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+}
+
+/** Parse the 4 hex digits at @p pos; false when short or non-hex. */
+bool
+parseHex4(const std::string &text, std::size_t pos, std::uint32_t &code)
+{
+    if (pos + 4 > text.size())
+        return false;
+    code = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        char c = text[pos + i];
+        code <<= 4;
+        if (c >= '0' && c <= '9')
+            code |= static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            code |= static_cast<std::uint32_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            code |= static_cast<std::uint32_t>(c - 'A' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+jsonUnescape(const std::string &body, std::string &out, std::string &error)
+{
+    out.clear();
+    out.reserve(body.size());
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+        char c = body[pos++];
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (pos >= body.size()) {
+            error = "dangling backslash";
+            return false;
+        }
+        char e = body[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            std::uint32_t code;
+            if (!parseHex4(body, pos, code)) {
+                error = "bad \\u escape";
+                return false;
+            }
+            pos += 4;
+            if (code >= 0xdc00 && code <= 0xdfff) {
+                error = "unpaired low surrogate in \\u escape";
+                return false;
+            }
+            if (code >= 0xd800 && code <= 0xdbff) {
+                // High surrogate: a \uDC00-\uDFFF low half must follow,
+                // and the pair encodes one supplementary code point.
+                std::uint32_t lo = 0;
+                if (pos + 6 > body.size() || body[pos] != '\\' ||
+                    body[pos + 1] != 'u' ||
+                    !parseHex4(body, pos + 2, lo) || lo < 0xdc00 ||
+                    lo > 0xdfff) {
+                    error = "unpaired high surrogate in \\u escape";
+                    return false;
+                }
+                pos += 6;
+                code = 0x10000 + ((code - 0xd800) << 10) + (lo - 0xdc00);
+            }
+            appendUtf8(out, code);
+            break;
+          }
+          default:
+            error = std::string("unknown escape '\\") + e + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
 /** Recursive-descent parser over the source text. */
 class Parser
 {
@@ -97,42 +206,25 @@ class Parser
         if (pos_ >= text_.size() || text_[pos_] != '"')
             return fail("expected string");
         ++pos_;
-        out.clear();
-        while (pos_ < text_.size()) {
-            char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c != '\\') {
-                out += c;
-                continue;
+        // Find the closing quote (a backslash always escapes the next
+        // byte), then decode the whole body in one pass.
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    return fail("unterminated escape");
+                ++pos_;
             }
-            if (pos_ >= text_.size())
-                return fail("unterminated escape");
-            char e = text_[pos_++];
-            switch (e) {
-              case '"': out += '"'; break;
-              case '\\': out += '\\'; break;
-              case '/': out += '/'; break;
-              case 'n': out += '\n'; break;
-              case 't': out += '\t'; break;
-              case 'r': out += '\r'; break;
-              case 'b': out += '\b'; break;
-              case 'f': out += '\f'; break;
-              case 'u': {
-                if (pos_ + 4 > text_.size())
-                    return fail("bad \\u escape");
-                // Pass-through (the writer only emits control codes).
-                unsigned long code =
-                    std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
-                out += static_cast<char>(code & 0x7f);
-                pos_ += 4;
-                break;
-              }
-              default:
-                return fail("unknown escape");
-            }
+            ++pos_;
         }
-        return fail("unterminated string");
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        std::string escape_error;
+        if (!jsonUnescape(text_.substr(start, pos_ - start), out,
+                          escape_error))
+            return fail(escape_error);
+        ++pos_; // closing quote
+        return true;
     }
 
     bool

@@ -9,10 +9,11 @@
  * verbatim) can copy the original text instead of re-serializing —
  * re-serialization of doubles could disturb the last printed digit.
  *
- * Deliberately small: no \uXXXX decoding beyond pass-through, objects as
- * insertion-ordered vectors (the writer emits deterministic key order),
- * numbers kept both as double and as raw text (so 64-bit integers such as
- * seeds survive exactly).
+ * Deliberately small: objects as insertion-ordered vectors (the writer
+ * emits deterministic key order), numbers kept both as double and as raw
+ * text (so 64-bit integers such as seeds survive exactly). String escapes
+ * decode fully — including \uXXXX to UTF-8 with surrogate pairs — via
+ * jsonUnescape(), the exact inverse of JsonWriter's escaper.
  */
 
 #ifndef MONDRIAN_COMMON_JSON_PARSE_HH
@@ -68,6 +69,17 @@ struct JsonValue
  * @return true on success; false with a human-readable @p error otherwise.
  */
 bool parseJson(const std::string &text, JsonValue &out, std::string &error);
+
+/**
+ * Decode the escaped body of a JSON string (the characters between the
+ * quotes) into UTF-8. Handles the simple escapes (\" \\ \/ \n \t \r \b
+ * \f) and \uXXXX — including surrogate pairs, which encode as one
+ * code point — making it the exact inverse of JsonWriter's escaper.
+ * @return false with @p error set on malformed escapes (dangling
+ * backslash, bad hex, unpaired surrogates).
+ */
+bool jsonUnescape(const std::string &body, std::string &out,
+                  std::string &error);
 
 } // namespace mondrian
 

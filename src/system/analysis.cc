@@ -1,0 +1,466 @@
+#include "system/analysis.hh"
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/json.hh"
+#include "system/report.hh"
+
+namespace mondrian {
+
+namespace {
+
+/** Baseline run per comparison group (the ReportModel twin of
+ *  baselineIndex()). */
+std::map<std::string, const ReportRun *>
+baselineRuns(const ReportModel &m, const std::string &baseline)
+{
+    std::map<std::string, const ReportRun *> base;
+    for (const ReportRun &r : m.runs) {
+        if (r.system == baseline)
+            base[r.groupKey()] = &r;
+    }
+    return base;
+}
+
+/** Per-(row label, system) comparison accumulator. */
+struct CellAccum
+{
+    std::size_t total = 0;
+    std::vector<double> speedups;
+    std::vector<double> perfPerWatt;
+};
+
+/**
+ * Shared accumulation for sensitivity tables and the recomputed summary:
+ * group non-baseline runs by @p rowLabel, pair each with the baseline
+ * run of its comparison group, and reduce every group to geomean cells.
+ * Row order is first appearance in the runs (grid order); cell order is
+ * the report's system order.
+ */
+std::vector<SensitivityRow>
+accumulateRows(const ReportModel &m, const std::string &baseline,
+               const std::function<std::string(const ReportRun &)> &rowLabel)
+{
+    auto base = baselineRuns(m, baseline);
+
+    std::vector<std::string> row_order;
+    std::map<std::string, std::map<std::string, CellAccum>> cells;
+    for (const ReportRun &r : m.runs) {
+        if (r.system == baseline)
+            continue;
+        std::string row = rowLabel(r);
+        if (cells.find(row) == cells.end())
+            row_order.push_back(row);
+        CellAccum &acc = cells[row][r.system];
+        ++acc.total;
+        auto it = base.find(r.groupKey());
+        if (it == base.end())
+            continue; // unpaired: counted in total only
+        acc.speedups.push_back(overallSpeedup(it->second->result, r.result));
+        acc.perfPerWatt.push_back(
+            efficiencyImprovement(it->second->result, r.result));
+    }
+
+    std::vector<SensitivityRow> rows;
+    rows.reserve(row_order.size());
+    for (const std::string &label : row_order) {
+        SensitivityRow row;
+        row.value = label;
+        for (const std::string &sys : m.systems) {
+            auto it = cells[label].find(sys);
+            if (it == cells[label].end())
+                continue;
+            const CellAccum &acc = it->second;
+            SensitivityCell cell;
+            cell.system = sys;
+            cell.total = acc.total;
+            cell.paired = acc.speedups.size();
+            GeomeanStats sp = geomeanStats(acc.speedups);
+            GeomeanStats pw = geomeanStats(acc.perfPerWatt);
+            cell.geomeanSpeedup = sp.value;
+            cell.geomeanPerfPerWatt = pw.value;
+            cell.droppedSpeedups = sp.dropped;
+            cell.droppedPerfPerWatt = pw.dropped;
+            row.cells.push_back(std::move(cell));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** |a-b| / max(|a|,|b|); 0 when both sides are exactly 0. */
+double
+relErr(double a, double b)
+{
+    double d = std::fabs(a - b);
+    if (d == 0.0)
+        return 0.0;
+    double m = std::max(std::fabs(a), std::fabs(b));
+    return d / m;
+}
+
+/** Diff accumulation helpers bound to one (where, rtol, out) context. */
+struct FieldDiffer
+{
+    const std::string &where;
+    double rtol;
+    ReportDiff &out;
+
+    void
+    approx(const char *field, double a, double b) const
+    {
+        double e = relErr(a, b);
+        if (e > rtol)
+            out.numeric.push_back({where, field, a, b, e});
+    }
+
+    /** Exact-integer fields (functional outputs, run counts): any
+     *  difference is a mismatch regardless of magnitude. */
+    void
+    exact(const char *field, std::uint64_t a, std::uint64_t b) const
+    {
+        if (a != b) {
+            out.numeric.push_back({where, field, static_cast<double>(a),
+                                   static_cast<double>(b),
+                                   relErr(static_cast<double>(a),
+                                          static_cast<double>(b))});
+        }
+    }
+};
+
+void
+diffRunResult(const std::string &where, const RunResult &a,
+              const RunResult &b, double rtol, ReportDiff &out)
+{
+    FieldDiffer d{where, rtol, out};
+    d.approx("total_time_ps", static_cast<double>(a.totalTime),
+             static_cast<double>(b.totalTime));
+    d.approx("partition_time_ps", static_cast<double>(a.partitionTime),
+             static_cast<double>(b.partitionTime));
+    d.approx("probe_time_ps", static_cast<double>(a.probeTime),
+             static_cast<double>(b.probeTime));
+    d.approx("partition_vault_bw_gbps", a.partitionVaultBWGBps,
+             b.partitionVaultBWGBps);
+    d.approx("probe_vault_bw_gbps", a.probeVaultBWGBps, b.probeVaultBWGBps);
+    d.approx("energy_j.dram_dynamic", a.energy.dramDynamic,
+             b.energy.dramDynamic);
+    d.approx("energy_j.dram_static", a.energy.dramStatic,
+             b.energy.dramStatic);
+    d.approx("energy_j.cores", a.energy.cores, b.energy.cores);
+    d.approx("energy_j.network", a.energy.network, b.energy.network);
+    d.exact("functional.scan_matches", a.scanMatches, b.scanMatches);
+    d.exact("functional.join_matches", a.joinMatches, b.joinMatches);
+    d.exact("functional.group_count", a.groupCount, b.groupCount);
+    d.exact("functional.agg_checksum", a.aggChecksum, b.aggChecksum);
+
+    if (a.phases.size() != b.phases.size()) {
+        out.structural.push_back(where + ": " +
+                                 std::to_string(a.phases.size()) +
+                                 " phases vs " +
+                                 std::to_string(b.phases.size()));
+        return;
+    }
+    for (std::size_t i = 0; i < a.phases.size(); ++i) {
+        const PhaseResult &pa = a.phases[i];
+        const PhaseResult &pb = b.phases[i];
+        const std::string tag = "phases[" + std::to_string(i) + "]";
+        if (pa.name != pb.name || pa.kind != pb.kind) {
+            out.structural.push_back(where + ": " + tag + " is " + pa.name +
+                                     " vs " + pb.name);
+            continue;
+        }
+        FieldDiffer pd{where, rtol, out};
+        const std::string time_f = tag + ".time_ps";
+        const std::string bytes_f = tag + ".dram_bytes";
+        const std::string act_f = tag + ".activations";
+        pd.approx(time_f.c_str(), static_cast<double>(pa.time),
+                  static_cast<double>(pb.time));
+        pd.approx(bytes_f.c_str(), static_cast<double>(pa.dramBytes),
+                  static_cast<double>(pb.dramBytes));
+        pd.approx(act_f.c_str(), static_cast<double>(pa.activations),
+                  static_cast<double>(pb.activations));
+    }
+}
+
+} // namespace
+
+const char *
+axisName(Axis axis)
+{
+    switch (axis) {
+      case Axis::kGeometry: return "geometry";
+      case Axis::kExec: return "exec";
+      case Axis::kZipfTheta: return "zipf-theta";
+      case Axis::kScale: return "scale";
+      case Axis::kOp: return "op";
+      case Axis::kSeed: return "seed";
+    }
+    return "?";
+}
+
+bool
+axisFromName(const std::string &name, Axis &out)
+{
+    for (Axis axis : allAxes()) {
+        if (name == axisName(axis)) {
+            out = axis;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<Axis> &
+allAxes()
+{
+    static const std::vector<Axis> axes = {Axis::kGeometry, Axis::kExec,
+                                           Axis::kZipfTheta, Axis::kScale,
+                                           Axis::kOp, Axis::kSeed};
+    return axes;
+}
+
+std::string
+axisValueLabel(const ReportRun &run, Axis axis)
+{
+    switch (axis) {
+      case Axis::kGeometry: return run.geometry;
+      case Axis::kExec: return run.exec;
+      case Axis::kZipfTheta: return JsonWriter::doubleString(run.zipfTheta);
+      case Axis::kScale: return "2^" + std::to_string(run.log2Tuples);
+      case Axis::kOp: return run.op;
+      case Axis::kSeed: return std::to_string(run.seed);
+    }
+    return "?";
+}
+
+SensitivityTable
+sensitivity(const ReportModel &m, Axis axis, const std::string &baseline)
+{
+    SensitivityTable t;
+    t.axis = axis;
+    t.baseline = baseline;
+    t.rows = accumulateRows(m, baseline, [axis](const ReportRun &r) {
+        return axisValueLabel(r, axis);
+    });
+    return t;
+}
+
+std::string
+renderSensitivityMarkdown(const SensitivityTable &t)
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({axisName(t.axis), "system", "paired",
+                    "geomean speedup", "geomean perf/W"});
+    for (const SensitivityRow &row : t.rows) {
+        for (const SensitivityCell &c : row.cells) {
+            rows.push_back(
+                {row.value, c.system, pairedCountLabel(c.paired, c.total),
+                 geomeanCellLabel(c.geomeanSpeedup, c.droppedSpeedups, 4),
+                 geomeanCellLabel(c.geomeanPerfPerWatt,
+                                  c.droppedPerfPerWatt, 4)});
+        }
+    }
+    return renderMarkdownTable(rows);
+}
+
+std::string
+sensitivityCsv(const SensitivityTable &t)
+{
+    std::string out = "axis,value,system,paired,total,dropped_speedups,"
+                      "dropped_perf_per_watt,geomean_speedup,"
+                      "geomean_perf_per_watt\n";
+    for (const SensitivityRow &row : t.rows) {
+        for (const SensitivityCell &c : row.cells) {
+            out += std::string(axisName(t.axis)) + "," + row.value + "," +
+                   c.system + "," + std::to_string(c.paired) + "," +
+                   std::to_string(c.total) + "," +
+                   std::to_string(c.droppedSpeedups) + "," +
+                   std::to_string(c.droppedPerfPerWatt) + ",";
+            JsonWriter::appendDouble(out, c.geomeanSpeedup);
+            out += ",";
+            JsonWriter::appendDouble(out, c.geomeanPerfPerWatt);
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+AnalysisSummary
+recomputeSummary(const ReportModel &m, const std::string &baseline)
+{
+    AnalysisSummary s;
+    s.baseline = baseline;
+    auto rows = accumulateRows(
+        m, baseline, [](const ReportRun &) { return std::string("all"); });
+    if (!rows.empty())
+        s.systems = std::move(rows.front().cells);
+    return s;
+}
+
+std::string
+renderSummaryMarkdown(const AnalysisSummary &s)
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"system", "paired runs", "geomean speedup",
+                    "geomean perf/W"});
+    for (const SensitivityCell &c : s.systems) {
+        rows.push_back(
+            {c.system, pairedCountLabel(c.paired, c.total),
+             geomeanCellLabel(c.geomeanSpeedup, c.droppedSpeedups, 4),
+             geomeanCellLabel(c.geomeanPerfPerWatt, c.droppedPerfPerWatt,
+                              4)});
+    }
+    return renderMarkdownTable(rows);
+}
+
+ReportDiff
+diffReports(const ReportModel &a, const ReportModel &b, double rtol)
+{
+    ReportDiff out;
+    if (a.baseline != b.baseline) {
+        out.structural.push_back("baseline: '" + a.baseline + "' vs '" +
+                                 b.baseline + "'");
+    }
+
+    // Group both sides by point key so duplicates — a report with two
+    // runs at one grid point is corrupt — surface structurally instead
+    // of being silently collapsed by a last-wins map.
+    std::map<std::string, std::vector<const ReportRun *>> a_runs, b_runs;
+    for (const ReportRun &r : a.runs)
+        a_runs[r.pointKey()].push_back(&r);
+    for (const ReportRun &r : b.runs)
+        b_runs[r.pointKey()].push_back(&r);
+    auto noteDuplicates = [&out](const auto &by_key, const char *which) {
+        for (const auto &[key, runs] : by_key) {
+            if (runs.size() > 1) {
+                out.structural.push_back(
+                    "run " + key + " appears " +
+                    std::to_string(runs.size()) + " times in " + which +
+                    " report");
+            }
+        }
+    };
+    noteDuplicates(a_runs, "first");
+    noteDuplicates(b_runs, "second");
+
+    for (const auto &[key, runs] : a_runs) {
+        auto it = b_runs.find(key);
+        if (it == b_runs.end()) {
+            out.structural.push_back("run " + key +
+                                     " only in first report");
+            continue;
+        }
+        diffRunResult("run " + key, runs.front()->result,
+                      it->second.front()->result, rtol, out);
+    }
+    for (const auto &[key, runs] : b_runs) {
+        if (a_runs.find(key) == a_runs.end()) {
+            out.structural.push_back("run " + key +
+                                     " only in second report");
+        }
+    }
+
+    std::map<std::string, const ReportSummaryRow *> b_summary;
+    for (const ReportSummaryRow &row : b.summaries)
+        b_summary[row.system] = &row;
+    std::set<std::string> summary_matched;
+    for (const ReportSummaryRow &row : a.summaries) {
+        auto it = b_summary.find(row.system);
+        if (it == b_summary.end()) {
+            out.structural.push_back("summary " + row.system +
+                                     " only in first report");
+            continue;
+        }
+        summary_matched.insert(row.system);
+        const std::string where = "summary " + row.system;
+        FieldDiffer d{where, rtol, out};
+        d.exact("runs", row.runs, it->second->runs);
+        d.approx("geomean_speedup", row.geomeanSpeedup,
+                 it->second->geomeanSpeedup);
+        d.approx("geomean_perf_per_watt", row.geomeanPerfPerWatt,
+                 it->second->geomeanPerfPerWatt);
+    }
+    for (const ReportSummaryRow &row : b.summaries) {
+        if (summary_matched.find(row.system) == summary_matched.end()) {
+            out.structural.push_back("summary " + row.system +
+                                     " only in second report");
+        }
+    }
+    return out;
+}
+
+std::string
+renderDiff(const ReportDiff &d)
+{
+    std::string out;
+    for (const std::string &s : d.structural)
+        out += s + "\n";
+    for (const DiffEntry &e : d.numeric) {
+        out += e.where + " " + e.field + ": ";
+        JsonWriter::appendDouble(out, e.a);
+        out += " vs ";
+        JsonWriter::appendDouble(out, e.b);
+        out += " (rel err ";
+        JsonWriter::appendDouble(out, e.relErr);
+        out += ")\n";
+    }
+    return out;
+}
+
+std::string
+runsCsv(const ReportModel &m, const std::string &baseline)
+{
+    auto base = baselineRuns(m, baseline);
+
+    std::string out =
+        "index,system,op,log2_tuples,seed,geometry,exec,zipf_theta,"
+        "total_time_ps,partition_time_ps,probe_time_ps,seconds,"
+        "energy_total_j,energy_dram_dynamic_j,energy_dram_static_j,"
+        "energy_cores_j,energy_network_j,partition_vault_bw_gbps,"
+        "probe_vault_bw_gbps,speedup_vs_baseline,perf_per_watt_vs_baseline"
+        "\n";
+    for (const ReportRun &r : m.runs) {
+        out += std::to_string(r.index) + "," + r.system + "," + r.op + "," +
+               std::to_string(r.log2Tuples) + "," + std::to_string(r.seed) +
+               "," + r.geometry + "," + r.exec + ",";
+        JsonWriter::appendDouble(out, r.zipfTheta);
+        out += "," + std::to_string(r.result.totalTime) + "," +
+               std::to_string(r.result.partitionTime) + "," +
+               std::to_string(r.result.probeTime) + ",";
+        JsonWriter::appendDouble(out, r.result.seconds());
+        out += ",";
+        JsonWriter::appendDouble(out, r.result.energy.total());
+        out += ",";
+        JsonWriter::appendDouble(out, r.result.energy.dramDynamic);
+        out += ",";
+        JsonWriter::appendDouble(out, r.result.energy.dramStatic);
+        out += ",";
+        JsonWriter::appendDouble(out, r.result.energy.cores);
+        out += ",";
+        JsonWriter::appendDouble(out, r.result.energy.network);
+        out += ",";
+        JsonWriter::appendDouble(out, r.result.partitionVaultBWGBps);
+        out += ",";
+        JsonWriter::appendDouble(out, r.result.probeVaultBWGBps);
+        // Pairing columns stay empty for the baseline's own runs, for
+        // unpaired grid points, and when no baseline was requested.
+        std::string speedup, ppw;
+        if (!baseline.empty() && r.system != baseline) {
+            auto it = base.find(r.groupKey());
+            if (it != base.end()) {
+                JsonWriter::appendDouble(
+                    speedup, overallSpeedup(it->second->result, r.result));
+                JsonWriter::appendDouble(
+                    ppw, efficiencyImprovement(it->second->result,
+                                               r.result));
+            }
+        }
+        out += "," + speedup + "," + ppw + "\n";
+    }
+    return out;
+}
+
+} // namespace mondrian

@@ -282,10 +282,11 @@ findBaseline(const CampaignGrid &grid, SystemKind &out)
     return false;
 }
 
-/** Compute per-system geomean rollups vs. the baseline. */
+} // namespace
+
 std::vector<SystemSummary>
-summarize(const CampaignGrid &grid, const std::vector<CampaignRun> &runs,
-          SystemKind baseline)
+summarizeRuns(const CampaignGrid &grid, const std::vector<CampaignRun> &runs,
+              SystemKind baseline)
 {
     auto base = baselineIndex(runs, baseline);
 
@@ -294,29 +295,33 @@ summarize(const CampaignGrid &grid, const std::vector<CampaignRun> &runs,
         if (sys == baseline)
             continue;
         std::vector<double> speedups, perfPerWatt;
-        std::size_t n = 0;
+        std::size_t paired = 0, total = 0;
         for (const auto &r : runs) {
             if (r.job.system != sys)
                 continue;
-            ++n;
+            ++total;
             auto it = base.find(gridGroupKey(r));
             if (it == base.end())
-                continue;
+                continue; // unpaired: no comparison to roll up
+            ++paired;
             speedups.push_back(overallSpeedup(it->second->result, r.result));
             perfPerWatt.push_back(
                 efficiencyImprovement(it->second->result, r.result));
         }
         SystemSummary s;
         s.system = systemKindName(sys);
-        s.runs = n;
-        s.geomeanSpeedup = geomean(speedups);
-        s.geomeanPerfPerWatt = geomean(perfPerWatt);
+        s.runs = paired;
+        s.totalRuns = total;
+        GeomeanStats sp = geomeanStats(speedups);
+        GeomeanStats pw = geomeanStats(perfPerWatt);
+        s.geomeanSpeedup = sp.value;
+        s.geomeanPerfPerWatt = pw.value;
+        s.droppedSpeedups = sp.dropped;
+        s.droppedPerfPerWatt = pw.dropped;
         out.push_back(s);
     }
     return out;
 }
-
-} // namespace
 
 std::string
 ResumeCache::gridPointHash(const std::string &system, const std::string &op,
@@ -513,7 +518,7 @@ CampaignRunner::run(unsigned jobs)
     SystemKind baseline;
     if (findBaseline(grid_, baseline)) {
         report.baseline = systemKindName(baseline);
-        report.summaries = summarize(grid_, report.runs, baseline);
+        report.summaries = summarizeRuns(grid_, report.runs, baseline);
     }
     return report;
 }
@@ -603,6 +608,17 @@ campaignReportJson(const CampaignReport &report)
         w.beginObject();
         w.member("system", s.system);
         w.member("runs", std::uint64_t{s.runs});
+        // Extra provenance appears only on irregular reports, so a full
+        // cross-product grid's JSON is unchanged: "runs_total" when some
+        // runs are unpaired (partial/resumed grids), "dropped_*" when a
+        // non-positive comparison was excluded from a geomean.
+        if (s.totalRuns != s.runs)
+            w.member("runs_total", std::uint64_t{s.totalRuns});
+        if (s.droppedSpeedups > 0)
+            w.member("dropped_speedups", std::uint64_t{s.droppedSpeedups});
+        if (s.droppedPerfPerWatt > 0)
+            w.member("dropped_perf_per_watt",
+                     std::uint64_t{s.droppedPerfPerWatt});
         w.member("geomean_speedup", s.geomeanSpeedup);
         w.member("geomean_perf_per_watt", s.geomeanPerfPerWatt);
         w.endObject();
@@ -619,9 +635,11 @@ campaignSummaryTable(const CampaignReport &report)
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"system", "runs", "geomean speedup", "geomean perf/W"});
     for (const auto &s : report.summaries) {
-        rows.push_back({s.system, std::to_string(s.runs),
-                        fmt(s.geomeanSpeedup, 2) + "x",
-                        fmt(s.geomeanPerfPerWatt, 2) + "x"});
+        rows.push_back(
+            {s.system, pairedCountLabel(s.runs, s.totalRuns),
+             geomeanCellLabel(s.geomeanSpeedup, s.droppedSpeedups),
+             geomeanCellLabel(s.geomeanPerfPerWatt,
+                              s.droppedPerfPerWatt)});
     }
     return renderTable(rows);
 }

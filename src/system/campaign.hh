@@ -139,12 +139,36 @@ baselineIndex(const std::vector<CampaignRun> &runs, SystemKind baseline);
 struct SystemSummary
 {
     std::string system;
+    /**
+     * Baseline-paired runs: grid points where both this system and the
+     * baseline ran, i.e. the comparisons the geomeans are over. On a
+     * full cross-product grid this equals totalRuns; on a partial or
+     * resumed report it can be smaller.
+     */
     std::size_t runs = 0;
-    /** Geomean of total-time speedup vs. baseline over matching runs. */
+    /** All runs of this system, paired or not. */
+    std::size_t totalRuns = 0;
+    /** Paired comparisons excluded from the speedup geomean because the
+     *  speedup was non-positive (a broken run). */
+    std::size_t droppedSpeedups = 0;
+    /** Same, for the perf/W geomean. */
+    std::size_t droppedPerfPerWatt = 0;
+    /** Geomean of total-time speedup vs. baseline over paired runs. */
     double geomeanSpeedup = 0.0;
     /** Geomean of perf/W improvement vs. baseline (Fig. 9 rollup). */
     double geomeanPerfPerWatt = 0.0;
 };
+
+/**
+ * Per-system geomean rollups of @p runs against the @p baseline system's
+ * runs, pairing within comparison groups (gridGroupKey). The `runs`
+ * column counts only paired runs — a grid point whose baseline is
+ * missing (partial/resumed report) contributes to totalRuns but not to
+ * runs or the geomeans.
+ */
+std::vector<SystemSummary>
+summarizeRuns(const CampaignGrid &grid, const std::vector<CampaignRun> &runs,
+              SystemKind baseline);
 
 /** Everything a campaign produced, in grid order. */
 struct CampaignReport

@@ -98,6 +98,45 @@ renderTable(const std::vector<std::vector<std::string>> &rows)
 }
 
 std::string
+pairedCountLabel(std::size_t paired, std::size_t total)
+{
+    std::string out = std::to_string(paired);
+    if (total != paired)
+        out += "/" + std::to_string(total);
+    return out;
+}
+
+std::string
+geomeanCellLabel(double v, std::size_t dropped, int digits)
+{
+    std::string out = fmt(v, digits) + "x";
+    if (dropped > 0)
+        out += " (" + std::to_string(dropped) + " dropped)";
+    return out;
+}
+
+std::string
+renderMarkdownTable(const std::vector<std::vector<std::string>> &rows)
+{
+    if (rows.empty())
+        return "";
+    std::ostringstream out;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        out << '|';
+        for (const std::string &cell : rows[r])
+            out << ' ' << cell << " |";
+        out << '\n';
+        if (r == 0) {
+            out << '|';
+            for (std::size_t c = 0; c < rows[0].size(); ++c)
+                out << "---|";
+            out << '\n';
+        }
+    }
+    return out.str();
+}
+
+std::string
 describeRun(const RunResult &run)
 {
     std::ostringstream out;
@@ -258,18 +297,28 @@ runResultsJson(const std::vector<RunResult> &runs)
     return w.str();
 }
 
-double
-geomean(const std::vector<double> &values)
+GeomeanStats
+geomeanStats(const std::vector<double> &values)
 {
+    GeomeanStats stats;
     double sum = 0.0;
-    std::size_t n = 0;
     for (double v : values) {
         if (v > 0.0) {
             sum += std::log(v);
-            ++n;
+            ++stats.used;
+        } else {
+            ++stats.dropped;
         }
     }
-    return n > 0 ? std::exp(sum / static_cast<double>(n)) : 0.0;
+    if (stats.used > 0)
+        stats.value = std::exp(sum / static_cast<double>(stats.used));
+    return stats;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    return geomeanStats(values).value;
 }
 
 } // namespace mondrian

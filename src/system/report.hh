@@ -73,11 +73,41 @@ std::string runResultsJson(const std::vector<RunResult> &runs);
 /** Geometric mean of @p values (ignores non-positive entries). */
 double geomean(const std::vector<double> &values);
 
+/**
+ * Geometric mean with provenance: how many entries contributed and how
+ * many were dropped as non-positive. A zero/negative speedup is a broken
+ * run, not a data point — callers surface @c dropped so corrupt runs
+ * can't silently vanish from a rollup.
+ */
+struct GeomeanStats
+{
+    double value = 0.0;    ///< geomean of the positive entries (0 if none)
+    std::size_t used = 0;  ///< positive entries that contributed
+    std::size_t dropped = 0; ///< non-positive entries excluded
+};
+GeomeanStats geomeanStats(const std::vector<double> &values);
+
 /** Render a fixed-width table; first row is the header. */
 std::string renderTable(const std::vector<std::vector<std::string>> &rows);
 
+/** Render a GitHub-flavored markdown table; first row is the header. */
+std::string
+renderMarkdownTable(const std::vector<std::vector<std::string>> &rows);
+
 /** Format @p v with @p digits decimals. */
 std::string fmt(double v, int digits = 2);
+
+/**
+ * Run-count cell of a rollup table: "paired", or "paired/total" when
+ * some runs had no baseline to compare against.
+ */
+std::string pairedCountLabel(std::size_t paired, std::size_t total);
+
+/**
+ * Geomean cell of a rollup table: "1.23x", with " (N dropped)" appended
+ * when @p dropped non-positive comparisons were excluded.
+ */
+std::string geomeanCellLabel(double v, std::size_t dropped, int digits = 2);
 
 } // namespace mondrian
 

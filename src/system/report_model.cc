@@ -1,0 +1,188 @@
+#include "system/report_model.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/json_parse.hh"
+#include "system/config.hh"
+#include "system/report.hh"
+
+namespace mondrian {
+
+namespace {
+
+/** Append @p v to @p axis if it is not already present. */
+template <typename T>
+void
+noteAxisValue(std::vector<T> &axis, const T &v)
+{
+    if (std::find(axis.begin(), axis.end(), v) == axis.end())
+        axis.push_back(v);
+}
+
+} // namespace
+
+std::string
+ReportRun::groupKey() const
+{
+    // Theta at the report's canonical 12-digit encoding (see json.hh).
+    return op + "|" + std::to_string(log2Tuples) + "|" +
+           std::to_string(seed) + "|" + geometry + "|" + exec + "|" +
+           JsonWriter::doubleString(zipfTheta);
+}
+
+std::string
+ReportRun::pointKey() const
+{
+    return system + "|" + groupKey();
+}
+
+bool
+loadReportModel(const std::string &json_text, ReportModel &out,
+                std::string &error)
+{
+    out = ReportModel{};
+    JsonValue doc;
+    if (!parseJson(json_text, doc, error))
+        return false;
+
+    const JsonValue *schema = doc.find("schema");
+    const std::string schema_name = schema ? schema->asString() : "";
+    if (schema_name == "mondrian-campaign-v2") {
+        out.schemaVersion = 2;
+    } else if (schema_name == "mondrian-campaign-v1") {
+        out.schemaVersion = 1;
+    } else {
+        error = "not a mondrian-campaign-v1/v2 report (schema '" +
+                schema_name + "')";
+        return false;
+    }
+    if (const JsonValue *paper = doc.find("paper"))
+        out.paper = paper->asString();
+
+    // v1 reports have one campaign-wide theta in the grid block and no
+    // geometry/exec axes.
+    double v1_zipf = 0.0;
+    if (out.schemaVersion == 1) {
+        if (const JsonValue *grid = doc.find("grid"))
+            if (const JsonValue *z = grid->find("zipf_theta"))
+                v1_zipf = z->asDouble();
+    }
+    const std::string default_geometry = geometryName(defaultGeometry());
+
+    const JsonValue *runs = doc.find("runs");
+    if (!runs || !runs->isArray()) {
+        error = "report has no runs array";
+        return false;
+    }
+    out.runs.reserve(runs->items.size());
+    std::set<std::string> seen_points;
+    for (const JsonValue &r : runs->items) {
+        ReportRun run;
+        const JsonValue *sys = r.find("system");
+        const JsonValue *op = r.find("op");
+        const JsonValue *log2 = r.find("log2_tuples");
+        const JsonValue *seed = r.find("seed");
+        const JsonValue *result = r.find("result");
+        // Wrong-typed coordinates would silently decode as 0/"" and
+        // corrupt every point key downstream — fail loudly instead
+        // (asU64()/asDouble() cannot distinguish 0 from absent).
+        if (!sys || !op || !log2 || !seed || !result ||
+            !sys->isString() || !op->isString() || !log2->isNumber() ||
+            !seed->isNumber()) {
+            error = "run " + std::to_string(out.runs.size()) +
+                    " is missing a required field (or has a wrong-typed "
+                    "one)";
+            return false;
+        }
+        run.index = out.runs.size();
+        if (const JsonValue *idx = r.find("index"); idx && idx->isNumber())
+            run.index = idx->asU64();
+        run.system = sys->asString();
+        run.op = op->asString();
+        run.log2Tuples = static_cast<unsigned>(log2->asU64());
+        run.seed = seed->asU64();
+        if (out.schemaVersion == 2) {
+            const JsonValue *geo = r.find("geometry");
+            const JsonValue *exec = r.find("exec");
+            const JsonValue *z = r.find("zipf_theta");
+            if (!geo || !exec || !z || !geo->isString() ||
+                !exec->isString() || !z->isNumber()) {
+                error = "v2 run " + std::to_string(out.runs.size()) +
+                        " is missing an axis label (or has a wrong-typed "
+                        "one)";
+                return false;
+            }
+            run.geometry = geo->asString();
+            run.exec = exec->asString();
+            run.zipfTheta = z->asDouble();
+        } else {
+            run.geometry = default_geometry;
+            run.exec = "base";
+            run.zipfTheta = v1_zipf;
+        }
+        if (!readRunResult(*result, run.result)) {
+            error = "run " + std::to_string(out.runs.size()) +
+                    " has a malformed result object";
+            return false;
+        }
+        // Two runs at one grid point make every per-point analysis
+        // ambiguous — corrupt report, not a recoverable condition.
+        if (!seen_points.insert(run.pointKey()).second) {
+            error = "duplicate run at grid point " + run.pointKey();
+            return false;
+        }
+
+        noteAxisValue(out.systems, run.system);
+        noteAxisValue(out.ops, run.op);
+        noteAxisValue(out.log2Tuples, run.log2Tuples);
+        noteAxisValue(out.seeds, run.seed);
+        noteAxisValue(out.geometries, run.geometry);
+        noteAxisValue(out.execs, run.exec);
+        noteAxisValue(out.zipfThetas, run.zipfTheta);
+        out.runs.push_back(std::move(run));
+    }
+
+    if (const JsonValue *summary = doc.find("summary")) {
+        if (const JsonValue *base = summary->find("baseline"))
+            out.baseline = base->asString();
+        if (const JsonValue *systems = summary->find("systems");
+            systems && systems->isArray()) {
+            for (const JsonValue &s : systems->items) {
+                ReportSummaryRow row;
+                if (const JsonValue *n = s.find("system"))
+                    row.system = n->asString();
+                if (const JsonValue *n = s.find("runs"))
+                    row.runs = n->asU64();
+                if (const JsonValue *n = s.find("geomean_speedup"))
+                    row.geomeanSpeedup = n->asDouble();
+                if (const JsonValue *n = s.find("geomean_perf_per_watt"))
+                    row.geomeanPerfPerWatt = n->asDouble();
+                out.summaries.push_back(std::move(row));
+            }
+        }
+    }
+    return true;
+}
+
+bool
+loadReportFile(const std::string &path, ReportModel &out, std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    if (!loadReportModel(ss.str(), out, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+} // namespace mondrian

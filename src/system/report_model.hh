@@ -1,0 +1,111 @@
+/**
+ * @file
+ * ReportModel: typed in-memory model of campaign report JSON.
+ *
+ * The campaign CLI writes schema mondrian-campaign-v2 documents (and
+ * wrote v1 before the axis generalization); this module parses either
+ * back into plain structs so analysis code — sensitivity tables, report
+ * diffs, CSV export — never touches raw JSON. Parsing goes through
+ * common/json_parse (full string unescaping via jsonUnescape), and every
+ * run keeps its grid coordinates as the canonical axis labels the report
+ * itself used, so run identity is stable across loads.
+ *
+ * Unlike ResumeCache::load — which silently skips entries it cannot use,
+ * because a resume cache is best-effort — loading a model fails loudly on
+ * malformed runs: an analysis over a half-parsed report would produce
+ * confidently wrong numbers.
+ */
+
+#ifndef MONDRIAN_SYSTEM_REPORT_MODEL_HH
+#define MONDRIAN_SYSTEM_REPORT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/runner.hh"
+
+namespace mondrian {
+
+/** One run of a loaded report: grid coordinates plus the parsed result. */
+struct ReportRun
+{
+    std::size_t index = 0;
+    std::string system;
+    std::string op;
+    unsigned log2Tuples = 0;
+    std::uint64_t seed = 0;
+    /** Geometry axis label (geometryName form, e.g. "4x16x8-8MiB-r256"). */
+    std::string geometry;
+    /** Exec-ablation axis label ("base" when no override). */
+    std::string exec;
+    double zipfTheta = 0.0;
+    RunResult result;
+
+    /**
+     * Identity of this run's grid point: every axis coordinate at a
+     * fixed delimited position (theta canonicalized to the report's
+     * 12-digit encoding). Two runs of one well-formed report never share
+     * a point key.
+     */
+    std::string pointKey() const;
+
+    /**
+     * Identity of the run's comparison group — all axes except system —
+     * i.e. the key a baseline run is looked up under. Mirrors the
+     * campaign's GridGroupKey pairing.
+     */
+    std::string groupKey() const;
+};
+
+/** One row of the report's stored summary block. */
+struct ReportSummaryRow
+{
+    std::string system;
+    std::size_t runs = 0; ///< baseline-paired runs in the geomeans
+    double geomeanSpeedup = 0.0;
+    double geomeanPerfPerWatt = 0.0;
+};
+
+/** A whole campaign report, parsed. */
+struct ReportModel
+{
+    int schemaVersion = 2; ///< 1 (legacy) or 2
+    std::string paper;
+    std::string baseline; ///< "" when the report has no baseline system
+
+    /**
+     * Axis values actually present in the runs, in first-appearance
+     * (grid) order. Derived from the runs rather than the grid echo so
+     * the model is faithful to the data even for hand-edited or
+     * truncated reports.
+     */
+    std::vector<std::string> systems;
+    std::vector<std::string> ops;
+    std::vector<unsigned> log2Tuples;
+    std::vector<std::uint64_t> seeds;
+    std::vector<std::string> geometries;
+    std::vector<std::string> execs;
+    std::vector<double> zipfThetas;
+
+    std::vector<ReportRun> runs;
+    std::vector<ReportSummaryRow> summaries; ///< as stored in the report
+};
+
+/**
+ * Parse report JSON (schema mondrian-campaign-v1 or -v2) into @p out.
+ * v1 runs carry no axis labels; they land at the default geometry, the
+ * "base" exec point and the report's campaign-wide zipf_theta — the
+ * axes a v1 campaign actually simulated.
+ * @return false with a human-readable @p error on parse/schema problems.
+ */
+bool loadReportModel(const std::string &json_text, ReportModel &out,
+                     std::string &error);
+
+/** Read @p path and loadReportModel() its contents. */
+bool loadReportFile(const std::string &path, ReportModel &out,
+                    std::string &error);
+
+} // namespace mondrian
+
+#endif // MONDRIAN_SYSTEM_REPORT_MODEL_HH

@@ -421,6 +421,78 @@ TEST(Campaign, BaselineIndexKeysBySeedScaleOp)
     }
 }
 
+TEST(Campaign, SummaryCountsOnlyPairedRuns)
+{
+    // Regression: `runs` used to count every run of a system even when
+    // its grid point had no baseline to compare against, overstating the
+    // paired-run count on partial/resumed reports.
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kNmp};
+    grid.ops = {OpKind::kScan};
+    grid.log2Tuples = {8, 9};
+    grid.seeds = {42};
+    CampaignReport report = CampaignRunner(grid).run(1);
+
+    // Simulate a partial report: the cpu baseline of the 2^9 grid point
+    // is missing.
+    std::vector<CampaignRun> runs;
+    for (const auto &r : report.runs)
+        if (!(r.job.system == SystemKind::kCpu && r.job.log2Tuples == 9))
+            runs.push_back(r);
+
+    auto summaries = summarizeRuns(grid, runs, SystemKind::kCpu);
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_EQ(summaries[0].system, "nmp");
+    EXPECT_EQ(summaries[0].runs, 1u);      // only the paired 2^8 point
+    EXPECT_EQ(summaries[0].totalRuns, 2u); // both nmp runs exist
+    // The geomean is exactly the one paired comparison.
+    const CampaignRun *cpu8 = nullptr, *nmp8 = nullptr;
+    for (const auto &r : runs) {
+        if (r.job.log2Tuples != 8)
+            continue;
+        (r.job.system == SystemKind::kCpu ? cpu8 : nmp8) = &r;
+    }
+    ASSERT_NE(cpu8, nullptr);
+    ASSERT_NE(nmp8, nullptr);
+    const double expected = overallSpeedup(cpu8->result, nmp8->result);
+    EXPECT_NEAR(summaries[0].geomeanSpeedup, expected, expected * 1e-12);
+
+    // The partial report's JSON carries the provenance ("runs_total"),
+    // while a full grid's summary block stays byte-identical (no
+    // conditional members).
+    CampaignReport partial = report;
+    partial.runs = runs;
+    partial.summaries = summaries;
+    std::string partial_json = campaignReportJson(partial);
+    EXPECT_NE(partial_json.find("\"runs\": 1"), std::string::npos);
+    EXPECT_NE(partial_json.find("\"runs_total\": 2"), std::string::npos);
+    std::string full_json = campaignReportJson(report);
+    EXPECT_EQ(full_json.find("\"runs_total\""), std::string::npos);
+    EXPECT_EQ(full_json.find("\"dropped_"), std::string::npos);
+}
+
+TEST(Campaign, SummaryTableMarksPartialAndDroppedRollups)
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kNmp};
+    grid.ops = {OpKind::kScan};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+    CampaignReport report = CampaignRunner(grid).run(1);
+
+    SystemSummary partial;
+    partial.system = "nmp";
+    partial.runs = 1;
+    partial.totalRuns = 2;
+    partial.droppedSpeedups = 1;
+    partial.geomeanSpeedup = 2.0;
+    partial.geomeanPerfPerWatt = 3.0;
+    report.summaries = {partial};
+    std::string table = campaignSummaryTable(report);
+    EXPECT_NE(table.find("1/2"), std::string::npos);
+    EXPECT_NE(table.find("(1 dropped)"), std::string::npos);
+}
+
 TEST(Campaign, NoBaselineMeansNoSummaries)
 {
     CampaignGrid grid;
@@ -558,6 +630,33 @@ TEST(Report, GeomeanIgnoresNonPositive)
     EXPECT_DOUBLE_EQ(geomean({4.0, 16.0}), 8.0);
     EXPECT_DOUBLE_EQ(geomean({4.0, 16.0, 0.0, -3.0}), 8.0);
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Report, GeomeanStatsSurfacesDroppedEntries)
+{
+    // A zero/negative value is a broken run; it must not vanish silently
+    // from a rollup.
+    GeomeanStats s = geomeanStats({4.0, 16.0, 0.0, -3.0});
+    EXPECT_DOUBLE_EQ(s.value, 8.0);
+    EXPECT_EQ(s.used, 2u);
+    EXPECT_EQ(s.dropped, 2u);
+
+    s = geomeanStats({4.0, 16.0});
+    EXPECT_EQ(s.dropped, 0u);
+    EXPECT_EQ(s.used, 2u);
+
+    s = geomeanStats({});
+    EXPECT_DOUBLE_EQ(s.value, 0.0);
+    EXPECT_EQ(s.used, 0u);
+    EXPECT_EQ(s.dropped, 0u);
+}
+
+TEST(Report, MarkdownTableRendersHeaderSeparator)
+{
+    std::string md = renderMarkdownTable(
+        {{"a", "b"}, {"1", "2"}, {"3", "4"}});
+    EXPECT_EQ(md, "| a | b |\n|---|---|\n| 1 | 2 |\n| 3 | 4 |\n");
+    EXPECT_EQ(renderMarkdownTable({}), "");
 }
 
 TEST(Parsing, NamesRoundTrip)
@@ -943,4 +1042,56 @@ TEST(JsonParse, RoundTripsWriterOutput)
     const JsonValue *list = doc.find("list");
     EXPECT_EQ(w.str().substr(list->begin, list->end - list->begin),
               "[\n    1,\n    \"two\"\n  ]");
+}
+
+TEST(JsonParse, UnescapeDecodesUnicodeEscapes)
+{
+    std::string out, err;
+    // BMP code points become UTF-8 (1/2/3-byte forms).
+    ASSERT_TRUE(jsonUnescape("caf\\u00e9", out, err)) << err;
+    EXPECT_EQ(out, "caf\xc3\xa9");
+    ASSERT_TRUE(jsonUnescape("\\u0041\\u07ff\\uffff", out, err)) << err;
+    EXPECT_EQ(out, "A\xdf\xbf\xef\xbf\xbf");
+    // A surrogate pair is one supplementary code point (U+1F600).
+    ASSERT_TRUE(jsonUnescape("\\ud83d\\ude00", out, err)) << err;
+    EXPECT_EQ(out, "\xf0\x9f\x98\x80");
+
+    EXPECT_FALSE(jsonUnescape("\\ud83d", out, err));   // unpaired high
+    EXPECT_FALSE(jsonUnescape("\\ude00x", out, err));  // unpaired low
+    EXPECT_FALSE(jsonUnescape("\\uZZZZ", out, err));   // bad hex
+    EXPECT_FALSE(jsonUnescape("\\u00", out, err));     // short hex
+    EXPECT_FALSE(jsonUnescape("\\q", out, err));       // unknown escape
+    EXPECT_FALSE(jsonUnescape("\\", out, err));        // dangling
+}
+
+TEST(JsonParse, StringsRoundTripTheWriterEscaper)
+{
+    // Every escape JsonWriter emits — quotes, backslash, \n\t\r, and
+    // \u00XX for other control codes — decodes back to the original
+    // bytes, so report strings survive a write/parse cycle exactly.
+    std::string original = "a\"b\\c\nd\te\rf";
+    original += '\x01';
+    original += '\x1f';
+    JsonWriter w;
+    w.beginObject();
+    w.member("s", original);
+    w.endObject();
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(w.str(), doc, err)) << err;
+    EXPECT_EQ(doc.find("s")->asString(), original);
+}
+
+TEST(JsonParse, DocumentsDecodeUnicodeEscapes)
+{
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(
+        parseJson("{\"k\": \"\\u00e9 \\ud83d\\ude00\"}", doc, err))
+        << err;
+    EXPECT_EQ(doc.find("k")->asString(), "\xc3\xa9 \xf0\x9f\x98\x80");
+    // Malformed escapes now fail the parse instead of mangling bytes.
+    EXPECT_FALSE(parseJson("{\"k\": \"\\ud800\"}", doc, err));
+    EXPECT_FALSE(parseJson("{\"k\": \"\\uqqqq\"}", doc, err));
 }

@@ -1,0 +1,244 @@
+/** @file Typed report loading: v2/v1 schemas, axis labels, fail-loud. */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "system/campaign.hh"
+#include "system/report.hh"
+#include "system/report_model.hh"
+
+using namespace mondrian;
+
+namespace {
+
+/** Two swept axes (theta x op) plus a baseline, cheap at 2^8. */
+CampaignGrid
+modelGrid()
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
+    grid.ops = {OpKind::kScan, OpKind::kJoin};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+    grid.zipfThetas = {0.0, 0.5};
+    return grid;
+}
+
+} // namespace
+
+TEST(ReportModel, RoundTripsV2Report)
+{
+    CampaignGrid grid = modelGrid();
+    CampaignReport report = CampaignRunner(grid).run(1);
+    std::string json = campaignReportJson(report);
+
+    ReportModel m;
+    std::string err;
+    ASSERT_TRUE(loadReportModel(json, m, err)) << err;
+    EXPECT_EQ(m.schemaVersion, 2);
+    EXPECT_EQ(m.paper, "conf_isca_DrumondDMUPFGP17");
+    EXPECT_EQ(m.baseline, "cpu");
+
+    // Axis values are derived from the runs, in grid order.
+    EXPECT_EQ(m.systems, (std::vector<std::string>{"cpu", "mondrian"}));
+    EXPECT_EQ(m.ops, (std::vector<std::string>{"scan", "join"}));
+    EXPECT_EQ(m.log2Tuples, std::vector<unsigned>{8});
+    EXPECT_EQ(m.seeds, std::vector<std::uint64_t>{42});
+    EXPECT_EQ(m.geometries,
+              std::vector<std::string>{geometryName(defaultGeometry())});
+    EXPECT_EQ(m.execs, std::vector<std::string>{"base"});
+    EXPECT_EQ(m.zipfThetas, (std::vector<double>{0.0, 0.5}));
+
+    // Every run round-trips: exact integers, 12-digit doubles, phases.
+    ASSERT_EQ(m.runs.size(), report.runs.size());
+    for (std::size_t i = 0; i < m.runs.size(); ++i) {
+        const ReportRun &got = m.runs[i];
+        const CampaignRun &want = report.runs[i];
+        EXPECT_EQ(got.index, want.job.index);
+        EXPECT_EQ(got.system, systemKindName(want.job.system));
+        EXPECT_EQ(got.op, opKindName(want.job.op));
+        EXPECT_EQ(got.log2Tuples, want.job.log2Tuples);
+        EXPECT_EQ(got.seed, want.job.seed);
+        EXPECT_EQ(got.geometry, geometryName(want.job.geometry));
+        EXPECT_EQ(got.exec, want.job.exec.name());
+        EXPECT_DOUBLE_EQ(got.zipfTheta, want.job.zipfTheta);
+        EXPECT_EQ(got.result.totalTime, want.result.totalTime);
+        EXPECT_EQ(got.result.partitionTime, want.result.partitionTime);
+        EXPECT_EQ(got.result.aggChecksum, want.result.aggChecksum);
+        EXPECT_EQ(got.result.phases.size(), want.result.phases.size());
+        EXPECT_NEAR(got.result.energy.total(), want.result.energy.total(),
+                    want.result.energy.total() * 1e-9);
+    }
+
+    ASSERT_EQ(m.summaries.size(), report.summaries.size());
+    for (std::size_t i = 0; i < m.summaries.size(); ++i) {
+        EXPECT_EQ(m.summaries[i].system, report.summaries[i].system);
+        EXPECT_EQ(m.summaries[i].runs, report.summaries[i].runs);
+        EXPECT_NEAR(m.summaries[i].geomeanSpeedup,
+                    report.summaries[i].geomeanSpeedup,
+                    report.summaries[i].geomeanSpeedup * 1e-9);
+    }
+}
+
+TEST(ReportModel, LoadsV1ReportsAtDefaultAxes)
+{
+    // Hand-built v1 report (the pre-axis schema): axis labels default to
+    // what a v1 campaign actually simulated.
+    WorkloadConfig wl;
+    wl.tuples = 1u << 8;
+    RunResult r = Runner(wl).run(SystemKind::kCpu, OpKind::kScan);
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", "mondrian-campaign-v1");
+    w.key("grid").beginObject();
+    w.member("zipf_theta", 0.25);
+    w.endObject();
+    w.key("runs").beginArray();
+    w.beginObject();
+    w.member("index", std::uint64_t{0});
+    w.member("system", "cpu");
+    w.member("op", "scan");
+    w.member("log2_tuples", std::uint64_t{8});
+    w.member("seed", std::uint64_t{42});
+    w.key("result");
+    writeRunResult(w, r);
+    w.endObject();
+    w.endArray();
+    w.endObject();
+
+    ReportModel m;
+    std::string err;
+    ASSERT_TRUE(loadReportModel(w.str(), m, err)) << err;
+    EXPECT_EQ(m.schemaVersion, 1);
+    EXPECT_EQ(m.baseline, "");
+    ASSERT_EQ(m.runs.size(), 1u);
+    EXPECT_EQ(m.runs[0].geometry, geometryName(defaultGeometry()));
+    EXPECT_EQ(m.runs[0].exec, "base");
+    EXPECT_DOUBLE_EQ(m.runs[0].zipfTheta, 0.25);
+    EXPECT_EQ(m.runs[0].result.totalTime, r.totalTime);
+}
+
+TEST(ReportModel, PointAndGroupKeysSeparateEveryAxis)
+{
+    ReportRun base;
+    base.system = "cpu";
+    base.op = "join";
+    base.log2Tuples = 14;
+    base.seed = 42;
+    base.geometry = "4x16x8-8MiB-r256";
+    base.exec = "base";
+    base.zipfTheta = 0.0;
+
+    // The group key ignores the system (that's what pairing means) ...
+    ReportRun sys = base;
+    sys.system = "nmp";
+    EXPECT_EQ(sys.groupKey(), base.groupKey());
+    EXPECT_NE(sys.pointKey(), base.pointKey());
+
+    // ... and every other axis separates both keys.
+    auto differs = [&base](ReportRun v) {
+        EXPECT_NE(v.groupKey(), base.groupKey());
+        EXPECT_NE(v.pointKey(), base.pointKey());
+    };
+    ReportRun v = base;
+    v.op = "scan";
+    differs(v);
+    v = base;
+    v.log2Tuples = 15;
+    differs(v);
+    v = base;
+    v.seed = 43;
+    differs(v);
+    v = base;
+    v.geometry = "2x8x8-8MiB-r256";
+    differs(v);
+    v = base;
+    v.exec = "radix=9";
+    differs(v);
+    v = base;
+    v.zipfTheta = 0.75;
+    differs(v);
+}
+
+TEST(ReportModel, RejectsMalformedDocuments)
+{
+    ReportModel m;
+    std::string err;
+    EXPECT_FALSE(loadReportModel("not json", m, err));
+    EXPECT_FALSE(loadReportModel("{\"schema\": \"something-else\"}", m, err));
+    EXPECT_NE(err.find("something-else"), std::string::npos);
+    // A report without runs is not analyzable.
+    EXPECT_FALSE(loadReportModel(
+        "{\"schema\": \"mondrian-campaign-v2\"}", m, err));
+    EXPECT_NE(err.find("runs"), std::string::npos);
+
+    // Unlike the best-effort resume cache, a malformed run entry fails
+    // the whole load: analysis over a half-parsed report would produce
+    // confidently wrong numbers.
+    EXPECT_FALSE(loadReportModel(
+        "{\"schema\": \"mondrian-campaign-v2\", \"runs\": [{\"system\": "
+        "\"cpu\"}]}",
+        m, err));
+    EXPECT_NE(err.find("run 0"), std::string::npos);
+
+    // A v2 run without axis labels is malformed, not defaulted.
+    EXPECT_FALSE(loadReportModel(
+        "{\"schema\": \"mondrian-campaign-v2\", \"runs\": [{"
+        "\"system\": \"cpu\", \"op\": \"scan\", \"log2_tuples\": 8, "
+        "\"seed\": 42, \"result\": {\"system\": \"cpu\", \"op\": "
+        "\"scan\"}}]}",
+        m, err));
+    EXPECT_NE(err.find("axis label"), std::string::npos);
+
+    // Wrong-typed coordinates (e.g. a string scale from a foreign
+    // serializer) would decode as 0 and corrupt every point key.
+    EXPECT_FALSE(loadReportModel(
+        "{\"schema\": \"mondrian-campaign-v2\", \"runs\": [{"
+        "\"system\": \"cpu\", \"op\": \"scan\", \"log2_tuples\": \"14\", "
+        "\"seed\": 42, \"geometry\": \"g\", \"exec\": \"base\", "
+        "\"zipf_theta\": 0, \"result\": {\"system\": \"cpu\", \"op\": "
+        "\"scan\"}}]}",
+        m, err));
+    EXPECT_NE(err.find("wrong-typed"), std::string::npos);
+
+    EXPECT_FALSE(loadReportFile("/nonexistent/report.json", m, err));
+    EXPECT_NE(err.find("/nonexistent/report.json"), std::string::npos);
+}
+
+TEST(ReportModel, RejectsDuplicateGridPoints)
+{
+    // Two runs at one grid point make every per-point analysis
+    // ambiguous; the load fails instead of letting a last-wins lookup
+    // pick one silently.
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu};
+    grid.ops = {OpKind::kScan};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+    CampaignReport report = CampaignRunner(grid).run(1);
+    report.runs.push_back(report.runs.front());
+    ReportModel m;
+    std::string err;
+    EXPECT_FALSE(loadReportModel(campaignReportJson(report), m, err));
+    EXPECT_NE(err.find("duplicate run at grid point"), std::string::npos);
+}
+
+TEST(ReportModel, LoadsCheckedInGoldenReport)
+{
+    // The nightly regression artifact: full paper grid at 2^14.
+    ReportModel m;
+    std::string err;
+    ASSERT_TRUE(loadReportFile(std::string(MONDRIAN_SOURCE_DIR) +
+                                   "/scripts/golden/paper14-report.json",
+                               m, err))
+        << err;
+    EXPECT_EQ(m.schemaVersion, 2);
+    EXPECT_EQ(m.baseline, "cpu");
+    EXPECT_EQ(m.systems.size(), 7u);
+    EXPECT_EQ(m.ops.size(), 4u);
+    EXPECT_EQ(m.runs.size(), 28u);
+    EXPECT_EQ(m.log2Tuples, std::vector<unsigned>{14});
+    EXPECT_EQ(m.summaries.size(), 6u);
+    for (const ReportRun &r : m.runs)
+        EXPECT_GT(r.result.totalTime, 0u);
+}

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/file_io.hh"
 #include "common/logging.hh"
 #include "system/campaign.hh"
 #include "system/report.hh"
@@ -334,10 +335,9 @@ main(int argc, char **argv)
         std::fwrite(json.data(), 1, json.size(), stdout);
         std::fputc('\n', stdout);
     } else {
-        std::ofstream out(out_path, std::ios::binary);
-        if (!out)
-            die("cannot open '" + out_path + "' for writing");
-        out << json << '\n';
+        std::string write_error;
+        if (!writeTextFile(out_path, json + '\n', write_error))
+            die(write_error);
         std::fprintf(stderr, "report written to %s (%zu bytes)\n",
                      out_path.c_str(), json.size() + 1);
     }

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * mondrian_report: axis-aware analysis of campaign reports.
+ *
+ * Reads the JSON reports mondrian_campaign writes (schema
+ * mondrian-campaign-v1 or -v2) and renders them as analyzable data:
+ *
+ *   mondrian_report summary report.json
+ *       Summary recomputed from the runs (paired/total counts, dropped
+ *       comparisons surfaced) as a markdown table.
+ *
+ *   mondrian_report sensitivity report.json [--axis A] [--baseline SYS]
+ *       Per-axis sensitivity tables: for each value of one axis, the
+ *       geomean speedup / perf-per-watt of each system vs. the baseline
+ *       with all other axes held fixed. Default: every axis the report
+ *       actually sweeps (plus single-value axes when --axis asks).
+ *
+ *   mondrian_report diff a.json b.json [--rtol 1e-6]
+ *       Field-by-field comparison (per-run and per-summary) under a
+ *       relative tolerance. Empty output + exit 0 when the reports
+ *       agree; differences + exit 1 otherwise — the structured
+ *       replacement for text-diffing golden summaries.
+ *
+ *   mondrian_report csv report.json [--axis A] [--baseline SYS] [--out F]
+ *       Chart-ready CSV: one row per run (default), or a sensitivity
+ *       table with --axis.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/file_io.hh"
+#include "common/logging.hh"
+#include "system/analysis.hh"
+#include "system/report_model.hh"
+
+using namespace mondrian;
+
+namespace {
+
+void
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+        "usage: %s <command> [options]\n"
+        "\n"
+        "Commands:\n"
+        "  summary REPORT            recomputed summary (markdown)\n"
+        "  sensitivity REPORT        per-axis sensitivity tables (markdown)\n"
+        "  diff A B                  compare two reports; exit 1 on any\n"
+        "                            difference beyond --rtol\n"
+        "  csv REPORT                chart-ready CSV (runs, or one axis's\n"
+        "                            sensitivity table with --axis)\n"
+        "\n"
+        "Options:\n"
+        "  --axis A                  axis to analyze: geometry exec\n"
+        "                            zipf-theta scale op seed\n"
+        "                            (sensitivity: default = every swept\n"
+        "                            axis; csv: default = per-run rows)\n"
+        "  --baseline SYS            baseline system (default: the\n"
+        "                            report's own, usually cpu)\n"
+        "  --rtol X                  diff relative tolerance (default 1e-6)\n"
+        "  --out PATH                write output to PATH (default stdout)\n"
+        "  --help                    this text\n",
+        prog);
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "mondrian_report: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+std::string
+argValue(int argc, char **argv, int &i, const char *flag)
+{
+    if (i + 1 >= argc)
+        die(std::string(flag) + " requires a value");
+    return argv[++i];
+}
+
+ReportModel
+loadOrDie(const std::string &path)
+{
+    ReportModel m;
+    std::string error;
+    if (!loadReportFile(path, m, error))
+        die(error);
+    return m;
+}
+
+/** The report's baseline unless overridden; summary/sensitivity/csv
+ *  pairing needs one. */
+std::string
+resolveBaseline(const ReportModel &m, const std::string &override_sys,
+                bool required)
+{
+    std::string baseline = override_sys.empty() ? m.baseline : override_sys;
+    if (baseline.empty()) {
+        if (required) {
+            die("report has no baseline system; pass --baseline "
+                "(one of the report's systems)");
+        }
+        return baseline;
+    }
+    bool known = false;
+    for (const std::string &sys : m.systems)
+        known = known || sys == baseline;
+    if (!known) {
+        // An explicitly requested (or required) baseline must exist; a
+        // stored baseline absent from the runs (hand-truncated partial
+        // report) just means no pairing.
+        if (!override_sys.empty() || required)
+            die("baseline '" + baseline + "' has no runs in the report");
+        return "";
+    }
+    return baseline;
+}
+
+void
+emit(const std::string &text, const std::string &out_path)
+{
+    if (out_path.empty()) {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return;
+    }
+    std::string error;
+    if (!writeTextFile(out_path, text, error))
+        die(error);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    if (argc < 2) {
+        usage(argv[0]);
+        return 2;
+    }
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h" || command == "help") {
+        usage(argv[0]);
+        return 0;
+    }
+
+    std::vector<std::string> positional;
+    std::string axis_arg, baseline_arg, out_path;
+    double rtol = 1e-6;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--axis") {
+            axis_arg = argValue(argc, argv, i, "--axis");
+        } else if (arg == "--baseline") {
+            baseline_arg = argValue(argc, argv, i, "--baseline");
+        } else if (arg == "--rtol") {
+            std::string v = argValue(argc, argv, i, "--rtol");
+            char *end = nullptr;
+            rtol = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' || !(rtol >= 0.0))
+                die("--rtol: '" + v + "' is not a non-negative number");
+        } else if (arg == "--out") {
+            out_path = argValue(argc, argv, i, "--out");
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+            die("unknown option '" + arg + "'");
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    Axis axis = Axis::kGeometry;
+    bool have_axis = !axis_arg.empty();
+    if (have_axis && !axisFromName(axis_arg, axis)) {
+        die("unknown axis '" + axis_arg +
+            "' (geometry exec zipf-theta scale op seed)");
+    }
+
+    if (command == "summary") {
+        if (positional.size() != 1)
+            die("summary takes exactly one report");
+        ReportModel m = loadOrDie(positional[0]);
+        std::string baseline = resolveBaseline(m, baseline_arg, true);
+        std::string out = "Summary of " + positional[0] + " (" +
+                          std::to_string(m.runs.size()) + " runs, vs " +
+                          baseline + "):\n\n";
+        out += renderSummaryMarkdown(recomputeSummary(m, baseline));
+        emit(out, out_path);
+        return 0;
+    }
+
+    if (command == "sensitivity") {
+        if (positional.size() != 1)
+            die("sensitivity takes exactly one report");
+        ReportModel m = loadOrDie(positional[0]);
+        std::string baseline = resolveBaseline(m, baseline_arg, true);
+        std::string out;
+        for (Axis a : allAxes()) {
+            if (have_axis && a != axis)
+                continue;
+            // Without --axis, single-value axes add nothing a summary
+            // doesn't already say — show the swept ones.
+            SensitivityTable t = sensitivity(m, a, baseline);
+            if (!have_axis && t.rows.size() < 2)
+                continue;
+            out += std::string("### Sensitivity: ") + axisName(a) +
+                   " (vs " + baseline + ")\n\n";
+            out += renderSensitivityMarkdown(t);
+            out += "\n";
+        }
+        if (out.empty()) {
+            out = "No swept axes in " + positional[0] +
+                  " (every axis has a single value); pass --axis to "
+                  "render one anyway.\n";
+        }
+        emit(out, out_path);
+        return 0;
+    }
+
+    if (command == "diff") {
+        if (positional.size() != 2)
+            die("diff takes exactly two reports");
+        ReportModel a = loadOrDie(positional[0]);
+        ReportModel b = loadOrDie(positional[1]);
+        ReportDiff d = diffReports(a, b, rtol);
+        emit(renderDiff(d), out_path);
+        return d.empty() ? 0 : 1;
+    }
+
+    if (command == "csv") {
+        if (positional.size() != 1)
+            die("csv takes exactly one report");
+        ReportModel m = loadOrDie(positional[0]);
+        // Per-run CSV works without a baseline (pairing columns empty);
+        // a sensitivity CSV needs one.
+        std::string baseline = resolveBaseline(m, baseline_arg, have_axis);
+        std::string out = have_axis
+                              ? sensitivityCsv(sensitivity(m, axis, baseline))
+                              : runsCsv(m, baseline);
+        emit(out, out_path);
+        return 0;
+    }
+
+    usage(argv[0]);
+    die("unknown command '" + command + "'");
+}
