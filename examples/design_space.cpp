@@ -39,8 +39,8 @@ main(int argc, char **argv)
     grid.zipfThetas = {theta};
     unsigned jobs = static_cast<unsigned>(jobs_arg);
 
-    std::printf("Design space: %zu ops x %zu systems = %zu runs%s\n\n",
-                grid.ops.size(), grid.systems.size(), grid.size(),
+    std::printf("Design space: %zu scenarios x %zu systems = %zu runs%s\n\n",
+                grid.scenarios.size(), grid.systems.size(), grid.size(),
                 grid.zipfThetas[0] > 0 ? " (Zipf-skewed keys)" : "");
 
     CampaignRunner campaign(grid);

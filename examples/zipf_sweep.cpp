@@ -68,14 +68,16 @@ main(int argc, char **argv)
     CampaignGrid grid;
     grid.systems = {SystemKind::kNmp, SystemKind::kNmpPerm,
                     SystemKind::kMondrianNoperm, SystemKind::kMondrian};
-    grid.ops = {OpKind::kJoin, OpKind::kGroupBy};
+    grid.scenarios = {degenerateScenario(OpKind::kJoin),
+                      degenerateScenario(OpKind::kGroupBy)};
     grid.log2Tuples = {static_cast<unsigned>(log2_tuples)};
     grid.seeds = {42};
     grid.zipfThetas = {0.0, 0.5, 0.75, 0.99};
 
-    std::printf("Zipf-skew study: %zu thetas x %zu ops x %zu systems = "
+    std::printf("Zipf-skew study: %zu thetas x %zu scenarios x %zu systems = "
                 "%zu runs at 2^%ld tuples\n\n",
-                grid.zipfThetas.size(), grid.ops.size(), grid.systems.size(),
+                grid.zipfThetas.size(), grid.scenarios.size(),
+                grid.systems.size(),
                 grid.size(), log2_tuples);
 
     CampaignRunner campaign(grid);
@@ -105,11 +107,11 @@ main(int argc, char **argv)
     // edge[pair] tracks the theta at which permutability stops paying.
     std::map<std::string, double> lastWinningTheta;
     for (double theta : grid.zipfThetas) {
-        for (OpKind op : grid.ops) {
+        for (const Scenario &sc : grid.scenarios) {
             for (const auto &[noperm, perm] : pairs) {
                 const RunResult *base =
-                    byPoint[{theta, opKindName(op), noperm}];
-                const RunResult *p = byPoint[{theta, opKindName(op), perm}];
+                    byPoint[{theta, sc.name, noperm}];
+                const RunResult *p = byPoint[{theta, sc.name, perm}];
                 if (!base || !p)
                     continue;
                 double speedup = overallSpeedup(*base, *p);
@@ -119,10 +121,10 @@ main(int argc, char **argv)
                         : "-";
                 std::string pairName =
                     std::string(perm) + "/" + std::string(noperm);
-                table.push_back({fmt(theta, 2), opKindName(op), pairName,
+                table.push_back({fmt(theta, 2), sc.name, pairName,
                                  fmt(speedup, 2) + "x", part,
                                  fmt(p->partitionVaultBWGBps, 2)});
-                edge_csv += fmt(theta, 2) + "," + opKindName(op) + "," +
+                edge_csv += fmt(theta, 2) + "," + sc.name + "," +
                             pairName + ",";
                 JsonWriter::appendDouble(edge_csv, speedup);
                 edge_csv += ",";

@@ -86,3 +86,47 @@ if ! cmp <(extract_runs "$workdir/geo_serial.json") \
 fi
 
 echo "OK: geometry sweep deterministic; cross-axis resume splices byte-identically"
+
+# --- Scenario-pipeline determinism + self-diff --------------------------
+# Multi-stage scenarios (schema v3: per-stage sub-results, intermediate
+# relations flowing stage-to-stage) must honor the same contract: byte-
+# identical reports for any --jobs, and an analysis self-diff that is
+# empty.
+REPORT_BIN="$(dirname "$CAMPAIGN_BIN")/mondrian_report"
+SCEN=(--systems cpu,mondrian --scenario sessions --log2-tuples 10 --quiet)
+
+echo "== sessions scenario (pipeline), serial"
+"$CAMPAIGN_BIN" "${SCEN[@]}" --jobs 1 --out "$workdir/scen_serial.json"
+
+echo "== sessions scenario, parallel (--jobs 8)"
+"$CAMPAIGN_BIN" "${SCEN[@]}" --jobs 8 --out "$workdir/scen_parallel.json"
+
+if ! cmp "$workdir/scen_serial.json" "$workdir/scen_parallel.json"; then
+    echo "FAIL: scenario campaign differs across --jobs" >&2
+    diff "$workdir/scen_serial.json" "$workdir/scen_parallel.json" | head -40 >&2 || true
+    exit 1
+fi
+
+if [[ -x "$REPORT_BIN" ]]; then
+    echo "== scenario report self-diff + per-stage rendering"
+    if ! "$REPORT_BIN" diff "$workdir/scen_serial.json" \
+            "$workdir/scen_parallel.json" --rtol 1e-6; then
+        echo "FAIL: scenario report self-diff is not empty" >&2
+        exit 1
+    fi
+    # The summary must carry the per-stage breakdown and the stage CSV
+    # must have one row per (run, stage): 2 runs x 4 stages + header.
+    "$REPORT_BIN" summary "$workdir/scen_serial.json" | grep -q "### Stages" || {
+        echo "FAIL: scenario summary lacks the per-stage breakdown" >&2
+        exit 1
+    }
+    stage_rows=$("$REPORT_BIN" csv "$workdir/scen_serial.json" --stages | wc -l)
+    if [[ "$stage_rows" -ne 9 ]]; then
+        echo "FAIL: expected 9 stage-CSV lines, got $stage_rows" >&2
+        exit 1
+    fi
+else
+    echo "note: $REPORT_BIN not found, skipping scenario self-diff" >&2
+fi
+
+echo "OK: scenario pipelines deterministic; per-stage analysis renders"

@@ -132,41 +132,21 @@ struct FieldDiffer
 };
 
 void
-diffRunResult(const std::string &where, const RunResult &a,
-              const RunResult &b, double rtol, ReportDiff &out)
+diffPhaseList(const std::string &where, const std::string &prefix,
+              const std::vector<PhaseResult> &a,
+              const std::vector<PhaseResult> &b, double rtol,
+              ReportDiff &out)
 {
-    FieldDiffer d{where, rtol, out};
-    d.approx("total_time_ps", static_cast<double>(a.totalTime),
-             static_cast<double>(b.totalTime));
-    d.approx("partition_time_ps", static_cast<double>(a.partitionTime),
-             static_cast<double>(b.partitionTime));
-    d.approx("probe_time_ps", static_cast<double>(a.probeTime),
-             static_cast<double>(b.probeTime));
-    d.approx("partition_vault_bw_gbps", a.partitionVaultBWGBps,
-             b.partitionVaultBWGBps);
-    d.approx("probe_vault_bw_gbps", a.probeVaultBWGBps, b.probeVaultBWGBps);
-    d.approx("energy_j.dram_dynamic", a.energy.dramDynamic,
-             b.energy.dramDynamic);
-    d.approx("energy_j.dram_static", a.energy.dramStatic,
-             b.energy.dramStatic);
-    d.approx("energy_j.cores", a.energy.cores, b.energy.cores);
-    d.approx("energy_j.network", a.energy.network, b.energy.network);
-    d.exact("functional.scan_matches", a.scanMatches, b.scanMatches);
-    d.exact("functional.join_matches", a.joinMatches, b.joinMatches);
-    d.exact("functional.group_count", a.groupCount, b.groupCount);
-    d.exact("functional.agg_checksum", a.aggChecksum, b.aggChecksum);
-
-    if (a.phases.size() != b.phases.size()) {
-        out.structural.push_back(where + ": " +
-                                 std::to_string(a.phases.size()) +
-                                 " phases vs " +
-                                 std::to_string(b.phases.size()));
+    if (a.size() != b.size()) {
+        out.structural.push_back(where + ": " + std::to_string(a.size()) +
+                                 " " + prefix + " vs " +
+                                 std::to_string(b.size()));
         return;
     }
-    for (std::size_t i = 0; i < a.phases.size(); ++i) {
-        const PhaseResult &pa = a.phases[i];
-        const PhaseResult &pb = b.phases[i];
-        const std::string tag = "phases[" + std::to_string(i) + "]";
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const PhaseResult &pa = a[i];
+        const PhaseResult &pb = b[i];
+        const std::string tag = prefix + "[" + std::to_string(i) + "]";
         if (pa.name != pb.name || pa.kind != pb.kind) {
             out.structural.push_back(where + ": " + tag + " is " + pa.name +
                                      " vs " + pb.name);
@@ -185,6 +165,88 @@ diffRunResult(const std::string &where, const RunResult &a,
     }
 }
 
+void
+diffEnergy(const FieldDiffer &d, const std::string &tag,
+           const EnergyBreakdown &a, const EnergyBreakdown &b)
+{
+    d.approx((tag + ".dram_dynamic").c_str(), a.dramDynamic,
+             b.dramDynamic);
+    d.approx((tag + ".dram_static").c_str(), a.dramStatic, b.dramStatic);
+    d.approx((tag + ".cores").c_str(), a.cores, b.cores);
+    d.approx((tag + ".network").c_str(), a.network, b.network);
+}
+
+void
+diffRunResult(const std::string &where, const RunResult &a,
+              const RunResult &b, double rtol, ReportDiff &out)
+{
+    FieldDiffer d{where, rtol, out};
+    d.approx("total_time_ps", static_cast<double>(a.totalTime),
+             static_cast<double>(b.totalTime));
+    d.approx("partition_time_ps", static_cast<double>(a.partitionTime),
+             static_cast<double>(b.partitionTime));
+    d.approx("probe_time_ps", static_cast<double>(a.probeTime),
+             static_cast<double>(b.probeTime));
+    d.approx("partition_vault_bw_gbps", a.partitionVaultBWGBps,
+             b.partitionVaultBWGBps);
+    d.approx("probe_vault_bw_gbps", a.probeVaultBWGBps, b.probeVaultBWGBps);
+    diffEnergy(d, "energy_j", a.energy, b.energy);
+    d.exact("functional.scan_matches", a.scanMatches, b.scanMatches);
+    d.exact("functional.join_matches", a.joinMatches, b.joinMatches);
+    d.exact("functional.group_count", a.groupCount, b.groupCount);
+    d.exact("functional.agg_checksum", a.aggChecksum, b.aggChecksum);
+
+    if (a.stages.size() != b.stages.size()) {
+        out.structural.push_back(where + ": " +
+                                 std::to_string(a.stages.size()) +
+                                 " stages vs " +
+                                 std::to_string(b.stages.size()));
+    } else {
+        for (std::size_t i = 0; i < a.stages.size(); ++i) {
+            const StageResult &sa = a.stages[i];
+            const StageResult &sb = b.stages[i];
+            const std::string tag = "stages[" + std::to_string(i) + "]";
+            if (sa.stage != sb.stage || sa.op != sb.op) {
+                out.structural.push_back(
+                    where + ": " + tag + " is " + sa.stage + "(" + sa.op +
+                    ") vs " + sb.stage + "(" + sb.op + ")");
+                continue;
+            }
+            FieldDiffer sd{where, rtol, out};
+            sd.approx((tag + ".total_time_ps").c_str(),
+                      static_cast<double>(sa.totalTime),
+                      static_cast<double>(sb.totalTime));
+            sd.approx((tag + ".partition_time_ps").c_str(),
+                      static_cast<double>(sa.partitionTime),
+                      static_cast<double>(sb.partitionTime));
+            sd.approx((tag + ".probe_time_ps").c_str(),
+                      static_cast<double>(sa.probeTime),
+                      static_cast<double>(sb.probeTime));
+            sd.approx((tag + ".partition_vault_bw_gbps").c_str(),
+                      sa.partitionVaultBWGBps, sb.partitionVaultBWGBps);
+            sd.approx((tag + ".probe_vault_bw_gbps").c_str(),
+                      sa.probeVaultBWGBps, sb.probeVaultBWGBps);
+            diffEnergy(sd, tag + ".energy_j", sa.energy, sb.energy);
+            sd.exact((tag + ".input_tuples").c_str(), sa.inputTuples,
+                     sb.inputTuples);
+            sd.exact((tag + ".output_tuples").c_str(), sa.outputTuples,
+                     sb.outputTuples);
+            sd.exact((tag + ".scan_matches").c_str(), sa.scanMatches,
+                     sb.scanMatches);
+            sd.exact((tag + ".join_matches").c_str(), sa.joinMatches,
+                     sb.joinMatches);
+            sd.exact((tag + ".group_count").c_str(), sa.groupCount,
+                     sb.groupCount);
+            sd.exact((tag + ".agg_checksum").c_str(), sa.aggChecksum,
+                     sb.aggChecksum);
+            diffPhaseList(where, tag + ".phases", sa.phases, sb.phases,
+                          rtol, out);
+        }
+    }
+
+    diffPhaseList(where, "phases", a.phases, b.phases, rtol, out);
+}
+
 } // namespace
 
 const char *
@@ -195,7 +257,7 @@ axisName(Axis axis)
       case Axis::kExec: return "exec";
       case Axis::kZipfTheta: return "zipf-theta";
       case Axis::kScale: return "scale";
-      case Axis::kOp: return "op";
+      case Axis::kScenario: return "scenario";
       case Axis::kSeed: return "seed";
     }
     return "?";
@@ -204,6 +266,11 @@ axisName(Axis axis)
 bool
 axisFromName(const std::string &name, Axis &out)
 {
+    // Legacy alias: v1/v2 reports called the scenario axis "op".
+    if (name == "op") {
+        out = Axis::kScenario;
+        return true;
+    }
     for (Axis axis : allAxes()) {
         if (name == axisName(axis)) {
             out = axis;
@@ -218,7 +285,7 @@ allAxes()
 {
     static const std::vector<Axis> axes = {Axis::kGeometry, Axis::kExec,
                                            Axis::kZipfTheta, Axis::kScale,
-                                           Axis::kOp, Axis::kSeed};
+                                           Axis::kScenario, Axis::kSeed};
     return axes;
 }
 
@@ -230,7 +297,7 @@ axisValueLabel(const ReportRun &run, Axis axis)
       case Axis::kExec: return run.exec;
       case Axis::kZipfTheta: return JsonWriter::doubleString(run.zipfTheta);
       case Axis::kScale: return "2^" + std::to_string(run.log2Tuples);
-      case Axis::kOp: return run.op;
+      case Axis::kScenario: return run.scenario;
       case Axis::kSeed: return std::to_string(run.seed);
     }
     return "?";
@@ -416,16 +483,17 @@ runsCsv(const ReportModel &m, const std::string &baseline)
     auto base = baselineRuns(m, baseline);
 
     std::string out =
-        "index,system,op,log2_tuples,seed,geometry,exec,zipf_theta,"
+        "index,system,scenario,log2_tuples,seed,geometry,exec,zipf_theta,"
         "total_time_ps,partition_time_ps,probe_time_ps,seconds,"
         "energy_total_j,energy_dram_dynamic_j,energy_dram_static_j,"
         "energy_cores_j,energy_network_j,partition_vault_bw_gbps,"
         "probe_vault_bw_gbps,speedup_vs_baseline,perf_per_watt_vs_baseline"
         "\n";
     for (const ReportRun &r : m.runs) {
-        out += std::to_string(r.index) + "," + r.system + "," + r.op + "," +
-               std::to_string(r.log2Tuples) + "," + std::to_string(r.seed) +
-               "," + r.geometry + "," + r.exec + ",";
+        out += std::to_string(r.index) + "," + r.system + "," +
+               r.scenario + "," + std::to_string(r.log2Tuples) + "," +
+               std::to_string(r.seed) + "," + r.geometry + "," + r.exec +
+               ",";
         JsonWriter::appendDouble(out, r.zipfTheta);
         out += "," + std::to_string(r.result.totalTime) + "," +
                std::to_string(r.result.partitionTime) + "," +
@@ -461,6 +529,138 @@ runsCsv(const ReportModel &m, const std::string &baseline)
         out += "," + speedup + "," + ppw + "\n";
     }
     return out;
+}
+
+std::string
+stagesCsv(const ReportModel &m)
+{
+    std::string out =
+        "index,system,scenario,log2_tuples,seed,geometry,exec,zipf_theta,"
+        "stage_index,stage,stage_op,input,total_time_ps,partition_time_ps,"
+        "probe_time_ps,energy_total_j,partition_vault_bw_gbps,"
+        "probe_vault_bw_gbps,input_tuples,output_tuples,scan_matches,"
+        "join_matches,group_count,agg_checksum\n";
+    for (const ReportRun &r : m.runs) {
+        for (std::size_t i = 0; i < r.result.stages.size(); ++i) {
+            const StageResult &s = r.result.stages[i];
+            out += std::to_string(r.index) + "," + r.system + "," +
+                   r.scenario + "," + std::to_string(r.log2Tuples) + "," +
+                   std::to_string(r.seed) + "," + r.geometry + "," +
+                   r.exec + ",";
+            JsonWriter::appendDouble(out, r.zipfTheta);
+            out += "," + std::to_string(i) + "," + s.stage + "," + s.op +
+                   "," + s.input + "," + std::to_string(s.totalTime) +
+                   "," + std::to_string(s.partitionTime) + "," +
+                   std::to_string(s.probeTime) + ",";
+            JsonWriter::appendDouble(out, s.energy.total());
+            out += ",";
+            JsonWriter::appendDouble(out, s.partitionVaultBWGBps);
+            out += ",";
+            JsonWriter::appendDouble(out, s.probeVaultBWGBps);
+            out += "," + std::to_string(s.inputTuples) + "," +
+                   std::to_string(s.outputTuples) + "," +
+                   std::to_string(s.scanMatches) + "," +
+                   std::to_string(s.joinMatches) + "," +
+                   std::to_string(s.groupCount) + "," +
+                   std::to_string(s.aggChecksum) + "\n";
+        }
+    }
+    return out;
+}
+
+std::vector<StageBreakdownRow>
+stageBreakdown(const ReportModel &m, const std::string &baseline)
+{
+    auto base = baselineRuns(m, baseline);
+
+    // Row identity: (scenario, stage index). Cells accumulate per
+    // system, pairing each run's stage with the baseline run's stage at
+    // the same grid point (same index — scenarios fix the stage list).
+    std::vector<StageBreakdownRow> rows;
+    auto rowFor = [&rows](const ReportRun &r,
+                          std::size_t stage_idx) -> StageBreakdownRow & {
+        for (StageBreakdownRow &row : rows) {
+            if (row.scenario == r.scenario && row.stageIndex == stage_idx)
+                return row;
+        }
+        StageBreakdownRow row;
+        row.scenario = r.scenario;
+        row.stageIndex = stage_idx;
+        row.stage = r.result.stages[stage_idx].stage;
+        row.op = r.result.stages[stage_idx].op;
+        rows.push_back(std::move(row));
+        return rows.back();
+    };
+
+    std::map<std::pair<std::string, std::string>, CellAccum> accums;
+    for (const ReportRun &r : m.runs) {
+        if (r.system == baseline)
+            continue;
+        const ReportRun *b = nullptr;
+        if (auto it = base.find(r.groupKey()); it != base.end())
+            b = it->second;
+        for (std::size_t i = 0; i < r.result.stages.size(); ++i) {
+            rowFor(r, i); // establish row order by first appearance
+            CellAccum &acc =
+                accums[{r.scenario + "|" + std::to_string(i), r.system}];
+            ++acc.total;
+            if (!b || b->result.stages.size() != r.result.stages.size())
+                continue;
+            const StageResult &ss = r.result.stages[i];
+            const StageResult &bs = b->result.stages[i];
+            acc.speedups.push_back(
+                ss.totalTime > 0
+                    ? static_cast<double>(bs.totalTime) /
+                          static_cast<double>(ss.totalTime)
+                    : 0.0);
+            acc.perfPerWatt.push_back(
+                ss.energy.total() > 0.0
+                    ? bs.energy.total() / ss.energy.total()
+                    : 0.0);
+        }
+    }
+
+    for (StageBreakdownRow &row : rows) {
+        for (const std::string &sys : m.systems) {
+            auto it = accums.find(
+                {row.scenario + "|" + std::to_string(row.stageIndex), sys});
+            if (it == accums.end())
+                continue;
+            const CellAccum &acc = it->second;
+            SensitivityCell cell;
+            cell.system = sys;
+            cell.total = acc.total;
+            cell.paired = acc.speedups.size();
+            GeomeanStats sp = geomeanStats(acc.speedups);
+            GeomeanStats pw = geomeanStats(acc.perfPerWatt);
+            cell.geomeanSpeedup = sp.value;
+            cell.geomeanPerfPerWatt = pw.value;
+            cell.droppedSpeedups = sp.dropped;
+            cell.droppedPerfPerWatt = pw.dropped;
+            row.cells.push_back(std::move(cell));
+        }
+    }
+    return rows;
+}
+
+std::string
+renderStageBreakdownMarkdown(const std::vector<StageBreakdownRow> &rows)
+{
+    std::vector<std::vector<std::string>> table;
+    table.push_back({"scenario", "stage", "op", "system", "paired",
+                     "geomean speedup", "geomean perf/W"});
+    for (const StageBreakdownRow &row : rows) {
+        for (const SensitivityCell &c : row.cells) {
+            table.push_back(
+                {row.scenario,
+                 std::to_string(row.stageIndex) + ":" + row.stage, row.op,
+                 c.system, pairedCountLabel(c.paired, c.total),
+                 geomeanCellLabel(c.geomeanSpeedup, c.droppedSpeedups, 4),
+                 geomeanCellLabel(c.geomeanPerfPerWatt,
+                                  c.droppedPerfPerWatt, 4)});
+        }
+    }
+    return renderMarkdownTable(table);
 }
 
 } // namespace mondrian

@@ -39,14 +39,15 @@ enum class Axis
     kExec,
     kZipfTheta,
     kScale,
-    kOp,
+    kScenario,
     kSeed
 };
 
 /** Printable axis name ("geometry", "exec", "zipf-theta", ...). */
 const char *axisName(Axis axis);
 
-/** Parse an axis name as printed by axisName(). */
+/** Parse an axis name as printed by axisName(). "op" is accepted as a
+ *  legacy alias for "scenario" (the axis label of v1/v2 reports). */
 bool axisFromName(const std::string &name, Axis &out);
 
 /** All axes, in report order. */
@@ -154,6 +155,37 @@ std::string renderDiff(const ReportDiff &d);
  * perf/W vs. the baseline at the same grid point.
  */
 std::string runsCsv(const ReportModel &m, const std::string &baseline);
+
+/**
+ * Chart-ready CSV of every stage of every scenario run (one row per
+ * (run, stage)): axis coordinates plus per-stage timing, energy, tuple
+ * flow and functional columns. Runs without stage sub-results
+ * (degenerate scenarios, v1/v2 reports) contribute no rows.
+ */
+std::string stagesCsv(const ReportModel &m);
+
+/** One (scenario, stage) row of the per-stage breakdown: cells pair
+ *  each system's stage with the baseline's same stage at the same grid
+ *  point and geomean stage-time speedup / stage perf-per-watt. */
+struct StageBreakdownRow
+{
+    std::string scenario;
+    std::size_t stageIndex = 0;
+    std::string stage; ///< stage token ("filter")
+    std::string op;    ///< basic op it lowered onto
+    std::vector<SensitivityCell> cells;
+};
+
+/**
+ * Per-stage breakdown of every pipeline scenario in the report vs.
+ * @p baseline. Empty when no run carries stage sub-results.
+ */
+std::vector<StageBreakdownRow> stageBreakdown(const ReportModel &m,
+                                              const std::string &baseline);
+
+/** Markdown rendering of the per-stage breakdown. */
+std::string
+renderStageBreakdownMarkdown(const std::vector<StageBreakdownRow> &rows);
 
 } // namespace mondrian
 

@@ -39,7 +39,8 @@ paperGrid(unsigned log2_tuples)
 {
     CampaignGrid grid;
     grid.systems = allSystemKinds();
-    grid.ops = allOpKinds();
+    for (OpKind op : allOpKinds())
+        grid.scenarios.push_back(degenerateScenario(op));
     grid.log2Tuples = {log2_tuples};
     grid.seeds = {42};
     return grid;
@@ -50,10 +51,21 @@ smokeGrid()
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kNmp, SystemKind::kMondrian};
-    grid.ops = {OpKind::kScan, OpKind::kJoin};
+    grid.scenarios = {degenerateScenario(OpKind::kScan),
+                      degenerateScenario(OpKind::kJoin)};
     grid.log2Tuples = {10};
     grid.seeds = {42};
     return grid;
+}
+
+bool
+gridHasPipelines(const CampaignGrid &grid)
+{
+    for (const Scenario &sc : grid.scenarios) {
+        if (!sc.degenerate())
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -63,9 +75,20 @@ validateGrid(const CampaignGrid &grid, std::string &error)
         error = "systems axis is empty";
         return false;
     }
-    if (grid.ops.empty()) {
-        error = "ops axis is empty";
+    if (grid.scenarios.empty()) {
+        error = "scenario axis is empty";
         return false;
+    }
+    std::set<std::string> scenario_names;
+    for (const Scenario &sc : grid.scenarios) {
+        if (sc.stages.empty()) {
+            error = "scenario '" + sc.name + "' has no stages";
+            return false;
+        }
+        if (!scenario_names.insert(sc.name).second) {
+            error = "duplicate scenario '" + sc.name + "'";
+            return false;
+        }
     }
     if (grid.log2Tuples.empty()) {
         error = "log2-tuples axis is empty";
@@ -152,26 +175,38 @@ validateGrid(const CampaignGrid &grid, std::string &error)
         }
         // Fail fast on scales that cannot fit the swept pool instead of
         // aborting mid-campaign in the vault allocator. Heuristic upper
-        // bound per op on the footprint in units of the 16 B/tuple
+        // bound per stage on the footprint in units of the 16 B/tuple
         // input: scan reads in place (2x slack); sort adds a shuffled
         // copy with 1.7x headroom (4x); group-by/join add the R side,
-        // hash tables and outputs (6x) — plus the fixed
+        // hash tables and outputs (6x). Pipeline scenarios accumulate:
+        // allocations are never freed within a run, so a scenario's
+        // footprint is the SUM of its stage factors plus 2x per
+        // materialized intermediate relation — scan stages are
+        // pass-through and materialize nothing, and the final stage's
+        // output is only counted, never materialized — plus the fixed
         // page-table/cursor blocks (~4 MiB). The allocator remains the
         // hard guard.
         std::uint64_t factor = 0;
-        for (OpKind op : grid.ops) {
-            switch (op) {
-              case OpKind::kScan:
-                factor = std::max<std::uint64_t>(factor, 2);
-                break;
-              case OpKind::kSort:
-                factor = std::max<std::uint64_t>(factor, 4);
-                break;
-              case OpKind::kGroupBy:
-              case OpKind::kJoin:
-                factor = std::max<std::uint64_t>(factor, 6);
-                break;
+        for (const Scenario &sc : grid.scenarios) {
+            std::uint64_t f = 0;
+            for (std::size_t i = 0; i < sc.stages.size(); ++i) {
+                switch (sc.stages[i].op) {
+                  case OpKind::kScan:
+                    f += 2;
+                    break;
+                  case OpKind::kSort:
+                    f += 4;
+                    break;
+                  case OpKind::kGroupBy:
+                  case OpKind::kJoin:
+                    f += 6;
+                    break;
+                }
+                if (i + 1 < sc.stages.size() &&
+                    sc.stages[i].op != OpKind::kScan)
+                    f += 2; // materialized intermediate for the successor
             }
+            factor = std::max(factor, f);
         }
         for (unsigned l : grid.log2Tuples) {
             const std::uint64_t footprint =
@@ -218,12 +253,12 @@ expandGrid(const CampaignGrid &grid)
             for (double theta : grid.zipfThetas) {
                 for (std::uint64_t seed : grid.seeds) {
                     for (unsigned log2 : grid.log2Tuples) {
-                        for (OpKind op : grid.ops) {
+                        for (const Scenario &sc : grid.scenarios) {
                             for (SystemKind sys : grid.systems) {
                                 CampaignJob job;
                                 job.index = jobs.size();
                                 job.system = sys;
-                                job.op = op;
+                                job.scenario = sc;
                                 job.log2Tuples = log2;
                                 job.seed = seed;
                                 job.geometry = geo;
@@ -244,13 +279,13 @@ GridGroupKey
 gridGroupKey(const CampaignJob &job)
 {
     return {geometryName(job.geometry), job.exec.name(), job.zipfTheta,
-            job.seed, job.log2Tuples, opKindName(job.op)};
+            job.seed, job.log2Tuples, job.scenario.name};
 }
 
 GridGroupKey
 gridGroupKey(const CampaignRun &run)
 {
-    // RunResult::op always equals opKindName(job.op) (the runner sets it
+    // RunResult::op always equals job.scenario.name (the runner sets it
     // and the resume identity includes it), so keying by the job alone
     // is equivalent.
     return gridGroupKey(run.job);
@@ -366,9 +401,10 @@ ResumeCache::load(const std::string &json_text, std::string &error)
         return false;
     const JsonValue *schema = doc.find("schema");
     const std::string schema_name = schema ? schema->asString() : "";
-    const bool v2 = schema_name == "mondrian-campaign-v2";
+    const bool v3 = schema_name == "mondrian-campaign-v3";
+    const bool v2 = v3 || schema_name == "mondrian-campaign-v2";
     if (!v2 && schema_name != "mondrian-campaign-v1") {
-        error = "not a mondrian-campaign-v1/v2 report";
+        error = "not a mondrian-campaign-v1/v2/v3 report";
         return false;
     }
 
@@ -376,12 +412,45 @@ ResumeCache::load(const std::string &json_text, std::string &error)
     // geometry and the "base" exec point, with the campaign-wide theta.
     std::map<std::string, MemGeometry> geometries;
     std::map<std::string, ExecOverride> overrides;
+    // v3: scenario label -> full cache identity (name + stage
+    // structure), resolved from the grid's scenarios table so a renamed
+    // or restructured pipeline can never satisfy a stale cache entry.
+    std::map<std::string, std::string> scenario_identities;
     double v1_zipf = 0.0;
     const JsonValue *grid = doc.find("grid");
     if (v2) {
         if (!grid) {
-            error = "v2 report has no grid block";
+            error = "v2/v3 report has no grid block";
             return false;
+        }
+        if (const JsonValue *scs = grid->find("scenarios")) {
+            for (const JsonValue &sv : scs->items) {
+                const JsonValue *name = sv.find("name");
+                const JsonValue *stages = sv.find("stages");
+                if (!name || !stages || !stages->isArray())
+                    continue;
+                Scenario sc;
+                sc.name = name->asString();
+                bool ok = true;
+                for (const JsonValue &st : stages->items) {
+                    const JsonValue *spark = st.find("stage");
+                    const JsonValue *op = st.find("op");
+                    const JsonValue *input = st.find("input");
+                    ScenarioStage stage;
+                    if (!spark || !op || !input ||
+                        !opKindFromName(op->asString(), stage.op)) {
+                        ok = false;
+                        break;
+                    }
+                    stage.spark = spark->asString();
+                    stage.input = input->asString() == "generated"
+                                      ? StageInput::kGenerated
+                                      : StageInput::kPrevOutput;
+                    sc.stages.push_back(std::move(stage));
+                }
+                if (ok && !sc.stages.empty())
+                    scenario_identities[sc.name] = scenarioIdentity(sc);
+            }
         }
         if (const JsonValue *gs = grid->find("geometries")) {
             for (const JsonValue &g : gs->items) {
@@ -429,7 +498,9 @@ ResumeCache::load(const std::string &json_text, std::string &error)
     }
     for (const JsonValue &r : runs->items) {
         const JsonValue *sys = r.find("system");
-        const JsonValue *op = r.find("op");
+        // v3 runs are labeled by scenario; v1/v2 "op" labels ARE the
+        // degenerate scenario names, so both key identically.
+        const JsonValue *op = v3 ? r.find("scenario") : r.find("op");
         const JsonValue *log2 = r.find("log2_tuples");
         const JsonValue *seed = r.find("seed");
         const JsonValue *result = r.find("result");
@@ -438,6 +509,10 @@ ResumeCache::load(const std::string &json_text, std::string &error)
         MemGeometry geo = defaultGeometry();
         ExecOverride exec;
         double zipf = v1_zipf;
+        // v1/v2 "op" labels are degenerate scenario names, which ARE
+        // their own identity; v3 labels resolve through the scenarios
+        // table to the full stage-structure identity.
+        std::string scenario_id = op->asString();
         if (v2) {
             const JsonValue *gname = r.find("geometry");
             const JsonValue *ename = r.find("exec");
@@ -451,13 +526,19 @@ ResumeCache::load(const std::string &json_text, std::string &error)
             geo = git->second;
             exec = eit->second;
             zipf = z->asDouble();
+            if (v3) {
+                auto sit = scenario_identities.find(op->asString());
+                if (sit == scenario_identities.end())
+                    continue;
+                scenario_id = sit->second;
+            }
         }
         Entry e;
         if (!readRunResult(*result, e.result))
             continue;
         e.rawResultJson =
             json_text.substr(result->begin, result->end - result->begin);
-        entries_[gridPointHash(sys->asString(), op->asString(),
+        entries_[gridPointHash(sys->asString(), scenario_id,
                                static_cast<unsigned>(log2->asU64()),
                                seed->asU64(), zipf, geo, exec)] =
             std::move(e);
@@ -488,9 +569,10 @@ CampaignRunner::run(unsigned jobs)
             if (resume_) {
                 const ResumeCache::Entry *hit =
                     resume_->find(ResumeCache::gridPointHash(
-                        systemKindName(job.system), opKindName(job.op),
-                        job.log2Tuples, job.seed, job.zipfTheta,
-                        job.geometry, job.exec));
+                        systemKindName(job.system),
+                        scenarioIdentity(job.scenario), job.log2Tuples,
+                        job.seed, job.zipfTheta, job.geometry,
+                        job.exec));
                 if (hit) {
                     CampaignRun &slot = report.runs[job.index];
                     slot.job = job;
@@ -505,7 +587,7 @@ CampaignRunner::run(unsigned jobs)
                 Runner runner(job.workload());
                 CampaignRun &slot = report.runs[job.index];
                 slot.job = job;
-                slot.result = runner.run(job.systemConfig(), job.op);
+                slot.result = runner.run(job.systemConfig(), job.scenario);
                 if (progress_) {
                     std::lock_guard<std::mutex> lock(progress_mutex);
                     progress_(slot);
@@ -526,9 +608,16 @@ CampaignRunner::run(unsigned jobs)
 std::string
 campaignReportJson(const CampaignReport &report)
 {
+    // Degenerate-only grids write the historical v2 document bit-for-bit
+    // (the nightly golden gate depends on it); pipeline scenarios
+    // upgrade the schema to v3, which adds the scenario axis table,
+    // per-run "scenario" labels and stage sub-results.
+    const bool v3 = gridHasPipelines(report.grid);
+
     JsonWriter w;
     w.beginObject();
-    w.member("schema", "mondrian-campaign-v2");
+    w.member("schema",
+             v3 ? "mondrian-campaign-v3" : "mondrian-campaign-v2");
     w.member("paper", "conf_isca_DrumondDMUPFGP17");
 
     w.key("grid").beginObject();
@@ -536,10 +625,29 @@ campaignReportJson(const CampaignReport &report)
     for (SystemKind k : report.grid.systems)
         w.value(systemKindName(k));
     w.endArray();
-    w.key("ops").beginArray();
-    for (OpKind op : report.grid.ops)
-        w.value(opKindName(op));
-    w.endArray();
+    if (v3) {
+        w.key("scenarios").beginArray();
+        for (const Scenario &sc : report.grid.scenarios) {
+            w.beginObject();
+            w.member("name", sc.name);
+            w.key("stages").beginArray();
+            for (const ScenarioStage &st : sc.stages) {
+                w.beginObject();
+                w.member("stage", st.spark);
+                w.member("op", opKindName(st.op));
+                w.member("input", stageInputName(st.input));
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+    } else {
+        w.key("ops").beginArray();
+        for (const Scenario &sc : report.grid.scenarios)
+            w.value(sc.name);
+        w.endArray();
+    }
     w.key("log2_tuples").beginArray();
     for (unsigned l : report.grid.log2Tuples)
         w.value(std::uint64_t{l});
@@ -586,7 +694,10 @@ campaignReportJson(const CampaignReport &report)
         w.beginObject();
         w.member("index", std::uint64_t{r.job.index});
         w.member("system", systemKindName(r.job.system));
-        w.member("op", opKindName(r.job.op));
+        if (v3)
+            w.member("scenario", r.job.scenario.name);
+        else
+            w.member("op", r.job.scenario.name);
         w.member("log2_tuples", std::uint64_t{r.job.log2Tuples});
         w.member("seed", r.job.seed);
         w.member("geometry", geometryName(r.job.geometry));
@@ -672,9 +783,10 @@ campaignDryRun(const CampaignGrid &grid, const ResumeCache *resume)
         bool hit = false;
         if (resume) {
             hit = resume->find(ResumeCache::gridPointHash(
-                      systemKindName(job.system), opKindName(job.op),
-                      job.log2Tuples, job.seed, job.zipfTheta,
-                      job.geometry, job.exec)) != nullptr;
+                      systemKindName(job.system),
+                      scenarioIdentity(job.scenario), job.log2Tuples,
+                      job.seed, job.zipfTheta, job.geometry,
+                      job.exec)) != nullptr;
             if (hit)
                 ++cached;
         }
@@ -685,11 +797,11 @@ campaignDryRun(const CampaignGrid &grid, const ResumeCache *resume)
         else if (it != base.end())
             pairing = "vs [" + std::to_string(it->second) + "]";
 
-        char line[256];
+        char line[512];
         std::snprintf(line, sizeof(line),
                       "[%4zu] %-8s %-15s 2^%-2u seed=%-6llu geo=%-18s "
                       "exec=%-12s zipf=%-5g %s%s\n",
-                      job.index, opKindName(job.op),
+                      job.index, job.scenario.name.c_str(),
                       systemKindName(job.system), job.log2Tuples,
                       static_cast<unsigned long long>(job.seed),
                       geometryName(job.geometry).c_str(),
@@ -699,10 +811,10 @@ campaignDryRun(const CampaignGrid &grid, const ResumeCache *resume)
     }
     char tail[256];
     std::snprintf(tail, sizeof(tail),
-                  "%zu runs (%zu systems x %zu ops x %zu scales x %zu seeds "
-                  "x %zu geometries x %zu exec points x %zu thetas), "
-                  "%zu baseline-paired, %zu cached\n",
-                  jobs.size(), grid.systems.size(), grid.ops.size(),
+                  "%zu runs (%zu systems x %zu scenarios x %zu scales x "
+                  "%zu seeds x %zu geometries x %zu exec points x %zu "
+                  "thetas), %zu baseline-paired, %zu cached\n",
+                  jobs.size(), grid.systems.size(), grid.scenarios.size(),
                   grid.log2Tuples.size(), grid.seeds.size(),
                   grid.geometries.size(), grid.execOverrides.size(),
                   grid.zipfThetas.size(), paired, cached);

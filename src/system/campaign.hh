@@ -7,11 +7,20 @@
  * one execution configuration per system. A CampaignGrid generalizes that
  * into a seven-axis design space:
  *
- *   {geometry x exec-override x zipf-theta x seed x scale x op x system}
+ *   {geometry x exec-override x zipf-theta x seed x scale x scenario x
+ *    system}
  *
  * Geometry points are full MemGeometry variants (cubes, vaults/cube,
  * vault capacity, row-buffer size); exec overrides are named ExecConfig
  * deltas (radix bits, read chunk, TLB reach); zipf-theta sweeps key skew.
+ * The scenario axis holds whole analytics pipelines (system/scenario.hh):
+ * the four degenerate single-op scenarios reproduce the classic operator
+ * runs byte-for-byte, and multi-stage scenarios ("sessions", arbitrary
+ * `a>b>c` chains) run as one pipeline per grid point. Reports stay
+ * schema mondrian-campaign-v2 for degenerate-only grids (bit-compatible
+ * with the historical writer, including the nightly golden) and become
+ * mondrian-campaign-v3 — a superset adding the scenario axis table and
+ * per-run stage sub-results — once any pipeline scenario is swept.
  * expandGrid() flattens the cross-product into an ordered job list and
  * CampaignRunner executes the jobs on a thread pool. Each job builds a
  * fresh MemoryPool/Machine, so jobs share no mutable state and the
@@ -43,7 +52,8 @@ struct CampaignGrid
 {
     /** Systems to evaluate; the first kCpu entry (if any) is the baseline. */
     std::vector<SystemKind> systems;
-    std::vector<OpKind> ops;
+    /** Scenario axis; degenerate entries are the classic single ops. */
+    std::vector<Scenario> scenarios;
     /** Scale factors: log2 of |S| tuples. */
     std::vector<unsigned> log2Tuples;
     std::vector<std::uint64_t> seeds;
@@ -58,11 +68,17 @@ struct CampaignGrid
     std::size_t
     size() const
     {
-        return systems.size() * ops.size() * log2Tuples.size() *
+        return systems.size() * scenarios.size() * log2Tuples.size() *
                seeds.size() * geometries.size() * execOverrides.size() *
                zipfThetas.size();
     }
 };
+
+/**
+ * True when @p grid sweeps any non-degenerate (pipeline) scenario —
+ * i.e. when its report must use schema mondrian-campaign-v3.
+ */
+bool gridHasPipelines(const CampaignGrid &grid);
 
 /**
  * Check that every axis is non-empty and every axis value is valid
@@ -82,7 +98,7 @@ struct CampaignJob
 {
     std::size_t index = 0; ///< position in grid order (aggregation key)
     SystemKind system = SystemKind::kCpu;
-    OpKind op = OpKind::kScan;
+    Scenario scenario = degenerateScenario(OpKind::kScan);
     unsigned log2Tuples = 15;
     std::uint64_t seed = 42;
     MemGeometry geometry = defaultGeometry();
@@ -98,9 +114,9 @@ struct CampaignJob
 
 /**
  * Flatten @p grid in deterministic order: geometries outermost, then exec
- * overrides, thetas, seeds, scales, ops, and systems innermost — so one
- * (geometry, exec, theta, seed, scale, op) group's systems are contiguous
- * and baseline comparisons read naturally in the report.
+ * overrides, thetas, seeds, scales, scenarios, and systems innermost — so
+ * one (geometry, exec, theta, seed, scale, scenario) group's systems are
+ * contiguous and baseline comparisons read naturally in the report.
  */
 std::vector<CampaignJob> expandGrid(const CampaignGrid &grid);
 
@@ -121,9 +137,10 @@ struct CampaignRun
 
 /**
  * Comparison group of a run: baseline matching is per (geometry, exec,
- * theta, seed, scale, op), so speedups always compare two systems at the
- * same axis point. Shared by the campaign summary and table-rendering
- * callers so the two never drift when the grid grows new axes.
+ * theta, seed, scale, scenario), so speedups always compare two systems
+ * at the same axis point. Shared by the campaign summary and
+ * table-rendering callers so the two never drift when the grid grows new
+ * axes.
  */
 using GridGroupKey = std::tuple<std::string, std::string, double,
                                 std::uint64_t, unsigned, std::string>;
@@ -184,8 +201,8 @@ struct CampaignReport
  * Cache of finished grid points loaded from a prior campaign report.
  *
  * Keyed by the (config, workload) identity hash of a grid point —
- * (system, op, log2 tuples, seed, zipf theta, memory geometry, exec
- * override) — which is everything that determines a run's result. The
+ * (system, scenario, log2 tuples, seed, zipf theta, memory geometry,
+ * exec override) — which is everything that determines a run's result. The
  * hash input encodes every numeric geometry/override field at a fixed
  * position, so two distinct axis points can never collide by
  * construction. A CampaignRunner consults the cache before executing
@@ -197,21 +214,23 @@ struct CampaignReport
  * resumed summary could in principle differ from a fresh one in the
  * final printed digit of a geomean.
  *
- * Schema compatibility: loads both mondrian-campaign-v2 reports (per-run
- * geometry/exec/zipf_theta labels, resolved against the grid's axis
- * tables) and legacy v1 reports. A v1 report carries no geometry or
- * exec axes, so its runs are cached at the default geometry, the "base"
- * exec point and the report's campaign-wide zipf_theta — exactly the
- * points a v1 campaign simulated — and therefore resume seamlessly into
- * v2 sweeps that include those default axis values.
+ * Schema compatibility: loads mondrian-campaign-v3 reports (runs labeled
+ * by scenario), v2 reports (per-run geometry/exec/zipf_theta labels,
+ * resolved against the grid's axis tables) and legacy v1 reports. A
+ * v1/v2 run's "op" label maps onto the degenerate scenario of the same
+ * name — the identical identity string — so old single-op reports
+ * resume seamlessly into scenario sweeps, splicing byte-identically. A
+ * v1 report carries no geometry or exec axes, so its runs are cached at
+ * the default geometry, the "base" exec point and the report's
+ * campaign-wide zipf_theta — exactly the points a v1 campaign simulated.
  */
 class ResumeCache
 {
   public:
     /**
      * Load entries from a prior report's JSON text (schema
-     * mondrian-campaign-v2, or legacy v1 as described above). Replaces
-     * the current contents.
+     * mondrian-campaign-v3/-v2, or legacy v1 as described above).
+     * Replaces the current contents.
      * @return false with @p error set on parse/schema problems.
      */
     bool load(const std::string &json_text, std::string &error);
@@ -221,10 +240,15 @@ class ResumeCache
     /**
      * Canonical key identifying one (config, workload) grid point: the
      * injective delimited-field encoding of every axis coordinate (no
-     * lossy digest — distinct points cannot collide).
+     * lossy digest — distinct points cannot collide). @p scenario is
+     * the scenarioIdentity() string — the bare name for degenerate
+     * scenarios (v1/v2 "op" labels ARE those identities, so the key is
+     * version-independent) and name + stage structure for pipelines, so
+     * a renamed or restructured pipeline can never satisfy a stale
+     * cache entry.
      */
     static std::string gridPointHash(const std::string &system,
-                                     const std::string &op,
+                                     const std::string &scenario,
                                      unsigned log2_tuples,
                                      std::uint64_t seed, double zipf_theta,
                                      const MemGeometry &geo,
@@ -282,7 +306,10 @@ class CampaignRunner
 
 /**
  * Render a campaign report as a deterministic JSON document (the CI
- * artifact, schema mondrian-campaign-v2). Same report, same bytes,
+ * artifact). Degenerate-only grids emit schema mondrian-campaign-v2,
+ * byte-compatible with the historical writer; grids sweeping pipeline
+ * scenarios emit mondrian-campaign-v3 (scenario axis table + per-run
+ * "scenario" labels + stage sub-results). Same report, same bytes,
  * regardless of thread count.
  */
 std::string campaignReportJson(const CampaignReport &report);

@@ -159,36 +159,25 @@ phaseKindName(PhaseKind kind)
     return kind == PhaseKind::kPartition ? "partition" : "probe";
 }
 
+namespace {
+
 void
-writeRunResult(JsonWriter &w, const RunResult &run)
+writeEnergy(JsonWriter &w, const EnergyBreakdown &e)
 {
-    w.beginObject();
-    w.member("system", run.system);
-    w.member("op", run.op);
-    w.member("total_time_ps", run.totalTime);
-    w.member("partition_time_ps", run.partitionTime);
-    w.member("probe_time_ps", run.probeTime);
-    w.member("seconds", run.seconds());
-    w.member("partition_vault_bw_gbps", run.partitionVaultBWGBps);
-    w.member("probe_vault_bw_gbps", run.probeVaultBWGBps);
-
     w.key("energy_j").beginObject();
-    w.member("dram_dynamic", run.energy.dramDynamic);
-    w.member("dram_static", run.energy.dramStatic);
-    w.member("cores", run.energy.cores);
-    w.member("network", run.energy.network);
-    w.member("total", run.energy.total());
+    w.member("dram_dynamic", e.dramDynamic);
+    w.member("dram_static", e.dramStatic);
+    w.member("cores", e.cores);
+    w.member("network", e.network);
+    w.member("total", e.total());
     w.endObject();
+}
 
-    w.key("functional").beginObject();
-    w.member("scan_matches", run.scanMatches);
-    w.member("join_matches", run.joinMatches);
-    w.member("group_count", run.groupCount);
-    w.member("agg_checksum", run.aggChecksum);
-    w.endObject();
-
+void
+writePhases(JsonWriter &w, const std::vector<PhaseResult> &phases)
+{
     w.key("phases").beginArray();
-    for (const auto &p : run.phases) {
+    for (const auto &p : phases) {
         w.beginObject();
         w.member("name", p.name);
         w.member("kind", phaseKindName(p.kind));
@@ -206,8 +195,123 @@ writeRunResult(JsonWriter &w, const RunResult &run)
         w.endObject();
     }
     w.endArray();
+}
+
+} // namespace
+
+void
+writeRunResult(JsonWriter &w, const RunResult &run)
+{
+    w.beginObject();
+    w.member("system", run.system);
+    w.member("op", run.op);
+    w.member("total_time_ps", run.totalTime);
+    w.member("partition_time_ps", run.partitionTime);
+    w.member("probe_time_ps", run.probeTime);
+    w.member("seconds", run.seconds());
+    w.member("partition_vault_bw_gbps", run.partitionVaultBWGBps);
+    w.member("probe_vault_bw_gbps", run.probeVaultBWGBps);
+
+    writeEnergy(w, run.energy);
+
+    w.key("functional").beginObject();
+    w.member("scan_matches", run.scanMatches);
+    w.member("join_matches", run.joinMatches);
+    w.member("group_count", run.groupCount);
+    w.member("agg_checksum", run.aggChecksum);
+    w.endObject();
+
+    // Per-stage sub-results appear only on multi-stage scenario runs, so
+    // classic single-op run JSON is byte-identical to the pre-scenario
+    // writer (and v2 resume splices stay verbatim).
+    if (!run.stages.empty()) {
+        w.key("stages").beginArray();
+        for (const StageResult &s : run.stages) {
+            w.beginObject();
+            w.member("stage", s.stage);
+            w.member("op", s.op);
+            w.member("input", s.input);
+            w.member("total_time_ps", s.totalTime);
+            w.member("partition_time_ps", s.partitionTime);
+            w.member("probe_time_ps", s.probeTime);
+            w.member("partition_vault_bw_gbps", s.partitionVaultBWGBps);
+            w.member("probe_vault_bw_gbps", s.probeVaultBWGBps);
+            w.member("input_tuples", s.inputTuples);
+            w.member("output_tuples", s.outputTuples);
+            writeEnergy(w, s.energy);
+            w.key("functional").beginObject();
+            w.member("scan_matches", s.scanMatches);
+            w.member("join_matches", s.joinMatches);
+            w.member("group_count", s.groupCount);
+            w.member("agg_checksum", s.aggChecksum);
+            w.endObject();
+            writePhases(w, s.phases);
+            w.endObject();
+        }
+        w.endArray();
+    }
+
+    writePhases(w, run.phases);
     w.endObject();
 }
+
+namespace {
+
+void
+readU64(const JsonValue &obj, const char *k, std::uint64_t &dst)
+{
+    if (const JsonValue *p = obj.find(k))
+        dst = p->asU64();
+}
+
+void
+readDbl(const JsonValue &obj, const char *k, double &dst)
+{
+    if (const JsonValue *p = obj.find(k))
+        dst = p->asDouble();
+}
+
+void
+readEnergy(const JsonValue &v, EnergyBreakdown &out)
+{
+    if (const JsonValue *e = v.find("energy_j")) {
+        readDbl(*e, "dram_dynamic", out.dramDynamic);
+        readDbl(*e, "dram_static", out.dramStatic);
+        readDbl(*e, "cores", out.cores);
+        readDbl(*e, "network", out.network);
+    }
+}
+
+void
+readPhases(const JsonValue &v, std::vector<PhaseResult> &out)
+{
+    const JsonValue *phases = v.find("phases");
+    if (!phases || !phases->isArray())
+        return;
+    for (const JsonValue &pv : phases->items) {
+        PhaseResult ph;
+        if (const JsonValue *p = pv.find("name"))
+            ph.name = p->asString();
+        if (const JsonValue *p = pv.find("kind")) {
+            ph.kind = p->asString() == "partition" ? PhaseKind::kPartition
+                                                   : PhaseKind::kProbe;
+        }
+        readU64(pv, "time_ps", ph.time);
+        readU64(pv, "dram_bytes", ph.dramBytes);
+        readU64(pv, "activations", ph.activations);
+        readDbl(pv, "avg_vault_bw_gbps", ph.avgVaultBWGBps);
+        readDbl(pv, "core_utilization", ph.coreUtilization);
+        if (const JsonValue *s = pv.find("stalls")) {
+            readDbl(*s, "store", ph.stallStore);
+            readDbl(*s, "stream", ph.stallStream);
+            readDbl(*s, "load", ph.stallLoad);
+            readDbl(*s, "fence", ph.stallFence);
+        }
+        out.push_back(std::move(ph));
+    }
+}
+
+} // namespace
 
 bool
 readRunResult(const JsonValue &v, RunResult &out)
@@ -216,65 +320,54 @@ readRunResult(const JsonValue &v, RunResult &out)
         return false;
     out = RunResult{};
 
-    auto u64 = [&](const JsonValue &obj, const char *k,
-                   std::uint64_t &dst) {
-        if (const JsonValue *p = obj.find(k))
-            dst = p->asU64();
-    };
-    auto dbl = [&](const JsonValue &obj, const char *k, double &dst) {
-        if (const JsonValue *p = obj.find(k))
-            dst = p->asDouble();
-    };
-
     if (const JsonValue *p = v.find("system"))
         out.system = p->asString();
     if (const JsonValue *p = v.find("op"))
         out.op = p->asString();
     if (out.system.empty() || out.op.empty())
         return false;
-    u64(v, "total_time_ps", out.totalTime);
-    u64(v, "partition_time_ps", out.partitionTime);
-    u64(v, "probe_time_ps", out.probeTime);
-    dbl(v, "partition_vault_bw_gbps", out.partitionVaultBWGBps);
-    dbl(v, "probe_vault_bw_gbps", out.probeVaultBWGBps);
+    readU64(v, "total_time_ps", out.totalTime);
+    readU64(v, "partition_time_ps", out.partitionTime);
+    readU64(v, "probe_time_ps", out.probeTime);
+    readDbl(v, "partition_vault_bw_gbps", out.partitionVaultBWGBps);
+    readDbl(v, "probe_vault_bw_gbps", out.probeVaultBWGBps);
+    readEnergy(v, out.energy);
 
-    if (const JsonValue *e = v.find("energy_j")) {
-        dbl(*e, "dram_dynamic", out.energy.dramDynamic);
-        dbl(*e, "dram_static", out.energy.dramStatic);
-        dbl(*e, "cores", out.energy.cores);
-        dbl(*e, "network", out.energy.network);
-    }
     if (const JsonValue *f = v.find("functional")) {
-        u64(*f, "scan_matches", out.scanMatches);
-        u64(*f, "join_matches", out.joinMatches);
-        u64(*f, "group_count", out.groupCount);
-        u64(*f, "agg_checksum", out.aggChecksum);
+        readU64(*f, "scan_matches", out.scanMatches);
+        readU64(*f, "join_matches", out.joinMatches);
+        readU64(*f, "group_count", out.groupCount);
+        readU64(*f, "agg_checksum", out.aggChecksum);
     }
-    if (const JsonValue *phases = v.find("phases");
-        phases && phases->isArray()) {
-        for (const JsonValue &pv : phases->items) {
-            PhaseResult ph;
-            if (const JsonValue *p = pv.find("name"))
-                ph.name = p->asString();
-            if (const JsonValue *p = pv.find("kind")) {
-                ph.kind = p->asString() == "partition"
-                              ? PhaseKind::kPartition
-                              : PhaseKind::kProbe;
+    if (const JsonValue *stages = v.find("stages");
+        stages && stages->isArray()) {
+        for (const JsonValue &sv : stages->items) {
+            StageResult s;
+            if (const JsonValue *p = sv.find("stage"))
+                s.stage = p->asString();
+            if (const JsonValue *p = sv.find("op"))
+                s.op = p->asString();
+            if (const JsonValue *p = sv.find("input"))
+                s.input = p->asString();
+            readU64(sv, "total_time_ps", s.totalTime);
+            readU64(sv, "partition_time_ps", s.partitionTime);
+            readU64(sv, "probe_time_ps", s.probeTime);
+            readDbl(sv, "partition_vault_bw_gbps", s.partitionVaultBWGBps);
+            readDbl(sv, "probe_vault_bw_gbps", s.probeVaultBWGBps);
+            readU64(sv, "input_tuples", s.inputTuples);
+            readU64(sv, "output_tuples", s.outputTuples);
+            readEnergy(sv, s.energy);
+            if (const JsonValue *f = sv.find("functional")) {
+                readU64(*f, "scan_matches", s.scanMatches);
+                readU64(*f, "join_matches", s.joinMatches);
+                readU64(*f, "group_count", s.groupCount);
+                readU64(*f, "agg_checksum", s.aggChecksum);
             }
-            u64(pv, "time_ps", ph.time);
-            u64(pv, "dram_bytes", ph.dramBytes);
-            u64(pv, "activations", ph.activations);
-            dbl(pv, "avg_vault_bw_gbps", ph.avgVaultBWGBps);
-            dbl(pv, "core_utilization", ph.coreUtilization);
-            if (const JsonValue *s = pv.find("stalls")) {
-                dbl(*s, "store", ph.stallStore);
-                dbl(*s, "stream", ph.stallStream);
-                dbl(*s, "load", ph.stallLoad);
-                dbl(*s, "fence", ph.stallFence);
-            }
-            out.phases.push_back(std::move(ph));
+            readPhases(sv, s.phases);
+            out.stages.push_back(std::move(s));
         }
     }
+    readPhases(v, out.phases);
     return true;
 }
 

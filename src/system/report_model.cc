@@ -29,7 +29,7 @@ std::string
 ReportRun::groupKey() const
 {
     // Theta at the report's canonical 12-digit encoding (see json.hh).
-    return op + "|" + std::to_string(log2Tuples) + "|" +
+    return scenario + "|" + std::to_string(log2Tuples) + "|" +
            std::to_string(seed) + "|" + geometry + "|" + exec + "|" +
            JsonWriter::doubleString(zipfTheta);
 }
@@ -51,12 +51,14 @@ loadReportModel(const std::string &json_text, ReportModel &out,
 
     const JsonValue *schema = doc.find("schema");
     const std::string schema_name = schema ? schema->asString() : "";
-    if (schema_name == "mondrian-campaign-v2") {
+    if (schema_name == "mondrian-campaign-v3") {
+        out.schemaVersion = 3;
+    } else if (schema_name == "mondrian-campaign-v2") {
         out.schemaVersion = 2;
     } else if (schema_name == "mondrian-campaign-v1") {
         out.schemaVersion = 1;
     } else {
-        error = "not a mondrian-campaign-v1/v2 report (schema '" +
+        error = "not a mondrian-campaign-v1/v2/v3 report (schema '" +
                 schema_name + "')";
         return false;
     }
@@ -83,7 +85,10 @@ loadReportModel(const std::string &json_text, ReportModel &out,
     for (const JsonValue &r : runs->items) {
         ReportRun run;
         const JsonValue *sys = r.find("system");
-        const JsonValue *op = r.find("op");
+        // v3 labels runs by scenario; v1/v2 "op" labels are exactly the
+        // degenerate scenario names, so both load into run.scenario.
+        const JsonValue *op = out.schemaVersion >= 3 ? r.find("scenario")
+                                                     : r.find("op");
         const JsonValue *log2 = r.find("log2_tuples");
         const JsonValue *seed = r.find("seed");
         const JsonValue *result = r.find("result");
@@ -102,16 +107,16 @@ loadReportModel(const std::string &json_text, ReportModel &out,
         if (const JsonValue *idx = r.find("index"); idx && idx->isNumber())
             run.index = idx->asU64();
         run.system = sys->asString();
-        run.op = op->asString();
+        run.scenario = op->asString();
         run.log2Tuples = static_cast<unsigned>(log2->asU64());
         run.seed = seed->asU64();
-        if (out.schemaVersion == 2) {
+        if (out.schemaVersion >= 2) {
             const JsonValue *geo = r.find("geometry");
             const JsonValue *exec = r.find("exec");
             const JsonValue *z = r.find("zipf_theta");
             if (!geo || !exec || !z || !geo->isString() ||
                 !exec->isString() || !z->isNumber()) {
-                error = "v2 run " + std::to_string(out.runs.size()) +
+                error = "v2/v3 run " + std::to_string(out.runs.size()) +
                         " is missing an axis label (or has a wrong-typed "
                         "one)";
                 return false;
@@ -137,7 +142,7 @@ loadReportModel(const std::string &json_text, ReportModel &out,
         }
 
         noteAxisValue(out.systems, run.system);
-        noteAxisValue(out.ops, run.op);
+        noteAxisValue(out.scenarios, run.scenario);
         noteAxisValue(out.log2Tuples, run.log2Tuples);
         noteAxisValue(out.seeds, run.seed);
         noteAxisValue(out.geometries, run.geometry);

@@ -2,10 +2,13 @@
  * @file
  * ReportModel: typed in-memory model of campaign report JSON.
  *
- * The campaign CLI writes schema mondrian-campaign-v2 documents (and
- * wrote v1 before the axis generalization); this module parses either
- * back into plain structs so analysis code — sensitivity tables, report
- * diffs, CSV export — never touches raw JSON. Parsing goes through
+ * The campaign CLI writes schema mondrian-campaign-v2 documents for
+ * degenerate single-op grids and mondrian-campaign-v3 for scenario
+ * (pipeline) sweeps — and wrote v1 before the axis generalization; this
+ * module parses any of them back into plain structs so analysis code —
+ * sensitivity tables, report diffs, CSV export — never touches raw
+ * JSON. A v1/v2 run's "op" label loads as its scenario label: the old
+ * operator names are exactly the degenerate scenario names. Parsing goes through
  * common/json_parse (full string unescaping via jsonUnescape), and every
  * run keeps its grid coordinates as the canonical axis labels the report
  * itself used, so run identity is stable across loads.
@@ -32,7 +35,9 @@ struct ReportRun
 {
     std::size_t index = 0;
     std::string system;
-    std::string op;
+    /** Scenario axis label; for v1/v2 reports (and degenerate v3 runs)
+     *  this is the classic operator name. */
+    std::string scenario;
     unsigned log2Tuples = 0;
     std::uint64_t seed = 0;
     /** Geometry axis label (geometryName form, e.g. "4x16x8-8MiB-r256"). */
@@ -70,7 +75,7 @@ struct ReportSummaryRow
 /** A whole campaign report, parsed. */
 struct ReportModel
 {
-    int schemaVersion = 2; ///< 1 (legacy) or 2
+    int schemaVersion = 2; ///< 1 (legacy), 2, or 3 (scenario sweeps)
     std::string paper;
     std::string baseline; ///< "" when the report has no baseline system
 
@@ -81,7 +86,7 @@ struct ReportModel
      * truncated reports.
      */
     std::vector<std::string> systems;
-    std::vector<std::string> ops;
+    std::vector<std::string> scenarios;
     std::vector<unsigned> log2Tuples;
     std::vector<std::uint64_t> seeds;
     std::vector<std::string> geometries;
@@ -93,10 +98,12 @@ struct ReportModel
 };
 
 /**
- * Parse report JSON (schema mondrian-campaign-v1 or -v2) into @p out.
- * v1 runs carry no axis labels; they land at the default geometry, the
- * "base" exec point and the report's campaign-wide zipf_theta — the
- * axes a v1 campaign actually simulated.
+ * Parse report JSON (schema mondrian-campaign-v1, -v2 or -v3) into
+ * @p out. v1 runs carry no axis labels; they land at the default
+ * geometry, the "base" exec point and the report's campaign-wide
+ * zipf_theta — the axes a v1 campaign actually simulated. v3 runs are
+ * labeled by scenario and may carry per-stage sub-results (loaded into
+ * RunResult::stages).
  * @return false with a human-readable @p error on parse/schema problems.
  */
 bool loadReportModel(const std::string &json_text, ReportModel &out,

@@ -1,122 +1,297 @@
 #include "system/runner.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "engine/ops.hh"
+#include "engine/spark.hh"
 
 namespace mondrian {
 
-const char *
-opKindName(OpKind op)
+namespace {
+
+/** Probe key for scan/filter stages: the generator draws keys from a
+ *  space larger than the tuple count, so key 1 is almost surely present
+ *  but selectivity is tiny — a needle-in-haystack scan. */
+constexpr std::uint64_t kScanProbeKey = 1;
+
+EnergyBreakdown
+energyDelta(const EnergyBreakdown &now, const EnergyBreakdown &prev)
 {
-    switch (op) {
-      case OpKind::kScan:
-        return "scan";
-      case OpKind::kSort:
-        return "sort";
-      case OpKind::kGroupBy:
-        return "groupby";
-      case OpKind::kJoin:
-        return "join";
-    }
-    return "?";
+    EnergyBreakdown d;
+    d.dramDynamic = now.dramDynamic - prev.dramDynamic;
+    d.dramStatic = now.dramStatic - prev.dramStatic;
+    d.cores = now.cores - prev.cores;
+    d.network = now.network - prev.network;
+    return d;
 }
 
-bool
-opKindFromName(const std::string &name, OpKind &out)
+/** Sum @p phases into partition/probe buckets and derive per-vault BW. */
+void
+aggregatePhases(const std::vector<PhaseResult> &phases, double vaults,
+                Tick &partition, Tick &probe, Tick &total,
+                double &part_bw, double &probe_bw)
 {
-    for (OpKind op : allOpKinds()) {
-        if (name == opKindName(op)) {
-            out = op;
-            return true;
+    std::uint64_t part_bytes = 0, probe_bytes = 0;
+    for (const auto &p : phases) {
+        total += p.time;
+        if (p.kind == PhaseKind::kPartition) {
+            partition += p.time;
+            part_bytes += p.dramBytes;
+        } else {
+            probe += p.time;
+            probe_bytes += p.dramBytes;
         }
     }
-    return false;
+    if (partition > 0) {
+        part_bw = bytesPerTickToGBps(
+            static_cast<double>(part_bytes) / vaults, partition);
+    }
+    if (probe > 0) {
+        probe_bw = bytesPerTickToGBps(
+            static_cast<double>(probe_bytes) / vaults, probe);
+    }
 }
 
-const std::vector<OpKind> &
-allOpKinds()
+/**
+ * Collect a finished stage's output tuples in a canonical order. The
+ * canonical order (key, then payload) is system-independent, so the next
+ * stage's input — and therefore its functional results — are identical
+ * on every evaluated system even when execution styles emit their
+ * outputs in different partition orders.
+ */
+std::vector<Tuple>
+stageOutputTuples(MemoryPool &pool, const OperatorExecution &exec,
+                  OpKind op)
 {
-    static const std::vector<OpKind> ops = {OpKind::kScan, OpKind::kSort,
-                                            OpKind::kGroupBy, OpKind::kJoin};
-    return ops;
+    std::vector<Tuple> out;
+    switch (op) {
+      case OpKind::kScan:
+        // Scan models predicate evaluation over the flowing relation;
+        // the surviving relation is the input itself (pass-through).
+        break;
+      case OpKind::kSort:
+        out = exec.output.gatherAll(pool);
+        break;
+      case OpKind::kJoin:
+        // Join match tuples are materialized in the output regions.
+        for (const auto &[addr, bytes] : exec.outputRegions) {
+            for (std::uint64_t off = 0; off + kTupleBytes <= bytes;
+                 off += kTupleBytes) {
+                out.push_back(
+                    pool.store().readValue<Tuple>(addr + off));
+            }
+        }
+        break;
+      case OpKind::kGroupBy:
+        // Group records (64 B) flow onward as (group key, sum) tuples.
+        for (const auto &[addr, bytes] : exec.outputRegions) {
+            for (std::uint64_t off = 0;
+                 off + sizeof(GroupRecord) <= bytes;
+                 off += sizeof(GroupRecord)) {
+                GroupRecord g =
+                    pool.store().readValue<GroupRecord>(addr + off);
+                out.push_back(Tuple{g.key, g.sum});
+            }
+        }
+        break;
+    }
+    std::sort(out.begin(), out.end(), [](const Tuple &a, const Tuple &b) {
+        return a.key != b.key ? a.key < b.key : a.payload < b.payload;
+    });
+    return out;
+}
+
+/** Count a stage's output tuples from sizes alone (no data reads) —
+ *  for final stages, whose output nothing consumes. */
+std::uint64_t
+countOutputTuples(const OperatorExecution &exec, OpKind op)
+{
+    std::uint64_t bytes = 0;
+    switch (op) {
+      case OpKind::kScan:
+        return 0; // handled by the pass-through path
+      case OpKind::kSort:
+        return exec.output.totalTuples();
+      case OpKind::kJoin:
+        for (const auto &[addr, region_bytes] : exec.outputRegions)
+            bytes += region_bytes;
+        return bytes / kTupleBytes;
+      case OpKind::kGroupBy:
+        for (const auto &[addr, region_bytes] : exec.outputRegions)
+            bytes += region_bytes;
+        return bytes / sizeof(GroupRecord);
+    }
+    return 0;
+}
+
+/** Materialize @p tuples as a fresh relation, round-robin across all
+ *  vaults (the same canonical layout the workload generator uses). */
+Relation
+materializeRelation(MemoryPool &pool, const std::vector<Tuple> &tuples)
+{
+    const unsigned vaults = pool.geometry().totalVaults();
+    Relation rel =
+        Relation::allocAcrossAll(pool, tuples.size() + vaults);
+    std::vector<std::vector<Tuple>> buckets(rel.numPartitions());
+    for (std::size_t i = 0; i < tuples.size(); ++i)
+        buckets[i % buckets.size()].push_back(tuples[i]);
+    for (std::size_t p = 0; p < buckets.size(); ++p)
+        rel.scatter(pool, p, buckets[p]);
+    return rel;
+}
+
+} // namespace
+
+RunResult
+Runner::run(SystemKind kind, const Scenario &scenario)
+{
+    return run(makeSystem(kind), scenario);
 }
 
 RunResult
 Runner::run(SystemKind kind, OpKind op)
 {
-    return run(makeSystem(kind), op);
+    return run(makeSystem(kind), degenerateScenario(op));
 }
 
 RunResult
 Runner::run(const SystemConfig &sys, OpKind op)
 {
+    return run(sys, degenerateScenario(op));
+}
+
+RunResult
+Runner::run(const SystemConfig &sys, const Scenario &scenario)
+{
+    if (scenario.stages.empty())
+        fatal("scenario '%s' has no stages", scenario.name.c_str());
+
     MemoryPool pool(sys.geo);
     WorkloadGenerator gen(workload_);
+    SparkContext ctx(pool, sys.exec);
+    const bool multi = !scenario.degenerate();
 
-    // Functional execution + trace recording.
-    OperatorExecution exec;
-    switch (op) {
-      case OpKind::kScan: {
-        Relation rel = gen.makeUniform(pool, workload_.tuples);
-        // Probe for a key that exists: the generator draws keys from
-        // [0, 4n), so key 1 is almost surely present but selectivity is
-        // tiny, matching a needle-in-haystack scan.
-        exec = runScan(pool, sys.exec, rel, 1);
-        break;
-      }
-      case OpKind::kSort: {
-        Relation rel = gen.makeUniform(pool, workload_.tuples);
-        exec = runSort(pool, sys.exec, rel);
-        break;
-      }
-      case OpKind::kGroupBy: {
-        Relation rel = gen.makeGroupBy(pool, workload_.tuples);
-        exec = runGroupBy(pool, sys.exec, rel);
-        break;
-      }
-      case OpKind::kJoin: {
-        auto pair = gen.makeJoinPair(pool);
-        exec = runJoin(pool, sys.exec, pair.r, pair.s);
-        break;
-      }
+    // A chain with a join stage anywhere runs over a generated join
+    // pair: the R side is the scenario's dimension relation, the S side
+    // seeds the flowing relation.
+    bool needs_pair = false;
+    for (const ScenarioStage &st : scenario.stages)
+        needs_pair = needs_pair || st.op == OpKind::kJoin;
+
+    // Functional execution + trace recording, stage by stage. The
+    // flowing relation chains each stage to its predecessor's output.
+    Relation dim;     ///< join build side (valid when needs_pair)
+    Relation current; ///< the flowing relation
+    std::vector<OperatorExecution> execs;
+    std::vector<std::uint64_t> input_tuples, output_tuples;
+    execs.reserve(scenario.stages.size());
+
+    for (std::size_t i = 0; i < scenario.stages.size(); ++i) {
+        const ScenarioStage &stage = scenario.stages[i];
+        if (stage.input == StageInput::kGenerated) {
+            if (needs_pair) {
+                auto pair = gen.makeJoinPair(pool);
+                dim = pair.r;
+                current = pair.s;
+            } else if (stage.op == OpKind::kGroupBy) {
+                current = gen.makeGroupBy(pool, workload_.tuples);
+            } else {
+                current = gen.makeUniform(pool, workload_.tuples);
+            }
+        }
+        input_tuples.push_back(current.totalTuples());
+
+        SparkContext::Lowered lowered;
+        switch (stage.op) {
+          case OpKind::kScan:
+            lowered = ctx.filter(current, kScanProbeKey);
+            break;
+          case OpKind::kSort:
+            lowered = ctx.sortByKey(current);
+            break;
+          case OpKind::kGroupBy:
+            lowered = ctx.reduceByKey(current);
+            break;
+          case OpKind::kJoin:
+            lowered = ctx.join(dim, current);
+            break;
+        }
+
+        // Chain the output forward when a successor consumes it.
+        const bool has_successor = i + 1 < scenario.stages.size();
+        if (stage.op == OpKind::kScan) {
+            // Pass-through: the surviving relation is the input.
+            output_tuples.push_back(current.totalTuples());
+        } else if (multi && has_successor) {
+            std::vector<Tuple> out =
+                stageOutputTuples(pool, lowered.exec, stage.op);
+            output_tuples.push_back(out.size());
+            current = materializeRelation(pool, out);
+        } else if (multi) {
+            // Final stage: the count is derivable from sizes alone —
+            // skip the full-output gather and canonical sort.
+            output_tuples.push_back(
+                countOutputTuples(lowered.exec, stage.op));
+        } else {
+            // Degenerate run: nothing consumes the output and no stage
+            // record reports it — skip the gather.
+            output_tuples.push_back(0);
+        }
+        execs.push_back(std::move(lowered.exec));
     }
 
-    // Timed replay.
+    // Timed replay: one Machine, all stages back-to-back on one event
+    // queue, per-stage energy attributed by cumulative deltas.
     Machine machine(sys, pool);
-    auto phases = machine.run(exec);
-
     RunResult res;
     res.system = sys.name;
-    res.op = opKindName(op);
-    res.phases = phases;
+    res.op = scenario.name;
 
-    std::uint64_t part_bytes = 0, probe_bytes = 0;
-    for (const auto &p : phases) {
-        res.totalTime += p.time;
-        if (p.kind == PhaseKind::kPartition) {
-            res.partitionTime += p.time;
-            part_bytes += p.dramBytes;
-        } else {
-            res.probeTime += p.time;
-            probe_bytes += p.dramBytes;
+    EnergyBreakdown prev_energy;
+    for (std::size_t i = 0; i < scenario.stages.size(); ++i) {
+        const ScenarioStage &stage = scenario.stages[i];
+        std::vector<PhaseResult> phases = machine.run(execs[i]);
+        EnergyBreakdown now = machine.energy();
+
+        if (multi) {
+            StageResult sr;
+            sr.stage = stage.spark;
+            sr.op = opKindName(stage.op);
+            sr.input = stageInputName(stage.input);
+            sr.phases = phases;
+            sr.energy = energyDelta(now, prev_energy);
+            sr.inputTuples = input_tuples[i];
+            sr.outputTuples = output_tuples[i];
+            sr.scanMatches = execs[i].scanMatches;
+            sr.joinMatches = execs[i].joinMatches;
+            sr.groupCount = execs[i].groupCount;
+            sr.aggChecksum = execs[i].aggChecksum;
+            aggregatePhases(phases,
+                            static_cast<double>(sys.geo.totalVaults()),
+                            sr.partitionTime, sr.probeTime, sr.totalTime,
+                            sr.partitionVaultBWGBps, sr.probeVaultBWGBps);
+            res.stages.push_back(std::move(sr));
+            // Top-level phases carry their stage token so a flat phase
+            // list still reads as a pipeline.
+            for (PhaseResult &p : phases)
+                p.name = stage.spark + "." + p.name;
         }
-    }
-    const double vaults = static_cast<double>(sys.geo.totalVaults());
-    if (res.partitionTime > 0) {
-        res.partitionVaultBWGBps = bytesPerTickToGBps(
-            static_cast<double>(part_bytes) / vaults, res.partitionTime);
-    }
-    if (res.probeTime > 0) {
-        res.probeVaultBWGBps = bytesPerTickToGBps(
-            static_cast<double>(probe_bytes) / vaults, res.probeTime);
+        prev_energy = now;
+
+        res.scanMatches += execs[i].scanMatches;
+        res.joinMatches += execs[i].joinMatches;
+        res.groupCount += execs[i].groupCount;
+        res.aggChecksum += execs[i].aggChecksum;
+        for (PhaseResult &p : phases)
+            res.phases.push_back(std::move(p));
     }
 
+    aggregatePhases(res.phases, static_cast<double>(sys.geo.totalVaults()),
+                    res.partitionTime, res.probeTime, res.totalTime,
+                    res.partitionVaultBWGBps, res.probeVaultBWGBps);
     res.activity = machine.energyActivity();
     res.energy = machine.energy();
-    res.scanMatches = exec.scanMatches;
-    res.joinMatches = exec.joinMatches;
-    res.groupCount = exec.groupCount;
-    res.aggChecksum = exec.aggChecksum;
     return res;
 }
 

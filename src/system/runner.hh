@@ -1,12 +1,28 @@
 /**
  * @file
- * Runner: end-to-end execution of one operator on one system.
+ * Runner: end-to-end execution of one Scenario on one system.
  *
- * Builds a fresh memory pool, generates the (seed-deterministic) workload,
- * executes the operator functionally to obtain kernel traces, replays them
- * on a wired Machine, and packages timing + energy + functional results.
+ * A run simulates a whole analytics pipeline, not a single operator: the
+ * Runner builds ONE memory pool and ONE wired Machine per run, generates
+ * the (seed-deterministic) input workload, then executes the scenario's
+ * stages in order. Each stage runs functionally through the simulated
+ * address space to obtain kernel traces, and intermediate relations flow
+ * stage-to-stage: a stage bound to kPrevOutput consumes its
+ * predecessor's output relation, re-materialized in a canonical
+ * system-independent layout so every evaluated system sees functionally
+ * identical inputs at every stage. The Machine replays all stages
+ * back-to-back on one event queue, so cache, DRAM-bank and link state
+ * carry across stage boundaries exactly as they would in hardware.
+ *
+ * RunResult keeps the classic aggregate view at the top level (total /
+ * partition / probe time, energy, bandwidth, functional counts over the
+ * whole pipeline) and adds one StageResult per stage with the same
+ * breakdown scoped to that stage. Degenerate scenarios ("scan", "sort",
+ * "groupby", "join") reduce to exactly the historical one-operator run:
+ * same bytes in the report, no stage list.
+ *
  * Fresh state per run keeps systems comparable: every configuration sees
- * the identical input data.
+ * the identical input data and the identical stage-to-stage dataflow.
  */
 
 #ifndef MONDRIAN_SYSTEM_RUNNER_HH
@@ -21,45 +37,71 @@
 #include "engine/workload.hh"
 #include "system/config.hh"
 #include "system/machine.hh"
+#include "system/scenario.hh"
 
 namespace mondrian {
 
-/** The four basic operators (Table 2). */
-enum class OpKind
+/** Everything measured in one stage of a scenario run. */
+struct StageResult
 {
-    kScan,
-    kSort,
-    kGroupBy,
-    kJoin
+    std::string stage; ///< canonical stage token (e.g. "filter")
+    std::string op;    ///< basic operator it lowered onto
+    std::string input; ///< "generated" or "prev"
+
+    Tick partitionTime = 0;
+    Tick probeTime = 0;
+    Tick totalTime = 0;
+
+    /** This stage's phases (names unprefixed, stage-local). */
+    std::vector<PhaseResult> phases;
+    /** Energy attributed to this stage (deltas of the machine's
+     *  cumulative breakdown; stage energies sum to the run total). */
+    EnergyBreakdown energy;
+
+    double partitionVaultBWGBps = 0.0;
+    double probeVaultBWGBps = 0.0;
+
+    /** Tuples of the stage's input relation (the flowing side). */
+    std::uint64_t inputTuples = 0;
+    /** Tuples the stage hands to its successor. */
+    std::uint64_t outputTuples = 0;
+
+    // Stage-local functional outputs.
+    std::uint64_t scanMatches = 0;
+    std::uint64_t joinMatches = 0;
+    std::uint64_t groupCount = 0;
+    std::uint64_t aggChecksum = 0;
 };
-
-const char *opKindName(OpKind op);
-
-/** Parse an operator name ("scan"/"sort"/"groupby"/"join"). */
-bool opKindFromName(const std::string &name, OpKind &out);
-
-/** All operators, in evaluation order. */
-const std::vector<OpKind> &allOpKinds();
 
 /** Everything measured in one run. */
 struct RunResult
 {
     std::string system;
+    /** Scenario name; for degenerate scenarios this is the classic
+     *  operator label ("scan"/"sort"/"groupby"/"join"). */
     std::string op;
 
     Tick partitionTime = 0; ///< sum of partition-kind phases
     Tick probeTime = 0;     ///< sum of probe-kind phases
     Tick totalTime = 0;
 
+    /** All phases of the run; multi-stage scenarios prefix each phase
+     *  name with its stage token ("filter.probe"). */
     std::vector<PhaseResult> phases;
     EnergyBreakdown energy;
     EnergyActivity activity;
 
-    // Functional outputs for verification.
+    // Functional outputs for verification (summed across stages).
     std::uint64_t scanMatches = 0;
     std::uint64_t joinMatches = 0;
     std::uint64_t groupCount = 0;
     std::uint64_t aggChecksum = 0;
+
+    /**
+     * Per-stage sub-results. Empty for degenerate scenarios (the run IS
+     * its single stage); one entry per stage otherwise.
+     */
+    std::vector<StageResult> stages;
 
     /** Mean per-vault DRAM bandwidth during partition phases (GB/s). */
     double partitionVaultBWGBps = 0.0;
@@ -73,16 +115,20 @@ struct RunResult
     }
 };
 
-/** Runs operators on configured systems. */
+/** Executes scenarios on configured systems. */
 class Runner
 {
   public:
     explicit Runner(const WorkloadConfig &workload) : workload_(workload) {}
 
-    /** Run @p op on the preset system @p kind. */
-    RunResult run(SystemKind kind, OpKind op);
+    /** Run @p scenario on the preset system @p kind. */
+    RunResult run(SystemKind kind, const Scenario &scenario);
 
-    /** Run @p op on a fully custom system configuration. */
+    /** Run @p scenario on a fully custom system configuration. */
+    RunResult run(const SystemConfig &sys, const Scenario &scenario);
+
+    /** Classic single-operator run: the degenerate scenario of @p op. */
+    RunResult run(SystemKind kind, OpKind op);
     RunResult run(const SystemConfig &sys, OpKind op);
 
     const WorkloadConfig &workload() const { return workload_; }

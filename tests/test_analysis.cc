@@ -19,7 +19,7 @@ makeRun(const std::string &system, const std::string &op, unsigned log2,
 {
     ReportRun r;
     r.system = system;
-    r.op = op;
+    r.scenario = op;
     r.log2Tuples = log2;
     r.seed = 42;
     r.geometry = "4x16x8-8MiB-r256";
@@ -55,7 +55,7 @@ handModel()
     m.schemaVersion = 2;
     m.baseline = "cpu";
     m.systems = {"cpu", "x"};
-    m.ops = {"join"};
+    m.scenarios = {"join"};
     m.log2Tuples = {8, 9};
     m.seeds = {42};
     m.geometries = {"4x16x8-8MiB-r256"};
@@ -110,6 +110,9 @@ TEST(Analysis, AxisNamesRoundTrip)
     }
     Axis sink;
     EXPECT_FALSE(axisFromName("systems", sink));
+    // Legacy alias: "op" still parses, onto the scenario axis.
+    ASSERT_TRUE(axisFromName("op", sink));
+    EXPECT_EQ(sink, Axis::kScenario);
 }
 
 TEST(Analysis, SensitivityHoldsOtherAxesFixed)
@@ -142,7 +145,7 @@ TEST(Analysis, SensitivityHoldsOtherAxesFixed)
                 std::sqrt(128.0) * 1e-12);
 
     // A single-value axis degenerates to the overall rollup.
-    SensitivityTable op = sensitivity(m, Axis::kOp, "cpu");
+    SensitivityTable op = sensitivity(m, Axis::kScenario, "cpu");
     ASSERT_EQ(op.rows.size(), 1u);
     EXPECT_NEAR(onlyCell(op.rows[0]).geomeanSpeedup, std::pow(2.0, 2.5),
                 std::pow(2.0, 2.5) * 1e-12);
@@ -265,7 +268,7 @@ TEST(Analysis, RunsCsvPairsAgainstBaseline)
     for (char ch : csv)
         lines += ch == '\n';
     EXPECT_EQ(lines, 1u + m.runs.size());
-    EXPECT_EQ(csv.find("index,system,op,"), 0u);
+    EXPECT_EQ(csv.find("index,system,scenario,"), 0u);
     // x at (2^8, theta 0): speedup 2, perf/W 2.
     EXPECT_NE(csv.find(",2,2\n"), std::string::npos);
     // Baseline rows leave the pairing columns empty.
@@ -297,7 +300,8 @@ TEST(Analysis, RecomputedSummaryMatchesCampaignRollupOnARealReport)
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kNmp,
                     SystemKind::kMondrian};
-    grid.ops = {OpKind::kScan, OpKind::kGroupBy};
+    grid.scenarios = {degenerateScenario(OpKind::kScan),
+                      degenerateScenario(OpKind::kGroupBy)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
     CampaignReport report = CampaignRunner(grid).run(1);
@@ -337,14 +341,14 @@ TEST(Analysis, GoldenReportGeomeansMatchHandComputedValues)
 
     // Hand-compute each system's per-op speedup (there is exactly one
     // comparison per (system, op) cell on the paper grid).
-    SensitivityTable per_op = sensitivity(m, Axis::kOp, "cpu");
+    SensitivityTable per_op = sensitivity(m, Axis::kScenario, "cpu");
     ASSERT_EQ(per_op.rows.size(), 4u);
     for (const SensitivityRow &row : per_op.rows) {
         ASSERT_EQ(row.cells.size(), 6u);
         for (const SensitivityCell &cell : row.cells) {
             const ReportRun *cpu = nullptr, *sys = nullptr;
             for (const ReportRun &r : m.runs) {
-                if (r.op != row.value)
+                if (r.scenario != row.value)
                     continue;
                 if (r.system == "cpu")
                     cpu = &r;

@@ -23,7 +23,7 @@ testGrid()
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kNmp, SystemKind::kMondrian};
-    grid.ops = {OpKind::kScan, OpKind::kJoin};
+    grid.scenarios = {degenerateScenario(OpKind::kScan), degenerateScenario(OpKind::kJoin)};
     grid.log2Tuples = {8, 9};
     grid.seeds = {42, 7};
     return grid;
@@ -84,7 +84,7 @@ TEST(Campaign, GridSizeIsCrossProduct)
     CampaignGrid grid = testGrid();
     EXPECT_EQ(grid.size(), 3u * 2u * 2u * 2u);
 
-    grid.ops.clear();
+    grid.scenarios.clear();
     EXPECT_EQ(grid.size(), 0u);
 }
 
@@ -94,11 +94,11 @@ TEST(Campaign, ExpandGridCoversEveryPointOnce)
     auto jobs = expandGrid(grid);
     ASSERT_EQ(jobs.size(), grid.size());
 
-    std::set<std::tuple<int, int, unsigned, std::uint64_t>> seen;
+    std::set<std::tuple<int, std::string, unsigned, std::uint64_t>> seen;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         EXPECT_EQ(jobs[i].index, i); // index == position, densely numbered
         seen.insert({static_cast<int>(jobs[i].system),
-                     static_cast<int>(jobs[i].op), jobs[i].log2Tuples,
+                     jobs[i].scenario.name, jobs[i].log2Tuples,
                      jobs[i].seed});
     }
     EXPECT_EQ(seen.size(), jobs.size()); // no duplicates
@@ -121,7 +121,7 @@ TEST(Campaign, AxesExpandAsCrossProduct)
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
-    grid.ops = {OpKind::kJoin};
+    grid.scenarios = {degenerateScenario(OpKind::kJoin)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
     MemGeometry narrow = defaultGeometry();
@@ -247,7 +247,7 @@ TEST(Campaign, ValidateGridRejectsInfeasibleCombinations)
     // aborting mid-campaign in the vault allocator.
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
-    grid.ops = {OpKind::kJoin};
+    grid.scenarios = {degenerateScenario(OpKind::kJoin)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
     MemGeometry tiny;
@@ -261,7 +261,7 @@ TEST(Campaign, ValidateGridRejectsInfeasibleCombinations)
     // physically meaningless and rejected.
     CampaignGrid chunky;
     chunky.systems = {SystemKind::kMondrian};
-    chunky.ops = {OpKind::kScan};
+    chunky.scenarios = {degenerateScenario(OpKind::kScan)};
     chunky.log2Tuples = {8};
     chunky.seeds = {42};
     MemGeometry narrow_row;
@@ -366,7 +366,7 @@ TEST(Campaign, ParallelMatchesSerialByteForByte)
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
-    grid.ops = {OpKind::kScan, OpKind::kGroupBy};
+    grid.scenarios = {degenerateScenario(OpKind::kScan), degenerateScenario(OpKind::kGroupBy)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
 
@@ -387,7 +387,7 @@ TEST(Campaign, SummaryUsesCpuBaseline)
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
-    grid.ops = {OpKind::kScan};
+    grid.scenarios = {degenerateScenario(OpKind::kScan)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
 
@@ -405,7 +405,7 @@ TEST(Campaign, BaselineIndexKeysBySeedScaleOp)
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kNmp};
-    grid.ops = {OpKind::kScan};
+    grid.scenarios = {degenerateScenario(OpKind::kScan)};
     grid.log2Tuples = {8, 9};
     grid.seeds = {42};
 
@@ -428,7 +428,7 @@ TEST(Campaign, SummaryCountsOnlyPairedRuns)
     // paired-run count on partial/resumed reports.
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kNmp};
-    grid.ops = {OpKind::kScan};
+    grid.scenarios = {degenerateScenario(OpKind::kScan)};
     grid.log2Tuples = {8, 9};
     grid.seeds = {42};
     CampaignReport report = CampaignRunner(grid).run(1);
@@ -475,7 +475,7 @@ TEST(Campaign, SummaryTableMarksPartialAndDroppedRollups)
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kNmp};
-    grid.ops = {OpKind::kScan};
+    grid.scenarios = {degenerateScenario(OpKind::kScan)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
     CampaignReport report = CampaignRunner(grid).run(1);
@@ -497,7 +497,7 @@ TEST(Campaign, NoBaselineMeansNoSummaries)
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kNmp, SystemKind::kMondrian};
-    grid.ops = {OpKind::kScan};
+    grid.scenarios = {degenerateScenario(OpKind::kScan)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
 
@@ -510,7 +510,7 @@ TEST(Campaign, ProgressCallbackSeesEveryRun)
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kNmp};
-    grid.ops = {OpKind::kScan};
+    grid.scenarios = {degenerateScenario(OpKind::kScan)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
 
@@ -527,7 +527,7 @@ TEST(CampaignJson, ReportRoundTripsThroughSchema)
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
-    grid.ops = {OpKind::kJoin};
+    grid.scenarios = {degenerateScenario(OpKind::kJoin)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
 
@@ -687,7 +687,7 @@ resumeGrid()
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
-    grid.ops = {OpKind::kScan, OpKind::kGroupBy};
+    grid.scenarios = {degenerateScenario(OpKind::kScan), degenerateScenario(OpKind::kGroupBy)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
     return grid;
@@ -863,7 +863,7 @@ TEST(Resume, SplicesAcrossAxisValues)
     // splice the cached points and only run the new geometry's points.
     CampaignGrid one;
     one.systems = {SystemKind::kCpu, SystemKind::kMondrian};
-    one.ops = {OpKind::kScan};
+    one.scenarios = {degenerateScenario(OpKind::kScan)};
     one.log2Tuples = {8};
     one.seeds = {42};
     CampaignReport prior = CampaignRunner(one).run(1);
@@ -940,7 +940,7 @@ TEST(Resume, LoadsLegacyV1ReportsAtDefaultAxes)
     // campaign over those axis values reuses it...
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu};
-    grid.ops = {OpKind::kScan};
+    grid.scenarios = {degenerateScenario(OpKind::kScan)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
     CampaignRunner runner(grid);
@@ -961,7 +961,7 @@ TEST(Campaign, BaselinePairingIsPerAxisPoint)
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kNmp};
-    grid.ops = {OpKind::kScan};
+    grid.scenarios = {degenerateScenario(OpKind::kScan)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
     MemGeometry narrow = defaultGeometry();
@@ -986,7 +986,7 @@ TEST(Campaign, DryRunListsAxesWithoutSimulating)
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
-    grid.ops = {OpKind::kJoin};
+    grid.scenarios = {degenerateScenario(OpKind::kJoin)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
     grid.zipfThetas = {0.0, 0.75};
@@ -1001,7 +1001,7 @@ TEST(Campaign, DryRunListsAxesWithoutSimulating)
     EXPECT_NE(listing.find("2 baseline-paired"), std::string::npos);
 
     CampaignGrid bad = grid;
-    bad.ops.clear();
+    bad.scenarios.clear();
     EXPECT_THROW(campaignDryRun(bad), std::invalid_argument);
 }
 

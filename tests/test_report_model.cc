@@ -17,7 +17,7 @@ modelGrid()
 {
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
-    grid.ops = {OpKind::kScan, OpKind::kJoin};
+    grid.scenarios = {degenerateScenario(OpKind::kScan), degenerateScenario(OpKind::kJoin)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
     grid.zipfThetas = {0.0, 0.5};
@@ -41,7 +41,7 @@ TEST(ReportModel, RoundTripsV2Report)
 
     // Axis values are derived from the runs, in grid order.
     EXPECT_EQ(m.systems, (std::vector<std::string>{"cpu", "mondrian"}));
-    EXPECT_EQ(m.ops, (std::vector<std::string>{"scan", "join"}));
+    EXPECT_EQ(m.scenarios, (std::vector<std::string>{"scan", "join"}));
     EXPECT_EQ(m.log2Tuples, std::vector<unsigned>{8});
     EXPECT_EQ(m.seeds, std::vector<std::uint64_t>{42});
     EXPECT_EQ(m.geometries,
@@ -56,7 +56,7 @@ TEST(ReportModel, RoundTripsV2Report)
         const CampaignRun &want = report.runs[i];
         EXPECT_EQ(got.index, want.job.index);
         EXPECT_EQ(got.system, systemKindName(want.job.system));
-        EXPECT_EQ(got.op, opKindName(want.job.op));
+        EXPECT_EQ(got.scenario, want.job.scenario.name);
         EXPECT_EQ(got.log2Tuples, want.job.log2Tuples);
         EXPECT_EQ(got.seed, want.job.seed);
         EXPECT_EQ(got.geometry, geometryName(want.job.geometry));
@@ -122,7 +122,7 @@ TEST(ReportModel, PointAndGroupKeysSeparateEveryAxis)
 {
     ReportRun base;
     base.system = "cpu";
-    base.op = "join";
+    base.scenario = "join";
     base.log2Tuples = 14;
     base.seed = 42;
     base.geometry = "4x16x8-8MiB-r256";
@@ -141,7 +141,7 @@ TEST(ReportModel, PointAndGroupKeysSeparateEveryAxis)
         EXPECT_NE(v.pointKey(), base.pointKey());
     };
     ReportRun v = base;
-    v.op = "scan";
+    v.scenario = "scan";
     differs(v);
     v = base;
     v.log2Tuples = 15;
@@ -212,7 +212,7 @@ TEST(ReportModel, RejectsDuplicateGridPoints)
     // pick one silently.
     CampaignGrid grid;
     grid.systems = {SystemKind::kCpu};
-    grid.ops = {OpKind::kScan};
+    grid.scenarios = {degenerateScenario(OpKind::kScan)};
     grid.log2Tuples = {8};
     grid.seeds = {42};
     CampaignReport report = CampaignRunner(grid).run(1);
@@ -235,7 +235,7 @@ TEST(ReportModel, LoadsCheckedInGoldenReport)
     EXPECT_EQ(m.schemaVersion, 2);
     EXPECT_EQ(m.baseline, "cpu");
     EXPECT_EQ(m.systems.size(), 7u);
-    EXPECT_EQ(m.ops.size(), 4u);
+    EXPECT_EQ(m.scenarios.size(), 4u);
     EXPECT_EQ(m.runs.size(), 28u);
     EXPECT_EQ(m.log2Tuples, std::vector<unsigned>{14});
     EXPECT_EQ(m.summaries.size(), 6u);

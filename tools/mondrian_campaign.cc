@@ -2,15 +2,19 @@
  * @file
  * mondrian_campaign: CLI driver for parallel simulation campaigns.
  *
- * Expands a declarative design-space grid — {system x op x scale x seed x
- * geometry x exec-override x zipf-theta} — into independent runs, executes
- * them across hardware threads, and writes a deterministic JSON report
- * (the artifact CI archives on every push).
+ * Expands a declarative design-space grid — {system x scenario x scale x
+ * seed x geometry x exec-override x zipf-theta} — into independent runs,
+ * executes them across hardware threads, and writes a deterministic JSON
+ * report (the artifact CI archives on every push). The scenario axis
+ * holds whole analytics pipelines: single ops (scan/sort/groupby/join),
+ * named presets (sessions) or ">"-joined stage chains.
  *
  * Examples:
  *   mondrian_campaign --smoke --out smoke.json
  *   mondrian_campaign --systems cpu,nmp,mondrian --ops join,groupby \
  *       --log2-tuples 12,14 --seeds 42,43 --jobs 8 --out sweep.json
+ *   mondrian_campaign --systems cpu,mondrian --scenario sessions \
+ *       --log2-tuples 12 --out sessions.json
  *   mondrian_campaign --systems cpu,mondrian --ops join \
  *       --geometry 4x8,4x16,4x32 --exec-ablation base,radix=9+tlb=16 \
  *       --zipf 0,0.75 --dry-run
@@ -48,7 +52,12 @@ usage(const char *prog)
         "  --paper                full paper grid (7 systems x 4 ops, 2^15 tuples)\n"
         "  --systems a,b,...      systems: cpu nmp nmp-perm nmp-rand nmp-seq\n"
         "                         mondrian-noperm mondrian (default: all)\n"
-        "  --ops a,b,...          operators: scan sort groupby join (default: all)\n"
+        "  --ops a,b,...          operators: scan sort groupby join (default: all);\n"
+        "                         shorthand for the degenerate scenarios\n"
+        "  --scenario a,b,...     scenario axis; each spec is a single op,\n"
+        "                         a preset (sessions) or a '>'-joined stage\n"
+        "                         chain, e.g. filter>join>reduceByKey>sortByKey\n"
+        "                         (see --list for the grammar)\n"
         "  --log2-tuples a,b,...  scale factors, log2 of |S| (default: 15)\n"
         "  --seeds a,b,...        workload seeds (default: 42)\n"
         "  --geometry a,b,...     memory geometry axis; each spec is\n"
@@ -69,8 +78,41 @@ usage(const char *prog)
         "                         baseline pairing, cache hits) and exit\n"
         "                         without simulating\n"
         "  --quiet                suppress per-run progress on stderr\n"
+        "  --list                 print known systems, ops, scenarios and\n"
+        "                         preset geometries, then exit\n"
         "  --help                 this text\n",
         prog);
+}
+
+void
+printList()
+{
+    std::printf("systems:\n");
+    for (SystemKind k : allSystemKinds())
+        std::printf("  %s\n", systemKindName(k));
+    std::printf("\nops (degenerate single-op scenarios):\n");
+    for (OpKind op : allOpKinds())
+        std::printf("  %s\n", opKindName(op));
+    std::printf("\nscenario presets:\n");
+    for (const Scenario &sc : scenarioPresets()) {
+        std::string stages;
+        for (const ScenarioStage &st : sc.stages)
+            stages += (stages.empty() ? "" : ">") + st.spark;
+        std::printf("  %-10s = %s\n", sc.name.c_str(), stages.c_str());
+    }
+    std::printf("\nscenario stage tokens (chain with '>'; first stage "
+                "runs on a generated\nrelation, later stages consume "
+                "their predecessor's output):\n");
+    for (const auto &[token, op] : scenarioStageTokens())
+        std::printf("  %-16s -> %s\n", token.c_str(), opKindName(op));
+    std::printf("\ngeometries (--geometry accepts a csv of specs):\n");
+    std::printf("  default            = %s\n",
+                geometryName(defaultGeometry()).c_str());
+    std::printf("  SxV[xB][:row=N][:vault=SIZE], e.g. 2x8, 8x32, "
+                "4x16:row=2048, 4x16:vault=256KiB\n");
+    std::printf("\nexec-ablation points (--exec-ablation):\n");
+    std::printf("  'base' or '+'-joined knobs radix=N chunk=N tlb=N, "
+                "e.g. radix=9+tlb=16\n");
 }
 
 std::vector<std::string>
@@ -143,11 +185,29 @@ main(int argc, char **argv)
     std::string resume_path;
     bool quiet = false;
     bool dry_run = false;
+    // --ops and --scenario both populate the scenario axis: the first
+    // occurrence replaces the preset default, later occurrences of
+    // either flag append — so combining them never silently drops axis
+    // values.
+    bool scenarios_set = false;
+    auto addScenario = [&](Scenario sc, const std::string &spec) {
+        if (!scenarios_set) {
+            grid.scenarios.clear();
+            scenarios_set = true;
+        }
+        for (const Scenario &s : grid.scenarios)
+            if (s.name == sc.name)
+                die("duplicate scenario '" + spec + "'");
+        grid.scenarios.push_back(std::move(sc));
+    };
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
+            return 0;
+        } else if (arg == "--list") {
+            printList();
             return 0;
         } else if (arg == "--smoke" || arg == "--paper") {
             // handled in the preset pass above
@@ -164,15 +224,20 @@ main(int argc, char **argv)
                 grid.systems.push_back(k);
             }
         } else if (arg == "--ops") {
-            grid.ops.clear();
             for (const auto &name : splitCsv(argValue(argc, argv, i, "--ops"))) {
                 OpKind op;
                 if (!opKindFromName(name, op))
                     die("unknown operator '" + name + "'");
-                if (std::find(grid.ops.begin(), grid.ops.end(), op) !=
-                    grid.ops.end())
-                    die("duplicate operator '" + name + "'");
-                grid.ops.push_back(op);
+                addScenario(degenerateScenario(op), name);
+            }
+        } else if (arg == "--scenario" || arg == "--scenarios") {
+            for (const auto &spec :
+                 splitCsv(argValue(argc, argv, i, "--scenario"))) {
+                Scenario sc;
+                std::string err;
+                if (!scenarioFromSpec(spec, sc, err))
+                    die("--scenario: " + err);
+                addScenario(std::move(sc), spec);
             }
         } else if (arg == "--log2-tuples") {
             grid.log2Tuples.clear();
@@ -287,10 +352,10 @@ main(int argc, char **argv)
 
     const std::size_t total = grid.size();
     std::fprintf(stderr,
-                 "campaign: %zu runs (%zu systems x %zu ops x %zu scales x "
-                 "%zu seeds x %zu geometries x %zu exec points x %zu "
-                 "thetas), jobs=%u\n",
-                 total, grid.systems.size(), grid.ops.size(),
+                 "campaign: %zu runs (%zu systems x %zu scenarios x %zu "
+                 "scales x %zu seeds x %zu geometries x %zu exec points x "
+                 "%zu thetas), jobs=%u\n",
+                 total, grid.systems.size(), grid.scenarios.size(),
                  grid.log2Tuples.size(), grid.seeds.size(),
                  grid.geometries.size(), grid.execOverrides.size(),
                  grid.zipfThetas.size(), jobs);

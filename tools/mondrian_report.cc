@@ -3,11 +3,13 @@
  * mondrian_report: axis-aware analysis of campaign reports.
  *
  * Reads the JSON reports mondrian_campaign writes (schema
- * mondrian-campaign-v1 or -v2) and renders them as analyzable data:
+ * mondrian-campaign-v1, -v2 or -v3) and renders them as analyzable data:
  *
  *   mondrian_report summary report.json
  *       Summary recomputed from the runs (paired/total counts, dropped
- *       comparisons surfaced) as a markdown table.
+ *       comparisons surfaced) as a markdown table. Reports carrying
+ *       per-stage sub-results (v3 pipeline scenarios) get an additional
+ *       per-stage breakdown table.
  *
  *   mondrian_report sensitivity report.json [--axis A] [--baseline SYS]
  *       Per-axis sensitivity tables: for each value of one axis, the
@@ -21,9 +23,10 @@
  *       agree; differences + exit 1 otherwise — the structured
  *       replacement for text-diffing golden summaries.
  *
- *   mondrian_report csv report.json [--axis A] [--baseline SYS] [--out F]
- *       Chart-ready CSV: one row per run (default), or a sensitivity
- *       table with --axis.
+ *   mondrian_report csv report.json [--axis A] [--baseline SYS]
+ *       [--stages] [--out F]
+ *       Chart-ready CSV: one row per run (default), a sensitivity table
+ *       with --axis, or one row per (run, stage) with --stages.
  */
 
 #include <cstdio>
@@ -57,9 +60,13 @@ usage(const char *prog)
         "\n"
         "Options:\n"
         "  --axis A                  axis to analyze: geometry exec\n"
-        "                            zipf-theta scale op seed\n"
-        "                            (sensitivity: default = every swept\n"
-        "                            axis; csv: default = per-run rows)\n"
+        "                            zipf-theta scale scenario seed\n"
+        "                            ('op' is accepted as an alias for\n"
+        "                            scenario; sensitivity: default =\n"
+        "                            every swept axis; csv: default =\n"
+        "                            per-run rows)\n"
+        "  --stages                  csv: one row per (run, stage) of\n"
+        "                            pipeline scenario runs\n"
         "  --baseline SYS            baseline system (default: the\n"
         "                            report's own, usually cpu)\n"
         "  --rtol X                  diff relative tolerance (default 1e-6)\n"
@@ -152,10 +159,13 @@ main(int argc, char **argv)
     std::vector<std::string> positional;
     std::string axis_arg, baseline_arg, out_path;
     double rtol = 1e-6;
+    bool stages = false;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--axis") {
             axis_arg = argValue(argc, argv, i, "--axis");
+        } else if (arg == "--stages") {
+            stages = true;
         } else if (arg == "--baseline") {
             baseline_arg = argValue(argc, argv, i, "--baseline");
         } else if (arg == "--rtol") {
@@ -181,7 +191,7 @@ main(int argc, char **argv)
     bool have_axis = !axis_arg.empty();
     if (have_axis && !axisFromName(axis_arg, axis)) {
         die("unknown axis '" + axis_arg +
-            "' (geometry exec zipf-theta scale op seed)");
+            "' (geometry exec zipf-theta scale scenario seed)");
     }
 
     if (command == "summary") {
@@ -193,6 +203,14 @@ main(int argc, char **argv)
                           std::to_string(m.runs.size()) + " runs, vs " +
                           baseline + "):\n\n";
         out += renderSummaryMarkdown(recomputeSummary(m, baseline));
+        // Pipeline scenario runs carry per-stage sub-results — append
+        // the per-stage breakdown so the summary shows where in the
+        // pipeline each system wins.
+        auto breakdown = stageBreakdown(m, baseline);
+        if (!breakdown.empty()) {
+            out += "\n### Stages (vs " + baseline + ")\n\n";
+            out += renderStageBreakdownMarkdown(breakdown);
+        }
         emit(out, out_path);
         return 0;
     }
@@ -238,13 +256,19 @@ main(int argc, char **argv)
     if (command == "csv") {
         if (positional.size() != 1)
             die("csv takes exactly one report");
+        if (stages && have_axis)
+            die("--stages and --axis are mutually exclusive");
         ReportModel m = loadOrDie(positional[0]);
-        // Per-run CSV works without a baseline (pairing columns empty);
-        // a sensitivity CSV needs one.
+        // Per-run and per-stage CSV work without a baseline (pairing
+        // columns empty); a sensitivity CSV needs one.
         std::string baseline = resolveBaseline(m, baseline_arg, have_axis);
-        std::string out = have_axis
-                              ? sensitivityCsv(sensitivity(m, axis, baseline))
-                              : runsCsv(m, baseline);
+        std::string out;
+        if (stages)
+            out = stagesCsv(m);
+        else if (have_axis)
+            out = sensitivityCsv(sensitivity(m, axis, baseline));
+        else
+            out = runsCsv(m, baseline);
         emit(out, out_path);
         return 0;
     }
