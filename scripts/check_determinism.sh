@@ -130,3 +130,52 @@ else
 fi
 
 echo "OK: scenario pipelines deterministic; per-stage analysis renders"
+
+# --- Served-traffic determinism + degenerate-traffic oracle ---------------
+# Open-loop served runs (schema v4: many queries in flight on one
+# simulated machine) must honor the same contract: byte-identical
+# reports for any --jobs. And the degenerate spec '--traffic none' must
+# leave the report byte-identical to a plain single-query campaign —
+# the correctness oracle showing the traffic layer adds nothing when
+# it is not asked for.
+SERVED=(--systems cpu,mondrian --scenario sessions --log2-tuples 10
+        --traffic poisson,lambda=2000,queries=8 --quiet)
+
+echo "== served sessions campaign (poisson lambda=2000), serial"
+"$CAMPAIGN_BIN" "${SERVED[@]}" --jobs 1 --out "$workdir/served_serial.json"
+
+echo "== served sessions campaign, parallel (--jobs 8)"
+"$CAMPAIGN_BIN" "${SERVED[@]}" --jobs 8 --out "$workdir/served_parallel.json"
+
+if ! cmp "$workdir/served_serial.json" "$workdir/served_parallel.json"; then
+    echo "FAIL: served campaign differs across --jobs" >&2
+    diff "$workdir/served_serial.json" "$workdir/served_parallel.json" | head -40 >&2 || true
+    exit 1
+fi
+
+echo "== '--traffic none' vs no --traffic at all (degenerate oracle)"
+"$CAMPAIGN_BIN" "${SCEN[@]}" --traffic none --jobs 1 \
+    --out "$workdir/scen_none.json"
+if ! cmp "$workdir/scen_serial.json" "$workdir/scen_none.json"; then
+    echo "FAIL: '--traffic none' report differs from a plain campaign" >&2
+    diff "$workdir/scen_serial.json" "$workdir/scen_none.json" | head -40 >&2 || true
+    exit 1
+fi
+
+if [[ -x "$REPORT_BIN" ]]; then
+    echo "== served report self-diff + served-traffic rendering"
+    if ! "$REPORT_BIN" diff "$workdir/served_serial.json" \
+            "$workdir/served_parallel.json" --rtol 1e-6; then
+        echo "FAIL: served report self-diff is not empty" >&2
+        exit 1
+    fi
+    "$REPORT_BIN" summary "$workdir/served_serial.json" \
+            | grep -q "### Served traffic" || {
+        echo "FAIL: served summary lacks the served-traffic table" >&2
+        exit 1
+    }
+else
+    echo "note: $REPORT_BIN not found, skipping served self-diff" >&2
+fi
+
+echo "OK: served traffic deterministic; degenerate traffic is byte-identical"

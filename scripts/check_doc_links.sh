@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Docs-link checker: every repo-relative path mentioned in the project's
+# markdown (README.md, docs/*.md, ROADMAP.md, ...) must exist in the
+# tree. Documentation that names src/... files is only trustworthy while
+# those files are real; a rename that forgets the docs fails CI here.
+#
+# The check is grep-based by design: no markdown parser, just "anything
+# that looks like a repo path". Paths containing wildcards or <angle
+# placeholders> are skipped.
+#
+# Usage: scripts/check_doc_links.sh [repo-root]
+set -euo pipefail
+
+ROOT="${1:-.}"
+cd "$ROOT"
+
+# The markdown that documents the tree. ISSUE.md/CHANGES.md are session
+# logs, not documentation — they may legitimately name files that came
+# and went.
+mapfile -t md_files < <(ls README.md ROADMAP.md PAPER.md docs/*.md 2>/dev/null)
+if [[ "${#md_files[@]}" -eq 0 ]]; then
+    echo "error: no markdown files found under $ROOT" >&2
+    exit 2
+fi
+
+fail=0
+checked=0
+for md in "${md_files[@]}"; do
+    # Repo-relative paths: a known top-level directory, then
+    # path characters. Trailing punctuation (sentence ends, markdown
+    # syntax) is stripped from the match.
+    while IFS= read -r path; do
+        path="${path%%[).,:;\`*]}"
+        # Skip glob/placeholder mentions ("src/*.cc", "docs/<name>.md").
+        [[ "$path" == *'*'* || "$path" == *'<'* ]] && continue
+        checked=$((checked + 1))
+        # Accept the path itself, or an extension-set reference like
+        # "src/system/analysis.{hh,cc}" whose brace part the match
+        # truncated — the bare stem is fine as long as real files carry
+        # it ("src/system/analysis" resolves via analysis.hh/.cc).
+        if [[ ! -e "$path" ]] && ! compgen -G "$path.*" > /dev/null; then
+            echo "FAIL: $md names '$path', which does not exist" >&2
+            fail=1
+        fi
+    done < <(grep -oP '(?<![\w/.-])(src|docs|tools|tests|scripts|examples)/[\w./*<>-]+' "$md" | sort -u)
+done
+
+if [[ "$fail" -ne 0 ]]; then
+    exit 1
+fi
+echo "OK: $checked doc path references across ${#md_files[@]} markdown files all resolve"

@@ -222,6 +222,8 @@ VaultController::issue(MemRequest &&req)
         if (cb)
             cb(done);
         trySchedule();
+        if (issued_ == 0 && live_ == 0 && onDrained)
+            onDrained();
     });
 }
 

@@ -106,6 +106,16 @@ class VaultController
     /** Number of requests accepted but not yet completed. */
     unsigned outstanding() const { return issued_ + static_cast<unsigned>(live_); }
 
+    /**
+     * Invoked (when set) at the end of a completion event that leaves the
+     * controller with no issued or queued requests. Callback-driven phase
+     * execution (Machine::beginPhase) uses it to detect quiescence of
+     * traffic that carries no completion callback of its own — the
+     * permutable append engine's row flushes can be the chronologically
+     * last events of a phase.
+     */
+    InlineFunction<void(), 16> onDrained;
+
   private:
     void trySchedule();
     void issue(MemRequest &&req);

@@ -167,8 +167,13 @@ EventQueue::step()
 Tick
 EventQueue::run()
 {
-    while (size_ > 0)
+    while (size_ > 0) {
         step();
+        if (stopRequested_) {
+            stopRequested_ = false;
+            break;
+        }
+    }
     return now_;
 }
 
@@ -196,6 +201,7 @@ EventQueue::reset()
     now_ = 0;
     nextSeq_ = 0;
     executed_ = 0;
+    stopRequested_ = false;
 }
 
 } // namespace mondrian

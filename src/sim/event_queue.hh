@@ -86,8 +86,20 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t executed() const { return executed_; }
 
-    /** Run until the queue drains. Returns the final tick. */
+    /** Run until the queue drains or stop is requested. Returns the
+     *  final tick. */
     Tick run();
+
+    /**
+     * Ask run() to return after the event currently executing completes,
+     * leaving any remaining events pending. Used by callback-driven phase
+     * execution (Machine::beginPhase) to stop the loop at phase
+     * quiescence exactly where the old drain-to-empty loop stopped — the
+     * trailing events (e.g. permutable flush completions) stay queued
+     * for the next phase, as before. The request is consumed by the
+     * run() that observes it.
+     */
+    void requestStop() { stopRequested_ = true; }
 
     /** Run until the queue drains or @p limit is reached. */
     Tick runUntil(Tick limit);
@@ -217,6 +229,7 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    bool stopRequested_ = false;
 };
 
 /**

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hh"
+
 namespace mondrian {
 
 /** A single accumulating statistic. */
@@ -29,6 +31,42 @@ class Counter
 
   private:
     std::uint64_t value_ = 0;
+};
+
+/**
+ * Accumulates duration samples (ticks) and answers order statistics.
+ *
+ * Percentiles use the nearest-rank definition — rank = ceil(p/100 * N),
+ * the value at 1-based index `rank` of the sorted samples — so every
+ * reported percentile is an actual observed sample, and the result is
+ * exactly reproducible from the sample list (no interpolation).
+ */
+class LatencySample
+{
+  public:
+    void
+    record(Tick t)
+    {
+        samples_.push_back(t);
+        sorted_ = false;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+
+    /** Mean over all samples; 0 when empty. */
+    double mean() const;
+
+    /** Largest sample; 0 when empty. */
+    Tick max() const;
+
+    /** Nearest-rank percentile for @p p in (0, 100]; 0 when empty. */
+    Tick percentile(double p) const;
+
+  private:
+    void sortSamples() const;
+
+    mutable std::vector<Tick> samples_;
+    mutable bool sorted_ = true;
 };
 
 /** Registry mapping hierarchical names to counters. */

@@ -196,6 +196,42 @@ diffRunResult(const std::string &where, const RunResult &a,
     d.exact("functional.group_count", a.groupCount, b.groupCount);
     d.exact("functional.agg_checksum", a.aggChecksum, b.aggChecksum);
 
+    if (a.served.valid != b.served.valid) {
+        out.structural.push_back(
+            where + ": served metrics " +
+            (a.served.valid ? "only in first" : "only in second"));
+    } else if (a.served.valid) {
+        // Admission accounting is deterministic — any difference is a
+        // mismatch; rates, latencies and energy compare at tolerance.
+        d.exact("served.offered", a.served.offered, b.served.offered);
+        d.exact("served.admitted", a.served.admitted, b.served.admitted);
+        d.exact("served.rejected", a.served.rejected, b.served.rejected);
+        d.exact("served.completed", a.served.completed,
+                b.served.completed);
+        d.exact("served.measured_completed", a.served.measuredCompleted,
+                b.served.measuredCompleted);
+        d.approx("served.window_ps", static_cast<double>(a.served.window),
+                 static_cast<double>(b.served.window));
+        d.approx("served.sustained_qps", a.served.sustainedQps,
+                 b.served.sustainedQps);
+        d.approx("served.latency_p50_ps",
+                 static_cast<double>(a.served.latencyP50),
+                 static_cast<double>(b.served.latencyP50));
+        d.approx("served.latency_p95_ps",
+                 static_cast<double>(a.served.latencyP95),
+                 static_cast<double>(b.served.latencyP95));
+        d.approx("served.latency_p99_ps",
+                 static_cast<double>(a.served.latencyP99),
+                 static_cast<double>(b.served.latencyP99));
+        d.approx("served.latency_max_ps",
+                 static_cast<double>(a.served.latencyMax),
+                 static_cast<double>(b.served.latencyMax));
+        d.approx("served.latency_mean_ps", a.served.latencyMeanPs,
+                 b.served.latencyMeanPs);
+        d.approx("served.energy_per_query_j", a.served.energyPerQueryJ,
+                 b.served.energyPerQueryJ);
+    }
+
     if (a.stages.size() != b.stages.size()) {
         out.structural.push_back(where + ": " +
                                  std::to_string(a.stages.size()) +
@@ -259,6 +295,7 @@ axisName(Axis axis)
       case Axis::kScale: return "scale";
       case Axis::kScenario: return "scenario";
       case Axis::kSeed: return "seed";
+      case Axis::kTraffic: return "traffic";
     }
     return "?";
 }
@@ -283,9 +320,9 @@ axisFromName(const std::string &name, Axis &out)
 const std::vector<Axis> &
 allAxes()
 {
-    static const std::vector<Axis> axes = {Axis::kGeometry, Axis::kExec,
-                                           Axis::kZipfTheta, Axis::kScale,
-                                           Axis::kScenario, Axis::kSeed};
+    static const std::vector<Axis> axes = {
+        Axis::kGeometry, Axis::kExec,     Axis::kZipfTheta, Axis::kScale,
+        Axis::kScenario, Axis::kSeed,     Axis::kTraffic};
     return axes;
 }
 
@@ -299,6 +336,7 @@ axisValueLabel(const ReportRun &run, Axis axis)
       case Axis::kScale: return "2^" + std::to_string(run.log2Tuples);
       case Axis::kScenario: return run.scenario;
       case Axis::kSeed: return std::to_string(run.seed);
+      case Axis::kTraffic: return run.traffic;
     }
     return "?";
 }
@@ -482,13 +520,25 @@ runsCsv(const ReportModel &m, const std::string &baseline)
 {
     auto base = baselineRuns(m, baseline);
 
+    bool any_served = false;
+    for (const ReportRun &r : m.runs)
+        any_served = any_served || r.result.served.valid;
+
     std::string out =
         "index,system,scenario,log2_tuples,seed,geometry,exec,zipf_theta,"
         "total_time_ps,partition_time_ps,probe_time_ps,seconds,"
         "energy_total_j,energy_dram_dynamic_j,energy_dram_static_j,"
         "energy_cores_j,energy_network_j,partition_vault_bw_gbps,"
-        "probe_vault_bw_gbps,speedup_vs_baseline,perf_per_watt_vs_baseline"
-        "\n";
+        "probe_vault_bw_gbps,speedup_vs_baseline,perf_per_watt_vs_baseline";
+    if (any_served) {
+        out += ",traffic,served_offered,served_admitted,served_rejected,"
+               "served_completed,served_measured_completed,"
+               "served_window_ps,served_sustained_qps,"
+               "served_latency_p50_ps,served_latency_p95_ps,"
+               "served_latency_p99_ps,served_latency_max_ps,"
+               "served_latency_mean_ps,served_energy_per_query_j";
+    }
+    out += "\n";
     for (const ReportRun &r : m.runs) {
         out += std::to_string(r.index) + "," + r.system + "," +
                r.scenario + "," + std::to_string(r.log2Tuples) + "," +
@@ -526,9 +576,64 @@ runsCsv(const ReportModel &m, const std::string &baseline)
                                                r.result));
             }
         }
-        out += "," + speedup + "," + ppw + "\n";
+        out += "," + speedup + "," + ppw;
+        if (any_served) {
+            const ServedMetrics &s = r.result.served;
+            out += "," + r.traffic;
+            if (s.valid) {
+                out += "," + std::to_string(s.offered) + "," +
+                       std::to_string(s.admitted) + "," +
+                       std::to_string(s.rejected) + "," +
+                       std::to_string(s.completed) + "," +
+                       std::to_string(s.measuredCompleted) + "," +
+                       std::to_string(s.window) + ",";
+                JsonWriter::appendDouble(out, s.sustainedQps);
+                out += "," + std::to_string(s.latencyP50) + "," +
+                       std::to_string(s.latencyP95) + "," +
+                       std::to_string(s.latencyP99) + "," +
+                       std::to_string(s.latencyMax) + ",";
+                JsonWriter::appendDouble(out, s.latencyMeanPs);
+                out += ",";
+                JsonWriter::appendDouble(out, s.energyPerQueryJ);
+            } else {
+                out += ",,,,,,,,,,,,,";
+            }
+        }
+        out += "\n";
     }
     return out;
+}
+
+std::string
+renderServedMarkdown(const ReportModel &m)
+{
+    std::vector<std::vector<std::string>> table;
+    table.push_back({"system", "scenario", "traffic", "offered", "adm",
+                     "rej", "done", "QPS", "p50 us", "p95 us", "p99 us",
+                     "J/query"});
+    auto us = [](Tick ps) {
+        std::string s;
+        JsonWriter::appendDouble(s, static_cast<double>(ps) / 1e6);
+        return s;
+    };
+    for (const ReportRun &r : m.runs) {
+        const ServedMetrics &s = r.result.served;
+        if (!s.valid)
+            continue;
+        std::string qps, epq;
+        JsonWriter::appendDouble(qps, s.sustainedQps);
+        JsonWriter::appendDouble(epq, s.energyPerQueryJ);
+        table.push_back({r.system, r.scenario, r.traffic,
+                         std::to_string(s.offered),
+                         std::to_string(s.admitted),
+                         std::to_string(s.rejected),
+                         std::to_string(s.completed), qps,
+                         us(s.latencyP50), us(s.latencyP95),
+                         us(s.latencyP99), epq});
+    }
+    if (table.size() == 1)
+        return "";
+    return renderMarkdownTable(table);
 }
 
 std::string

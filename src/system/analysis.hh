@@ -40,7 +40,8 @@ enum class Axis
     kZipfTheta,
     kScale,
     kScenario,
-    kSeed
+    kSeed,
+    kTraffic
 };
 
 /** Printable axis name ("geometry", "exec", "zipf-theta", ...). */
@@ -152,9 +153,20 @@ std::string renderDiff(const ReportDiff &d);
 /**
  * Chart-ready CSV of every run: axis coordinates, headline metrics and —
  * when @p baseline is non-empty and the paired run exists — speedup and
- * perf/W vs. the baseline at the same grid point.
+ * perf/W vs. the baseline at the same grid point. When any run carries
+ * served metrics (v4 traffic sweeps), a traffic column and the served
+ * columns (sustained QPS, latency percentiles, energy per query) are
+ * appended; they stay empty on runs without served metrics, and the CSV
+ * of a servedless report is byte-identical to the pre-traffic layout.
  */
 std::string runsCsv(const ReportModel &m, const std::string &baseline);
+
+/**
+ * Markdown table of every run with served metrics: traffic coordinates,
+ * admission accounting, sustained QPS, latency percentiles and energy
+ * per query. "" when the report has no served runs.
+ */
+std::string renderServedMarkdown(const ReportModel &m);
 
 /**
  * Chart-ready CSV of every stage of every scenario run (one row per

@@ -69,6 +69,16 @@ gridHasPipelines(const CampaignGrid &grid)
 }
 
 bool
+gridHasTraffic(const CampaignGrid &grid)
+{
+    for (const TrafficSpec &t : grid.traffics) {
+        if (!t.degenerate())
+            return true;
+    }
+    return false;
+}
+
+bool
 validateGrid(const CampaignGrid &grid, std::string &error)
 {
     if (grid.systems.empty()) {
@@ -109,6 +119,22 @@ validateGrid(const CampaignGrid &grid, std::string &error)
     if (grid.zipfThetas.empty()) {
         error = "zipf-theta axis is empty";
         return false;
+    }
+    if (grid.traffics.empty()) {
+        error = "traffic axis is empty";
+        return false;
+    }
+    std::set<std::string> traffic_names;
+    for (const TrafficSpec &t : grid.traffics) {
+        std::string t_error = validateTrafficSpec(t);
+        if (!t_error.empty()) {
+            error = "invalid traffic point " + t.name() + ": " + t_error;
+            return false;
+        }
+        if (!traffic_names.insert(t.name()).second) {
+            error = "duplicate traffic point " + t.name();
+            return false;
+        }
     }
     for (unsigned l : grid.log2Tuples) {
         if (l > 32) {
@@ -186,8 +212,7 @@ validateGrid(const CampaignGrid &grid, std::string &error)
         // output is only counted, never materialized — plus the fixed
         // page-table/cursor blocks (~4 MiB). The allocator remains the
         // hard guard.
-        std::uint64_t factor = 0;
-        for (const Scenario &sc : grid.scenarios) {
+        auto scenario_factor = [](const Scenario &sc) {
             std::uint64_t f = 0;
             for (std::size_t i = 0; i < sc.stages.size(); ++i) {
                 switch (sc.stages[i].op) {
@@ -206,6 +231,20 @@ validateGrid(const CampaignGrid &grid, std::string &error)
                     sc.stages[i].op != OpKind::kScan)
                     f += 2; // materialized intermediate for the successor
             }
+            return f;
+        };
+        std::uint64_t factor = 0;
+        for (const Scenario &sc : grid.scenarios)
+            factor = std::max(factor, scenario_factor(sc));
+        // A served run with a traffic mix prepares EVERY mix scenario
+        // into the one shared pool, so its footprint is the sum over the
+        // mix, independent of the grid's scenario axis.
+        for (const TrafficSpec &t : grid.traffics) {
+            if (t.mix.empty())
+                continue;
+            std::uint64_t f = 0;
+            for (const TrafficMixEntry &e : t.mix)
+                f += scenario_factor(e.scenario);
             factor = std::max(factor, f);
         }
         for (unsigned l : grid.log2Tuples) {
@@ -248,23 +287,26 @@ expandGrid(const CampaignGrid &grid)
 {
     std::vector<CampaignJob> jobs;
     jobs.reserve(grid.size());
-    for (const MemGeometry &geo : grid.geometries) {
-        for (const ExecOverride &exec : grid.execOverrides) {
-            for (double theta : grid.zipfThetas) {
-                for (std::uint64_t seed : grid.seeds) {
-                    for (unsigned log2 : grid.log2Tuples) {
-                        for (const Scenario &sc : grid.scenarios) {
-                            for (SystemKind sys : grid.systems) {
-                                CampaignJob job;
-                                job.index = jobs.size();
-                                job.system = sys;
-                                job.scenario = sc;
-                                job.log2Tuples = log2;
-                                job.seed = seed;
-                                job.geometry = geo;
-                                job.exec = exec;
-                                job.zipfTheta = theta;
-                                jobs.push_back(job);
+    for (const TrafficSpec &traffic : grid.traffics) {
+        for (const MemGeometry &geo : grid.geometries) {
+            for (const ExecOverride &exec : grid.execOverrides) {
+                for (double theta : grid.zipfThetas) {
+                    for (std::uint64_t seed : grid.seeds) {
+                        for (unsigned log2 : grid.log2Tuples) {
+                            for (const Scenario &sc : grid.scenarios) {
+                                for (SystemKind sys : grid.systems) {
+                                    CampaignJob job;
+                                    job.index = jobs.size();
+                                    job.system = sys;
+                                    job.scenario = sc;
+                                    job.log2Tuples = log2;
+                                    job.seed = seed;
+                                    job.geometry = geo;
+                                    job.exec = exec;
+                                    job.zipfTheta = theta;
+                                    job.traffic = traffic;
+                                    jobs.push_back(job);
+                                }
                             }
                         }
                     }
@@ -279,7 +321,8 @@ GridGroupKey
 gridGroupKey(const CampaignJob &job)
 {
     return {geometryName(job.geometry), job.exec.name(), job.zipfTheta,
-            job.seed, job.log2Tuples, job.scenario.name};
+            job.seed, job.log2Tuples, job.scenario.name,
+            job.traffic.name()};
 }
 
 GridGroupKey
@@ -362,7 +405,8 @@ std::string
 ResumeCache::gridPointHash(const std::string &system, const std::string &op,
                            unsigned log2_tuples, std::uint64_t seed,
                            double zipf_theta, const MemGeometry &geo,
-                           const ExecOverride &exec)
+                           const ExecOverride &exec,
+                           const std::string &traffic)
 {
     // Canonical identity string: every axis field at a fixed, delimited
     // position, so the key is injective over grid points — two distinct
@@ -381,7 +425,7 @@ ResumeCache::gridPointHash(const std::string &system, const std::string &op,
            std::to_string(geo.vaultBytes) + "|" +
            std::to_string(exec.radixBits) + "|" +
            std::to_string(exec.readChunkBytes) + "|" +
-           std::to_string(exec.tlbEntries);
+           std::to_string(exec.tlbEntries) + "|" + traffic;
     return key;
 }
 
@@ -401,10 +445,11 @@ ResumeCache::load(const std::string &json_text, std::string &error)
         return false;
     const JsonValue *schema = doc.find("schema");
     const std::string schema_name = schema ? schema->asString() : "";
-    const bool v3 = schema_name == "mondrian-campaign-v3";
+    const bool v4 = schema_name == "mondrian-campaign-v4";
+    const bool v3 = v4 || schema_name == "mondrian-campaign-v3";
     const bool v2 = v3 || schema_name == "mondrian-campaign-v2";
     if (!v2 && schema_name != "mondrian-campaign-v1") {
-        error = "not a mondrian-campaign-v1/v2/v3 report";
+        error = "not a mondrian-campaign-v1/v2/v3/v4 report";
         return false;
     }
 
@@ -513,6 +558,10 @@ ResumeCache::load(const std::string &json_text, std::string &error)
         // their own identity; v3 labels resolve through the scenarios
         // table to the full stage-structure identity.
         std::string scenario_id = op->asString();
+        // Pre-v4 reports are all single-query runs: the degenerate
+        // "none" traffic point. TrafficSpec::name() is the full spec
+        // identity, so v4 runs key by their label verbatim.
+        std::string traffic_id = "none";
         if (v2) {
             const JsonValue *gname = r.find("geometry");
             const JsonValue *ename = r.find("exec");
@@ -532,6 +581,12 @@ ResumeCache::load(const std::string &json_text, std::string &error)
                     continue;
                 scenario_id = sit->second;
             }
+            if (v4) {
+                const JsonValue *t = r.find("traffic");
+                if (!t)
+                    continue;
+                traffic_id = t->asString();
+            }
         }
         Entry e;
         if (!readRunResult(*result, e.result))
@@ -540,8 +595,8 @@ ResumeCache::load(const std::string &json_text, std::string &error)
             json_text.substr(result->begin, result->end - result->begin);
         entries_[gridPointHash(sys->asString(), scenario_id,
                                static_cast<unsigned>(log2->asU64()),
-                               seed->asU64(), zipf, geo, exec)] =
-            std::move(e);
+                               seed->asU64(), zipf, geo, exec,
+                               traffic_id)] = std::move(e);
     }
     return true;
 }
@@ -572,7 +627,7 @@ CampaignRunner::run(unsigned jobs)
                         systemKindName(job.system),
                         scenarioIdentity(job.scenario), job.log2Tuples,
                         job.seed, job.zipfTheta, job.geometry,
-                        job.exec));
+                        job.exec, job.traffic.name()));
                 if (hit) {
                     CampaignRun &slot = report.runs[job.index];
                     slot.job = job;
@@ -584,10 +639,17 @@ CampaignRunner::run(unsigned jobs)
                 }
             }
             pool.submit([this, job, &report, &progress_mutex] {
-                Runner runner(job.workload());
                 CampaignRun &slot = report.runs[job.index];
                 slot.job = job;
-                slot.result = runner.run(job.systemConfig(), job.scenario);
+                if (job.traffic.degenerate()) {
+                    Runner runner(job.workload());
+                    slot.result =
+                        runner.run(job.systemConfig(), job.scenario);
+                } else {
+                    ServedRunner served(job.workload(), job.traffic);
+                    slot.result =
+                        served.run(job.systemConfig(), job.scenario);
+                }
                 if (progress_) {
                     std::lock_guard<std::mutex> lock(progress_mutex);
                     progress_(slot);
@@ -611,13 +673,17 @@ campaignReportJson(const CampaignReport &report)
     // Degenerate-only grids write the historical v2 document bit-for-bit
     // (the nightly golden gate depends on it); pipeline scenarios
     // upgrade the schema to v3, which adds the scenario axis table,
-    // per-run "scenario" labels and stage sub-results.
-    const bool v3 = gridHasPipelines(report.grid);
+    // per-run "scenario" labels and stage sub-results; a traffic axis
+    // upgrades to v4, which adds the traffics table, per-run "traffic"
+    // labels and served metrics.
+    const bool v4 = gridHasTraffic(report.grid);
+    const bool v3 = v4 || gridHasPipelines(report.grid);
 
     JsonWriter w;
     w.beginObject();
-    w.member("schema",
-             v3 ? "mondrian-campaign-v3" : "mondrian-campaign-v2");
+    w.member("schema", v4   ? "mondrian-campaign-v4"
+                       : v3 ? "mondrian-campaign-v3"
+                            : "mondrian-campaign-v2");
     w.member("paper", "conf_isca_DrumondDMUPFGP17");
 
     w.key("grid").beginObject();
@@ -686,6 +752,34 @@ campaignReportJson(const CampaignReport &report)
     for (double z : report.grid.zipfThetas)
         w.value(z);
     w.endArray();
+    if (v4) {
+        w.key("traffics").beginArray();
+        for (const TrafficSpec &t : report.grid.traffics) {
+            w.beginObject();
+            w.member("name", t.name());
+            if (!t.degenerate()) {
+                w.member("process", arrivalProcessName(t.process));
+                w.member("lambda_qps", t.lambdaQps);
+                w.member("queries", t.queries);
+                w.member("warmup", t.warmup);
+                w.member("max_in_flight", t.maxInFlight);
+                w.member("seed", t.seed);
+                if (!t.mix.empty()) {
+                    w.key("mix").beginArray();
+                    for (const TrafficMixEntry &m : t.mix) {
+                        w.beginObject();
+                        w.member("scenario", m.scenario.name);
+                        w.member("weight", m.weight);
+                        w.endObject();
+                    }
+                    w.endArray();
+                    w.member("mix_zipf_theta", t.mixZipfTheta);
+                }
+            }
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.member("total_runs", std::uint64_t{report.runs.size()});
     w.endObject();
 
@@ -703,6 +797,8 @@ campaignReportJson(const CampaignReport &report)
         w.member("geometry", geometryName(r.job.geometry));
         w.member("exec", r.job.exec.name());
         w.member("zipf_theta", r.job.zipfTheta);
+        if (v4)
+            w.member("traffic", r.job.traffic.name());
         w.key("result");
         if (!r.rawResultJson.empty())
             w.rawValue(r.rawResultJson); // cached: splice byte-identically
@@ -763,6 +859,7 @@ campaignDryRun(const CampaignGrid &grid, const ResumeCache *resume)
         throw std::invalid_argument("invalid campaign grid: " + grid_error);
 
     const std::vector<CampaignJob> jobs = expandGrid(grid);
+    const bool show_traffic = gridHasTraffic(grid);
 
     // Baseline pairing: index of the kCpu job in each comparison group.
     std::map<GridGroupKey, std::size_t> base;
@@ -786,7 +883,7 @@ campaignDryRun(const CampaignGrid &grid, const ResumeCache *resume)
                       systemKindName(job.system),
                       scenarioIdentity(job.scenario), job.log2Tuples,
                       job.seed, job.zipfTheta, job.geometry,
-                      job.exec)) != nullptr;
+                      job.exec, job.traffic.name())) != nullptr;
             if (hit)
                 ++cached;
         }
@@ -797,27 +894,38 @@ campaignDryRun(const CampaignGrid &grid, const ResumeCache *resume)
         else if (it != base.end())
             pairing = "vs [" + std::to_string(it->second) + "]";
 
+        std::string traffic_col;
+        if (show_traffic)
+            traffic_col = "traffic=" + job.traffic.name() + " ";
+
         char line[512];
         std::snprintf(line, sizeof(line),
                       "[%4zu] %-8s %-15s 2^%-2u seed=%-6llu geo=%-18s "
-                      "exec=%-12s zipf=%-5g %s%s\n",
+                      "exec=%-12s zipf=%-5g %s%s%s\n",
                       job.index, job.scenario.name.c_str(),
                       systemKindName(job.system), job.log2Tuples,
                       static_cast<unsigned long long>(job.seed),
                       geometryName(job.geometry).c_str(),
                       job.exec.name().c_str(), job.zipfTheta,
-                      pairing.c_str(), hit ? " (cached)" : "");
+                      traffic_col.c_str(), pairing.c_str(),
+                      hit ? " (cached)" : "");
         out += line;
+    }
+    std::string traffic_dim;
+    if (show_traffic) {
+        traffic_dim =
+            " x " + std::to_string(grid.traffics.size()) + " traffics";
     }
     char tail[256];
     std::snprintf(tail, sizeof(tail),
                   "%zu runs (%zu systems x %zu scenarios x %zu scales x "
                   "%zu seeds x %zu geometries x %zu exec points x %zu "
-                  "thetas), %zu baseline-paired, %zu cached\n",
+                  "thetas%s), %zu baseline-paired, %zu cached\n",
                   jobs.size(), grid.systems.size(), grid.scenarios.size(),
                   grid.log2Tuples.size(), grid.seeds.size(),
                   grid.geometries.size(), grid.execOverrides.size(),
-                  grid.zipfThetas.size(), paired, cached);
+                  grid.zipfThetas.size(), traffic_dim.c_str(), paired,
+                  cached);
     out += tail;
     return out;
 }

@@ -5,10 +5,10 @@
  * The paper's evaluation (Figs. 6-9, Tables 1/5) is a cross-product of
  * {system, operator, scale, seed} runs at one fixed memory geometry and
  * one execution configuration per system. A CampaignGrid generalizes that
- * into a seven-axis design space:
+ * into an eight-axis design space:
  *
- *   {geometry x exec-override x zipf-theta x seed x scale x scenario x
- *    system}
+ *   {traffic x geometry x exec-override x zipf-theta x seed x scale x
+ *    scenario x system}
  *
  * Geometry points are full MemGeometry variants (cubes, vaults/cube,
  * vault capacity, row-buffer size); exec overrides are named ExecConfig
@@ -16,11 +16,17 @@
  * The scenario axis holds whole analytics pipelines (system/scenario.hh):
  * the four degenerate single-op scenarios reproduce the classic operator
  * runs byte-for-byte, and multi-stage scenarios ("sessions", arbitrary
- * `a>b>c` chains) run as one pipeline per grid point. Reports stay
- * schema mondrian-campaign-v2 for degenerate-only grids (bit-compatible
- * with the historical writer, including the nightly golden) and become
- * mondrian-campaign-v3 — a superset adding the scenario axis table and
- * per-run stage sub-results — once any pipeline scenario is swept.
+ * `a>b>c` chains) run as one pipeline per grid point. The traffic axis
+ * (system/traffic.hh) drives grid points as served open-loop workloads —
+ * a non-degenerate TrafficSpec runs its point through the ServedRunner
+ * and the report gains QPS/latency-percentile/energy-per-query metrics.
+ * Reports stay schema mondrian-campaign-v2 for degenerate-only grids
+ * (bit-compatible with the historical writer, including the nightly
+ * golden), become mondrian-campaign-v3 — a superset adding the scenario
+ * axis table and per-run stage sub-results — once any pipeline scenario
+ * is swept, and mondrian-campaign-v4 — adding the traffics axis table,
+ * per-run "traffic" labels and "served" result objects — once any
+ * non-degenerate traffic point is swept.
  * expandGrid() flattens the cross-product into an ordered job list and
  * CampaignRunner executes the jobs on a thread pool. Each job builds a
  * fresh MemoryPool/Machine, so jobs share no mutable state and the
@@ -44,6 +50,7 @@
 
 #include "system/config.hh"
 #include "system/runner.hh"
+#include "system/traffic.hh"
 
 namespace mondrian {
 
@@ -63,6 +70,9 @@ struct CampaignGrid
     std::vector<ExecOverride> execOverrides = {ExecOverride{}};
     /** Key-skew axis (0 = uniform, as in the paper). */
     std::vector<double> zipfThetas = {0.0};
+    /** Open-loop traffic axis; the default single point is the
+     *  degenerate "none" spec (one query, classic Runner semantics). */
+    std::vector<TrafficSpec> traffics = {TrafficSpec{}};
 
     /** Number of jobs the grid expands to. */
     std::size_t
@@ -70,15 +80,21 @@ struct CampaignGrid
     {
         return systems.size() * scenarios.size() * log2Tuples.size() *
                seeds.size() * geometries.size() * execOverrides.size() *
-               zipfThetas.size();
+               zipfThetas.size() * traffics.size();
     }
 };
 
 /**
  * True when @p grid sweeps any non-degenerate (pipeline) scenario —
- * i.e. when its report must use schema mondrian-campaign-v3.
+ * i.e. when its report must use at least schema mondrian-campaign-v3.
  */
 bool gridHasPipelines(const CampaignGrid &grid);
+
+/**
+ * True when @p grid sweeps any non-degenerate (served) traffic point —
+ * i.e. when its report must use schema mondrian-campaign-v4.
+ */
+bool gridHasTraffic(const CampaignGrid &grid);
 
 /**
  * Check that every axis is non-empty and every axis value is valid
@@ -104,6 +120,8 @@ struct CampaignJob
     MemGeometry geometry = defaultGeometry();
     ExecOverride exec;
     double zipfTheta = 0.0;
+    /** Open-loop traffic; degenerate = classic single-query run. */
+    TrafficSpec traffic;
 
     /** Workload this job runs. */
     WorkloadConfig workload() const;
@@ -113,10 +131,11 @@ struct CampaignJob
 };
 
 /**
- * Flatten @p grid in deterministic order: geometries outermost, then exec
- * overrides, thetas, seeds, scales, scenarios, and systems innermost — so
- * one (geometry, exec, theta, seed, scale, scenario) group's systems are
- * contiguous and baseline comparisons read naturally in the report.
+ * Flatten @p grid in deterministic order: traffics outermost, then
+ * geometries, exec overrides, thetas, seeds, scales, scenarios, and
+ * systems innermost — so one (traffic, geometry, exec, theta, seed,
+ * scale, scenario) group's systems are contiguous and baseline
+ * comparisons read naturally in the report.
  */
 std::vector<CampaignJob> expandGrid(const CampaignGrid &grid);
 
@@ -137,13 +156,14 @@ struct CampaignRun
 
 /**
  * Comparison group of a run: baseline matching is per (geometry, exec,
- * theta, seed, scale, scenario), so speedups always compare two systems
- * at the same axis point. Shared by the campaign summary and
+ * theta, seed, scale, scenario, traffic), so speedups always compare two
+ * systems at the same axis point. Shared by the campaign summary and
  * table-rendering callers so the two never drift when the grid grows new
  * axes.
  */
 using GridGroupKey = std::tuple<std::string, std::string, double,
-                                std::uint64_t, unsigned, std::string>;
+                                std::uint64_t, unsigned, std::string,
+                                std::string>;
 
 GridGroupKey gridGroupKey(const CampaignJob &job);
 GridGroupKey gridGroupKey(const CampaignRun &run);
@@ -214,7 +234,9 @@ struct CampaignReport
  * resumed summary could in principle differ from a fresh one in the
  * final printed digit of a geomean.
  *
- * Schema compatibility: loads mondrian-campaign-v3 reports (runs labeled
+ * Schema compatibility: loads mondrian-campaign-v4 reports (per-run
+ * traffic labels; older runs cache at the degenerate "none" traffic
+ * point), v3 reports (runs labeled
  * by scenario), v2 reports (per-run geometry/exec/zipf_theta labels,
  * resolved against the grid's axis tables) and legacy v1 reports. A
  * v1/v2 run's "op" label maps onto the degenerate scenario of the same
@@ -252,7 +274,8 @@ class ResumeCache
                                      unsigned log2_tuples,
                                      std::uint64_t seed, double zipf_theta,
                                      const MemGeometry &geo,
-                                     const ExecOverride &exec);
+                                     const ExecOverride &exec,
+                                     const std::string &traffic);
 
     struct Entry
     {

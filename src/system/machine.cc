@@ -122,6 +122,11 @@ Machine::Machine(const SystemConfig &cfg, MemoryPool &pool)
 
     for (unsigned u = 0; u < cfg_.exec.numUnits; ++u)
         paths_.push_back(std::make_unique<Path>(*this, u));
+
+    // Permutable-append row flushes carry no completion callback; the
+    // vault's drain hook is how the phase logic sees their retirement.
+    for (auto &v : vaults_)
+        v->onDrained = [this]() { checkPhaseQuiesce(); };
 }
 
 Machine::~Machine() = default;
@@ -135,6 +140,7 @@ Machine::nodeOfUnit(unsigned unit) const
 Machine::Flight *
 Machine::allocFlight()
 {
+    ++flightsInAir_;
     if (freeFlight_) {
         Flight *f = freeFlight_;
         freeFlight_ = f->nextFree;
@@ -147,6 +153,7 @@ Machine::allocFlight()
 void
 Machine::freeFlight(Flight *f)
 {
+    --flightsInAir_;
     f->done = nullptr;
     f->nextFree = freeFlight_;
     freeFlight_ = f;
@@ -168,20 +175,24 @@ Machine::completeFlight(Flight *f, Tick t)
 {
     if (!f->done) { // fire-and-forget traffic: nothing to notify
         freeFlight(f);
+        checkPhaseQuiesce();
         return;
     }
     if (!f->needResponse || f->local) {
         MemoryPath::DoneFn done = std::move(f->done);
         freeFlight(f);
         done(t);
+        checkPhaseQuiesce();
         return;
     }
     // Response payload crosses the network back to the requester.
     Tick back = net_->delay(f->dv, f->srcNode, f->size, t);
     eq_.schedule(back, [f, back]() {
+        Machine *m = f->m;
         MemoryPath::DoneFn done = std::move(f->done);
-        f->m->freeFlight(f);
+        m->freeFlight(f);
         done(back);
+        m->checkPhaseQuiesce();
     });
 }
 
@@ -249,56 +260,106 @@ Machine::llcAccesses() const
     return llc_ ? llc_->stats().accesses : 0;
 }
 
-PhaseResult
-Machine::runPhase(const PhaseExec &phase)
+void
+Machine::beginPhase(const PhaseExec &phase, PhaseDoneFn done)
 {
     sim_assert(phase.traces.size() == cfg_.exec.numUnits);
+    sim_assert(phaseStage_ == PhaseStage::kIdle);
 
-    const Tick start = eq_.now();
-    const std::uint64_t act0 = totalActivations();
-    const std::uint64_t bytes0 = totalDramBytes();
+    phase_ = &phase;
+    phaseDone_ = std::move(done);
+    phaseStart_ = eq_.now();
+    phaseAct0_ = totalActivations();
+    phaseBytes0_ = totalDramBytes();
+    barrierFired_ = false;
 
     for (const auto &[v, region] : phase.arming)
         vaults_[v]->armPermutable(region);
 
-    std::vector<std::unique_ptr<TraceCore>> cores;
-    cores.reserve(phase.traces.size());
+    if (cores_.empty()) {
+        cores_.reserve(cfg_.exec.numUnits);
+        for (unsigned u = 0; u < cfg_.exec.numUnits; ++u) {
+            auto core = std::make_unique<TraceCore>(eq_, cfg_.core,
+                                                    *paths_[u], u);
+            core->onFinish = [this](unsigned, Tick) {
+                ++finished_;
+                checkPhaseQuiesce();
+            };
+            cores_.push_back(std::move(core));
+        }
+    }
     finished_ = 0;
-    for (unsigned u = 0; u < phase.traces.size(); ++u) {
-        auto core = std::make_unique<TraceCore>(eq_, cfg_.core, *paths_[u],
-                                                u);
-        core->setTrace(&phase.traces[u]);
-        core->onFinish = [this](unsigned, Tick) { ++finished_; };
-        cores.push_back(std::move(core));
-    }
-    for (auto &core : cores)
+    for (unsigned u = 0; u < phase.traces.size(); ++u)
+        cores_[u]->setTrace(&phase.traces[u]);
+    phaseStage_ = PhaseStage::kRunning;
+    for (auto &core : cores_)
         core->start();
-    eq_.run();
+    // onFinish is always delivered through a scheduled event, so the
+    // phase cannot complete before control returns to the event loop.
+}
 
-    if (finished_ != cores.size())
-        panic("phase '%s': %u of %zu units deadlocked", phase.name.c_str(),
-              static_cast<unsigned>(cores.size() - finished_),
-              cores.size());
+void
+Machine::checkPhaseQuiesce()
+{
+    if (phaseStage_ == PhaseStage::kIdle)
+        return;
 
-    for (const auto &[v, region] : phase.arming)
-        vaults_[v]->disarmPermutable();
-
-    // Global barriers (histogram exchange, shuffle-end MSI): one all-to-all
-    // notification round each (§5.4: expensive but amortized over long
-    // phases).
-    if (phase.barriers > 0) {
-        Tick barrier = net_->baseLatency(
-            0, cfg_.geo.totalVaults() - 1, 8);
-        eq_.schedule(eq_.now() + phase.barriers * 2 * barrier, []() {});
-        eq_.run();
+    if (phaseStage_ == PhaseStage::kRunning) {
+        if (finished_ != cores_.size() || flightsInAir_ != 0)
+            return;
+        for (const auto &v : vaults_)
+            if (v->outstanding() != 0)
+                return;
+        // Every unit finished and no request is queued, issued or on the
+        // network: this tick is exactly where the historical
+        // drain-to-empty loop stopped.
+        const PhaseExec &phase = *phase_;
+        for (const auto &[v, region] : phase.arming)
+            vaults_[v]->disarmPermutable();
+        if (phase.barriers > 0) {
+            // Global barriers (histogram exchange, shuffle-end MSI): one
+            // all-to-all notification round each (§5.4: expensive but
+            // amortized over long phases). The phase ends once the
+            // barrier has fired AND the disarm's trailing row flushes
+            // have drained, whichever is later.
+            Tick barrier = net_->baseLatency(
+                0, cfg_.geo.totalVaults() - 1, 8);
+            phaseStage_ = PhaseStage::kBarrier;
+            eq_.schedule(eq_.now() + phase.barriers * 2 * barrier,
+                         [this]() {
+                             barrierFired_ = true;
+                             checkPhaseQuiesce();
+                         });
+            return;
+        }
+        // No barrier: the phase result is computed before the disarm's
+        // flush traffic retires (it was scheduled just now, above); the
+        // trailing completions bill to whatever runs next, as they
+        // always have.
+        finalizePhase();
+        return;
     }
+
+    // kBarrier: wait for the barrier event and the flush drain.
+    if (!barrierFired_ || flightsInAir_ != 0)
+        return;
+    for (const auto &v : vaults_)
+        if (v->outstanding() != 0)
+            return;
+    finalizePhase();
+}
+
+void
+Machine::finalizePhase()
+{
+    const PhaseExec &phase = *phase_;
 
     PhaseResult res;
     res.name = phase.name;
     res.kind = phase.kind;
-    res.time = eq_.now() - start;
-    res.activations = totalActivations() - act0;
-    res.dramBytes = totalDramBytes() - bytes0;
+    res.time = eq_.now() - phaseStart_;
+    res.activations = totalActivations() - phaseAct0_;
+    res.dramBytes = totalDramBytes() - phaseBytes0_;
     if (res.time > 0) {
         res.avgVaultBWGBps =
             bytesPerTickToGBps(static_cast<double>(res.dramBytes) /
@@ -308,9 +369,10 @@ Machine::runPhase(const PhaseExec &phase)
 
     double util_sum = 0.0, st_store = 0.0, st_stream = 0.0, st_load = 0.0,
            st_fence = 0.0;
-    for (const auto &core : cores) {
+    for (const auto &core : cores_) {
         const auto &s = core->stats();
-        Tick span = s.finishedAt > start ? s.finishedAt - start : 0;
+        Tick span = s.finishedAt > phaseStart_ ? s.finishedAt - phaseStart_
+                                               : 0;
         coreBusyTicks_ += s.computeTicks;
         coreElapsedSum_ += span;
         if (span > 0) {
@@ -322,15 +384,43 @@ Machine::runPhase(const PhaseExec &phase)
             st_fence += static_cast<double>(s.stallFenceTicks) / d;
         }
     }
-    if (!cores.empty()) {
-        double n = static_cast<double>(cores.size());
+    if (!cores_.empty()) {
+        double n = static_cast<double>(cores_.size());
         res.coreUtilization = util_sum / n;
         res.stallStore = st_store / n;
         res.stallStream = st_stream / n;
         res.stallLoad = st_load / n;
         res.stallFence = st_fence / n;
     }
-    return res;
+
+    // Reset the phase state before invoking the callback: it may begin
+    // the next phase at this very tick.
+    PhaseDoneFn done = std::move(phaseDone_);
+    phase_ = nullptr;
+    phaseDone_ = nullptr;
+    phaseStage_ = PhaseStage::kIdle;
+    done(res);
+}
+
+PhaseResult
+Machine::runPhase(const PhaseExec &phase)
+{
+    PhaseResult result;
+    bool got = false;
+    beginPhase(phase, [this, &result, &got](const PhaseResult &r) {
+        result = r;
+        got = true;
+        // Stop the loop here, leaving any trailing flush completions
+        // pending for the next phase — the historical stop point.
+        eq_.requestStop();
+    });
+    eq_.run();
+
+    if (!got)
+        panic("phase '%s': %u of %zu units deadlocked", phase.name.c_str(),
+              static_cast<unsigned>(cores_.size() - finished_),
+              cores_.size());
+    return result;
 }
 
 std::vector<PhaseResult>

@@ -13,6 +13,7 @@
 #define MONDRIAN_SYSTEM_MACHINE_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,11 +57,33 @@ class Machine
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
 
-    /** Replay one phase; returns its timing result. */
+    /** Phase-completion callback for beginPhase(). */
+    using PhaseDoneFn = std::function<void(const PhaseResult &)>;
+
+    /**
+     * Start replaying one phase without driving the event loop. The
+     * machine detects quiescence (all units finished, no requests in
+     * flight, every vault drained) from within the event stream, models
+     * the phase's global barriers, and invokes @p done with the timing
+     * result inside the event that completes the phase — at exactly the
+     * tick the historical drain-to-empty runPhase() observed.
+     *
+     * The caller drives eq() — either to quiescence (runPhase) or
+     * continuously with other work interleaved (ServedRunner, which
+     * begins the next phase of another scenario instance from inside
+     * @p done). Only one phase can be active at a time; @p done may
+     * start the next one.
+     */
+    void beginPhase(const PhaseExec &phase, PhaseDoneFn done);
+
+    /** Replay one phase to quiescence; returns its timing result. */
     PhaseResult runPhase(const PhaseExec &phase);
 
     /** Run all phases of an operator execution in order. */
     std::vector<PhaseResult> run(const OperatorExecution &exec);
+
+    /** The machine's event queue (drivers of beginPhase() run it). */
+    EventQueue &eq() { return eq_; }
 
     /** Total elapsed simulated time across the phases run so far. */
     Tick elapsed() const { return eq_.now(); }
@@ -128,6 +151,17 @@ class Machine
     /** Home network node of unit @p unit. */
     unsigned nodeOfUnit(unsigned unit) const;
 
+    /**
+     * Re-evaluate the active phase's quiescence / barrier-drain
+     * condition. Called from every event that can retire the last piece
+     * of in-flight work: core finish, flight completion, vault drain and
+     * the barrier event.
+     */
+    void checkPhaseQuiesce();
+
+    /** Compute the active phase's result and hand it to the callback. */
+    void finalizePhase();
+
     SystemConfig cfg_;
     MemoryPool &pool_;
     EventQueue eq_;
@@ -144,6 +178,33 @@ class Machine
     Tick coreBusyTicks_ = 0;  ///< sum over units of compute ticks
     Tick coreElapsedSum_ = 0; ///< sum over units of per-phase durations
     unsigned finished_ = 0;
+
+    /**
+     * Persistent trace cores, one per unit, created on the first
+     * beginPhase() and re-armed with setTrace() each phase. Reuse (vs.
+     * the historical fresh-cores-per-phase) keeps the per-phase closure
+     * wiring out of the phase loop and gives callback-driven execution a
+     * stable object to finish into.
+     */
+    std::vector<std::unique_ptr<TraceCore>> cores_;
+
+    /** DRAM requests allocated but not yet recycled (any kind). */
+    std::uint64_t flightsInAir_ = 0;
+
+    /** Active-phase bookkeeping (one phase at a time). */
+    enum class PhaseStage
+    {
+        kIdle,    ///< no phase active
+        kRunning, ///< cores executing / draining
+        kBarrier  ///< post-quiesce barrier + disarm-flush drain
+    };
+    PhaseStage phaseStage_ = PhaseStage::kIdle;
+    const PhaseExec *phase_ = nullptr;
+    PhaseDoneFn phaseDone_;
+    Tick phaseStart_ = 0;
+    std::uint64_t phaseAct0_ = 0;
+    std::uint64_t phaseBytes0_ = 0;
+    bool barrierFired_ = false;
 };
 
 } // namespace mondrian

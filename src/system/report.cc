@@ -221,6 +221,27 @@ writeRunResult(JsonWriter &w, const RunResult &run)
     w.member("agg_checksum", run.aggChecksum);
     w.endObject();
 
+    // Served metrics appear only on non-degenerate traffic runs, so
+    // single-query run JSON is byte-identical to the pre-traffic writer.
+    if (run.served.valid) {
+        const ServedMetrics &s = run.served;
+        w.key("served").beginObject();
+        w.member("offered", s.offered);
+        w.member("admitted", s.admitted);
+        w.member("rejected", s.rejected);
+        w.member("completed", s.completed);
+        w.member("measured_completed", s.measuredCompleted);
+        w.member("window_ps", s.window);
+        w.member("sustained_qps", s.sustainedQps);
+        w.member("latency_p50_ps", s.latencyP50);
+        w.member("latency_p95_ps", s.latencyP95);
+        w.member("latency_p99_ps", s.latencyP99);
+        w.member("latency_max_ps", s.latencyMax);
+        w.member("latency_mean_ps", s.latencyMeanPs);
+        w.member("energy_per_query_j", s.energyPerQueryJ);
+        w.endObject();
+    }
+
     // Per-stage sub-results appear only on multi-stage scenario runs, so
     // classic single-op run JSON is byte-identical to the pre-scenario
     // writer (and v2 resume splices stay verbatim).
@@ -338,6 +359,23 @@ readRunResult(const JsonValue &v, RunResult &out)
         readU64(*f, "join_matches", out.joinMatches);
         readU64(*f, "group_count", out.groupCount);
         readU64(*f, "agg_checksum", out.aggChecksum);
+    }
+    if (const JsonValue *sv = v.find("served")) {
+        ServedMetrics &s = out.served;
+        s.valid = true;
+        readU64(*sv, "offered", s.offered);
+        readU64(*sv, "admitted", s.admitted);
+        readU64(*sv, "rejected", s.rejected);
+        readU64(*sv, "completed", s.completed);
+        readU64(*sv, "measured_completed", s.measuredCompleted);
+        readU64(*sv, "window_ps", s.window);
+        readDbl(*sv, "sustained_qps", s.sustainedQps);
+        readU64(*sv, "latency_p50_ps", s.latencyP50);
+        readU64(*sv, "latency_p95_ps", s.latencyP95);
+        readU64(*sv, "latency_p99_ps", s.latencyP99);
+        readU64(*sv, "latency_max_ps", s.latencyMax);
+        readDbl(*sv, "latency_mean_ps", s.latencyMeanPs);
+        readDbl(*sv, "energy_per_query_j", s.energyPerQueryJ);
     }
     if (const JsonValue *stages = v.find("stages");
         stages && stages->isArray()) {

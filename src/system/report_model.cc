@@ -31,7 +31,7 @@ ReportRun::groupKey() const
     // Theta at the report's canonical 12-digit encoding (see json.hh).
     return scenario + "|" + std::to_string(log2Tuples) + "|" +
            std::to_string(seed) + "|" + geometry + "|" + exec + "|" +
-           JsonWriter::doubleString(zipfTheta);
+           JsonWriter::doubleString(zipfTheta) + "|" + traffic;
 }
 
 std::string
@@ -51,14 +51,16 @@ loadReportModel(const std::string &json_text, ReportModel &out,
 
     const JsonValue *schema = doc.find("schema");
     const std::string schema_name = schema ? schema->asString() : "";
-    if (schema_name == "mondrian-campaign-v3") {
+    if (schema_name == "mondrian-campaign-v4") {
+        out.schemaVersion = 4;
+    } else if (schema_name == "mondrian-campaign-v3") {
         out.schemaVersion = 3;
     } else if (schema_name == "mondrian-campaign-v2") {
         out.schemaVersion = 2;
     } else if (schema_name == "mondrian-campaign-v1") {
         out.schemaVersion = 1;
     } else {
-        error = "not a mondrian-campaign-v1/v2/v3 report (schema '" +
+        error = "not a mondrian-campaign-v1/v2/v3/v4 report (schema '" +
                 schema_name + "')";
         return false;
     }
@@ -124,6 +126,16 @@ loadReportModel(const std::string &json_text, ReportModel &out,
             run.geometry = geo->asString();
             run.exec = exec->asString();
             run.zipfTheta = z->asDouble();
+            if (out.schemaVersion >= 4) {
+                const JsonValue *t = r.find("traffic");
+                if (!t || !t->isString()) {
+                    error = "v4 run " + std::to_string(out.runs.size()) +
+                            " is missing its traffic label (or has a "
+                            "wrong-typed one)";
+                    return false;
+                }
+                run.traffic = t->asString();
+            }
         } else {
             run.geometry = default_geometry;
             run.exec = "base";
@@ -148,6 +160,7 @@ loadReportModel(const std::string &json_text, ReportModel &out,
         noteAxisValue(out.geometries, run.geometry);
         noteAxisValue(out.execs, run.exec);
         noteAxisValue(out.zipfThetas, run.zipfTheta);
+        noteAxisValue(out.traffics, run.traffic);
         out.runs.push_back(std::move(run));
     }
 

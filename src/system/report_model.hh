@@ -3,8 +3,9 @@
  * ReportModel: typed in-memory model of campaign report JSON.
  *
  * The campaign CLI writes schema mondrian-campaign-v2 documents for
- * degenerate single-op grids and mondrian-campaign-v3 for scenario
- * (pipeline) sweeps — and wrote v1 before the axis generalization; this
+ * degenerate single-op grids, mondrian-campaign-v3 for scenario
+ * (pipeline) sweeps and mondrian-campaign-v4 for grids with a traffic
+ * axis — and wrote v1 before the axis generalization; this
  * module parses any of them back into plain structs so analysis code —
  * sensitivity tables, report diffs, CSV export — never touches raw
  * JSON. A v1/v2 run's "op" label loads as its scenario label: the old
@@ -45,6 +46,9 @@ struct ReportRun
     /** Exec-ablation axis label ("base" when no override). */
     std::string exec;
     double zipfTheta = 0.0;
+    /** Traffic axis label (TrafficSpec::name() form); "none" on pre-v4
+     *  reports and degenerate v4 runs. */
+    std::string traffic = "none";
     RunResult result;
 
     /**
@@ -75,7 +79,7 @@ struct ReportSummaryRow
 /** A whole campaign report, parsed. */
 struct ReportModel
 {
-    int schemaVersion = 2; ///< 1 (legacy), 2, or 3 (scenario sweeps)
+    int schemaVersion = 2; ///< 1 (legacy), 2, 3 (scenarios), 4 (traffic)
     std::string paper;
     std::string baseline; ///< "" when the report has no baseline system
 
@@ -92,18 +96,21 @@ struct ReportModel
     std::vector<std::string> geometries;
     std::vector<std::string> execs;
     std::vector<double> zipfThetas;
+    std::vector<std::string> traffics;
 
     std::vector<ReportRun> runs;
     std::vector<ReportSummaryRow> summaries; ///< as stored in the report
 };
 
 /**
- * Parse report JSON (schema mondrian-campaign-v1, -v2 or -v3) into
+ * Parse report JSON (schema mondrian-campaign-v1 through -v4) into
  * @p out. v1 runs carry no axis labels; they land at the default
  * geometry, the "base" exec point and the report's campaign-wide
  * zipf_theta — the axes a v1 campaign actually simulated. v3 runs are
  * labeled by scenario and may carry per-stage sub-results (loaded into
- * RunResult::stages).
+ * RunResult::stages). v4 runs are additionally labeled by traffic spec
+ * and may carry served metrics (RunResult::served); pre-v4 runs load at
+ * the degenerate "none" traffic point.
  * @return false with a human-readable @p error on parse/schema problems.
  */
 bool loadReportModel(const std::string &json_text, ReportModel &out,

@@ -161,16 +161,19 @@ Runner::run(const SystemConfig &sys, OpKind op)
     return run(sys, degenerateScenario(op));
 }
 
-RunResult
-Runner::run(const SystemConfig &sys, const Scenario &scenario)
+PreparedScenario
+prepareScenario(MemoryPool &pool, const WorkloadConfig &workload,
+                const SystemConfig &sys, const Scenario &scenario)
 {
     if (scenario.stages.empty())
         fatal("scenario '%s' has no stages", scenario.name.c_str());
 
-    MemoryPool pool(sys.geo);
-    WorkloadGenerator gen(workload_);
+    WorkloadGenerator gen(workload);
     SparkContext ctx(pool, sys.exec);
-    const bool multi = !scenario.degenerate();
+
+    PreparedScenario ps;
+    ps.scenario = scenario;
+    ps.multi = !scenario.degenerate();
 
     // A chain with a join stage anywhere runs over a generated join
     // pair: the R side is the scenario's dimension relation, the S side
@@ -183,9 +186,7 @@ Runner::run(const SystemConfig &sys, const Scenario &scenario)
     // flowing relation chains each stage to its predecessor's output.
     Relation dim;     ///< join build side (valid when needs_pair)
     Relation current; ///< the flowing relation
-    std::vector<OperatorExecution> execs;
-    std::vector<std::uint64_t> input_tuples, output_tuples;
-    execs.reserve(scenario.stages.size());
+    ps.execs.reserve(scenario.stages.size());
 
     for (std::size_t i = 0; i < scenario.stages.size(); ++i) {
         const ScenarioStage &stage = scenario.stages[i];
@@ -195,12 +196,12 @@ Runner::run(const SystemConfig &sys, const Scenario &scenario)
                 dim = pair.r;
                 current = pair.s;
             } else if (stage.op == OpKind::kGroupBy) {
-                current = gen.makeGroupBy(pool, workload_.tuples);
+                current = gen.makeGroupBy(pool, workload.tuples);
             } else {
-                current = gen.makeUniform(pool, workload_.tuples);
+                current = gen.makeUniform(pool, workload.tuples);
             }
         }
-        input_tuples.push_back(current.totalTuples());
+        ps.inputTuples.push_back(current.totalTuples());
 
         SparkContext::Lowered lowered;
         switch (stage.op) {
@@ -222,24 +223,82 @@ Runner::run(const SystemConfig &sys, const Scenario &scenario)
         const bool has_successor = i + 1 < scenario.stages.size();
         if (stage.op == OpKind::kScan) {
             // Pass-through: the surviving relation is the input.
-            output_tuples.push_back(current.totalTuples());
-        } else if (multi && has_successor) {
+            ps.outputTuples.push_back(current.totalTuples());
+        } else if (ps.multi && has_successor) {
             std::vector<Tuple> out =
                 stageOutputTuples(pool, lowered.exec, stage.op);
-            output_tuples.push_back(out.size());
+            ps.outputTuples.push_back(out.size());
             current = materializeRelation(pool, out);
-        } else if (multi) {
+        } else if (ps.multi) {
             // Final stage: the count is derivable from sizes alone —
             // skip the full-output gather and canonical sort.
-            output_tuples.push_back(
+            ps.outputTuples.push_back(
                 countOutputTuples(lowered.exec, stage.op));
         } else {
             // Degenerate run: nothing consumes the output and no stage
             // record reports it — skip the gather.
-            output_tuples.push_back(0);
+            ps.outputTuples.push_back(0);
         }
-        execs.push_back(std::move(lowered.exec));
+        ps.execs.push_back(std::move(lowered.exec));
     }
+    return ps;
+}
+
+void
+accumulateStage(RunResult &res, const PreparedScenario &ps, std::size_t i,
+                std::vector<PhaseResult> phases, double vaults,
+                const EnergyBreakdown &now, EnergyBreakdown &prev)
+{
+    const ScenarioStage &stage = ps.scenario.stages[i];
+    if (ps.multi) {
+        StageResult sr;
+        sr.stage = stage.spark;
+        sr.op = opKindName(stage.op);
+        sr.input = stageInputName(stage.input);
+        sr.phases = phases;
+        sr.energy = energyDelta(now, prev);
+        sr.inputTuples = ps.inputTuples[i];
+        sr.outputTuples = ps.outputTuples[i];
+        sr.scanMatches = ps.execs[i].scanMatches;
+        sr.joinMatches = ps.execs[i].joinMatches;
+        sr.groupCount = ps.execs[i].groupCount;
+        sr.aggChecksum = ps.execs[i].aggChecksum;
+        aggregatePhases(phases, vaults, sr.partitionTime, sr.probeTime,
+                        sr.totalTime, sr.partitionVaultBWGBps,
+                        sr.probeVaultBWGBps);
+        res.stages.push_back(std::move(sr));
+        // Top-level phases carry their stage token so a flat phase
+        // list still reads as a pipeline.
+        for (PhaseResult &p : phases)
+            p.name = stage.spark + "." + p.name;
+    }
+    prev = now;
+
+    res.scanMatches += ps.execs[i].scanMatches;
+    res.joinMatches += ps.execs[i].joinMatches;
+    res.groupCount += ps.execs[i].groupCount;
+    res.aggChecksum += ps.execs[i].aggChecksum;
+    for (PhaseResult &p : phases)
+        res.phases.push_back(std::move(p));
+}
+
+void
+finishRunResult(RunResult &res, double vaults,
+                const EnergyActivity &activity,
+                const EnergyBreakdown &energy)
+{
+    aggregatePhases(res.phases, vaults, res.partitionTime, res.probeTime,
+                    res.totalTime, res.partitionVaultBWGBps,
+                    res.probeVaultBWGBps);
+    res.activity = activity;
+    res.energy = energy;
+}
+
+RunResult
+Runner::run(const SystemConfig &sys, const Scenario &scenario)
+{
+    MemoryPool pool(sys.geo);
+    PreparedScenario ps = prepareScenario(pool, workload_, sys, scenario);
 
     // Timed replay: one Machine, all stages back-to-back on one event
     // queue, per-stage energy attributed by cumulative deltas.
@@ -248,50 +307,16 @@ Runner::run(const SystemConfig &sys, const Scenario &scenario)
     res.system = sys.name;
     res.op = scenario.name;
 
+    const double vaults = static_cast<double>(sys.geo.totalVaults());
     EnergyBreakdown prev_energy;
     for (std::size_t i = 0; i < scenario.stages.size(); ++i) {
-        const ScenarioStage &stage = scenario.stages[i];
-        std::vector<PhaseResult> phases = machine.run(execs[i]);
-        EnergyBreakdown now = machine.energy();
-
-        if (multi) {
-            StageResult sr;
-            sr.stage = stage.spark;
-            sr.op = opKindName(stage.op);
-            sr.input = stageInputName(stage.input);
-            sr.phases = phases;
-            sr.energy = energyDelta(now, prev_energy);
-            sr.inputTuples = input_tuples[i];
-            sr.outputTuples = output_tuples[i];
-            sr.scanMatches = execs[i].scanMatches;
-            sr.joinMatches = execs[i].joinMatches;
-            sr.groupCount = execs[i].groupCount;
-            sr.aggChecksum = execs[i].aggChecksum;
-            aggregatePhases(phases,
-                            static_cast<double>(sys.geo.totalVaults()),
-                            sr.partitionTime, sr.probeTime, sr.totalTime,
-                            sr.partitionVaultBWGBps, sr.probeVaultBWGBps);
-            res.stages.push_back(std::move(sr));
-            // Top-level phases carry their stage token so a flat phase
-            // list still reads as a pipeline.
-            for (PhaseResult &p : phases)
-                p.name = stage.spark + "." + p.name;
-        }
-        prev_energy = now;
-
-        res.scanMatches += execs[i].scanMatches;
-        res.joinMatches += execs[i].joinMatches;
-        res.groupCount += execs[i].groupCount;
-        res.aggChecksum += execs[i].aggChecksum;
-        for (PhaseResult &p : phases)
-            res.phases.push_back(std::move(p));
+        std::vector<PhaseResult> phases = machine.run(ps.execs[i]);
+        accumulateStage(res, ps, i, std::move(phases), vaults,
+                        machine.energy(), prev_energy);
     }
 
-    aggregatePhases(res.phases, static_cast<double>(sys.geo.totalVaults()),
-                    res.partitionTime, res.probeTime, res.totalTime,
-                    res.partitionVaultBWGBps, res.probeVaultBWGBps);
-    res.activity = machine.energyActivity();
-    res.energy = machine.energy();
+    finishRunResult(res, vaults, machine.energyActivity(),
+                    machine.energy());
     return res;
 }
 

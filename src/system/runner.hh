@@ -73,6 +73,39 @@ struct StageResult
     std::uint64_t aggChecksum = 0;
 };
 
+/**
+ * Metrics of a served (open-loop traffic) run. Valid only when the run
+ * was driven by a non-degenerate TrafficSpec; single-query runs leave it
+ * invalid and their report JSON carries no served object at all.
+ */
+struct ServedMetrics
+{
+    bool valid = false;
+
+    std::uint64_t offered = 0;   ///< arrivals generated
+    std::uint64_t admitted = 0;  ///< arrivals accepted into the system
+    std::uint64_t rejected = 0;  ///< arrivals refused by the in-flight cap
+    std::uint64_t completed = 0; ///< queries that ran to completion
+    /** Completions inside the measurement window (post-warmup). */
+    std::uint64_t measuredCompleted = 0;
+
+    /** Measurement window: first measured arrival to last measured
+     *  completion. */
+    Tick window = 0;
+    /** measuredCompleted / window, in queries per second. */
+    double sustainedQps = 0.0;
+
+    // Nearest-rank latency percentiles over measured completions.
+    Tick latencyP50 = 0;
+    Tick latencyP95 = 0;
+    Tick latencyP99 = 0;
+    Tick latencyMax = 0;
+    double latencyMeanPs = 0.0;
+
+    /** Whole-run energy divided by completed queries (J/query). */
+    double energyPerQueryJ = 0.0;
+};
+
 /** Everything measured in one run. */
 struct RunResult
 {
@@ -108,12 +141,53 @@ struct RunResult
     /** Mean per-vault DRAM bandwidth during probe phases (GB/s). */
     double probeVaultBWGBps = 0.0;
 
+    /** Open-loop traffic metrics (ServedRunner, non-degenerate only). */
+    ServedMetrics served;
+
     double
     seconds() const
     {
         return ticksToSeconds(totalTime);
     }
 };
+
+/**
+ * A scenario after its functional half: the workload has been generated,
+ * every stage executed functionally (producing kernel traces and the
+ * stage-to-stage dataflow), and the tuple counts recorded. What remains
+ * is timed replay on a Machine — once (Runner) or once per admitted
+ * query instance (ServedRunner, which replays the shared traces).
+ */
+struct PreparedScenario
+{
+    Scenario scenario;
+    bool multi = false; ///< !scenario.degenerate()
+    std::vector<OperatorExecution> execs; ///< one per stage
+    std::vector<std::uint64_t> inputTuples;
+    std::vector<std::uint64_t> outputTuples;
+};
+
+/** Run the functional half of @p scenario inside @p pool. */
+PreparedScenario prepareScenario(MemoryPool &pool,
+                                 const WorkloadConfig &workload,
+                                 const SystemConfig &sys,
+                                 const Scenario &scenario);
+
+/**
+ * Fold stage @p i's finished phases into @p res: append the stage
+ * record (multi-stage scenarios only), prefix and collect the phases,
+ * and sum the functional outputs. @p now is the machine's cumulative
+ * energy after the stage; @p prev is updated to it.
+ */
+void accumulateStage(RunResult &res, const PreparedScenario &ps,
+                     std::size_t i, std::vector<PhaseResult> phases,
+                     double vaults, const EnergyBreakdown &now,
+                     EnergyBreakdown &prev);
+
+/** Final aggregation over res.phases plus the machine snapshots. */
+void finishRunResult(RunResult &res, double vaults,
+                     const EnergyActivity &activity,
+                     const EnergyBreakdown &energy);
 
 /** Executes scenarios on configured systems. */
 class Runner

@@ -301,13 +301,15 @@ TEST(Resume, ThetaHashMatchesReportEncoding)
     const ExecOverride base;
     const double cli = 0.1234567890123456;   // what strtod produced
     const double report = 0.123456789012;    // what the report stores
-    EXPECT_EQ(
-        ResumeCache::gridPointHash("cpu", "join", 15, 42, cli, geo, base),
-        ResumeCache::gridPointHash("cpu", "join", 15, 42, report, geo, base));
+    EXPECT_EQ(ResumeCache::gridPointHash("cpu", "join", 15, 42, cli, geo,
+                                         base, "none"),
+              ResumeCache::gridPointHash("cpu", "join", 15, 42, report,
+                                         geo, base, "none"));
     // ... while thetas that differ within 12 digits still differ.
-    EXPECT_NE(
-        ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.5, geo, base),
-        ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.75, geo, base));
+    EXPECT_NE(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.5, geo,
+                                         base, "none"),
+              ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.75, geo,
+                                         base, "none"));
 }
 
 TEST(Campaign, ExecOverrideParseAndCanonicalName)
@@ -699,51 +701,55 @@ TEST(Resume, GridPointHashIsStableAndDiscriminating)
 {
     const MemGeometry geo = defaultGeometry();
     const ExecOverride base;
-    std::string h =
-        ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, geo, base);
-    EXPECT_EQ(h, ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, geo,
-                                            base));
+    std::string h = ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0,
+                                               geo, base, "none");
+    EXPECT_EQ(h, ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0,
+                                            geo, base, "none"));
     // The identity is the injective delimited encoding itself, not a
     // lossy digest: every axis coordinate appears at a fixed position.
-    EXPECT_EQ(h, "cpu|join|15|42|0|4|16|8|256|8388608|-1|-1|-1");
+    EXPECT_EQ(h, "cpu|join|15|42|0|4|16|8|256|8388608|-1|-1|-1|none");
     std::set<std::string> all{h};
     all.insert(ResumeCache::gridPointHash("nmp", "join", 15, 42, 0.0, geo,
-                                          base));
+                                          base, "none"));
     all.insert(ResumeCache::gridPointHash("cpu", "scan", 15, 42, 0.0, geo,
-                                          base));
+                                          base, "none"));
     all.insert(ResumeCache::gridPointHash("cpu", "join", 16, 42, 0.0, geo,
-                                          base));
+                                          base, "none"));
     all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 43, 0.0, geo,
-                                          base));
+                                          base, "none"));
     all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.8, geo,
-                                          base));
+                                          base, "none"));
     // Every geometry field is an axis coordinate of its own.
     MemGeometry g2 = geo;
     g2.vaultsPerStack = 8;
     all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, g2,
-                                          base));
+                                          base, "none"));
     g2 = geo;
     g2.rowBytes = 2048;
     all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, g2,
-                                          base));
+                                          base, "none"));
     g2 = geo;
     g2.vaultBytes = 256 * kKiB;
     all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, g2,
-                                          base));
+                                          base, "none"));
     // ... and so is every exec-override knob.
     ExecOverride ov;
     ov.radixBits = 9;
     all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, geo,
-                                          ov));
+                                          ov, "none"));
     ov = ExecOverride{};
     ov.readChunkBytes = 256;
     all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, geo,
-                                          ov));
+                                          ov, "none"));
     ov = ExecOverride{};
     ov.tlbEntries = 16;
     all.insert(ResumeCache::gridPointHash("cpu", "join", 15, 42, 0.0, geo,
-                                          ov));
-    EXPECT_EQ(all.size(), 12u); // every coordinate distinguishes
+                                          ov, "none"));
+    // ... and the traffic spec is the eighth coordinate.
+    all.insert(ResumeCache::gridPointHash(
+        "cpu", "join", 15, 42, 0.0, geo, base,
+        "poisson-l1000.00000000-q64-s1"));
+    EXPECT_EQ(all.size(), 13u); // every coordinate distinguishes
 }
 
 TEST(Resume, FullyCachedRerunMatchesFreshReport)

@@ -3,7 +3,8 @@
  * mondrian_campaign: CLI driver for parallel simulation campaigns.
  *
  * Expands a declarative design-space grid — {system x scenario x scale x
- * seed x geometry x exec-override x zipf-theta} — into independent runs,
+ * seed x geometry x exec-override x zipf-theta x traffic} — into
+ * independent runs,
  * executes them across hardware threads, and writes a deterministic JSON
  * report (the artifact CI archives on every push). The scenario axis
  * holds whole analytics pipelines: single ops (scan/sort/groupby/join),
@@ -18,6 +19,9 @@
  *   mondrian_campaign --systems cpu,mondrian --ops join \
  *       --geometry 4x8,4x16,4x32 --exec-ablation base,radix=9+tlb=16 \
  *       --zipf 0,0.75 --dry-run
+ *   mondrian_campaign --systems mondrian --scenario sessions \
+ *       --log2-tuples 12 --traffic poisson,lambda=2000,queries=32 \
+ *       --out served.json
  *
  * The report for a given grid is byte-identical for any --jobs value;
  * scripts/check_determinism.sh guards that contract in CI.
@@ -67,13 +71,23 @@ usage(const char *prog)
         "                         'base' or '+'-joined knobs radix=N chunk=N\n"
         "                         tlb=N, e.g. base,radix=9,chunk=256+tlb=16\n"
         "  --zipf t1,t2,...       Zipf key-skew axis (default: 0)\n"
+        "  --traffic SPEC         open-loop traffic axis point; SPEC is\n"
+        "                         'none' (single query, the default) or\n"
+        "                         ','-joined items: poisson|fixed,\n"
+        "                         lambda=QPS, queries=N, warmup=N,\n"
+        "                         inflight=N, seed=N, mix=a:W+b:W,\n"
+        "                         mix-zipf=T; e.g.\n"
+        "                         'poisson,lambda=2000,queries=64'.\n"
+        "                         Repeat the flag for more axis points\n"
+        "                         (see docs/cli.md)\n"
         "\n"
         "Execution:\n"
         "  --jobs N               worker threads; 0 = hardware threads (default: 1)\n"
         "  --out PATH             write the JSON report to PATH (default: stdout)\n"
-        "  --resume REPORT        reuse results from a prior report (v1 or v2):\n"
-        "                         grid points whose (config, workload) hash\n"
-        "                         matches are not re-simulated\n"
+        "  --resume REPORT        reuse results from a prior report (any\n"
+        "                         schema, v1-v4): grid points whose\n"
+        "                         (config, workload, traffic) hash matches\n"
+        "                         are not re-simulated\n"
         "  --dry-run              print the expanded job list (all axes,\n"
         "                         baseline pairing, cache hits) and exit\n"
         "                         without simulating\n"
@@ -113,6 +127,12 @@ printList()
     std::printf("\nexec-ablation points (--exec-ablation):\n");
     std::printf("  'base' or '+'-joined knobs radix=N chunk=N tlb=N, "
                 "e.g. radix=9+tlb=16\n");
+    std::printf("\ntraffic specs (--traffic, repeatable):\n");
+    std::printf("  'none' (single query) or ','-joined items:\n");
+    std::printf("  poisson|fixed lambda=QPS queries=N warmup=N inflight=N "
+                "seed=N\n");
+    std::printf("  mix=scenario:W+scenario:W mix-zipf=T, e.g. "
+                "poisson,lambda=2000,queries=64\n");
 }
 
 std::vector<std::string>
@@ -199,6 +219,20 @@ main(int argc, char **argv)
             if (s.name == sc.name)
                 die("duplicate scenario '" + spec + "'");
         grid.scenarios.push_back(std::move(sc));
+    };
+    // --traffic is repeatable (one spec per occurrence — the spec grammar
+    // itself uses ','); the first occurrence replaces the degenerate
+    // default axis, later ones append.
+    bool traffics_set = false;
+    auto addTraffic = [&](TrafficSpec t, const std::string &spec) {
+        if (!traffics_set) {
+            grid.traffics.clear();
+            traffics_set = true;
+        }
+        for (const TrafficSpec &o : grid.traffics)
+            if (o.name() == t.name())
+                die("duplicate traffic spec '" + spec + "'");
+        grid.traffics.push_back(std::move(t));
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -294,6 +328,15 @@ main(int argc, char **argv)
                     die("duplicate --zipf value '" + v + "'");
                 grid.zipfThetas.push_back(z);
             }
+        } else if (arg == "--traffic") {
+            const std::string spec = argValue(argc, argv, i, "--traffic");
+            TrafficSpec t;
+            std::string err;
+            if (!parseTrafficSpec(spec, t, err))
+                die("--traffic '" + spec + "': " + err);
+            if (std::string verr = validateTrafficSpec(t); !verr.empty())
+                die("--traffic '" + spec + "': " + verr);
+            addTraffic(std::move(t), spec);
         } else if (arg == "--jobs") {
             std::uint64_t n =
                 parseU64(argValue(argc, argv, i, "--jobs"), "--jobs");
@@ -351,14 +394,19 @@ main(int argc, char **argv)
     }
 
     const std::size_t total = grid.size();
+    std::string traffic_dim;
+    if (gridHasTraffic(grid)) {
+        traffic_dim =
+            " x " + std::to_string(grid.traffics.size()) + " traffics";
+    }
     std::fprintf(stderr,
                  "campaign: %zu runs (%zu systems x %zu scenarios x %zu "
                  "scales x %zu seeds x %zu geometries x %zu exec points x "
-                 "%zu thetas), jobs=%u\n",
+                 "%zu thetas%s), jobs=%u\n",
                  total, grid.systems.size(), grid.scenarios.size(),
                  grid.log2Tuples.size(), grid.seeds.size(),
                  grid.geometries.size(), grid.execOverrides.size(),
-                 grid.zipfThetas.size(), jobs);
+                 grid.zipfThetas.size(), traffic_dim.c_str(), jobs);
 
     std::size_t done = 0;
     if (!quiet) {

@@ -3,13 +3,15 @@
  * mondrian_report: axis-aware analysis of campaign reports.
  *
  * Reads the JSON reports mondrian_campaign writes (schema
- * mondrian-campaign-v1, -v2 or -v3) and renders them as analyzable data:
+ * mondrian-campaign-v1 through -v4) and renders them as analyzable data:
  *
  *   mondrian_report summary report.json
  *       Summary recomputed from the runs (paired/total counts, dropped
  *       comparisons surfaced) as a markdown table. Reports carrying
  *       per-stage sub-results (v3 pipeline scenarios) get an additional
- *       per-stage breakdown table.
+ *       per-stage breakdown table; reports carrying served metrics (v4
+ *       traffic sweeps) get a served-traffic table (QPS, latency
+ *       percentiles, energy per query).
  *
  *   mondrian_report sensitivity report.json [--axis A] [--baseline SYS]
  *       Per-axis sensitivity tables: for each value of one axis, the
@@ -60,7 +62,7 @@ usage(const char *prog)
         "\n"
         "Options:\n"
         "  --axis A                  axis to analyze: geometry exec\n"
-        "                            zipf-theta scale scenario seed\n"
+        "                            zipf-theta scale scenario seed traffic\n"
         "                            ('op' is accepted as an alias for\n"
         "                            scenario; sensitivity: default =\n"
         "                            every swept axis; csv: default =\n"
@@ -191,7 +193,7 @@ main(int argc, char **argv)
     bool have_axis = !axis_arg.empty();
     if (have_axis && !axisFromName(axis_arg, axis)) {
         die("unknown axis '" + axis_arg +
-            "' (geometry exec zipf-theta scale scenario seed)");
+            "' (geometry exec zipf-theta scale scenario seed traffic)");
     }
 
     if (command == "summary") {
@@ -210,6 +212,13 @@ main(int argc, char **argv)
         if (!breakdown.empty()) {
             out += "\n### Stages (vs " + baseline + ")\n\n";
             out += renderStageBreakdownMarkdown(breakdown);
+        }
+        // Served-workload runs (v4 traffic sweeps) report throughput and
+        // tail latency — the open-loop view a speedup geomean cannot show.
+        std::string served = renderServedMarkdown(m);
+        if (!served.empty()) {
+            out += "\n### Served traffic\n\n";
+            out += served;
         }
         emit(out, out_path);
         return 0;
