@@ -179,3 +179,53 @@ else
 fi
 
 echo "OK: served traffic deterministic; degenerate traffic is byte-identical"
+
+# --- Distributed chaos oracle ---------------------------------------------
+# The worker-sharded coordinator (--workers N) must honor the same
+# contract even while workers are crashing, hanging and corrupting
+# results mid-campaign: faults hit the first attempt of a job, the
+# retry/reassignment machinery recovers, and the merged report is
+# byte-identical to the in-process run (docs/distributed.md).
+CHAOS=(--systems cpu,mondrian --ops scan,sort,groupby,join
+       --log2-tuples 10 --quiet)
+
+echo "== chaos grid, in-process (--jobs 4)"
+"$CAMPAIGN_BIN" "${CHAOS[@]}" --jobs 4 --out "$workdir/chaos_inproc.json"
+
+echo "== chaos grid, distributed (--workers 4) with injected faults"
+"$CAMPAIGN_BIN" "${CHAOS[@]}" --workers 4 --heartbeat-timeout 1 \
+    --fault-inject crash@0,hang@3,corrupt@5 \
+    --out "$workdir/chaos_workers.json"
+
+if ! cmp "$workdir/chaos_inproc.json" "$workdir/chaos_workers.json"; then
+    echo "FAIL: chaos --workers report differs from --jobs" >&2
+    diff "$workdir/chaos_inproc.json" "$workdir/chaos_workers.json" | head -40 >&2 || true
+    exit 1
+fi
+
+if [[ -x "$REPORT_BIN" ]]; then
+    if ! "$REPORT_BIN" diff "$workdir/chaos_inproc.json" \
+            "$workdir/chaos_workers.json" --rtol 1e-6; then
+        echo "FAIL: chaos report self-diff is not empty" >&2
+        exit 1
+    fi
+fi
+
+echo "== journal replay: a journaled campaign reruns from its journal"
+"$CAMPAIGN_BIN" "${CHAOS[@]}" --workers 2 --journal "$workdir/chaos.ndjson" \
+    --out "$workdir/chaos_journaled.json"
+# Second invocation: every run comes from the journal, none re-simulate.
+"$CAMPAIGN_BIN" "${CHAOS[@]}" --workers 2 --journal "$workdir/chaos.ndjson" \
+    --out "$workdir/chaos_replayed.json" 2> "$workdir/replay.log"
+if ! cmp "$workdir/chaos_inproc.json" "$workdir/chaos_journaled.json" ||
+   ! cmp "$workdir/chaos_inproc.json" "$workdir/chaos_replayed.json"; then
+    echo "FAIL: journaled/replayed reports differ from the in-process run" >&2
+    exit 1
+fi
+grep -q "8 of 8 grid points reused" "$workdir/replay.log" || {
+    echo "FAIL: journal replay re-simulated grid points" >&2
+    cat "$workdir/replay.log" >&2
+    exit 1
+}
+
+echo "OK: distributed chaos recovers byte-identically; journal replay resumes"

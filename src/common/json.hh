@@ -109,8 +109,56 @@ class JsonWriter
             out_ += "null";
             return *this;
         }
-        appendDouble(out_, v);
+        if (precise_) {
+            // Shortest round-trippable form: parsing the text with
+            // strtod recovers the exact bit pattern. Used for machine-
+            // to-machine JSON (worker result frames, the campaign
+            // journal) where a re-serialized value must be
+            // indistinguishable from the original computation.
+            char buf[40];
+            auto res = std::to_chars(buf, buf + sizeof(buf), v);
+            out_.append(buf, res.ptr);
+        } else {
+            appendDouble(out_, v);
+        }
         return *this;
+    }
+
+    /**
+     * Switch double encoding from the canonical 12-significant-digit
+     * report form to exact shortest-round-trip form. Report artifacts
+     * must stay in the canonical form (byte-compatibility); only
+     * IPC/journal documents that are parsed back into RunResults — and
+     * re-emitted through this writer in canonical form — use this.
+     */
+    JsonWriter &
+    setPreciseDoubles(bool precise)
+    {
+        precise_ = precise;
+        return *this;
+    }
+
+    /**
+     * Collapse a pretty-printed document onto one line by dropping each
+     * newline plus its following indent. String values never contain
+     * raw newlines (the escaper emits \n), so this is purely a
+     * formatting transform — the parse tree is unchanged. Used for
+     * newline-delimited journal lines and worker protocol frames.
+     */
+    static std::string
+    compact(const std::string &pretty)
+    {
+        std::string out;
+        out.reserve(pretty.size());
+        for (std::size_t i = 0; i < pretty.size(); ++i) {
+            if (pretty[i] == '\n') {
+                while (i + 1 < pretty.size() && pretty[i + 1] == ' ')
+                    ++i;
+                continue;
+            }
+            out += pretty[i];
+        }
+        return out;
     }
 
     /** Shorthand for key(k).value(v). */
@@ -224,6 +272,7 @@ class JsonWriter
     std::string out_;
     std::vector<bool> first_; ///< per open container: no member emitted yet
     bool pendingValue_ = false;
+    bool precise_ = false; ///< exact doubles (IPC/journal) vs canonical 12
 };
 
 } // namespace mondrian

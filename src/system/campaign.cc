@@ -282,6 +282,17 @@ CampaignJob::systemConfig() const
     return cfg;
 }
 
+RunResult
+executeCampaignJob(const CampaignJob &job)
+{
+    if (job.traffic.degenerate()) {
+        Runner runner(job.workload());
+        return runner.run(job.systemConfig(), job.scenario);
+    }
+    ServedRunner served(job.workload(), job.traffic);
+    return served.run(job.systemConfig(), job.scenario);
+}
+
 std::vector<CampaignJob>
 expandGrid(const CampaignGrid &grid)
 {
@@ -339,7 +350,7 @@ baselineIndex(const std::vector<CampaignRun> &runs, SystemKind baseline)
 {
     std::map<GridGroupKey, const CampaignRun *> base;
     for (const auto &r : runs) {
-        if (r.job.system == baseline)
+        if (!r.failed && r.job.system == baseline)
             base[gridGroupKey(r)] = &r;
     }
     return base;
@@ -375,7 +386,7 @@ summarizeRuns(const CampaignGrid &grid, const std::vector<CampaignRun> &runs,
         std::vector<double> speedups, perfPerWatt;
         std::size_t paired = 0, total = 0;
         for (const auto &r : runs) {
-            if (r.job.system != sys)
+            if (r.failed || r.job.system != sys)
                 continue;
             ++total;
             auto it = base.find(gridGroupKey(r));
@@ -541,7 +552,27 @@ ResumeCache::load(const std::string &json_text, std::string &error)
         error = "report has no runs array";
         return false;
     }
+    std::size_t run_no = 0;
     for (const JsonValue &r : runs->items) {
+        // Label for skip warnings: as much of the grid point as the
+        // entry actually carries, falling back to its array position —
+        // a corrupt entry must be named, never silently dropped or
+        // spliced as garbage.
+        const std::size_t this_run = run_no++;
+        auto run_label = [&r, v3, this_run]() {
+            std::string l = "run #" + std::to_string(this_run);
+            const JsonValue *sys = r.find("system");
+            const JsonValue *op = v3 ? r.find("scenario") : r.find("op");
+            const JsonValue *log2 = r.find("log2_tuples");
+            const JsonValue *seed = r.find("seed");
+            if (sys && sys->isString())
+                l += " (" + sys->asString() +
+                     (op && op->isString() ? "|" + op->asString() : "") +
+                     (log2 ? "|2^" + std::to_string(log2->asU64()) : "") +
+                     (seed ? "|seed " + std::to_string(seed->asU64()) : "") +
+                     ")";
+            return l;
+        };
         const JsonValue *sys = r.find("system");
         // v3 runs are labeled by scenario; v1/v2 "op" labels ARE the
         // degenerate scenario names, so both key identically.
@@ -549,8 +580,11 @@ ResumeCache::load(const std::string &json_text, std::string &error)
         const JsonValue *log2 = r.find("log2_tuples");
         const JsonValue *seed = r.find("seed");
         const JsonValue *result = r.find("result");
-        if (!sys || !op || !log2 || !seed || !result)
+        if (!sys || !op || !log2 || !seed || !result) {
+            warn("resume: skipping malformed %s: missing run members",
+                 run_label().c_str());
             continue; // malformed entry: simply not cached
+        }
         MemGeometry geo = defaultGeometry();
         ExecOverride exec;
         double zipf = v1_zipf;
@@ -566,31 +600,50 @@ ResumeCache::load(const std::string &json_text, std::string &error)
             const JsonValue *gname = r.find("geometry");
             const JsonValue *ename = r.find("exec");
             const JsonValue *z = r.find("zipf_theta");
-            if (!gname || !ename || !z)
+            if (!gname || !ename || !z) {
+                warn("resume: skipping %s: missing geometry/exec/"
+                     "zipf_theta labels", run_label().c_str());
                 continue;
+            }
             auto git = geometries.find(gname->asString());
             auto eit = overrides.find(ename->asString());
-            if (git == geometries.end() || eit == overrides.end())
-                continue; // label without an axis-table entry: not cached
+            if (git == geometries.end() || eit == overrides.end()) {
+                // label without an axis-table entry: not cached
+                warn("resume: skipping %s: axis label '%s' has no grid "
+                     "table entry", run_label().c_str(),
+                     (git == geometries.end() ? gname : ename)
+                         ->asString().c_str());
+                continue;
+            }
             geo = git->second;
             exec = eit->second;
             zipf = z->asDouble();
             if (v3) {
                 auto sit = scenario_identities.find(op->asString());
-                if (sit == scenario_identities.end())
+                if (sit == scenario_identities.end()) {
+                    warn("resume: skipping %s: scenario '%s' has no grid "
+                         "table entry", run_label().c_str(),
+                         op->asString().c_str());
                     continue;
+                }
                 scenario_id = sit->second;
             }
             if (v4) {
                 const JsonValue *t = r.find("traffic");
-                if (!t)
+                if (!t) {
+                    warn("resume: skipping %s: v4 run has no traffic "
+                         "label", run_label().c_str());
                     continue;
+                }
                 traffic_id = t->asString();
             }
         }
         Entry e;
-        if (!readRunResult(*result, e.result))
+        if (!readRunResult(*result, e.result)) {
+            warn("resume: skipping %s: unreadable result subtree",
+                 run_label().c_str());
             continue;
+        }
         e.rawResultJson =
             json_text.substr(result->begin, result->end - result->begin);
         entries_[gridPointHash(sys->asString(), scenario_id,
@@ -599,6 +652,86 @@ ResumeCache::load(const std::string &json_text, std::string &error)
                                traffic_id)] = std::move(e);
     }
     return true;
+}
+
+std::size_t
+ResumeCache::loadJournal(const std::string &text)
+{
+    std::size_t added = 0, lineno = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const bool torn = nl == std::string::npos; // no trailing newline
+        std::string line =
+            text.substr(pos, torn ? std::string::npos : nl - pos);
+        pos = torn ? text.size() : nl + 1;
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+
+        // Best-effort grid key for warnings: the key member leads every
+        // line, so even a torn tail usually names its grid point.
+        auto key_hint = [&line]() {
+            const std::string prefix = "{\"key\": \"";
+            if (line.rfind(prefix, 0) != 0)
+                return std::string();
+            const std::size_t end = line.find('"', prefix.size());
+            if (end == std::string::npos)
+                return std::string();
+            return " (grid key " +
+                   line.substr(prefix.size(), end - prefix.size()) + ")";
+        };
+
+        JsonValue doc;
+        std::string parse_error;
+        if (!parseJson(line, doc, parse_error)) {
+            // A torn final line is the expected artifact of a killed
+            // writer; anything else is corruption. Either way: skip
+            // loudly, never splice.
+            warn("journal: skipping %s line %zu%s: %s",
+                 torn ? "torn" : "corrupt", lineno, key_hint().c_str(),
+                 parse_error.c_str());
+            continue;
+        }
+        const JsonValue *key = doc.find("key");
+        const JsonValue *result = doc.find("result");
+        if (!key || !key->isString() || key->asString().empty() ||
+            !result) {
+            warn("journal: skipping line %zu%s: missing key or result",
+                 lineno, key_hint().c_str());
+            continue;
+        }
+        Entry e;
+        if (!readRunResult(*result, e.result)) {
+            warn("journal: skipping line %zu (grid key %s): unreadable "
+                 "result", lineno, key->asString().c_str());
+            continue;
+        }
+        // No rawResultJson: journal doubles are exact (shortest round
+        // trip), so re-serializing through the canonical report writer
+        // reproduces a fresh run's bytes — no splicing needed.
+        entries_[key->asString()] = std::move(e);
+        ++added;
+    }
+    return added;
+}
+
+std::string
+campaignJournalLine(const CampaignJob &job, const RunResult &result)
+{
+    JsonWriter w;
+    w.setPreciseDoubles(true);
+    w.beginObject();
+    w.member("key", ResumeCache::gridPointHash(
+                        systemKindName(job.system),
+                        scenarioIdentity(job.scenario), job.log2Tuples,
+                        job.seed, job.zipfTheta, job.geometry, job.exec,
+                        job.traffic.name()));
+    w.member("index", std::uint64_t{job.index});
+    w.key("result");
+    writeRunResult(w, result);
+    w.endObject();
+    return JsonWriter::compact(w.str()) + "\n";
 }
 
 CampaignReport
@@ -638,18 +771,22 @@ CampaignRunner::run(unsigned jobs)
                     continue;
                 }
             }
+            if (abort_ && abort_->load()) {
+                // Interrupted: don't start new work; mark the slot so
+                // the partial report never misreads it as a result.
+                CampaignRun &slot = report.runs[job.index];
+                slot.job = job;
+                slot.failed = true;
+                continue;
+            }
             pool.submit([this, job, &report, &progress_mutex] {
                 CampaignRun &slot = report.runs[job.index];
                 slot.job = job;
-                if (job.traffic.degenerate()) {
-                    Runner runner(job.workload());
-                    slot.result =
-                        runner.run(job.systemConfig(), job.scenario);
-                } else {
-                    ServedRunner served(job.workload(), job.traffic);
-                    slot.result =
-                        served.run(job.systemConfig(), job.scenario);
+                if (abort_ && abort_->load()) {
+                    slot.failed = true;
+                    return;
                 }
+                slot.result = executeCampaignJob(job);
                 if (progress_) {
                     std::lock_guard<std::mutex> lock(progress_mutex);
                     progress_(slot);
@@ -658,6 +795,8 @@ CampaignRunner::run(unsigned jobs)
         }
         pool.wait();
     }
+    if (abort_ && abort_->load())
+        report.aborted = true;
 
     SystemKind baseline;
     if (findBaseline(grid_, baseline)) {
@@ -785,6 +924,8 @@ campaignReportJson(const CampaignReport &report)
 
     w.key("runs").beginArray();
     for (const auto &r : report.runs) {
+        if (r.failed)
+            continue; // no result to report; listed under failed_runs
         w.beginObject();
         w.member("index", std::uint64_t{r.job.index});
         w.member("system", systemKindName(r.job.system));
@@ -807,6 +948,33 @@ campaignReportJson(const CampaignReport &report)
         w.endObject();
     }
     w.endArray();
+
+    // Only irregular (fault-afflicted) reports carry this block, so a
+    // clean campaign's JSON is byte-identical to the historical writer.
+    if (!report.failedRuns.empty()) {
+        w.key("failed_runs").beginArray();
+        for (const FailedRun &f : report.failedRuns) {
+            const CampaignRun &r = report.runs[f.index];
+            w.beginObject();
+            w.member("index", std::uint64_t{r.job.index});
+            w.member("system", systemKindName(r.job.system));
+            if (v3)
+                w.member("scenario", r.job.scenario.name);
+            else
+                w.member("op", r.job.scenario.name);
+            w.member("log2_tuples", std::uint64_t{r.job.log2Tuples});
+            w.member("seed", r.job.seed);
+            w.member("geometry", geometryName(r.job.geometry));
+            w.member("exec", r.job.exec.name());
+            w.member("zipf_theta", r.job.zipfTheta);
+            if (v4)
+                w.member("traffic", r.job.traffic.name());
+            w.member("attempts", std::uint64_t{f.attempts});
+            w.member("error", f.error);
+            w.endObject();
+        }
+        w.endArray();
+    }
 
     w.key("summary").beginObject();
     w.member("baseline", report.baseline);

@@ -41,6 +41,7 @@
 #ifndef MONDRIAN_SYSTEM_CAMPAIGN_HH
 #define MONDRIAN_SYSTEM_CAMPAIGN_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -139,6 +140,15 @@ struct CampaignJob
  */
 std::vector<CampaignJob> expandGrid(const CampaignGrid &grid);
 
+/**
+ * Execute one expanded grid point: the single place that maps a job
+ * onto a Runner (degenerate traffic) or ServedRunner (open-loop
+ * traffic). Shared by the in-process CampaignRunner, the distributed
+ * worker loop and the coordinator's degraded in-process fallback, so
+ * the three can never diverge.
+ */
+RunResult executeCampaignJob(const CampaignJob &job);
+
 /** One finished grid point. */
 struct CampaignRun
 {
@@ -152,6 +162,22 @@ struct CampaignRun
      */
     std::string rawResultJson;
     bool cached = false;
+    /**
+     * The run never produced a result: its job exhausted the
+     * coordinator's retry budget, or the campaign was interrupted before
+     * the job ran. Failed slots are excluded from the report's runs
+     * array, the summaries and baseline pairing; permanently failed jobs
+     * are listed in CampaignReport::failedRuns instead.
+     */
+    bool failed = false;
+};
+
+/** One grid point that exhausted its retry budget (coordinator mode). */
+struct FailedRun
+{
+    std::size_t index = 0; ///< grid index of the job
+    unsigned attempts = 0; ///< attempts made (1 + retries)
+    std::string error;     ///< last failure observed
 };
 
 /**
@@ -215,6 +241,12 @@ struct CampaignReport
     std::string baseline;                   ///< "" when no baseline in grid
     std::vector<SystemSummary> summaries;   ///< empty when no baseline
     std::size_t cachedRuns = 0;             ///< grid points reused (resume)
+    /** Jobs that exhausted their retry budget (coordinator mode);
+     *  written to the report as a "failed_runs" array when non-empty. */
+    std::vector<FailedRun> failedRuns;
+    /** True when execution stopped early on an abort flag (SIGINT/
+     *  SIGTERM); the report is partial and should not be written. */
+    bool aborted = false;
 };
 
 /**
@@ -253,9 +285,27 @@ class ResumeCache
      * Load entries from a prior report's JSON text (schema
      * mondrian-campaign-v3/-v2, or legacy v1 as described above).
      * Replaces the current contents.
+     *
+     * Corrupt entries inside an otherwise-parseable report (a malformed
+     * run object, a label without an axis-table entry, an unreadable
+     * result subtree) are skipped with a warn() naming the bad grid
+     * point — never cached as garbage. A truncated report fails the
+     * top-level parse and returns false.
      * @return false with @p error set on parse/schema problems.
      */
     bool load(const std::string &json_text, std::string &error);
+
+    /**
+     * Merge entries from a crash-safe campaign journal (newline-
+     * delimited {"key", "index", "result"} lines as written by
+     * campaignJournalLine()) into the cache. Existing contents are
+     * kept; a key present in both is overwritten by the journal (the
+     * journal is the fresher artifact). Torn or corrupt lines — the
+     * expected artifact of a killed coordinator — are skipped with a
+     * warn() naming the line and, when recoverable, its grid key.
+     * @return the number of entries added or replaced.
+     */
+    std::size_t loadJournal(const std::string &text);
 
     std::size_t size() const { return entries_.size(); }
 
@@ -321,11 +371,33 @@ class CampaignRunner
      */
     void setResume(const ResumeCache *cache) { resume_ = cache; }
 
+    /**
+     * Cooperative cancellation (SIGINT/SIGTERM): once @p flag reads
+     * true, jobs that have not started are skipped (marked failed) and
+     * run() returns a partial report with aborted set. Jobs already
+     * executing finish — a simulation cannot be interrupted midway.
+     * The flag must outlive run().
+     */
+    void setAbort(const std::atomic<bool> *flag) { abort_ = flag; }
+
   private:
     CampaignGrid grid_;
     std::function<void(const CampaignRun &)> progress_;
     const ResumeCache *resume_ = nullptr;
+    const std::atomic<bool> *abort_ = nullptr;
 };
+
+/**
+ * One append-only journal line recording a completed run: compact JSON
+ * {"key": <grid-point hash>, "index": N, "result": {...}} with a
+ * trailing newline. Result doubles are written in exact shortest-
+ * round-trip form so a journal-resumed report re-serializes
+ * byte-identically to a fresh run (no splicing needed). Appended (and
+ * flushed) after every fresh completion when --journal is active, so a
+ * killed campaign loses at most the runs still in flight.
+ */
+std::string campaignJournalLine(const CampaignJob &job,
+                                const RunResult &result);
 
 /**
  * Render a campaign report as a deterministic JSON document (the CI

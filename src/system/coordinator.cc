@@ -1,0 +1,927 @@
+#include "system/coordinator.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+#include "sim/thread_pool.hh"
+#include "system/campaign_spec.hh"
+#include "system/report.hh"
+
+namespace mondrian {
+
+const char *
+faultKindName(FaultInjection::Kind kind)
+{
+    switch (kind) {
+      case FaultInjection::Kind::kCrash: return "crash";
+      case FaultInjection::Kind::kHang: return "hang";
+      case FaultInjection::Kind::kCorrupt: return "corrupt";
+    }
+    return "crash";
+}
+
+bool
+parseFaultInject(const std::string &spec, std::vector<FaultInjection> &out,
+                 std::string &error)
+{
+    out.clear();
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        const std::size_t at = item.find('@');
+        if (at == std::string::npos) {
+            error = "fault '" + item + "': expected kind@index";
+            return false;
+        }
+        FaultInjection f;
+        const std::string kind = item.substr(0, at);
+        if (kind == "crash") {
+            f.kind = FaultInjection::Kind::kCrash;
+        } else if (kind == "hang") {
+            f.kind = FaultInjection::Kind::kHang;
+        } else if (kind == "corrupt") {
+            f.kind = FaultInjection::Kind::kCorrupt;
+        } else {
+            error = "fault '" + item + "': unknown kind '" + kind +
+                    "' (crash, hang, corrupt)";
+            return false;
+        }
+        std::string idx = item.substr(at + 1);
+        if (!idx.empty() && idx.back() == '!') {
+            f.sticky = true;
+            idx.pop_back();
+        }
+        if (idx.empty() ||
+            idx.find_first_not_of("0123456789") != std::string::npos) {
+            error = "fault '" + item + "': '" + idx +
+                    "' is not a job index";
+            return false;
+        }
+        f.index = static_cast<std::size_t>(
+            std::strtoull(idx.c_str(), nullptr, 10));
+        out.push_back(f);
+    }
+    if (out.empty()) {
+        error = "empty fault-injection spec";
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::vector<std::size_t>>
+planShards(const std::vector<std::size_t> &indices, unsigned workers)
+{
+    if (workers == 0)
+        workers = 1;
+    std::vector<std::vector<std::size_t>> shards(workers);
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        shards[i % workers].push_back(indices[i]);
+    return shards;
+}
+
+std::string
+shardPlanListing(const CampaignGrid &grid, unsigned workers,
+                 const ResumeCache *resume)
+{
+    const std::vector<CampaignJob> jobs = expandGrid(grid);
+    std::vector<std::size_t> pending;
+    for (const CampaignJob &job : jobs) {
+        if (resume &&
+            resume->find(ResumeCache::gridPointHash(
+                systemKindName(job.system), scenarioIdentity(job.scenario),
+                job.log2Tuples, job.seed, job.zipfTheta, job.geometry,
+                job.exec, job.traffic.name())))
+            continue;
+        pending.push_back(job.index);
+    }
+    auto shards = planShards(pending, workers);
+
+    std::string out = "shard plan: " + std::to_string(workers) +
+                      " workers, round-robin over " +
+                      std::to_string(pending.size()) + " pending jobs\n";
+    for (std::size_t w = 0; w < shards.size(); ++w) {
+        out += "  worker " + std::to_string(w) + " (" +
+               std::to_string(shards[w].size()) + " jobs):";
+        for (std::size_t idx : shards[w])
+            out += " [" + std::to_string(idx) + "]";
+        out += "\n";
+    }
+    out += "(runtime assignment is dynamic pull-based; a failed worker's "
+           "jobs are reassigned)\n";
+    return out;
+}
+
+namespace {
+
+double
+monotonicSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** "<len>\n<payload>\n" — the worker->coordinator frame format. */
+std::string
+frameString(const std::string &payload)
+{
+    return std::to_string(payload.size()) + "\n" + payload + "\n";
+}
+
+/**
+ * Extract the next complete frame from @p buf (consuming it).
+ * @return 1 on a frame (payload in @p payload), 0 when more bytes are
+ * needed, -1 on a framing violation (stream desync).
+ */
+int
+nextFrame(std::string &buf, std::string &payload)
+{
+    const std::size_t nl = buf.find('\n');
+    if (nl == std::string::npos)
+        return buf.size() > 32 ? -1 : 0; // a length line is short
+    const std::string len_text = buf.substr(0, nl);
+    if (len_text.empty() ||
+        len_text.find_first_not_of("0123456789") != std::string::npos)
+        return -1;
+    const std::size_t len = static_cast<std::size_t>(
+        std::strtoull(len_text.c_str(), nullptr, 10));
+    if (len > (std::size_t{64} << 20))
+        return -1; // nonsense length: desync
+    if (buf.size() < nl + 1 + len + 1)
+        return 0;
+    if (buf[nl + 1 + len] != '\n')
+        return -1;
+    payload = buf.substr(nl + 1, len);
+    buf.erase(0, nl + 1 + len + 1);
+    return 1;
+}
+
+std::string
+selfExecutable()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0)
+        return std::string(buf, static_cast<std::size_t>(n));
+    return "/proc/self/exe";
+}
+
+/** Find a fault for @p index that has not fired yet (or is sticky). */
+const FaultInjection *
+pickFault(std::vector<FaultInjection> &faults, std::vector<bool> &fired,
+          std::size_t index)
+{
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (faults[i].index != index)
+            continue;
+        if (faults[i].sticky || !fired[i]) {
+            fired[i] = true;
+            return &faults[i];
+        }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------ worker
+
+namespace {
+
+/** Serialized writer of length-prefixed frames on stdout. */
+class FrameSender
+{
+  public:
+    void
+    send(const std::string &payload)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const std::string frame = frameString(payload);
+        std::fwrite(frame.data(), 1, frame.size(), stdout);
+        std::fflush(stdout);
+    }
+
+  private:
+    std::mutex mutex_;
+};
+
+} // namespace
+
+int
+runCampaignWorker(const std::string &spec_path,
+                  double heartbeat_interval_sec)
+{
+    std::ifstream in(spec_path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "worker: cannot open spec '%s'\n",
+                     spec_path.c_str());
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    CampaignGrid grid;
+    std::string error;
+    if (!parseCampaignSpec(ss.str(), grid, error) ||
+        !validateGrid(grid, error)) {
+        std::fprintf(stderr, "worker: bad spec '%s': %s\n",
+                     spec_path.c_str(), error.c_str());
+        return 2;
+    }
+    const std::vector<CampaignJob> jobs = expandGrid(grid);
+
+    // Standalone fault-injection path (tests, manual chaos): the same
+    // grammar as --fault-inject, scoped to this process's attempts.
+    std::vector<FaultInjection> env_faults;
+    if (const char *env = std::getenv("MONDRIAN_FAULT_INJECT");
+        env && *env) {
+        std::string fault_error;
+        if (!parseFaultInject(env, env_faults, fault_error)) {
+            std::fprintf(stderr, "worker: MONDRIAN_FAULT_INJECT: %s\n",
+                         fault_error.c_str());
+            return 2;
+        }
+    }
+    std::vector<bool> env_fired(env_faults.size(), false);
+
+    FrameSender sender;
+    {
+        JsonWriter w;
+        w.beginObject();
+        w.member("type", "hello");
+        w.member("pid", std::uint64_t(::getpid()));
+        w.member("jobs", std::uint64_t{jobs.size()});
+        w.endObject();
+        sender.send(JsonWriter::compact(w.str()));
+    }
+
+    // Heartbeats come from a dedicated thread so a long-running
+    // simulation never reads as a hang; the "hang" fault suppresses
+    // them to exercise exactly that coordinator path.
+    std::mutex hb_mutex;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    std::atomic<bool> hb_suppress{false};
+    std::thread heartbeat([&] {
+        std::unique_lock<std::mutex> lock(hb_mutex);
+        while (!hb_stop) {
+            hb_cv.wait_for(lock, std::chrono::duration<double>(
+                                     heartbeat_interval_sec));
+            if (hb_stop)
+                break;
+            if (hb_suppress.load())
+                continue;
+            JsonWriter w;
+            w.beginObject();
+            w.member("type", "heartbeat");
+            w.endObject();
+            sender.send(JsonWriter::compact(w.str()));
+        }
+    });
+    auto stop_heartbeat = [&] {
+        {
+            std::lock_guard<std::mutex> lock(hb_mutex);
+            hb_stop = true;
+        }
+        hb_cv.notify_all();
+        heartbeat.join();
+    };
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonValue msg;
+        std::string parse_error;
+        if (!parseJson(line, msg, parse_error)) {
+            std::fprintf(stderr, "worker: bad message: %s\n",
+                         parse_error.c_str());
+            break;
+        }
+        const JsonValue *type = msg.find("type");
+        if (!type || type->asString() == "exit")
+            break;
+        if (type->asString() != "job")
+            continue;
+        const JsonValue *idx = msg.find("index");
+        if (!idx || idx->asU64() >= jobs.size()) {
+            std::fprintf(stderr, "worker: job index out of range\n");
+            break;
+        }
+        const std::size_t index =
+            static_cast<std::size_t>(idx->asU64());
+
+        // Fault to apply on this attempt: the coordinator's directive
+        // wins; otherwise the env-var path.
+        std::string fault;
+        if (const JsonValue *f = msg.find("fault"))
+            fault = f->asString();
+        if (fault.empty()) {
+            if (const FaultInjection *f =
+                    pickFault(env_faults, env_fired, index))
+                fault = faultKindName(f->kind);
+        }
+        if (fault == "crash") {
+            // Die without a result or an exit frame — exactly what an
+            // OOM kill or a segfault looks like from the coordinator.
+            std::_Exit(70);
+        }
+        if (fault == "hang") {
+            // Wedge: stop heartbeating and never answer. The
+            // coordinator's heartbeat timeout must kill us.
+            hb_suppress.store(true);
+            for (;;)
+                std::this_thread::sleep_for(std::chrono::hours(1));
+        }
+        if (fault == "corrupt") {
+            // A well-formed frame whose result subtree fails
+            // readRunResult validation.
+            JsonWriter w;
+            w.beginObject();
+            w.member("type", "result");
+            w.member("index", std::uint64_t{index});
+            w.key("result").beginObject();
+            w.member("corrupt", true);
+            w.endObject();
+            w.endObject();
+            sender.send(JsonWriter::compact(w.str()));
+            continue;
+        }
+
+        try {
+            const RunResult result = executeCampaignJob(jobs[index]);
+            JsonWriter w;
+            // Exact doubles: the coordinator re-parses this into a
+            // bit-identical RunResult, so the merged report matches an
+            // in-process run byte-for-byte.
+            w.setPreciseDoubles(true);
+            w.beginObject();
+            w.member("type", "result");
+            w.member("index", std::uint64_t{index});
+            w.key("result");
+            writeRunResult(w, result);
+            w.endObject();
+            sender.send(JsonWriter::compact(w.str()));
+        } catch (const std::exception &e) {
+            JsonWriter w;
+            w.beginObject();
+            w.member("type", "error");
+            w.member("index", std::uint64_t{index});
+            w.member("message", std::string(e.what()));
+            w.endObject();
+            sender.send(JsonWriter::compact(w.str()));
+        }
+    }
+
+    stop_heartbeat();
+    return 0;
+}
+
+// ------------------------------------------------------------- coordinator
+
+namespace {
+
+struct WorkerProc
+{
+    unsigned id = 0;
+    pid_t pid = -1;
+    int in = -1;  ///< coordinator -> worker stdin
+    int out = -1; ///< worker stdout -> coordinator
+    std::string buf;
+    bool alive = false;
+    bool hello = false;
+    double lastSeen = 0.0;
+    double jobStart = 0.0;
+    std::ptrdiff_t job = -1; ///< assigned grid index, -1 when idle
+};
+
+/** Temp file that unlinks itself. */
+struct SpecFile
+{
+    std::string path;
+
+    ~SpecFile()
+    {
+        if (!path.empty())
+            ::unlink(path.c_str());
+    }
+
+    bool
+    create(const std::string &text, std::string &error)
+    {
+        char tmpl[] = "/tmp/mondrian-campaign-XXXXXX";
+        const int fd = ::mkstemp(tmpl);
+        if (fd < 0) {
+            error = std::string("mkstemp: ") + std::strerror(errno);
+            return false;
+        }
+        path = tmpl;
+        const bool ok = writeAll(fd, text);
+        ::close(fd);
+        if (!ok)
+            error = "cannot write job spec " + path;
+        return ok;
+    }
+};
+
+} // namespace
+
+CampaignReport
+CampaignCoordinator::run()
+{
+    std::string grid_error;
+    if (!validateGrid(grid_, grid_error))
+        throw std::invalid_argument("invalid campaign grid: " + grid_error);
+
+    const std::vector<CampaignJob> jobs = expandGrid(grid_);
+
+    CampaignReport report;
+    report.grid = grid_;
+    report.runs.resize(jobs.size());
+    for (const CampaignJob &job : jobs)
+        report.runs[job.index].job = job;
+
+    std::vector<bool> done(jobs.size(), false);
+    std::deque<std::pair<std::size_t, double>> pending; // (index, readyAt)
+    for (const CampaignJob &job : jobs) {
+        if (resume_) {
+            const ResumeCache::Entry *hit =
+                resume_->find(ResumeCache::gridPointHash(
+                    systemKindName(job.system),
+                    scenarioIdentity(job.scenario), job.log2Tuples,
+                    job.seed, job.zipfTheta, job.geometry, job.exec,
+                    job.traffic.name()));
+            if (hit) {
+                CampaignRun &slot = report.runs[job.index];
+                slot.result = hit->result;
+                slot.rawResultJson = hit->rawResultJson;
+                slot.cached = true;
+                done[job.index] = true;
+                report.cachedRuns++;
+                continue;
+            }
+        }
+        pending.push_back({job.index, 0.0});
+    }
+
+    const std::size_t target = pending.size();
+    std::size_t completed = 0, failed = 0;
+    std::vector<unsigned> attempts(jobs.size(), 0);
+    std::vector<FaultInjection> faults = config_.faults;
+    std::vector<bool> fault_fired(faults.size(), false);
+
+    auto finalize = [&] {
+        SystemKind baseline;
+        for (SystemKind k : grid_.systems) {
+            if (k == SystemKind::kCpu) {
+                baseline = k;
+                report.baseline = systemKindName(baseline);
+                report.summaries =
+                    summarizeRuns(grid_, report.runs, baseline);
+                break;
+            }
+        }
+        return report;
+    };
+    if (target == 0)
+        return finalize();
+
+    // Progress callback serialization for the degraded thread-pool path
+    // (the event loop itself is single-threaded).
+    std::mutex progress_mutex;
+    auto run_done = [&](std::size_t index) {
+        done[index] = true;
+        ++completed;
+        if (progress_) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress_(report.runs[index]);
+        }
+    };
+
+    // Degraded in-process execution of every unresolved job (spawn
+    // failure fallback); also reused when the worker population proves
+    // unusable mid-campaign.
+    auto run_inline = [&] {
+        ThreadPool pool(config_.workers <= 1
+                            ? 0
+                            : ThreadPool::resolveThreads(config_.workers));
+        for (const CampaignJob &job : jobs) {
+            if (done[job.index] || report.runs[job.index].failed)
+                continue;
+            if (abort_ && abort_->load()) {
+                report.runs[job.index].failed = true;
+                report.aborted = true;
+                continue;
+            }
+            pool.submit([&, job] {
+                if (abort_ && abort_->load()) {
+                    report.runs[job.index].failed = true;
+                    return;
+                }
+                report.runs[job.index].result = executeCampaignJob(job);
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                done[job.index] = true;
+                ++completed;
+                if (progress_)
+                    progress_(report.runs[job.index]);
+            });
+        }
+        pool.wait();
+        if (abort_ && abort_->load())
+            report.aborted = true;
+    };
+
+    // --------------------------------------------------- spawn machinery
+    std::string spec_error;
+    SpecFile spec;
+    if (!spec.create(campaignSpecJson(grid_), spec_error))
+        throw std::runtime_error(spec_error);
+
+    std::vector<std::string> argv_prefix = config_.workerCommand;
+    if (argv_prefix.empty())
+        argv_prefix = {selfExecutable()};
+    const double hb_interval =
+        std::min(1.0, std::max(0.02, config_.heartbeatTimeoutSec / 4.0));
+    std::vector<std::string> argv_tail = {
+        "--worker", spec.path, "--heartbeat-interval",
+        JsonWriter::doubleString(hb_interval)};
+
+    // A write to a freshly dead worker must fail with EPIPE, not kill
+    // the coordinator.
+    struct sigaction ignore_pipe{}, old_pipe{};
+    ignore_pipe.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+    std::vector<WorkerProc> workers;
+    unsigned next_worker_id = 0;
+    bool any_hello_ever = false;
+    unsigned no_hello_deaths = 0;
+    unsigned consecutive_failures = 0;
+    bool degraded = false;
+
+    auto spawn_worker = [&]() -> bool {
+        int to_child[2], from_child[2];
+        if (::pipe(to_child) < 0)
+            return false;
+        if (::pipe(from_child) < 0) {
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            return false;
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            ::close(from_child[0]);
+            ::close(from_child[1]);
+            return false;
+        }
+        if (pid == 0) {
+            ::dup2(to_child[0], STDIN_FILENO);
+            ::dup2(from_child[1], STDOUT_FILENO);
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            ::close(from_child[0]);
+            ::close(from_child[1]);
+            // Faults are the coordinator's to deliver (one-shot, via
+            // job messages); a user-level env fault must not also
+            // re-fire inside every respawned worker.
+            ::unsetenv("MONDRIAN_FAULT_INJECT");
+            std::vector<std::string> args = argv_prefix;
+            args.insert(args.end(), argv_tail.begin(), argv_tail.end());
+            std::vector<char *> argv;
+            for (std::string &a : args)
+                argv.push_back(a.data());
+            argv.push_back(nullptr);
+            ::execv(argv[0], argv.data());
+            std::_Exit(127);
+        }
+        ::close(to_child[0]);
+        ::close(from_child[1]);
+        ::fcntl(from_child[0], F_SETFL, O_NONBLOCK);
+        WorkerProc w;
+        w.id = next_worker_id++;
+        w.pid = pid;
+        w.in = to_child[1];
+        w.out = from_child[0];
+        w.alive = true;
+        w.lastSeen = monotonicSeconds();
+        workers.push_back(w);
+        return true;
+    };
+
+    auto close_worker_fds = [](WorkerProc &w) {
+        if (w.in >= 0)
+            ::close(w.in);
+        if (w.out >= 0)
+            ::close(w.out);
+        w.in = w.out = -1;
+    };
+
+    auto reap_worker = [&](WorkerProc &w) {
+        if (w.pid > 0) {
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, nullptr, 0);
+            w.pid = -1;
+        }
+        close_worker_fds(w);
+        w.alive = false;
+    };
+
+    auto attempt_failed = [&](std::size_t index, const std::string &why) {
+        ++attempts[index];
+        if (attempts[index] > config_.maxRetries) {
+            report.runs[index].failed = true;
+            report.failedRuns.push_back({index, attempts[index], why});
+            ++failed;
+            warn("coordinator: job %zu failed permanently after %u "
+                 "attempts: %s", index, attempts[index], why.c_str());
+        } else {
+            const double backoff =
+                attempts[index] * config_.retryBackoffSec;
+            pending.push_back({index, monotonicSeconds() + backoff});
+            inform("coordinator: job %zu attempt %u failed (%s); "
+                   "retrying in %.1fs", index, attempts[index],
+                   why.c_str(), backoff);
+        }
+    };
+
+    auto worker_lost = [&](WorkerProc &w, const std::string &why) {
+        reap_worker(w);
+        ++consecutive_failures;
+        if (!w.hello)
+            ++no_hello_deaths;
+        if (w.job >= 0) {
+            attempt_failed(static_cast<std::size_t>(w.job),
+                           "worker " + std::to_string(w.id) + " " + why);
+            w.job = -1;
+        }
+    };
+
+    // ------------------------------------------------------- event loop
+    while (completed + failed < target) {
+        if (abort_ && abort_->load()) {
+            report.aborted = true;
+            break;
+        }
+        const double t = monotonicSeconds();
+
+        // Kill wedged or overrunning workers.
+        for (WorkerProc &w : workers) {
+            if (!w.alive)
+                continue;
+            if (w.job >= 0 && t - w.jobStart > config_.jobTimeoutSec) {
+                warn("coordinator: worker %u exceeded the %.1fs job "
+                     "timeout on job %td; killing it", w.id,
+                     config_.jobTimeoutSec, w.job);
+                worker_lost(w, "hit the job timeout");
+            } else if (t - w.lastSeen > config_.heartbeatTimeoutSec) {
+                warn("coordinator: worker %u silent for %.1fs "
+                     "(heartbeat timeout); killing it", w.id,
+                     t - w.lastSeen);
+                worker_lost(w, "stopped heartbeating");
+            }
+        }
+
+        // Unusable-population safety nets -> degrade to in-process.
+        if (!any_hello_ever && no_hello_deaths >= config_.workers) {
+            warn("coordinator: workers cannot spawn (%u died before "
+                 "hello); degrading to in-process execution",
+                 no_hello_deaths);
+            degraded = true;
+        }
+        if (consecutive_failures >
+            config_.workers * (config_.maxRetries + 1) + 4) {
+            warn("coordinator: %u consecutive worker failures; "
+                 "degrading to in-process execution",
+                 consecutive_failures);
+            degraded = true;
+        }
+        if (degraded)
+            break;
+
+        // Keep the population at min(workers, outstanding jobs).
+        const std::size_t outstanding = target - completed - failed;
+        std::size_t alive = 0;
+        for (const WorkerProc &w : workers)
+            alive += w.alive ? 1 : 0;
+        while (alive < std::min<std::size_t>(config_.workers, outstanding)) {
+            if (!spawn_worker()) {
+                warn("coordinator: cannot spawn worker (%s); degrading "
+                     "to in-process execution", std::strerror(errno));
+                degraded = true;
+                break;
+            }
+            ++alive;
+        }
+        if (degraded)
+            break;
+
+        // Assign ready pending jobs to idle workers.
+        for (WorkerProc &w : workers) {
+            if (!w.alive || w.job >= 0 || pending.empty())
+                continue;
+            // Jobs in backoff stay queued until their readyAt passes.
+            auto ready = pending.end();
+            for (auto it = pending.begin(); it != pending.end(); ++it) {
+                if (it->second <= t) {
+                    ready = it;
+                    break;
+                }
+            }
+            if (ready == pending.end())
+                continue;
+            const std::size_t index = ready->first;
+            pending.erase(ready);
+
+            JsonWriter msg;
+            msg.beginObject();
+            msg.member("type", "job");
+            msg.member("index", std::uint64_t{index});
+            if (const FaultInjection *f =
+                    pickFault(faults, fault_fired, index))
+                msg.member("fault", faultKindName(f->kind));
+            msg.endObject();
+            w.job = static_cast<std::ptrdiff_t>(index);
+            w.jobStart = t;
+            if (!writeAll(w.in, JsonWriter::compact(msg.str()) + "\n")) {
+                // Dead before the assignment landed: requeue with no
+                // attempt penalty, recycle the worker.
+                w.job = -1;
+                pending.push_front({index, t});
+                worker_lost(w, "rejected a job assignment");
+            }
+        }
+
+        // Wait for worker traffic (bounded so timeouts/abort stay live).
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fd_worker;
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            if (!workers[i].alive)
+                continue;
+            fds.push_back({workers[i].out, POLLIN, 0});
+            fd_worker.push_back(i);
+        }
+        if (fds.empty())
+            continue;
+        ::poll(fds.data(), fds.size(), 100);
+
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            WorkerProc &w = workers[fd_worker[i]];
+            bool eof = false;
+            char chunk[65536];
+            for (;;) {
+                const ssize_t n = ::read(w.out, chunk, sizeof(chunk));
+                if (n > 0) {
+                    w.buf.append(chunk, static_cast<std::size_t>(n));
+                    continue;
+                }
+                if (n == 0) {
+                    eof = true;
+                    break;
+                }
+                if (errno == EINTR)
+                    continue;
+                break; // EAGAIN: drained
+            }
+
+            // Parse every complete frame.
+            bool desync = false;
+            std::string payload;
+            int st;
+            while ((st = nextFrame(w.buf, payload)) == 1) {
+                JsonValue msg;
+                std::string parse_error;
+                if (!parseJson(payload, msg, parse_error)) {
+                    desync = true;
+                    break;
+                }
+                const JsonValue *type = msg.find("type");
+                const std::string kind = type ? type->asString() : "";
+                w.lastSeen = monotonicSeconds();
+                if (kind == "hello") {
+                    w.hello = true;
+                    any_hello_ever = true;
+                } else if (kind == "heartbeat") {
+                    // lastSeen refresh above is the whole point
+                } else if (kind == "result" || kind == "error") {
+                    const JsonValue *idx = msg.find("index");
+                    if (!idx ||
+                        idx->asU64() >= jobs.size() ||
+                        w.job !=
+                            static_cast<std::ptrdiff_t>(idx->asU64())) {
+                        desync = true;
+                        break;
+                    }
+                    const std::size_t index =
+                        static_cast<std::size_t>(idx->asU64());
+                    w.job = -1;
+                    if (kind == "error") {
+                        const JsonValue *m = msg.find("message");
+                        attempt_failed(index,
+                                       m ? m->asString()
+                                         : "worker error");
+                        continue;
+                    }
+                    const JsonValue *result = msg.find("result");
+                    RunResult parsed;
+                    if (!result || !readRunResult(*result, parsed)) {
+                        attempt_failed(index, "corrupt result frame");
+                        continue;
+                    }
+                    report.runs[index].result = std::move(parsed);
+                    consecutive_failures = 0;
+                    run_done(index);
+                } else {
+                    desync = true;
+                    break;
+                }
+            }
+            if (st < 0)
+                desync = true;
+            if (desync) {
+                warn("coordinator: worker %u broke the frame protocol; "
+                     "killing it", w.id);
+                worker_lost(w, "broke the frame protocol");
+                continue;
+            }
+            if (eof)
+                worker_lost(w, "exited unexpectedly");
+        }
+    }
+
+    // ------------------------------------------------------- shutdown
+    for (WorkerProc &w : workers) {
+        if (!w.alive)
+            continue;
+        writeAll(w.in, "{\"type\": \"exit\"}\n");
+        if (w.in >= 0) {
+            ::close(w.in);
+            w.in = -1;
+        }
+    }
+    const double shutdown_start = monotonicSeconds();
+    for (WorkerProc &w : workers) {
+        while (w.alive && w.pid > 0) {
+            const pid_t r = ::waitpid(w.pid, nullptr, WNOHANG);
+            if (r == w.pid || (r < 0 && errno == ECHILD)) {
+                w.pid = -1;
+                close_worker_fds(w);
+                w.alive = false;
+                break;
+            }
+            if (monotonicSeconds() - shutdown_start > 2.0) {
+                reap_worker(w);
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+    if (degraded)
+        run_inline();
+
+    return finalize();
+}
+
+} // namespace mondrian

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * CampaignCoordinator: fault-tolerant distributed campaign execution.
+ *
+ * The coordinator shards an expanded campaign grid across local worker
+ * subprocesses (`mondrian_campaign --worker <campaign.json>`), assigns
+ * jobs dynamically (pull-based: an idle worker gets the next pending
+ * grid index), and merges results by grid index — never completion
+ * order — so the merged report is byte-identical to the same grid run
+ * in-process with any `--jobs` value.
+ *
+ * Wire protocol (docs/distributed.md has the full description):
+ *  - coordinator -> worker stdin: newline-delimited compact JSON
+ *    messages: {"type": "job", "index": N[, "fault": "..."]} and
+ *    {"type": "exit"}.
+ *  - worker stdout -> coordinator: length-prefixed frames
+ *    "<decimal payload length>\n<payload>\n", payload a compact JSON
+ *    message: hello, heartbeat, result (with an exact-double RunResult
+ *    subtree), or error.
+ *
+ * Failure model — every failure mode maps to a bounded retry:
+ *  - worker crash (EOF/death): its in-flight job is requeued with
+ *    backoff; a replacement worker is spawned.
+ *  - worker hang (no heartbeat for heartbeatTimeoutSec, or a job
+ *    exceeding jobTimeoutSec): the worker is SIGKILLed, the job
+ *    requeued, a replacement spawned.
+ *  - corrupt result (frame parses, RunResult doesn't): counted as a
+ *    failed attempt, job requeued.
+ *  - a job failing more than maxRetries times is marked permanently
+ *    failed: the campaign continues, the report lists it under
+ *    "failed_runs", and the process exits non-zero.
+ *  - workers that die before ever saying hello (bad binary, exec
+ *    failure) trip graceful degradation: the remaining jobs run
+ *    in-process on the thread pool instead.
+ *
+ * Determinism: workers serialize RunResult JSON with exact (shortest
+ * round-trip) doubles; the coordinator parses them back into bit-exact
+ * RunResults and the ordinary report writer re-emits the canonical
+ * 12-digit form — so a campaign that crashed, hung, retried and
+ * reassigned still produces the byte-identical report, which is the
+ * chaos oracle CI enforces.
+ */
+
+#ifndef MONDRIAN_SYSTEM_COORDINATOR_HH
+#define MONDRIAN_SYSTEM_COORDINATOR_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "system/campaign.hh"
+
+namespace mondrian {
+
+/**
+ * One deterministic fault to inject, for tests and CI chaos runs.
+ * Faults are delivered to workers inside job-assignment messages; by
+ * default each fires on the job's FIRST attempt only, so the retry
+ * machinery recovers and the merged report stays byte-identical to a
+ * clean run. A sticky fault fires on every attempt — the way to drive a
+ * job into retry exhaustion and the report's failed_runs array.
+ */
+struct FaultInjection
+{
+    enum class Kind
+    {
+        kCrash,  ///< worker exits without a result
+        kHang,   ///< worker wedges and stops heartbeating
+        kCorrupt ///< worker emits a well-formed frame with garbage result
+    };
+
+    Kind kind = Kind::kCrash;
+    std::size_t index = 0; ///< grid index of the job to afflict
+    bool sticky = false;   ///< re-inject on every attempt
+};
+
+const char *faultKindName(FaultInjection::Kind kind);
+
+/**
+ * Parse a --fault-inject spec: comma-separated `kind@index` items with
+ * kind in {crash, hang, corrupt} and an optional `!` suffix for sticky
+ * faults, e.g. "crash@2,hang@5,corrupt@1" or "crash@0!".
+ * @return false with @p error set on malformed specs.
+ */
+bool parseFaultInject(const std::string &spec,
+                      std::vector<FaultInjection> &out, std::string &error);
+
+/** Knobs of a coordinator run (CLI flags of the same names). */
+struct CoordinatorConfig
+{
+    unsigned workers = 2;            ///< worker subprocesses to keep alive
+    double jobTimeoutSec = 600.0;    ///< per-attempt wall-clock budget
+    double heartbeatTimeoutSec = 30.0; ///< silence before a kill
+    unsigned maxRetries = 2;         ///< attempts per job = 1 + maxRetries
+    double retryBackoffSec = 0.1;    ///< backoff = attempt * this
+    /**
+     * argv prefix of the worker binary; "--worker <spec>" plus the
+     * heartbeat interval are appended. Empty = this executable
+     * (/proc/self/exe). Tests point it at a nonexistent path to
+     * exercise graceful degradation.
+     */
+    std::vector<std::string> workerCommand;
+    /** Faults to inject (tests/CI); empty in production use. */
+    std::vector<FaultInjection> faults;
+};
+
+/**
+ * Static round-robin plan: pending job @p indices dealt over @p workers
+ * (worker w gets indices[w], indices[w + workers], ...). The runtime
+ * assignment is dynamic (pull-based) — this is the inspectable --dry-run
+ * approximation of it.
+ */
+std::vector<std::vector<std::size_t>>
+planShards(const std::vector<std::size_t> &indices, unsigned workers);
+
+/**
+ * Render the planned shard assignment for --dry-run: one line per
+ * worker listing its round-robin share of the jobs a @p resume cache
+ * would not satisfy.
+ */
+std::string shardPlanListing(const CampaignGrid &grid, unsigned workers,
+                             const ResumeCache *resume = nullptr);
+
+/** Runs a campaign grid across worker subprocesses (see file header). */
+class CampaignCoordinator
+{
+  public:
+    CampaignCoordinator(const CampaignGrid &grid,
+                        const CoordinatorConfig &config)
+        : grid_(grid), config_(config)
+    {}
+
+    /**
+     * Execute the campaign. Blocks until every job completed, failed
+     * permanently, or an abort was requested.
+     * @throw std::invalid_argument when the grid fails validateGrid().
+     * @throw std::runtime_error when the job spec cannot be written.
+     */
+    CampaignReport run();
+
+    /** Progress callback, as CampaignRunner::onRunDone (coordinator
+     *  thread; also invoked for journaling by the CLI). */
+    void onRunDone(std::function<void(const CampaignRun &)> cb)
+    {
+        progress_ = std::move(cb);
+    }
+
+    /** Reuse cached grid points, as CampaignRunner::setResume. */
+    void setResume(const ResumeCache *cache) { resume_ = cache; }
+
+    /** Cooperative cancellation, as CampaignRunner::setAbort: workers
+     *  are killed, the partial report returns with aborted set. */
+    void setAbort(const std::atomic<bool> *flag) { abort_ = flag; }
+
+  private:
+    CampaignGrid grid_;
+    CoordinatorConfig config_;
+    std::function<void(const CampaignRun &)> progress_;
+    const ResumeCache *resume_ = nullptr;
+    const std::atomic<bool> *abort_ = nullptr;
+};
+
+/**
+ * Worker main loop (`mondrian_campaign --worker <spec>`): expand the
+ * grid from @p spec_path, then serve job messages from stdin, streaming
+ * heartbeats and results to stdout until an exit message or EOF.
+ * @p heartbeat_interval_sec is the beat period. The
+ * MONDRIAN_FAULT_INJECT environment variable (same grammar as
+ * --fault-inject) injects faults on this worker's own attempts —
+ * the standalone-testing path; coordinator-driven faults arrive inside
+ * job messages instead.
+ * @return the process exit code.
+ */
+int runCampaignWorker(const std::string &spec_path,
+                      double heartbeat_interval_sec);
+
+} // namespace mondrian
+
+#endif // MONDRIAN_SYSTEM_COORDINATOR_HH

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Distributed campaign execution: shard planning, fault-injection specs,
+ * the campaign.json job-spec round-trip, coordinator/worker byte-identity
+ * under injected crash/hang/corrupt faults, retry exhaustion, journal
+ * resume and graceful degradation. The worker subprocess is the real
+ * mondrian_campaign binary (MONDRIAN_BINARY_DIR), so these tests exercise
+ * the actual wire protocol end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/campaign.hh"
+#include "system/campaign_spec.hh"
+#include "system/coordinator.hh"
+#include "system/report.hh"
+#include "system/traffic.hh"
+
+#include <string>
+#include <vector>
+
+using namespace mondrian;
+
+namespace {
+
+const char *kWorkerBinary = MONDRIAN_BINARY_DIR "/mondrian_campaign";
+
+/** 2 systems x 2 ops at 2^8: four cheap jobs with a baseline. */
+CampaignGrid
+smallGrid()
+{
+    CampaignGrid grid;
+    grid.systems = {SystemKind::kCpu, SystemKind::kMondrian};
+    grid.scenarios = {degenerateScenario(OpKind::kScan),
+                      degenerateScenario(OpKind::kJoin)};
+    grid.log2Tuples = {8};
+    grid.seeds = {42};
+    return grid;
+}
+
+/** Reference report: the same grid run in-process, single-threaded. */
+std::string
+referenceReport(const CampaignGrid &grid)
+{
+    CampaignRunner runner(grid);
+    return campaignReportJson(runner.run(1));
+}
+
+CoordinatorConfig
+testConfig()
+{
+    CoordinatorConfig config;
+    config.workers = 2;
+    config.retryBackoffSec = 0.01; // keep retry tests fast
+    config.workerCommand = {kWorkerBinary};
+    return config;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- shard planning
+
+TEST(PlanShards, RoundRobinDeal)
+{
+    auto shards = planShards({10, 11, 12, 13, 14}, 2);
+    ASSERT_EQ(shards.size(), 2u);
+    EXPECT_EQ(shards[0], (std::vector<std::size_t>{10, 12, 14}));
+    EXPECT_EQ(shards[1], (std::vector<std::size_t>{11, 13}));
+}
+
+TEST(PlanShards, MoreWorkersThanJobs)
+{
+    auto shards = planShards({0}, 4);
+    ASSERT_EQ(shards.size(), 4u);
+    EXPECT_EQ(shards[0].size(), 1u);
+    EXPECT_TRUE(shards[1].empty());
+}
+
+TEST(PlanShards, ListingNamesEveryWorker)
+{
+    const std::string listing = shardPlanListing(smallGrid(), 3);
+    EXPECT_NE(listing.find("3 workers"), std::string::npos);
+    EXPECT_NE(listing.find("worker 0"), std::string::npos);
+    EXPECT_NE(listing.find("worker 2"), std::string::npos);
+    EXPECT_NE(listing.find("4 pending jobs"), std::string::npos);
+}
+
+// ----------------------------------------------------- fault-inject grammar
+
+TEST(FaultInject, ParsesKindsAndStickiness)
+{
+    std::vector<FaultInjection> faults;
+    std::string error;
+    ASSERT_TRUE(parseFaultInject("crash@2,hang@5,corrupt@1!", faults, error))
+        << error;
+    ASSERT_EQ(faults.size(), 3u);
+    EXPECT_EQ(faults[0].kind, FaultInjection::Kind::kCrash);
+    EXPECT_EQ(faults[0].index, 2u);
+    EXPECT_FALSE(faults[0].sticky);
+    EXPECT_EQ(faults[1].kind, FaultInjection::Kind::kHang);
+    EXPECT_EQ(faults[2].kind, FaultInjection::Kind::kCorrupt);
+    EXPECT_EQ(faults[2].index, 1u);
+    EXPECT_TRUE(faults[2].sticky);
+}
+
+TEST(FaultInject, RejectsMalformedSpecs)
+{
+    std::vector<FaultInjection> faults;
+    std::string error;
+    EXPECT_FALSE(parseFaultInject("", faults, error));
+    EXPECT_FALSE(parseFaultInject("crash", faults, error));
+    EXPECT_FALSE(parseFaultInject("explode@3", faults, error));
+    EXPECT_FALSE(parseFaultInject("crash@x", faults, error));
+    EXPECT_FALSE(parseFaultInject("crash@", faults, error));
+}
+
+// ------------------------------------------------------- job-spec round-trip
+
+TEST(CampaignSpec, RoundTripsByteIdentically)
+{
+    CampaignGrid grid = smallGrid();
+    grid.zipfThetas = {0.0, 0.75};
+    TrafficSpec traffic;
+    traffic.process = ArrivalProcess::kPoisson;
+    traffic.lambdaQps = 1500.0;
+    traffic.queries = 8;
+    grid.traffics.push_back(traffic);
+
+    const std::string spec = campaignSpecJson(grid);
+    CampaignGrid parsed;
+    std::string error;
+    ASSERT_TRUE(parseCampaignSpec(spec, parsed, error)) << error;
+    ASSERT_TRUE(validateGrid(parsed, error)) << error;
+
+    // The parsed grid must be the same design space...
+    EXPECT_EQ(expandGrid(parsed).size(), expandGrid(grid).size());
+    // ...and re-serialize to the identical document (nothing lossy).
+    EXPECT_EQ(campaignSpecJson(parsed), spec);
+}
+
+TEST(CampaignSpec, RejectsForeignDocuments)
+{
+    CampaignGrid parsed;
+    std::string error;
+    EXPECT_FALSE(parseCampaignSpec("{\"schema\": \"other\"}", parsed, error));
+    EXPECT_FALSE(parseCampaignSpec("not json", parsed, error));
+}
+
+// --------------------------------------------- coordinator byte-identity
+
+TEST(Coordinator, CleanRunMatchesInProcessReport)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+
+    CampaignCoordinator coordinator(grid, testConfig());
+    std::size_t progressed = 0;
+    coordinator.onRunDone([&](const CampaignRun &) { ++progressed; });
+    EXPECT_EQ(campaignReportJson(coordinator.run()), expected);
+    EXPECT_EQ(progressed, 4u);
+}
+
+TEST(Coordinator, CrashedWorkerIsRetriedByteIdentically)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+
+    CoordinatorConfig config = testConfig();
+    std::string error;
+    ASSERT_TRUE(parseFaultInject("crash@0,crash@3", config.faults, error));
+    CampaignCoordinator coordinator(grid, config);
+    const CampaignReport report = coordinator.run();
+    EXPECT_TRUE(report.failedRuns.empty());
+    EXPECT_EQ(campaignReportJson(report), expected);
+}
+
+TEST(Coordinator, HungWorkerIsKilledAndJobReassigned)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+
+    CoordinatorConfig config = testConfig();
+    config.heartbeatTimeoutSec = 0.5; // hang must be detected quickly
+    std::string error;
+    ASSERT_TRUE(parseFaultInject("hang@1", config.faults, error));
+    CampaignCoordinator coordinator(grid, config);
+    const CampaignReport report = coordinator.run();
+    EXPECT_TRUE(report.failedRuns.empty());
+    EXPECT_EQ(campaignReportJson(report), expected);
+}
+
+TEST(Coordinator, CorruptResultIsRejectedAndRetried)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+
+    CoordinatorConfig config = testConfig();
+    std::string error;
+    ASSERT_TRUE(parseFaultInject("corrupt@2", config.faults, error));
+    CampaignCoordinator coordinator(grid, config);
+    const CampaignReport report = coordinator.run();
+    EXPECT_TRUE(report.failedRuns.empty());
+    EXPECT_EQ(campaignReportJson(report), expected);
+}
+
+TEST(Coordinator, StickyFaultExhaustsRetriesIntoFailedRuns)
+{
+    const CampaignGrid grid = smallGrid();
+
+    CoordinatorConfig config = testConfig();
+    config.maxRetries = 1;
+    std::string error;
+    ASSERT_TRUE(parseFaultInject("crash@2!", config.faults, error));
+    CampaignCoordinator coordinator(grid, config);
+    const CampaignReport report = coordinator.run();
+
+    ASSERT_EQ(report.failedRuns.size(), 1u);
+    EXPECT_EQ(report.failedRuns[0].index, 2u);
+    EXPECT_EQ(report.failedRuns[0].attempts, 2u); // 1 + maxRetries
+    EXPECT_TRUE(report.runs[2].failed);
+    // The other three jobs still completed and the report is writable.
+    const std::string json = campaignReportJson(report);
+    EXPECT_NE(json.find("\"failed_runs\""), std::string::npos);
+    // The failed run must not appear as a result row.
+    std::size_t runs_emitted = 0;
+    for (const CampaignRun &r : report.runs)
+        runs_emitted += r.failed ? 0 : 1;
+    EXPECT_EQ(runs_emitted, 3u);
+}
+
+TEST(Coordinator, DegradesToInProcessWhenWorkersCannotSpawn)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+
+    CoordinatorConfig config = testConfig();
+    config.workerCommand = {"/nonexistent/mondrian-worker-binary"};
+    CampaignCoordinator coordinator(grid, config);
+    const CampaignReport report = coordinator.run();
+    EXPECT_TRUE(report.failedRuns.empty());
+    EXPECT_EQ(campaignReportJson(report), expected);
+}
+
+// ------------------------------------------------------------ journal resume
+
+TEST(Coordinator, ResumesFromJournalByteIdentically)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+
+    // A killed campaign's journal: the first two completed runs.
+    std::string journal;
+    std::size_t journaled = 0;
+    CampaignRunner first(grid);
+    first.onRunDone([&](const CampaignRun &r) {
+        if (journaled < 2) {
+            journal += campaignJournalLine(r.job, r.result);
+            ++journaled;
+        }
+    });
+    first.run(1);
+
+    ResumeCache cache;
+    EXPECT_EQ(cache.loadJournal(journal), 2u);
+
+    CampaignCoordinator coordinator(grid, testConfig());
+    coordinator.setResume(&cache);
+    const CampaignReport report = coordinator.run();
+    EXPECT_EQ(report.cachedRuns, 2u);
+    EXPECT_EQ(campaignReportJson(report), expected);
+}
+
+TEST(ResumeCache, JournalToleratesTornLastLine)
+{
+    const CampaignGrid grid = smallGrid();
+    std::string journal;
+    CampaignRunner runner(grid);
+    runner.onRunDone([&](const CampaignRun &r) {
+        journal += campaignJournalLine(r.job, r.result);
+    });
+    runner.run(1);
+
+    // A coordinator killed mid-append leaves a torn final line.
+    const std::size_t last_start = journal.rfind(
+        '\n', journal.size() - 2);
+    const std::string torn =
+        journal.substr(0, last_start + 1 +
+                              (journal.size() - last_start) / 2);
+    ResumeCache cache;
+    EXPECT_EQ(cache.loadJournal(torn), 3u);
+}
+
+TEST(ResumeCache, JournalSkipsCorruptLines)
+{
+    ResumeCache cache;
+    EXPECT_EQ(cache.loadJournal("garbage\n{\"key\": 5}\n"), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+// ----------------------------------------------- resume-report hardening
+
+/** smallGrid plus a served-traffic point: reports come out schema v4. */
+CampaignGrid
+servedGrid()
+{
+    CampaignGrid grid = smallGrid();
+    TrafficSpec traffic;
+    traffic.process = ArrivalProcess::kPoisson;
+    traffic.lambdaQps = 2000.0;
+    traffic.queries = 4;
+    grid.traffics = {traffic};
+    return grid;
+}
+
+TEST(ResumeCache, TruncatedReportFailsLoudlyNotSilently)
+{
+    const CampaignGrid grid = servedGrid();
+    const std::string report = referenceReport(grid);
+    ASSERT_NE(report.find("mondrian-campaign-v4"), std::string::npos);
+
+    ResumeCache cache;
+    std::string error;
+    EXPECT_FALSE(cache.load(report.substr(0, report.size() / 2), error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResumeCache, CorruptRunEntryIsSkippedOthersLoad)
+{
+    const CampaignGrid grid = servedGrid();
+    std::string report = referenceReport(grid);
+    ASSERT_NE(report.find("mondrian-campaign-v4"), std::string::npos);
+
+    // Break the first run's result subtree; the other three must still
+    // load (satellite: skip with a warning, never crash or mis-splice).
+    const std::size_t pos = report.find("\"result\"");
+    ASSERT_NE(pos, std::string::npos);
+    report.replace(pos, 8, "\"broken\"");
+
+    ResumeCache cache;
+    std::string error;
+    ASSERT_TRUE(cache.load(report, error)) << error;
+    EXPECT_EQ(cache.size(), 3u);
+}

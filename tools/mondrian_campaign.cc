@@ -27,7 +27,10 @@
  * scripts/check_determinism.sh guards that contract in CI.
  */
 
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,11 +42,31 @@
 #include "common/file_io.hh"
 #include "common/logging.hh"
 #include "system/campaign.hh"
+#include "system/coordinator.hh"
 #include "system/report.hh"
 
 using namespace mondrian;
 
 namespace {
+
+/** Set by SIGINT/SIGTERM; checked between runs (cooperative abort). */
+std::atomic<bool> g_interrupt{false};
+
+extern "C" void
+interruptHandler(int)
+{
+    g_interrupt.store(true);
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction sa{};
+    sa.sa_handler = interruptHandler;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 void
 usage(const char *prog)
@@ -89,12 +112,42 @@ usage(const char *prog)
         "                         (config, workload, traffic) hash matches\n"
         "                         are not re-simulated\n"
         "  --dry-run              print the expanded job list (all axes,\n"
-        "                         baseline pairing, cache hits) and exit\n"
+        "                         baseline pairing, cache hits; with\n"
+        "                         --workers also the shard plan) and exit\n"
         "                         without simulating\n"
         "  --quiet                suppress per-run progress on stderr\n"
         "  --list                 print known systems, ops, scenarios and\n"
         "                         preset geometries, then exit\n"
-        "  --help                 this text\n",
+        "  --help                 this text\n"
+        "\n"
+        "Distributed execution (docs/distributed.md):\n"
+        "  --workers N            shard runs across N worker subprocesses\n"
+        "                         with heartbeats, per-job timeouts and\n"
+        "                         bounded retries; crashed or hung workers\n"
+        "                         are killed and their jobs reassigned\n"
+        "                         (0 = off, run in-process; ignores --jobs\n"
+        "                         when set; default: 0)\n"
+        "  --journal PATH         crash-safe journal: append each completed\n"
+        "                         run to PATH as it finishes; an existing\n"
+        "                         journal is replayed before running, so a\n"
+        "                         killed campaign resumes where it stopped\n"
+        "  --job-timeout S        per-attempt wall-clock budget, seconds\n"
+        "                         (default: 600)\n"
+        "  --heartbeat-timeout S  kill a worker silent for S seconds\n"
+        "                         (default: 30)\n"
+        "  --retries N            extra attempts before a job is marked\n"
+        "                         permanently failed (default: 2)\n"
+        "  --fault-inject SPEC    deterministic fault injection for tests\n"
+        "                         and CI chaos runs: comma-separated\n"
+        "                         kind@index, kind in {crash,hang,corrupt};\n"
+        "                         fires on the job's first attempt only\n"
+        "                         unless suffixed '!' (every attempt),\n"
+        "                         e.g. crash@2,hang@5,corrupt@1\n"
+        "\n"
+        "Exit codes: 0 success; 1 internal error; 2 usage/config error;\n"
+        "3 interrupted by SIGINT/SIGTERM (journal flushed, no report);\n"
+        "4 completed with permanently failed runs (report written, see\n"
+        "its failed_runs array).\n",
         prog);
 }
 
@@ -189,6 +242,22 @@ main(int argc, char **argv)
 {
     setVerbose(false);
 
+    // Worker mode first: `mondrian_campaign --worker <campaign.json>` is
+    // the coordinator's subprocess entry point — no banner, no grid
+    // flags, just the job-serving loop (docs/distributed.md).
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--worker") != 0)
+            continue;
+        if (i + 1 >= argc)
+            die("--worker requires a campaign.json path");
+        double hb = 1.0;
+        for (int j = 1; j + 1 < argc; ++j) {
+            if (std::strcmp(argv[j], "--heartbeat-interval") == 0)
+                hb = std::strtod(argv[j + 1], nullptr);
+        }
+        return runCampaignWorker(argv[i + 1], hb > 0.0 ? hb : 1.0);
+    }
+
     // Presets first (regardless of position), so explicit grid flags
     // always override them: "--zipf 0.8 --smoke" keeps the skew.
     CampaignGrid grid = paperGrid();
@@ -201,8 +270,11 @@ main(int argc, char **argv)
     }
 
     unsigned jobs = 1;
+    unsigned workers = 0;
     std::string out_path;
     std::string resume_path;
+    std::string journal_path;
+    CoordinatorConfig coord_config;
     bool quiet = false;
     bool dry_run = false;
     // --ops and --scenario both populate the scenario axis: the first
@@ -343,6 +415,38 @@ main(int argc, char **argv)
             if (n > 1024)
                 die("--jobs must be in [0, 1024]");
             jobs = static_cast<unsigned>(n);
+        } else if (arg == "--workers") {
+            std::uint64_t n =
+                parseU64(argValue(argc, argv, i, "--workers"), "--workers");
+            if (n > 256)
+                die("--workers must be in [0, 256]");
+            workers = static_cast<unsigned>(n);
+        } else if (arg == "--journal") {
+            journal_path = argValue(argc, argv, i, "--journal");
+        } else if (arg == "--job-timeout") {
+            coord_config.jobTimeoutSec = parseDouble(
+                argValue(argc, argv, i, "--job-timeout"), "--job-timeout");
+            if (coord_config.jobTimeoutSec <= 0.0)
+                die("--job-timeout must be positive");
+        } else if (arg == "--heartbeat-timeout") {
+            coord_config.heartbeatTimeoutSec =
+                parseDouble(argValue(argc, argv, i, "--heartbeat-timeout"),
+                            "--heartbeat-timeout");
+            if (coord_config.heartbeatTimeoutSec <= 0.0)
+                die("--heartbeat-timeout must be positive");
+        } else if (arg == "--retries") {
+            coord_config.maxRetries = static_cast<unsigned>(parseU64(
+                argValue(argc, argv, i, "--retries"), "--retries"));
+            if (coord_config.maxRetries > 16)
+                die("--retries must be in [0, 16]");
+        } else if (arg == "--fault-inject") {
+            const std::string spec =
+                argValue(argc, argv, i, "--fault-inject");
+            std::string err;
+            if (!parseFaultInject(spec, coord_config.faults, err))
+                die("--fault-inject: " + err);
+        } else if (arg == "--heartbeat-interval") {
+            die("--heartbeat-interval is internal to --worker mode");
         } else if (arg == "--out") {
             out_path = argValue(argc, argv, i, "--out");
         } else if (arg == "--resume") {
@@ -363,8 +467,6 @@ main(int argc, char **argv)
     if (!validateGrid(grid, grid_error))
         die(grid_error);
 
-    CampaignRunner campaign(grid);
-
     ResumeCache cache;
     bool have_cache = false;
     if (!resume_path.empty()) {
@@ -378,14 +480,38 @@ main(int argc, char **argv)
             die("cannot resume from '" + resume_path + "': " + err);
         std::fprintf(stderr, "resume: %zu cached grid points loaded from %s\n",
                      cache.size(), resume_path.c_str());
-        campaign.setResume(&cache);
         have_cache = true;
+    }
+
+    // An existing journal means a previous (possibly killed) invocation
+    // of this campaign: replay its completed runs into the cache before
+    // simulating anything, then keep appending to it.
+    std::ofstream journal_out;
+    if (!journal_path.empty()) {
+        if (std::ifstream jin(journal_path, std::ios::binary); jin) {
+            std::stringstream ss;
+            ss << jin.rdbuf();
+            const std::size_t n = cache.loadJournal(ss.str());
+            if (n > 0) {
+                std::fprintf(stderr,
+                             "journal: %zu completed runs recovered "
+                             "from %s\n", n, journal_path.c_str());
+                have_cache = true;
+            }
+        }
+        journal_out.open(journal_path, std::ios::binary | std::ios::app);
+        if (!journal_out)
+            die("cannot open journal '" + journal_path + "' for append");
     }
 
     if (dry_run) {
         std::string listing;
         try {
             listing = campaignDryRun(grid, have_cache ? &cache : nullptr);
+            if (workers > 0) {
+                listing += "\n" + shardPlanListing(
+                    grid, workers, have_cache ? &cache : nullptr);
+            }
         } catch (const std::exception &e) {
             die(e.what());
         }
@@ -393,48 +519,77 @@ main(int argc, char **argv)
         return 0;
     }
 
+    installSignalHandlers();
+
     const std::size_t total = grid.size();
     std::string traffic_dim;
     if (gridHasTraffic(grid)) {
         traffic_dim =
             " x " + std::to_string(grid.traffics.size()) + " traffics";
     }
+    std::string exec_mode = workers > 0
+                                ? "workers=" + std::to_string(workers)
+                                : "jobs=" + std::to_string(jobs);
     std::fprintf(stderr,
                  "campaign: %zu runs (%zu systems x %zu scenarios x %zu "
                  "scales x %zu seeds x %zu geometries x %zu exec points x "
-                 "%zu thetas%s), jobs=%u\n",
+                 "%zu thetas%s), %s\n",
                  total, grid.systems.size(), grid.scenarios.size(),
                  grid.log2Tuples.size(), grid.seeds.size(),
                  grid.geometries.size(), grid.execOverrides.size(),
-                 grid.zipfThetas.size(), traffic_dim.c_str(), jobs);
+                 grid.zipfThetas.size(), traffic_dim.c_str(),
+                 exec_mode.c_str());
 
+    // One progress callback for both execution paths: journal first
+    // (crash safety), then the human-readable line. Cached grid points
+    // never reach it — they are already in the journal or the resume
+    // report.
     std::size_t done = 0;
-    if (!quiet) {
-        const bool multi_axis = grid.geometries.size() > 1 ||
-                                grid.execOverrides.size() > 1 ||
-                                grid.zipfThetas.size() > 1;
-        campaign.onRunDone([&done, total, multi_axis](const CampaignRun &r) {
-            ++done;
-            if (multi_axis) {
-                std::fprintf(stderr, "[%zu/%zu] %s on %s (%s, %s, zipf %g): "
-                             "%s ms\n",
-                             done, total, r.result.op.c_str(),
-                             r.result.system.c_str(),
-                             geometryName(r.job.geometry).c_str(),
-                             r.job.exec.name().c_str(), r.job.zipfTheta,
-                             fmt(r.result.seconds() * 1e3, 3).c_str());
-            } else {
-                std::fprintf(stderr, "[%zu/%zu] %s on %s: %s ms\n", done,
-                             total, r.result.op.c_str(),
-                             r.result.system.c_str(),
-                             fmt(r.result.seconds() * 1e3, 3).c_str());
-            }
-        });
-    }
+    const bool multi_axis = grid.geometries.size() > 1 ||
+                            grid.execOverrides.size() > 1 ||
+                            grid.zipfThetas.size() > 1;
+    auto on_run_done = [&](const CampaignRun &r) {
+        if (journal_out.is_open()) {
+            journal_out << campaignJournalLine(r.job, r.result);
+            journal_out.flush();
+        }
+        if (quiet)
+            return;
+        ++done;
+        if (multi_axis) {
+            std::fprintf(stderr, "[%zu/%zu] %s on %s (%s, %s, zipf %g): "
+                         "%s ms\n",
+                         done, total, r.result.op.c_str(),
+                         r.result.system.c_str(),
+                         geometryName(r.job.geometry).c_str(),
+                         r.job.exec.name().c_str(), r.job.zipfTheta,
+                         fmt(r.result.seconds() * 1e3, 3).c_str());
+        } else {
+            std::fprintf(stderr, "[%zu/%zu] %s on %s: %s ms\n", done,
+                         total, r.result.op.c_str(),
+                         r.result.system.c_str(),
+                         fmt(r.result.seconds() * 1e3, 3).c_str());
+        }
+    };
 
     CampaignReport report;
     try {
-        report = campaign.run(jobs);
+        if (workers > 0) {
+            coord_config.workers = workers;
+            CampaignCoordinator coordinator(grid, coord_config);
+            if (have_cache)
+                coordinator.setResume(&cache);
+            coordinator.setAbort(&g_interrupt);
+            coordinator.onRunDone(on_run_done);
+            report = coordinator.run();
+        } else {
+            CampaignRunner campaign(grid);
+            if (have_cache)
+                campaign.setResume(&cache);
+            campaign.setAbort(&g_interrupt);
+            campaign.onRunDone(on_run_done);
+            report = campaign.run(jobs);
+        }
     } catch (const std::exception &e) {
         die(std::string("campaign failed: ") + e.what());
     }
@@ -442,6 +597,20 @@ main(int argc, char **argv)
         std::fprintf(stderr, "resume: %zu of %zu grid points reused\n",
                      report.cachedRuns, total);
     }
+
+    if (report.aborted) {
+        // Completed runs are safe in the journal (if one was given);
+        // don't overwrite a good report with a partial document.
+        std::fprintf(stderr,
+                     "campaign: interrupted — %s; rerun with the same "
+                     "grid to continue\n",
+                     journal_path.empty()
+                         ? "no journal was kept"
+                         : ("journal " + journal_path + " is "
+                            "flushed").c_str());
+        return 3;
+    }
+
     std::string json = campaignReportJson(report);
 
     if (out_path.empty()) {
@@ -459,6 +628,14 @@ main(int argc, char **argv)
         std::fprintf(stderr, "\nsummary vs. %s baseline:\n%s",
                      report.baseline.c_str(),
                      campaignSummaryTable(report).c_str());
+    }
+
+    if (!report.failedRuns.empty()) {
+        std::fprintf(stderr,
+                     "campaign: %zu runs failed permanently (see the "
+                     "report's failed_runs array)\n",
+                     report.failedRuns.size());
+        return 4;
     }
     return 0;
 }
