@@ -2,27 +2,39 @@
  * @file
  * bench_sim_hotpath: wall-clock benchmark of the simulator's two hottest
  * layers — the event kernel and trace replay — plus the end-to-end
- * 2^20-tuple smoke campaign. Emits BENCH_sim_hotpath.json so the perf
- * trajectory is tracked from PR 2 onward.
+ * smoke campaign. Emits BENCH_sim_hotpath.json with an append-only
+ * `history` trajectory so events-per-wall-second is tracked PR over PR.
  *
  * Usage: bench_sim_hotpath [log2_tuples] [seed] [out.json]
- *   defaults: 20 42 BENCH_sim_hotpath.json
+ *                          [--label NAME] [--append]
+ *   defaults: 20 42 BENCH_sim_hotpath.json --label dev
  *
- * The recorded baseline block holds the same measurements taken on the
- * pre-overhaul tree (PR 1, std::function event queue + unencoded traces),
- * Release -O3, on the machine that produced this file's reference run.
- * speedup_vs_baseline therefore only means something on comparable
- * hardware at the default scale; within one machine the trend is what
- * matters. All numbers are wall clock: simulated results are byte-
- * identical before and after the overhaul by design (the determinism
- * contract), so time is the only thing this bench measures.
+ * The event kernel sweeps 64 / 256 / 1024 concurrent self-rescheduling
+ * chains: 64 matches a lightly loaded machine, 256 and 1024 match the
+ * in-flight event population of a 16-core campaign replay (cores x
+ * outstanding windows x DRAM/NoC hops). The trajectory metric
+ * `events_per_sec` is the aggregate throughput over the whole sweep, so
+ * a queue that only wins when buckets hold one event cannot game it.
+ *
+ * The campaign section reports simulated-event counts (RunResult::
+ * simEvents summed over the grid) and events per wall second — the
+ * end-to-end number the event-count-reduction work moves.
+ *
+ * `--append` preserves the history array of an existing out.json and
+ * adds this run as a new point; without it the file starts fresh with
+ * the recorded seed-tree entry plus this run. Top-level
+ * events_per_sec / campaign_wall_seconds always mirror the latest
+ * history point.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -43,24 +55,38 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** Reference numbers from the seed tree (see file comment). */
-struct Baseline
+/**
+ * Seed-tree reference numbers (PR 1: std::function event queue,
+ * unencoded traces; Release -O3, reference dev machine). They anchor the
+ * history trajectory when a fresh file is written.
+ */
+struct SeedBaseline
 {
     double eventsPerSec = 1.21e7;
     double campaignWallSeconds = 26.99; // smoke grid @ 2^20, --jobs 1
     unsigned campaignLog2 = 20;
 };
 
+/** One scale of the event-kernel sweep. */
+struct KernelPoint
+{
+    unsigned chains = 0;
+    std::uint64_t events = 0;
+    double seconds = 0.0;
+    double eventsPerSec = 0.0;
+};
+
 /**
- * Event-kernel throughput: 64 self-rescheduling chains with pseudo-random
- * near-now deltas — the scheduling pattern the calendar queue serves.
+ * Event-kernel throughput at one load level: @p chains self-rescheduling
+ * chains with pseudo-random near-now deltas — the scheduling pattern the
+ * calendar queue serves. Every scale runs the same total event count so
+ * the aggregate weighs each load level equally.
  */
-double
-benchEventKernel(std::uint64_t &executed)
+KernelPoint
+benchEventKernel(unsigned chains)
 {
     EventQueue eq;
-    constexpr int kChains = 64;
-    constexpr std::uint64_t kPerChain = 100000;
+    const std::uint64_t per_chain = std::uint64_t{6400000} / chains;
 
     struct Chain
     {
@@ -80,18 +106,22 @@ benchEventKernel(std::uint64_t &executed)
         }
     };
 
-    std::vector<Chain> chains(kChains);
-    for (int c = 0; c < kChains; ++c) {
-        chains[c] = Chain{&eq, kPerChain,
-                          static_cast<std::uint64_t>(c) * 2654435761u};
-        Chain *ch = &chains[c];
+    std::vector<Chain> chain_state(chains);
+    for (unsigned c = 0; c < chains; ++c) {
+        chain_state[c] = Chain{&eq, per_chain,
+                               static_cast<std::uint64_t>(c) * 2654435761u};
+        Chain *ch = &chain_state[c];
         eq.schedule(static_cast<Tick>(c), [ch]() { Chain::step(ch); });
     }
     auto t0 = Clock::now();
     eq.run();
-    double dt = secondsSince(t0);
-    executed = eq.executed();
-    return static_cast<double>(executed) / dt;
+
+    KernelPoint p;
+    p.chains = chains;
+    p.seconds = secondsSince(t0);
+    p.events = eq.executed();
+    p.eventsPerSec = static_cast<double>(p.events) / p.seconds;
+    return p;
 }
 
 /** Fixed-latency local memory path for the replay microbench. */
@@ -170,6 +200,59 @@ benchTraceReplay()
     return r;
 }
 
+/**
+ * Extract the verbatim entry list of the "history" array from a report
+ * this bench wrote earlier (between the opening '[' and its matching
+ * ']'). Returns false when the file or the array is absent — the caller
+ * then starts a fresh trajectory.
+ */
+bool
+readHistoryEntries(const std::string &path, std::string &entries)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const std::string key = "\"history\": [";
+    const std::size_t at = text.find(key);
+    if (at == std::string::npos)
+        return false;
+    std::size_t i = at + key.size();
+    int depth = 1;
+    const std::size_t begin = i;
+    for (; i < text.size() && depth > 0; ++i) {
+        if (text[i] == '[')
+            ++depth;
+        else if (text[i] == ']')
+            --depth;
+    }
+    if (depth != 0)
+        return false;
+    entries = text.substr(begin, i - 1 - begin);
+    // Trim whitespace so the splice re-indents cleanly.
+    while (!entries.empty() && std::isspace(
+               static_cast<unsigned char>(entries.back())))
+        entries.pop_back();
+    while (!entries.empty() && std::isspace(
+               static_cast<unsigned char>(entries.front())))
+        entries.erase(entries.begin());
+    return entries.size() > 0;
+}
+
+void
+writeHistoryEntry(JsonWriter &w, const std::string &pr, double events_per_sec,
+                  double campaign_wall, const std::string &notes)
+{
+    w.beginObject();
+    w.member("pr", pr);
+    w.member("events_per_sec", events_per_sec);
+    w.member("campaign_wall_seconds", campaign_wall);
+    w.member("notes", notes);
+    w.endObject();
+}
+
 } // namespace
 
 int
@@ -179,21 +262,48 @@ main(int argc, char **argv)
     unsigned log2_tuples = 20;
     std::uint64_t seed = 42;
     std::string out_path = "BENCH_sim_hotpath.json";
-    if (argc > 1)
-        log2_tuples = static_cast<unsigned>(std::atoi(argv[1]));
-    if (argc > 2)
-        seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
-    if (argc > 3)
-        out_path = argv[3];
+    std::string label = "dev";
+    bool append = false;
 
-    const Baseline base;
+    int positional = 0;
+    for (int a = 1; a < argc; ++a) {
+        if (!std::strcmp(argv[a], "--append")) {
+            append = true;
+        } else if (!std::strcmp(argv[a], "--label") && a + 1 < argc) {
+            label = argv[++a];
+        } else if (positional == 0) {
+            log2_tuples = static_cast<unsigned>(std::atoi(argv[a]));
+            ++positional;
+        } else if (positional == 1) {
+            seed = static_cast<std::uint64_t>(std::atoll(argv[a]));
+            ++positional;
+        } else {
+            out_path = argv[a];
+            ++positional;
+        }
+    }
+
+    const SeedBaseline base;
 
     std::printf("=== sim hot-path benchmark ===\n");
 
-    std::uint64_t executed = 0;
-    double events_per_sec = benchEventKernel(executed);
-    std::printf("event kernel: %.3g events/s (%llu events)\n",
-                events_per_sec, static_cast<unsigned long long>(executed));
+    const unsigned kSweep[] = {64, 256, 1024};
+    std::vector<KernelPoint> kernel;
+    std::uint64_t kernel_events = 0;
+    double kernel_seconds = 0.0;
+    for (unsigned chains : kSweep) {
+        KernelPoint p = benchEventKernel(chains);
+        std::printf("event kernel %4u chains: %.3g events/s "
+                    "(%llu events, %.2fs)\n",
+                    p.chains, p.eventsPerSec,
+                    static_cast<unsigned long long>(p.events), p.seconds);
+        kernel_events += p.events;
+        kernel_seconds += p.seconds;
+        kernel.push_back(p);
+    }
+    const double events_per_sec =
+        static_cast<double>(kernel_events) / kernel_seconds;
+    std::printf("event kernel aggregate: %.3g events/s\n", events_per_sec);
 
     ReplayResult replay = benchTraceReplay();
     std::printf("trace replay: %.3g expanded-ops/s; RLE %.2fs vs expanded "
@@ -211,26 +321,45 @@ main(int argc, char **argv)
     auto t0 = Clock::now();
     CampaignReport report = campaign.run(1);
     double campaign_seconds = secondsSince(t0);
-    std::printf("smoke campaign @ 2^%u: %.2fs wall (%zu runs)\n",
-                log2_tuples, campaign_seconds, report.runs.size());
+    std::uint64_t sim_events = 0;
+    for (const CampaignRun &run : report.runs)
+        sim_events += run.result.simEvents;
+    const double campaign_events_per_sec =
+        static_cast<double>(sim_events) / campaign_seconds;
+    std::printf("smoke campaign @ 2^%u: %.2fs wall, %llu simulated events, "
+                "%.3g events/s (%zu runs)\n",
+                log2_tuples, campaign_seconds,
+                static_cast<unsigned long long>(sim_events),
+                campaign_events_per_sec, report.runs.size());
 
-    const bool comparable =
-        log2_tuples == base.campaignLog2 && seed == 42;
-    double speedup =
-        comparable ? base.campaignWallSeconds / campaign_seconds : 0.0;
-    if (comparable) {
-        std::printf("speedup vs pre-overhaul baseline (same machine "
-                    "class): %.2fx campaign, %.2fx events/s\n",
-                    speedup, events_per_sec / base.eventsPerSec);
-    }
+    std::string prior_history;
+    const bool have_prior =
+        append && readHistoryEntries(out_path, prior_history);
+    if (append && !have_prior)
+        std::fprintf(stderr,
+                     "--append: no usable history in %s; starting fresh\n",
+                     out_path.c_str());
 
     JsonWriter w;
     w.beginObject();
-    w.member("schema", "mondrian-bench-sim-hotpath-v1");
+    w.member("schema", "mondrian-bench-sim-hotpath-v2");
     w.member("paper", "conf_isca_DrumondDMUPFGP17");
-    w.key("event_kernel").beginObject();
+    // Latest trajectory point, mirrored for cheap consumption (CI floor).
     w.member("events_per_sec", events_per_sec);
-    w.member("events", executed);
+    w.member("campaign_wall_seconds", campaign_seconds);
+    w.key("event_kernel").beginObject();
+    w.member("aggregate_events_per_sec", events_per_sec);
+    w.member("events", kernel_events);
+    w.key("sweep").beginArray();
+    for (const KernelPoint &p : kernel) {
+        w.beginObject();
+        w.member("chains", std::uint64_t{p.chains});
+        w.member("events_per_sec", p.eventsPerSec);
+        w.member("events", p.events);
+        w.member("seconds", p.seconds);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
     w.key("trace_replay").beginObject();
     w.member("trace_ops_per_sec", replay.opsPerSec);
@@ -249,16 +378,22 @@ main(int argc, char **argv)
     w.member("runs", std::uint64_t{report.runs.size()});
     w.member("jobs", std::uint64_t{1});
     w.member("wall_seconds", campaign_seconds);
+    w.member("sim_events", sim_events);
+    w.member("events_per_sec", campaign_events_per_sec);
     w.endObject();
-    w.key("baseline").beginObject();
-    w.member("description",
-             "seed tree (PR 1): std::function event queue, unencoded "
-             "traces; Release -O3, same harness, reference dev machine");
-    w.member("events_per_sec", base.eventsPerSec);
-    w.member("campaign_wall_seconds", base.campaignWallSeconds);
-    w.member("campaign_log2_tuples", std::uint64_t{base.campaignLog2});
-    w.endObject();
-    w.member("speedup_vs_baseline", speedup);
+    w.key("history").beginArray();
+    if (have_prior) {
+        w.rawValue(prior_history);
+    } else {
+        writeHistoryEntry(
+            w, "seed", base.eventsPerSec, base.campaignWallSeconds,
+            "committed numbers from the reference machine (PR 1 tree: "
+            "std::function event queue, unencoded traces)");
+    }
+    writeHistoryEntry(w, label, events_per_sec, campaign_seconds,
+                      "kernel-sweep aggregate events/s; smoke campaign @ "
+                      "2^" + std::to_string(log2_tuples) + ", jobs=1");
+    w.endArray();
     w.endObject();
 
     std::ofstream out(out_path, std::ios::binary);

@@ -105,6 +105,35 @@ Cache::access(Addr addr, bool is_write)
     return res;
 }
 
+std::uint32_t
+Cache::accessRun(Addr addr, std::uint32_t size, std::uint32_t n,
+                 bool is_write)
+{
+    std::uint32_t done = 0;
+    while (done < n) {
+        std::uint64_t line = lineAddr(addr + Addr{done} * size);
+        Probe p = probe(line);
+        if (p.hit == kNoWay || (flags_[p.hit] & kPrefetched))
+            break; // boundary: the per-access path models this one
+        // Count the accesses whose start falls on this same line; one
+        // probe then covers them all.
+        std::uint32_t k = 1;
+        while (done + k < n &&
+               lineAddr(addr + Addr{done + k} * size) == line)
+            ++k;
+        stats_.accesses += k;
+        stats_.hits += k;
+        if (is_write)
+            flags_[p.hit] |= kDirty;
+        // k individual hits each do stamps_[i] = ++stamp_; only the last
+        // value sticks, so bump the clock by k and store once.
+        stamp_ += k;
+        stamps_[p.hit] = stamp_;
+        done += k;
+    }
+    return done;
+}
+
 bool
 Cache::insertPrefetch(Addr addr)
 {

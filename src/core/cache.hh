@@ -91,6 +91,22 @@ class Cache
     CacheAccessResult access(Addr addr, bool is_write);
 
     /**
+     * Closed-form batch of an RLE run's leading plain hits: accesses
+     * k = 0..n-1 at @p addr + k * @p size, consumed while each one's
+     * start line is resident, valid and NOT prefetch-tagged — i.e. while
+     * access(addr_k, is_write) would be a plain hit with no side traffic.
+     * Consumed accesses update stats, dirty bits and LRU stamps exactly
+     * as n individual access() calls would (stamps advance once per
+     * access, so victim selection downstream is unchanged); the first
+     * boundary access (miss, prefetch hit) is left untouched for the
+     * caller's per-access path.
+     *
+     * @return number of leading accesses consumed (0..n).
+     */
+    std::uint32_t accessRun(Addr addr, std::uint32_t size, std::uint32_t n,
+                            bool is_write);
+
+    /**
      * Insert a line as prefetched (no stats, no recursion).
      * @return true when the line was newly inserted (fill traffic due).
      */

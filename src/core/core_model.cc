@@ -64,6 +64,8 @@ TraceCore::setTrace(const KernelTrace *trace)
     trace_ = trace;
     cursor_ = 0;
     runPos_ = 0;
+    runBatchArmed_ = true;
+    lastHitBatchable_ = false;
     time_ = 0;
     outLoads_ = outStreams_ = outStores_ = 0;
     blocked_ = waiting_ = fencing_ = false;
@@ -173,8 +175,10 @@ TraceCore::issueMemOp(TraceOpKind kind, Addr addr, std::uint32_t size)
         Tick cost = res.latency * cfg_.period;
         time_ += cost;
         stats_.computeTicks += cost;
+        lastHitBatchable_ = res.batchable;
         return false;
     }
+    lastHitBatchable_ = false;
 
     switch (kind) {
       case TraceOpKind::kLoad:
@@ -270,6 +274,7 @@ TraceCore::advance()
             // order), optionally followed by the per-access compute burst.
             // runPos_ keeps the position across window stalls.
             const TraceOpKind ek = TraceOp::expandedKind(op.kind);
+            const bool run_write = ek == TraceOpKind::kStore;
             while (runPos_ < op.count) {
                 bool full;
                 TraceOpKind stall;
@@ -292,8 +297,45 @@ TraceCore::advance()
                     stallKind_ = stall;
                     return;
                 }
-                issueMemOp(ek, op.addr + Addr{runPos_} * op.value,
-                           op.value);
+                if (cfg_.rleRunBatching && runBatchArmed_) {
+                    // Closed-form prefix: consume the run's leading plain
+                    // hits in one call. Immediate hits leave the window
+                    // counters untouched, so the one not-full check above
+                    // covers every consumed access — exactly the checks
+                    // the per-access oracle would have made. The boundary
+                    // access (miss, prefetch warmup, uncacheable) falls
+                    // through to issueMemOp below on the next iteration.
+                    auto rh = path_.requestRun(
+                        time_, op.addr + Addr{runPos_} * op.value,
+                        op.value, op.count - runPos_, run_write,
+                        ek == TraceOpKind::kStreamRead, false);
+                    if (rh.consumed > 0) {
+                        const std::uint64_t k = rh.consumed;
+                        stats_.memOps += k;
+                        if (run_write)
+                            stats_.bytesToMem += k * op.value;
+                        else
+                            stats_.bytesFromMem += k * op.value;
+                        Tick per = rh.latency * cfg_.period +
+                                   Tick{op.aux} * cfg_.period;
+                        time_ += per * k;
+                        stats_.computeTicks += per * k;
+                        runPos_ += rh.consumed;
+                        continue;
+                    }
+                    // Nothing batched: the next accesses are boundaries
+                    // too until something hits again. Disarm so a run of
+                    // misses is not charged a failed probe per access; a
+                    // synchronous hit below re-arms.
+                    runBatchArmed_ = false;
+                }
+                bool outstanding = issueMemOp(
+                    ek, op.addr + Addr{runPos_} * op.value, op.value);
+                // Re-arm only on a plain hit: a prefetch-stream hit
+                // means the next access is almost surely another
+                // boundary, and probing it would fail every time.
+                (void)outstanding;
+                runBatchArmed_ = runBatchArmed_ || lastHitBatchable_;
                 ++runPos_;
                 if (op.aux > 0) {
                     Tick cost = Tick{op.aux} * cfg_.period;
@@ -302,6 +344,7 @@ TraceCore::advance()
                 }
             }
             runPos_ = 0;
+            runBatchArmed_ = true;
             ++cursor_;
             break;
           }

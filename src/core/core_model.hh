@@ -43,6 +43,13 @@ struct CoreConfig
     unsigned maxOutstandingStores = 16; ///< store buffer entries
     unsigned streamDepth = 8;         ///< sequential fetch overlap
     double peakPowerWatts = 0.312;    ///< for the energy model
+    /**
+     * Consume the plain-hit prefix of an RLE run in closed form via
+     * MemoryPath::requestRun instead of expanding every access (docs/
+     * perf.md). Output-identical: the batch replicates the per-access
+     * bookkeeping exactly and falls back at any boundary condition.
+     */
+    bool rleRunBatching = true;
 };
 
 /** Preset matching the paper's CPU core (Table 3: ARM Cortex-A57 @ 2 GHz). */
@@ -74,6 +81,14 @@ class MemoryPath
     {
         bool immediate = false;
         Cycles latency = 0; ///< cycles to charge when immediate
+        /**
+         * Immediate via a plain cache hit — the only outcome
+         * requestRun() can consume. Immediate results that carry side
+         * effects (prefetch-stream hits and their fill traffic, LLC
+         * hits) leave this false so a run core does not re-arm its
+         * batch probe just to have it fail on the next access.
+         */
+        bool batchable = false;
     };
 
     /**
@@ -86,6 +101,37 @@ class MemoryPath
     virtual Result request(Tick when, Addr addr, std::uint32_t size,
                            bool is_write, bool sequential, bool permutable,
                            DoneFn done) = 0;
+
+    /** Outcome of requestRun(): a prefix of immediate plain hits. */
+    struct RunHits
+    {
+        std::uint32_t consumed = 0; ///< leading accesses satisfied
+        Cycles latency = 0;         ///< per-access cost of each of them
+    };
+
+    /**
+     * Batched form of request() for an RLE run: accesses k = 0..n-1 at
+     * @p addr + k * @p size. Consumes the maximal leading prefix that
+     * request() would satisfy immediately as plain cache hits — no
+     * prefetch conversion, no fills, no events — and reports their
+     * uniform per-access latency. Any boundary access (miss, prefetch
+     * hit, uncacheable) is left for the caller's per-access path, so a
+     * path that cannot batch simply returns zero consumed (the default:
+     * fixed-latency paths and tests never see a behavior change).
+     */
+    virtual RunHits
+    requestRun(Tick when, Addr addr, std::uint32_t size, std::uint32_t n,
+               bool is_write, bool sequential, bool permutable)
+    {
+        (void)when;
+        (void)addr;
+        (void)size;
+        (void)n;
+        (void)is_write;
+        (void)sequential;
+        (void)permutable;
+        return RunHits{};
+    }
 };
 
 /** Statistics of one core's trace replay. */
@@ -143,6 +189,17 @@ class TraceCore
     const KernelTrace *trace_ = nullptr;
     std::size_t cursor_ = 0;
     std::uint32_t runPos_ = 0; ///< accesses already issued of a run op
+    /**
+     * Whether the next run access should attempt the closed-form batch
+     * (cfg_.rleRunBatching). Armed at every run start and by every
+     * synchronous *plain* hit (Result::batchable); a failed batch probe
+     * disarms it, so miss- or prefetch-dominated runs pay the redundant
+     * probe once per boundary cluster instead of once per access. Purely
+     * a probe-retry policy: which accesses the batch consumes — and
+     * therefore every modeled result — is unchanged.
+     */
+    bool runBatchArmed_ = true;
+    bool lastHitBatchable_ = false; ///< last sync hit was plain (batch re-arm)
     Tick time_ = 0; ///< core-local clock (>= eq.now() at wake points)
 
     unsigned outLoads_ = 0;

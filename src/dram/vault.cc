@@ -45,7 +45,10 @@ VaultController::enqueue(MemRequest &&req)
         if (req.onComplete) {
             Tick now = eq_.now();
             auto cb = std::move(req.onComplete);
-            eq_.schedule(now, [cb = std::move(cb), now]() { cb(now); });
+            // Hot coalescing site: a partition burst acknowledges many
+            // stores at one tick with no intervening schedules.
+            eq_.scheduleCoalesced(now,
+                                  [cb = std::move(cb), now]() { cb(now); });
         }
         flushAppendRows(false);
         return;
@@ -217,14 +220,15 @@ VaultController::issue(MemRequest &&req)
 
     // NB: the 16-byte-aligned callback is captured first so the closure
     // packs tightly and stays within the event's inline buffer.
-    eq_.schedule(done, [cb = std::move(req.onComplete), this, done]() {
-        --issued_;
-        if (cb)
-            cb(done);
-        trySchedule();
-        if (issued_ == 0 && live_ == 0 && onDrained)
-            onDrained();
-    });
+    eq_.scheduleCoalesced(
+        done, [cb = std::move(req.onComplete), this, done]() {
+            --issued_;
+            if (cb)
+                cb(done);
+            trySchedule();
+            if (issued_ == 0 && live_ == 0 && onDrained)
+                onDrained();
+        });
 }
 
 } // namespace mondrian

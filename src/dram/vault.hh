@@ -107,6 +107,18 @@ class VaultController
     unsigned outstanding() const { return issued_ + static_cast<unsigned>(live_); }
 
     /**
+     * True when a request presented right now would issue immediately
+     * and deterministically: nothing queued ahead of it and a free
+     * window entry. This is the vault-side half of the machine's eager
+     * local-issue condition (Machine::issueDram) — under it, enqueue()
+     * reduces to exactly one issue() whose bank/bus interactions depend
+     * only on state already committed, so delivering the request via an
+     * arrival event and delivering it synchronously are
+     * indistinguishable.
+     */
+    bool readyForImmediateIssue() const { return live_ == 0 && issued_ < window_; }
+
+    /**
      * Invoked (when set) at the end of a completion event that leaves the
      * controller with no issued or queued requests. Callback-driven phase
      * execution (Machine::beginPhase) uses it to detect quiescence of

@@ -22,6 +22,19 @@ struct LaterWhen
     }
 };
 
+/** Key order within a bucket: (when, seq) ascending. */
+struct EarlierKey
+{
+    template <typename K>
+    bool
+    operator()(const K &a, const K &b) const
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+};
+
 } // namespace
 
 EventQueue::EventQueue()
@@ -34,6 +47,13 @@ EventQueue::schedulePastPanic(Tick when) const
     panic("scheduling event in the past (when=%llu now=%llu)",
           static_cast<unsigned long long>(when),
           static_cast<unsigned long long>(now_));
+}
+
+void
+EventQueue::growArena()
+{
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+    chunk0_ = chunks_.front().get();
 }
 
 void
@@ -58,109 +78,138 @@ EventQueue::pullOverflow()
 void
 EventQueue::advanceToOccupied()
 {
+    // Only called with the current bucket drained, so its occupancy bit
+    // is clear and the scan starts at the bucket after it.
     std::size_t cur = bucketIndexOf(base_);
-    if (!buckets_[cur].empty())
-        return;
-    // Scan the occupancy bitmap cyclically from the bucket after cur.
     std::size_t steps = 0;
     std::size_t idx = (cur + 1) & (kNumBuckets - 1);
     std::size_t word = idx >> 6;
     std::uint64_t mask = occupied_[word] & (~std::uint64_t{0} << (idx & 63));
-    for (std::size_t scanned = 0;; ++scanned) {
-        sim_assert(scanned <= occupied_.size()); // nearCount_ > 0 ensures hit
-        if (mask != 0) {
-            std::size_t found =
-                (word << 6) + static_cast<std::size_t>(std::countr_zero(mask));
-            steps = (found - cur) & (kNumBuckets - 1);
-            break;
+    if (skipAhead_) {
+        // Skip-ahead: instead of walking empty occupancy words one by
+        // one, rotate the one-word summary so the word after `word` lands
+        // at bit 0 and count straight to the next non-empty word. A run
+        // of thousands of empty buckets (sparse schedules, long DRAM
+        // gaps) costs one shift+countr_zero instead of a 64-word walk.
+        if (mask == 0) {
+            sim_assert(summary_ != 0); // a bucket event exists
+            const std::uint64_t after = summary_ >> 1 >> word;
+            word = after != 0
+                       ? word + 1 +
+                             static_cast<std::size_t>(std::countr_zero(after))
+                       : static_cast<std::size_t>(
+                             std::countr_zero(summary_));
+            mask = occupied_[word];
         }
-        word = (word + 1) % occupied_.size();
-        mask = occupied_[word];
+        std::size_t found =
+            (word << 6) + static_cast<std::size_t>(std::countr_zero(mask));
+        steps = (found - cur) & (kNumBuckets - 1);
+    } else {
+        for (std::size_t scanned = 0;; ++scanned) {
+            sim_assert(scanned <= occupied_.size());
+            if (mask != 0) {
+                std::size_t found =
+                    (word << 6) +
+                    static_cast<std::size_t>(std::countr_zero(mask));
+                steps = (found - cur) & (kNumBuckets - 1);
+                break;
+            }
+            word = (word + 1) % occupied_.size();
+            mask = occupied_[word];
+        }
     }
     base_ += static_cast<Tick>(steps) * kWidth;
     // The window moved forward; overflow events may have entered it. They
-    // are all >= the old horizon, hence strictly beyond the bucket just
-    // found, so the minimum stays where we found it.
+    // are all beyond the old horizon, hence strictly beyond the bucket
+    // just found (the window advances at most kNumBuckets-1 buckets), so
+    // the minimum stays where we found it.
     pullOverflow();
 }
 
-std::size_t
-EventQueue::findMin()
+EventQueue::Bucket &
+EventQueue::currentBucket()
 {
     sim_assert(size_ > 0);
-    if (nearCount_ == 0) {
-        // Only far-future events remain: jump the window to the earliest.
-        base_ = overflow_.front().when & ~(kWidth - 1);
-        pullOverflow();
+    Bucket *b = &buckets_[bucketIndexOf(base_)];
+    if (!b->live()) {
+        if (size_ == overflow_.size()) {
+            // Only far-future events remain: jump the window to the
+            // earliest.
+            base_ = overflow_.front().when & ~(kWidth - 1);
+            pullOverflow();
+            b = &buckets_[bucketIndexOf(base_)];
+        }
+        if (!b->live()) {
+            advanceToOccupied();
+            b = &buckets_[bucketIndexOf(base_)];
+        }
     }
-    advanceToOccupied();
-
-    const auto &keys = buckets_[bucketIndexOf(base_)].keys;
-    std::size_t min_i = keys.size();
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-        const Bucket::Key &k = keys[i];
-        if (k.seq == kConsumed)
-            continue;
-        if (min_i == keys.size() || k.when < keys[min_i].when ||
-            (k.when == keys[min_i].when && k.seq < keys[min_i].seq))
-            min_i = i;
+    // Lazy sort: keys appended since the last pop/peek join the order
+    // here, once, instead of a min-scan on every pop.
+    if (b->sorted < b->keys.size()) {
+        auto first = b->keys.begin() + b->cursor;
+        auto last = b->keys.end();
+        const std::ptrdiff_t n = last - first;
+        if (n <= 8) {
+            // Buckets typically hold a handful of keys; a branch-light
+            // insertion sort beats the std::sort call for these.
+            for (std::ptrdiff_t i = 1; i < n; ++i) {
+                Bucket::Key k = first[i];
+                std::ptrdiff_t j = i;
+                for (; j > 0 && EarlierKey{}(k, first[j - 1]); --j)
+                    first[j] = first[j - 1];
+                first[j] = k;
+            }
+        } else {
+            std::sort(first, last, EarlierKey{});
+        }
+        b->sorted = static_cast<std::uint32_t>(b->keys.size());
     }
-    sim_assert(min_i < keys.size());
-    return min_i;
+    sim_assert(b->live());
+    return *b;
 }
 
 Tick
 EventQueue::headWhen()
 {
-    // findMin() first: it may advance base_ to the bucket it reports.
-    std::size_t min_i = findMin();
-    return buckets_[bucketIndexOf(base_)].keys[min_i].when;
+    Bucket &b = currentBucket();
+    return b.keys[b.cursor].when;
 }
 
 void
 EventQueue::step()
 {
-    // The min-scan touches only the compact key array; the consumed entry
-    // stays in its bucket until the bucket drains (no hole-filling move).
-    std::size_t min_i = findMin();
-    std::size_t idx = bucketIndexOf(base_);
-    {
-        Bucket &b0 = buckets_[idx];
-        now_ = b0.keys[min_i].when;
-        ++executed_;
-        b0.keys[min_i].seq = kConsumed;
-        ++b0.consumed;
-    }
-    --nearCount_;
+    Bucket &b = currentBucket();
+    const Bucket::Key k = b.keys[b.cursor++];
+    now_ = k.when;
+    curSeq_ = k.seq;
+    ++executed_;
     --size_;
-    // Move the callback to the stack before invoking: the callback may
-    // schedule into this very bucket and reallocate its storage, which
-    // must not happen underneath the executing closure.
-    Callback cb = std::move(buckets_[idx].cbs[min_i]);
-    cb();
-    Bucket &b = buckets_[idx];
-    if (b.consumed == b.keys.size()) {
+    if (!b.live()) {
+        // Drained: recycle the bucket *before* the callback runs — it
+        // may immediately schedule back into it.
         b.clear();
+        const std::size_t idx = bucketIndexOf(base_);
         occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
-    } else if (b.consumed >= 32 &&
-               std::size_t{b.consumed} * 2 >= b.keys.size()) {
-        // A busy bucket that keeps receiving events while draining would
-        // otherwise accumulate consumed entries and stretch every
-        // min-scan; compact once they are half the bucket (amortized one
-        // callback move per executed event at most).
-        std::size_t w = 0;
-        for (std::size_t i = 0; i < b.keys.size(); ++i) {
-            if (b.keys[i].seq == kConsumed)
-                continue;
-            if (w != i) {
-                b.keys[w] = b.keys[i];
-                b.cbs[w] = std::move(b.cbs[i]);
-            }
-            ++w;
-        }
-        b.keys.resize(w);
-        b.cbs.resize(w);
-        b.consumed = 0;
+        if (occupied_[idx >> 6] == 0)
+            summary_ &= ~(std::uint64_t{1} << (idx >> 6));
+    }
+    // Callbacks run in place: the slot arena is pointer-stable, so a
+    // callback scheduling new events (growing the arena) cannot move the
+    // closure out from under itself. The follower chain is walked after
+    // the event's own callback — scheduleCoalesced() guarantees nothing
+    // can append to an event once it starts executing.
+    Slot &s = slot(k.slot);
+    s.cb();
+    std::uint32_t fi = s.head;
+    freeSlot(k.slot);
+    while (fi != kNilSlot) {
+        Slot &f = slot(fi);
+        const std::uint32_t next = f.head;
+        f.cb();
+        --pendingFollowers_;
+        freeSlot(fi);
+        fi = next;
     }
 }
 
@@ -168,10 +217,39 @@ Tick
 EventQueue::run()
 {
     while (size_ > 0) {
-        step();
-        if (stopRequested_) {
-            stopRequested_ = false;
-            break;
+        Bucket &b = currentBucket();
+        while (true) {
+            const Bucket::Key k = b.keys[b.cursor++];
+            now_ = k.when;
+            curSeq_ = k.seq;
+            ++executed_;
+            --size_;
+            const bool drained = !b.live();
+            if (drained) {
+                b.clear();
+                const std::size_t idx = bucketIndexOf(base_);
+                occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+                if (occupied_[idx >> 6] == 0)
+                    summary_ &= ~(std::uint64_t{1} << (idx >> 6));
+            }
+            Slot &s = slot(k.slot);
+            s.cb();
+            std::uint32_t fi = s.head;
+            freeSlot(k.slot);
+            while (fi != kNilSlot) {
+                Slot &f = slot(fi);
+                const std::uint32_t next = f.head;
+                f.cb();
+                --pendingFollowers_;
+                freeSlot(fi);
+                fi = next;
+            }
+            if (stopRequested_) {
+                stopRequested_ = false;
+                return now_;
+            }
+            if (drained || b.sorted < b.keys.size() || !b.live())
+                break;
         }
     }
     return now_;
@@ -194,13 +272,22 @@ EventQueue::reset()
     for (auto &bucket : buckets_)
         bucket.clear();
     std::fill(occupied_.begin(), occupied_.end(), 0);
+    summary_ = 0;
     overflow_.clear();
+    chunks_.clear(); // slot destructors release any heap captures
+    chunk0_ = nullptr;
+    freeHead_ = kNilSlot;
+    slotCount_ = 0;
     base_ = 0;
-    nearCount_ = 0;
     size_ = 0;
+    pendingFollowers_ = 0;
     now_ = 0;
     nextSeq_ = 0;
     executed_ = 0;
+    coalesced_ = 0;
+    curSeq_ = ~std::uint64_t{0};
+    lastSlot_ = kNilSlot;
+    coalSlot_ = kNilSlot;
     stopRequested_ = false;
 }
 

@@ -12,11 +12,22 @@
  *
  *  - callbacks are InlineFunction, not std::function, so captures up to
  *    Callback::kInlineBytes live inside the event (no per-event new);
+ *  - callbacks live in a chunked, pointer-stable slot arena and execute
+ *    in place — an event is never moved or copied between its schedule
+ *    and its invocation;
  *  - a calendar (bucketed) front-end covers a sliding window of
- *    kHorizon ticks in kWidth-tick buckets; events land in their bucket
- *    with one push_back and pop with a short scan of the (small) bucket;
+ *    kHorizon ticks in kWidth-tick buckets; a bucket holds only compact
+ *    24-byte ordering keys, sorted lazily when the window reaches it, so
+ *    popping is a cursor increment — no per-pop min-scan, no tombstones,
+ *    no compaction;
+ *  - an occupancy bitmap with a one-word summary lets the window skip
+ *    runs of empty buckets in one rotate-and-count (see setSkipAhead);
  *  - the rare far-future event goes to an overflow binary heap and
- *    migrates into the calendar when the window reaches it.
+ *    migrates into the calendar when the window reaches it;
+ *  - same-tick completion bursts coalesce: scheduleCoalesced() appends a
+ *    callback to the previously scheduled event as a "follower" when
+ *    that is provably order-preserving, eliding the queue insert and pop
+ *    entirely (see the member comment for the exactness condition).
  *
  * Ordering is exactly (tick, insertion seq) — the same total order as the
  * previous std::function/priority_queue kernel, so replacing the queue
@@ -27,6 +38,7 @@
 #define MONDRIAN_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
@@ -61,12 +73,7 @@ class EventQueue
     void
     schedule(Tick when, F &&cb)
     {
-        if (when < now_)
-            schedulePastPanic(when);
-        if (size_ == 0)
-            base_ = when & ~(kWidth - 1); // re-anchor after idle gaps
-        place(when, nextSeq_++, std::forward<F>(cb));
-        ++size_;
+        scheduleGetSlot(when, std::forward<F>(cb));
     }
 
     /** Schedule @p cb to run @p delta ticks from now. */
@@ -77,14 +84,88 @@ class EventQueue
         schedule(now_ + delta, std::forward<F>(cb));
     }
 
+    /**
+     * Schedule @p cb at @p when, coalescing it into the most recently
+     * scheduled event when that is provably order-preserving. A coalesced
+     * callback becomes a "follower" of that event: it runs inside the
+     * event's pop, after the event's own callback (and its earlier
+     * followers), and costs no queue insert, no ordering key and no pop.
+     *
+     * The exactness condition, and why the result is output-identical:
+     * events order by (tick, insertion seq). Callback @p cb may join
+     * event E only while (a) it targets E's tick, (b) no schedule() call
+     * has happened since E was scheduled, and (c) E has not yet executed.
+     * Under (b), no event in the system holds a sequence number between
+     * E and the would-be position of @p cb, so running @p cb inside E's
+     * pop — after E and E's earlier followers — occupies exactly the
+     * global-order slot direct scheduling would have given it. Any
+     * intervening schedule() breaks (b) and the callback schedules
+     * normally, itself becoming the next coalescing candidate. (c) is
+     * decided by comparing E's (tick, seq) against the event currently
+     * executing: the queue pops in global order, so E is still pending
+     * iff its key is lexicographically greater.
+     *
+     * The simulator routes completion traffic here: bursts of requests
+     * acknowledged at one tick (permutable-store acks, network responses
+     * released together) each land while the previous ack is the last
+     * scheduled event, and collapse into one real event. With coalescing
+     * toggled off this is plain schedule().
+     */
+    template <typename F>
+    void
+    scheduleCoalesced(Tick when, F &&cb)
+    {
+        if (coalesceOn_ && coalSlot_ != kNilSlot && when == coalWhen_ &&
+            nextSeq_ == coalStamp_ &&
+            (when > now_ || (when == now_ && coalSeq_ > curSeq_))) {
+            appendFollower(std::forward<F>(cb));
+            return;
+        }
+        const std::uint32_t si = scheduleGetSlot(when, std::forward<F>(cb));
+        if (coalesceOn_) {
+            // si is kNilSlot when place() overflowed to the heap; heap
+            // events have no slot to chain followers onto.
+            coalSlot_ = si;
+            coalWhen_ = when;
+            coalSeq_ = nextSeq_ - 1;
+            coalStamp_ = nextSeq_;
+        }
+    }
+
     /** True when no events remain. */
     bool empty() const { return size_ == 0; }
 
-    /** Number of pending events. */
-    std::size_t pending() const { return size_; }
+    /** Number of pending events (followers count toward it). */
+    std::size_t pending() const { return size_ + pendingFollowers_; }
 
-    /** Total events executed since construction. */
+    /** Events popped from the queue since construction. */
     std::uint64_t executed() const { return executed_; }
+
+    /** Callbacks absorbed as followers (queue events *not* created). */
+    std::uint64_t coalesced() const { return coalesced_; }
+
+    /**
+     * Total schedule() calls since construction — the coalescing
+     * ordering stamp (see scheduleCoalesced()). One sequence number is
+     * consumed per schedule() call, so this is also nextSeq_.
+     */
+    std::uint64_t scheduleCalls() const { return nextSeq_; }
+
+    /**
+     * Toggle the empty-bucket skip-ahead in the calendar scan. A pure
+     * search-strategy switch: on, the scan consults a one-word summary of
+     * the occupancy bitmap and jumps straight to the next occupied word;
+     * off, it walks the bitmap word by word. Identical results either
+     * way — the toggle exists so the A/B ablation axis can price it.
+     */
+    void setSkipAhead(bool on) { skipAhead_ = on; }
+
+    /**
+     * Toggle completion coalescing; off, scheduleCoalesced() degrades to
+     * schedule(). Output-identical either way (see scheduleCoalesced());
+     * executed() + coalesced() is invariant under the toggle.
+     */
+    void setCoalescing(bool on) { coalesceOn_ = on; }
 
     /** Run until the queue drains or stop is requested. Returns the
      *  final tick. */
@@ -127,10 +208,32 @@ class EventQueue
         {}
     };
 
+    /** No-slot sentinel (slot indices are arena offsets). */
+    static constexpr std::uint32_t kNilSlot = ~std::uint32_t{0};
+
     /**
-     * One calendar bucket: ordering keys and callbacks in parallel
-     * arrays, so the per-step min-scan touches only the compact 16-byte
-     * keys, never the fat callback storage.
+     * One arena slot: the callback plus the follower chain built by
+     * scheduleCoalesced(). For an event slot, head/tail delimit its
+     * follower list; for a follower slot, head links the next follower.
+     * Slots are pointer-stable (chunked arena), so callbacks execute in
+     * place even when their own execution schedules and grows the arena.
+     */
+    struct alignas(64) Slot
+    {
+        Callback cb;
+        std::uint32_t head = kNilSlot;
+        std::uint32_t tail = kNilSlot;
+    };
+
+    static constexpr unsigned kChunkBits = 9; ///< 512 slots per chunk
+    static constexpr std::size_t kChunkSlots = std::size_t{1} << kChunkBits;
+
+    /**
+     * One calendar bucket: compact ordering keys only (the callbacks live
+     * in the slot arena). keys[0..cursor) are executed; keys[cursor..)
+     * are pending, and sorted by (when, seq) once `sorted` catches up to
+     * keys.size() — the sort runs lazily when the window pops or peeks
+     * the bucket, so schedule() is a plain append.
      */
     struct Bucket
     {
@@ -138,23 +241,24 @@ class EventQueue
         {
             Tick when;
             std::uint64_t seq;
+            std::uint32_t slot;
         };
         std::vector<Key> keys;
-        std::vector<Callback> cbs;
-        std::uint32_t consumed = 0; ///< executed entries awaiting cleanup
+        std::uint32_t cursor = 0; ///< executed prefix
+        std::uint32_t sorted = 0; ///< keys[0..sorted) in (when,seq) order
 
-        bool empty() const { return keys.empty(); }
+        bool live() const { return cursor < keys.size(); }
         void
         clear()
         {
             keys.clear();
-            cbs.clear();
-            consumed = 0;
+            cursor = 0;
+            sorted = 0;
         }
     };
 
     // Geometry tuned on the paper-grid profile: buckets narrow enough
-    // that the min-scan sees a handful of events, a window wide enough
+    // that each holds a handful of events, a window wide enough
     // (~0.5 us) that DRAM/NoC latencies land inside the calendar.
     static constexpr unsigned kBucketBits = 12; ///< 4096 buckets
     static constexpr std::size_t kNumBuckets = std::size_t{1} << kBucketBits;
@@ -170,17 +274,78 @@ class EventQueue
 
     [[noreturn]] void schedulePastPanic(Tick when) const;
 
-    /** File an event into its bucket or the overflow heap. */
+    Slot &
+    slot(std::uint32_t i)
+    {
+        // Nearly every live slot index is small (LIFO freelist reuse), so
+        // the first chunk gets a cached direct pointer.
+        if (i < kChunkSlots) [[likely]]
+            return chunk0_[i];
+        return chunks_[i >> kChunkBits][i & (kChunkSlots - 1)];
+    }
+
+    /**
+     * Allocate an arena slot holding @p cb. Free slots chain through
+     * their `head` field (intrusive LIFO freelist), so allocation is two
+     * loads and release is two stores — no side structure.
+     */
     template <typename F>
-    void
+    std::uint32_t
+    allocSlot(F &&cb)
+    {
+        std::uint32_t i = freeHead_;
+        if (i != kNilSlot) {
+            freeHead_ = slot(i).head;
+        } else {
+            if ((slotCount_ & (kChunkSlots - 1)) == 0)
+                growArena();
+            i = static_cast<std::uint32_t>(slotCount_++);
+        }
+        Slot &s = slot(i);
+        // Fresh callables construct straight into the slot; an already
+        // wrapped Callback (overflow-heap migration) move-assigns.
+        if constexpr (std::is_same_v<std::decay_t<F>, Callback>)
+            s.cb = std::forward<F>(cb);
+        else
+            s.cb.emplace(std::forward<F>(cb));
+        // head doubles as the freelist link; reset it. tail needs no
+        // reset: appendFollower writes it before the first read.
+        s.head = kNilSlot;
+        return i;
+    }
+
+    void growArena();
+
+    /** schedule(), returning the arena slot of the new event. */
+    template <typename F>
+    std::uint32_t
+    scheduleGetSlot(Tick when, F &&cb)
+    {
+        if (when < now_)
+            schedulePastPanic(when);
+        if (size_ == 0)
+            base_ = when & ~(kWidth - 1); // re-anchor after idle gaps
+        const std::uint32_t si =
+            place(when, nextSeq_++, std::forward<F>(cb));
+        ++size_;
+        return si;
+    }
+
+    /**
+     * File an event into its bucket or the overflow heap. @return the
+     * arena slot holding the callback, or kNilSlot for overflow events
+     * (which have no slot to chain followers onto).
+     */
+    template <typename F>
+    std::uint32_t
     place(Tick when, std::uint64_t seq, F &&cb)
     {
         // Everything at or below the current bucket's range joins the
-        // current bucket: the pop-side min-scan handles mixed ticks
-        // within a bucket, and this keeps "the global minimum lives in
-        // the current bucket" true even when the window has been
-        // advanced past a just-scheduled tick (possible after runUntil
-        // peeks ahead).
+        // current bucket: the lazy sort handles mixed ticks within a
+        // bucket, and this keeps "the global minimum lives in the
+        // current bucket" true even when the window has been advanced
+        // past a just-scheduled tick (possible after runUntil peeks
+        // ahead).
         std::size_t idx;
         if (when < base_ + kWidth) {
             idx = bucketIndexOf(base_);
@@ -189,15 +354,32 @@ class EventQueue
                 (when >> kWidthBits) - (base_ >> kWidthBits);
             if (rel >= kNumBuckets) {
                 placeOverflow(when, seq, std::forward<F>(cb));
-                return;
+                return kNilSlot;
             }
             idx = bucketIndexOf(when);
         }
-        Bucket &b = buckets_[idx];
-        b.keys.push_back(Bucket::Key{when, seq});
-        b.cbs.emplace_back(std::forward<F>(cb));
+        std::uint32_t si = allocSlot(std::forward<F>(cb));
+        buckets_[idx].keys.push_back(Bucket::Key{when, seq, si});
+        if (occupied_[idx >> 6] == 0)
+            summary_ |= std::uint64_t{1} << (idx >> 6);
         occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
-        ++nearCount_;
+        return si;
+    }
+
+    /** Chain @p cb onto the current coalescing candidate's slot. */
+    template <typename F>
+    void
+    appendFollower(F &&cb)
+    {
+        std::uint32_t fi = allocSlot(std::forward<F>(cb));
+        Slot &head = slot(coalSlot_);
+        if (head.head == kNilSlot)
+            head.head = fi;
+        else
+            slot(head.tail).head = fi;
+        head.tail = fi;
+        ++coalesced_;
+        ++pendingFollowers_;
     }
 
     void placeOverflow(Tick when, std::uint64_t seq, Callback &&cb);
@@ -205,31 +387,66 @@ class EventQueue
     /** Migrate overflow events that now fall inside the window. */
     void pullOverflow();
 
-    /** Marks an executed event awaiting bucket cleanup. */
-    static constexpr std::uint64_t kConsumed = ~std::uint64_t{0};
-
-    /** Advance base_ to the first bucket with live events (nearCount_>0). */
+    /** Advance base_ to the first bucket with live events. */
     void advanceToOccupied();
 
     /**
-     * Position the window on the bucket holding the minimal live event
-     * and return its index within that bucket. Queue must not be empty.
+     * Position the window on the bucket holding the minimal pending
+     * event and return it, tail-sorted so keys[cursor] is that minimum.
+     * Queue must not be empty.
      */
-    std::size_t findMin();
+    Bucket &currentBucket();
+
+    /** Release slot @p i back to the freelist. */
+    void
+    freeSlot(std::uint32_t i)
+    {
+        // The stale callback stays in the slot; allocSlot's emplace
+        // destroys it on reuse, and reset()/teardown destroy the rest.
+        slot(i).head = freeHead_;
+        freeHead_ = i;
+    }
 
     /** Tick of the next event; queue must not be empty. */
     Tick headWhen();
 
+    // The two-level occupancy index: occupied_ has one bit per bucket,
+    // summary_ one bit per occupied_ word. 4096 buckets / 64 buckets per
+    // word = exactly one summary word, which is what makes the skip-ahead
+    // scan a single rotate-and-count.
+    static_assert(kNumBuckets / 64 <= 64,
+                  "summary_ holds one bit per occupancy word");
+
     std::vector<Bucket> buckets_;         ///< kNumBuckets rings
     std::vector<std::uint64_t> occupied_; ///< bitmap over buckets
+    std::uint64_t summary_ = 0; ///< bit w set iff occupied_[w] != 0
     std::vector<Event> overflow_;         ///< min-heap beyond horizon
+    /** Pointer-stable callback arena; keys reference slots by index. */
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    Slot *chunk0_ = nullptr; ///< chunks_[0].get() (hot-path shortcut)
+    std::uint32_t freeHead_ = kNilSlot; ///< intrusive slot freelist
+    std::size_t slotCount_ = 0; ///< arena high-water mark
     Tick base_ = 0;           ///< start tick of the current bucket
-    std::size_t nearCount_ = 0; ///< live events currently in buckets
     std::size_t size_ = 0;      ///< total pending events
+    std::size_t pendingFollowers_ = 0; ///< coalesced, not yet run
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t coalesced_ = 0;
+    /** Seq of the event currently (or last) executed — with now_, the
+     *  "has the coalescing candidate already run" comparison point. */
+    std::uint64_t curSeq_ = ~std::uint64_t{0};
+    /** Arena slot of the event place() most recently filed (kNilSlot
+     *  after an overflow placement). */
+    std::uint32_t lastSlot_ = kNilSlot;
+    // Coalescing candidate: the last scheduleCoalesced()-scheduled event.
+    std::uint32_t coalSlot_ = kNilSlot;
+    Tick coalWhen_ = 0;
+    std::uint64_t coalSeq_ = 0;
+    std::uint64_t coalStamp_ = 0;
     bool stopRequested_ = false;
+    bool skipAhead_ = true;
+    bool coalesceOn_ = false;
 };
 
 /**

@@ -60,6 +60,31 @@ class InlineFunction<R(Args...), InlineBytes>
 
     InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
 
+    /**
+     * Destroy the current target (if any) and construct a new one in
+     * place — the storage-reuse path: event-queue slots recycle their
+     * InlineFunction without routing the new callable through a
+     * temporary object and a relocate call.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    void
+    emplace(F &&f)
+    {
+        destroy();
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                (Fn *)(new Fn(std::forward<F>(f)));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
     InlineFunction &
     operator=(InlineFunction &&other) noexcept
     {
@@ -102,12 +127,21 @@ class InlineFunction<R(Args...), InlineBytes>
     }
 
   private:
-    /** Per-callable-type vtable (invoke / relocate / destroy). */
+    /**
+     * Per-callable-type vtable (invoke / relocate / destroy). The
+     * relocate and destroy slots are null when the stored callable is
+     * trivially copyable / trivially destructible: the common simulator
+     * capture (a couple of pointers and PODs) then moves with one
+     * inline memcpy and destructs for free, with no indirect call on
+     * either path.
+     */
     struct Ops
     {
         R (*invoke)(unsigned char *, Args &&...);
-        /** Move-construct into @p dst from @p src, destroying @p src. */
+        /** Move-construct into @p dst from @p src, destroying @p src.
+         *  Null means "memcpy the whole inline buffer". */
         void (*relocate)(unsigned char *dst, unsigned char *src);
+        /** Null means trivially destructible: nothing to run. */
         void (*destroy)(unsigned char *);
     };
 
@@ -157,24 +191,22 @@ class InlineFunction<R(Args...), InlineBytes>
 
     template <typename Fn>
     static void
-    relocateHeap(unsigned char *dst, unsigned char *src)
-    {
-        ::new (static_cast<void *>(dst)) (Fn *)(heapPtr<Fn>(src));
-    }
-
-    template <typename Fn>
-    static void
     destroyHeap(unsigned char *buf)
     {
         delete heapPtr<Fn>(buf);
     }
 
     template <typename Fn>
-    static constexpr Ops inlineOps{&invokeInline<Fn>, &relocateInline<Fn>,
-                                   &destroyInline<Fn>};
+    static constexpr Ops inlineOps{
+        &invokeInline<Fn>,
+        &relocateInline<Fn>,
+        std::is_trivially_destructible_v<Fn> ? nullptr
+                                             : &destroyInline<Fn>};
 
+    // Heap targets relocate by moving the owning pointer, which the
+    // buffer memcpy fallback already does — relocate stays null.
     template <typename Fn>
-    static constexpr Ops heapOps{&invokeHeap<Fn>, &relocateHeap<Fn>,
+    static constexpr Ops heapOps{&invokeHeap<Fn>, nullptr,
                                  &destroyHeap<Fn>};
 
     void
@@ -182,7 +214,10 @@ class InlineFunction<R(Args...), InlineBytes>
     {
         ops_ = other.ops_;
         if (ops_) {
-            ops_->relocate(buf_, other.buf_);
+            if (ops_->relocate)
+                ops_->relocate(buf_, other.buf_);
+            else
+                __builtin_memcpy(buf_, other.buf_, InlineBytes);
             other.ops_ = nullptr;
         }
     }
@@ -190,10 +225,14 @@ class InlineFunction<R(Args...), InlineBytes>
     void
     destroy()
     {
-        if (ops_)
+        if (ops_ && ops_->destroy)
             ops_->destroy(buf_);
     }
 
+    // The buffer leads so no padding precedes it: with a 16-byte-aligned
+    // buffer, an ops_-first layout would insert 8 dead bytes and round
+    // sizeof up a whole alignment quantum — enough to push a nested
+    // callback capture past its outer buffer and onto the heap.
     alignas(std::max_align_t) mutable unsigned char buf_[InlineBytes];
     const Ops *ops_ = nullptr;
 };

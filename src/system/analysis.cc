@@ -190,6 +190,9 @@ diffRunResult(const std::string &where, const RunResult &a,
     d.approx("partition_vault_bw_gbps", a.partitionVaultBWGBps,
              b.partitionVaultBWGBps);
     d.approx("probe_vault_bw_gbps", a.probeVaultBWGBps, b.probeVaultBWGBps);
+    // Exact by the output-identity contract: the perf transforms must
+    // not move a single event, so any drift here is a real bug.
+    d.exact("sim_events", a.simEvents, b.simEvents);
     diffEnergy(d, "energy_j", a.energy, b.energy);
     d.exact("functional.scan_matches", a.scanMatches, b.scanMatches);
     d.exact("functional.join_matches", a.joinMatches, b.joinMatches);
@@ -527,7 +530,7 @@ runsCsv(const ReportModel &m, const std::string &baseline)
     std::string out =
         "index,system,scenario,log2_tuples,seed,geometry,exec,zipf_theta,"
         "total_time_ps,partition_time_ps,probe_time_ps,seconds,"
-        "energy_total_j,energy_dram_dynamic_j,energy_dram_static_j,"
+        "sim_events,energy_total_j,energy_dram_dynamic_j,energy_dram_static_j,"
         "energy_cores_j,energy_network_j,partition_vault_bw_gbps,"
         "probe_vault_bw_gbps,speedup_vs_baseline,perf_per_watt_vs_baseline";
     if (any_served) {
@@ -549,7 +552,7 @@ runsCsv(const ReportModel &m, const std::string &baseline)
                std::to_string(r.result.partitionTime) + "," +
                std::to_string(r.result.probeTime) + ",";
         JsonWriter::appendDouble(out, r.result.seconds());
-        out += ",";
+        out += "," + std::to_string(r.result.simEvents) + ",";
         JsonWriter::appendDouble(out, r.result.energy.total());
         out += ",";
         JsonWriter::appendDouble(out, r.result.energy.dramDynamic);

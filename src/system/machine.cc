@@ -66,7 +66,7 @@ class Machine::Path : public MemoryPath
             Cycles lat = r1.prefetchHit
                              ? Cycles{5}
                              : l1->config().hitLatency;
-            return Result{true, lat};
+            return Result{true, lat, !r1.prefetchHit};
         }
 
         // L1 miss: dirty victim spills to the next level.
@@ -96,6 +96,39 @@ class Machine::Path : public MemoryPath
         return Result{false, 0};
     }
 
+    RunHits
+    requestRun(Tick when, Addr addr, std::uint32_t size, std::uint32_t n,
+               bool is_write, bool sequential, bool permutable) override
+    {
+        (void)when;
+        (void)sequential;
+        Cache *l1 = unit_ < m_.l1s_.size() ? m_.l1s_[unit_].get() : nullptr;
+        if (permutable || !l1)
+            return RunHits{}; // uncacheable: per-access path models it
+        // NMP units cache only their local vault; batch only the prefix
+        // of accesses homed there (CPU-style paths cache everything).
+        // Vault ranges are contiguous, so the prefix ends at the vault
+        // boundary: count the starts below it instead of probing the
+        // address map per element.
+        std::uint32_t limit = n;
+        if (!m_.cfg_.exec.cpuStyle) {
+            const AddressMap &map = m_.pool_.map();
+            if (map.vaultOf(addr) != unit_)
+                return RunHits{};
+            const Addr vend = map.vaultBase(unit_) +
+                              map.geometry().vaultBytes;
+            const Addr fit = (vend - addr + size - 1) / size;
+            if (fit < limit)
+                limit = static_cast<std::uint32_t>(fit);
+            if (limit == 0)
+                return RunHits{};
+        }
+        RunHits rh;
+        rh.consumed = l1->accessRun(addr, size, limit, is_write);
+        rh.latency = l1->config().hitLatency;
+        return rh;
+    }
+
   private:
     Machine &m_;
     unsigned unit_;
@@ -104,6 +137,15 @@ class Machine::Path : public MemoryPath
 Machine::Machine(const SystemConfig &cfg, MemoryPool &pool)
     : cfg_(cfg), pool_(pool)
 {
+    // Event-count-reduction toggles (docs/perf.md): each transform is
+    // output-identical, so these only select the fast or the reference
+    // execution strategy for the same event stream.
+    eq_.setCoalescing(cfg_.exec.coalesceCompletions);
+    eq_.setSkipAhead(cfg_.exec.queueSkipAhead);
+    cfg_.core.rleRunBatching = cfg_.exec.rleRunBatching;
+
+    pendingArrivals_.assign(cfg_.geo.totalVaults(), 0);
+
     net_ = std::make_unique<Network>(cfg_.geo, cfg_.topo);
 
     const unsigned vaults = cfg_.geo.totalVaults();
@@ -185,9 +227,10 @@ Machine::completeFlight(Flight *f, Tick t)
         checkPhaseQuiesce();
         return;
     }
-    // Response payload crosses the network back to the requester.
+    // Response payload crosses the network back to the requester. Routed
+    // through the coalescer: responses released by one burst share a tick.
     Tick back = net_->delay(f->dv, f->srcNode, f->size, t);
-    eq_.schedule(back, [f, back]() {
+    eq_.scheduleCoalesced(back, [f, back]() {
         Machine *m = f->m;
         MemoryPath::DoneFn done = std::move(f->done);
         m->freeFlight(f);
@@ -217,8 +260,29 @@ Machine::issueDram(Tick when, unsigned src_node, Addr addr,
     f->needResponse = need_response;
     f->local = local;
     f->done = std::move(done);
-    eq_.schedule(std::max(arrive, eq_.now()),
-                 [f]() { f->m->deliverFlight(f); });
+    // Eager local issue: a local request that would arrive "now" at an
+    // idle vault skips its arrival event and delivers synchronously.
+    // This is exact — the arrival event's only effect is enqueue(), and
+    // under the guard nothing that runs between this call and that event
+    // could interact with the vault: pending arrivals are excluded by
+    // the counter (an earlier-sequence arrival issues first and issue
+    // order fixes bank/bus state), pending completions never touch bank
+    // or bus state, and events scheduled after this call sort after the
+    // elided arrival anyway. One queue event per local request gone; the
+    // toggle prices it (ExecOverride "eager").
+    if (local && cfg_.exec.eagerLocalIssue && arrive <= eq_.now() &&
+        pendingArrivals_[dv] == 0 &&
+        vaults_[dv]->readyForImmediateIssue()) {
+        ++eagerIssues_;
+        deliverFlight(f);
+        return;
+    }
+    ++pendingArrivals_[dv];
+    eq_.schedule(std::max(arrive, eq_.now()), [f]() {
+        Machine *m = f->m;
+        --m->pendingArrivals_[f->dv];
+        m->deliverFlight(f);
+    });
 }
 
 void

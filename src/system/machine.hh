@@ -108,6 +108,30 @@ class Machine
     /** LLC accesses (0 when the system has no LLC). */
     std::uint64_t llcAccesses() const;
 
+    /** Events popped from the queue since construction. */
+    std::uint64_t eventsExecuted() const { return eq_.executed(); }
+
+    /** Completion callbacks absorbed into same-tick batches. */
+    std::uint64_t eventsCoalesced() const { return eq_.coalesced(); }
+
+    /** Local request arrivals issued synchronously (no arrival event). */
+    std::uint64_t eventsElided() const { return eagerIssues_; }
+
+    /**
+     * Simulated-event count: queue pops, plus coalesced completions,
+     * plus eagerly issued local arrivals. Each transform trades a queue
+     * pop for one unit of the other two counters (a coalesced batch of k
+     * is 1 executed event + k-1 coalesced; an eager local issue is the
+     * arrival event that never got scheduled), so this sum is invariant
+     * under every perf toggle — it counts the logical event stream, not
+     * the physical one, which is what lets it live in the report without
+     * breaking the ablation byte-identity oracle.
+     */
+    std::uint64_t simEvents() const
+    {
+        return eq_.executed() + eq_.coalesced() + eagerIssues_;
+    }
+
   private:
     class Path; // per-core MemoryPath implementation
     friend class Path;
@@ -173,6 +197,16 @@ class Machine
 
     std::deque<Flight> flightArena_; ///< stable storage for the pool
     Flight *freeFlight_ = nullptr;   ///< intrusive free list
+
+    /**
+     * Arrival events in flight per vault. Nonzero blocks the eager
+     * local-issue shortcut: a pending arrival with a smaller sequence
+     * number would issue first in event order, and issue order is what
+     * determines bank and bus state.
+     */
+    std::vector<std::uint32_t> pendingArrivals_;
+    /** Local arrivals issued synchronously instead of via an event. */
+    std::uint64_t eagerIssues_ = 0;
 
     // Cumulative activity for the energy model.
     Tick coreBusyTicks_ = 0;  ///< sum over units of compute ticks

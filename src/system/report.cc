@@ -211,6 +211,7 @@ writeRunResult(JsonWriter &w, const RunResult &run)
     w.member("seconds", run.seconds());
     w.member("partition_vault_bw_gbps", run.partitionVaultBWGBps);
     w.member("probe_vault_bw_gbps", run.probeVaultBWGBps);
+    w.member("sim_events", run.simEvents);
 
     writeEnergy(w, run.energy);
 
@@ -352,6 +353,7 @@ readRunResult(const JsonValue &v, RunResult &out)
     readU64(v, "probe_time_ps", out.probeTime);
     readDbl(v, "partition_vault_bw_gbps", out.partitionVaultBWGBps);
     readDbl(v, "probe_vault_bw_gbps", out.probeVaultBWGBps);
+    readU64(v, "sim_events", out.simEvents); // absent pre-PR-8: stays 0
     readEnergy(v, out.energy);
 
     if (const JsonValue *f = v.find("functional")) {

@@ -317,6 +317,7 @@ Runner::run(const SystemConfig &sys, const Scenario &scenario)
 
     finishRunResult(res, vaults, machine.energyActivity(),
                     machine.energy());
+    res.simEvents = machine.simEvents();
     return res;
 }
 

@@ -144,6 +144,15 @@ struct RunResult
     /** Open-loop traffic metrics (ServedRunner, non-degenerate only). */
     ServedMetrics served;
 
+    /**
+     * Simulated events behind the run: queue pops + coalesced same-tick
+     * completions (Machine::simEvents()). Invariant under the perf
+     * toggles — the sum counts the logical event stream — which is why
+     * it can live in the report without breaking the ablation byte-
+     * identity oracle. Runs spliced from pre-PR-8 reports carry 0.
+     */
+    std::uint64_t simEvents = 0;
+
     double
     seconds() const
     {

@@ -491,7 +491,11 @@ ServedRunner::run(const SystemConfig &sys, const Scenario &scenario)
         // its result must be byte-identical to Runner's (the layer's
         // correctness oracle), so it is assembled the same way and no
         // served metrics are attached.
+        // sim_events counts machine work only: the driver's arrival
+        // events are harness bookkeeping, subtracted so this path stays
+        // byte-identical to Runner's (which schedules no arrivals).
         finishRunResult(res, d.vaults, d.finalActivity, d.finalEnergy);
+        res.simEvents = machine.simEvents() - d.processed;
         return res;
     }
 
@@ -522,6 +526,7 @@ ServedRunner::run(const SystemConfig &sys, const Scenario &scenario)
     }
     res.activity = d.finalActivity;
     res.energy = d.finalEnergy;
+    res.simEvents = machine.simEvents() - d.processed;
 
     ServedMetrics &sm = res.served;
     sm = d.m;
