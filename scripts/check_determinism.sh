@@ -5,6 +5,8 @@
 #
 # Usage: scripts/check_determinism.sh [path/to/mondrian_campaign]
 set -euo pipefail
+shopt -s inherit_errexit
+trap 'echo "error: ${BASH_SOURCE[0]}:${LINENO}: command failed" >&2' ERR
 
 CAMPAIGN_BIN="${1:-build/mondrian_campaign}"
 if [[ ! -x "$CAMPAIGN_BIN" ]]; then
@@ -13,8 +15,10 @@ if [[ ! -x "$CAMPAIGN_BIN" ]]; then
     exit 2
 fi
 
+# The EXIT trap covers normal termination and set -e failures; INT/TERM
+# are listed so an interrupted run still scrubs its tempdir.
 workdir="$(mktemp -d)"
-trap 'rm -rf "$workdir"' EXIT
+trap 'rm -rf "$workdir"' EXIT INT TERM
 
 echo "== smoke campaign, serial (--jobs 1)"
 "$CAMPAIGN_BIN" --smoke --jobs 1 --quiet --out "$workdir/serial.json"

@@ -10,6 +10,8 @@
 #
 # Usage: scripts/check_doc_links.sh [repo-root]
 set -euo pipefail
+shopt -s inherit_errexit
+trap 'echo "error: ${BASH_SOURCE[0]}:${LINENO}: command failed" >&2' ERR
 
 ROOT="${1:-.}"
 cd "$ROOT"

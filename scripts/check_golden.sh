@@ -11,6 +11,8 @@
 #
 # Usage: scripts/check_golden.sh report.json golden-report.json [report-bin]
 set -euo pipefail
+shopt -s inherit_errexit
+trap 'echo "error: ${BASH_SOURCE[0]}:${LINENO}: command failed" >&2' ERR
 
 REPORT="${1:?usage: check_golden.sh report.json golden-report.json [report-bin]}"
 GOLDEN="${2:?usage: check_golden.sh report.json golden-report.json [report-bin]}"

@@ -1,0 +1,209 @@
+#!/usr/bin/env bash
+# Project-invariant lint: mechanical enforcement of the rules the
+# byte-identity and perf oracles only catch after the damage is done
+# (docs/testing.md has the full rationale for each).
+#
+#   R1  Hot-path schedule/callback sites take a *named* closure that is
+#       static_assert'ed to fit its InlineFunction inline buffer — no
+#       anonymous lambdas straight into schedule()/onComplete. The PR 8
+#       padding regression silently heap-allocated every event closure;
+#       named-plus-asserted closures turn that class into compile errors.
+#   R2  Every writeRunResult() call in the system layer declares its
+#       precision policy: either setPreciseDoubles(true) (IPC frames and
+#       resume journal, which must round-trip doubles exactly) or the
+#       "report-precision: canonical" marker (the committed 12-digit
+#       report format) within the preceding window.
+#   R3  No rand()/srand()/atoi()/atof() in src/ tools/ — unseeded RNG
+#       and unchecked numeric parsing both break the determinism
+#       contract. examples/example_args.hh is the one sanctioned home
+#       for quick-and-dirty demo parsing.
+#   R4  The calendar queue's bucket-count/width power-of-two
+#       static_asserts stay in place (index math masks, never divides).
+#   R5  Compile probe: the hot-path TUs are re-checked with
+#       -fsyntax-only so every fitsInline/packing static_assert actually
+#       fires in this tree (a capture that outgrows its buffer fails
+#       here even if the full build is stale).
+#
+# Usage: scripts/check_invariants.sh [repo-root]
+#        scripts/check_invariants.sh --self-test
+#
+# --self-test introduces one violation per rule into a scratch copy of
+# the tree and asserts the lint catches each (the same negative-testing
+# discipline CI applies to check_doc_links.sh).
+set -euo pipefail
+shopt -s inherit_errexit
+trap 'echo "error: ${BASH_SOURCE[0]}:${LINENO}: command failed" >&2' ERR
+
+if [[ "${1:-}" == "--self-test" ]]; then
+    SELF_TEST=1
+    ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+else
+    SELF_TEST=0
+    ROOT="${1:-.}"
+fi
+cd "$ROOT"
+
+CXX="${CXX:-g++}"
+fail=0
+
+note() { echo "FAIL: $*" >&2; fail=1; }
+
+# Files whose closures land in InlineFunction hot paths.
+HOT_FILES=(
+    src/system/machine.cc
+    src/dram/vault.cc
+    src/core/core_model.cc
+    src/system/traffic.cc
+)
+
+# --------------------------------------------------------------------- R1
+# Anonymous lambda passed straight into a schedule call: the capture's
+# size is never named, so nothing asserts it fits inline.
+for f in "${HOT_FILES[@]}"; do
+    if perl -0777 -ne '
+        while (/\bschedule(?:Coalesced|In)?\s*\(((?:[^()]|\([^()]*\))*)\)/gs) {
+            my $args = $1;
+            exit 1 if $args =~ /\[[^\]]*\]\s*(?:\(|\{|mutable)/s;
+        }' "$f"; then
+        :
+    else
+        note "R1 $f: anonymous lambda passed to schedule*();" \
+             "name it and static_assert fitsInline<>() first"
+    fi
+    if grep -q "schedule" "$f" && ! grep -q "fitsInline" "$f"; then
+        note "R1 $f: schedules events but carries no fitsInline" \
+             "static_assert"
+    fi
+done
+
+# --------------------------------------------------------------------- R2
+# writeRunResult call sites must declare a precision policy nearby.
+for f in src/system/campaign.cc src/system/coordinator.cc \
+         src/system/report.cc; do
+    while IFS=: read -r ln _; do
+        start=$((ln > 30 ? ln - 30 : 1))
+        if ! sed -n "${start},${ln}p" "$f" |
+                grep -qE 'setPreciseDoubles\(true\)|report-precision: canonical'; then
+            note "R2 $f:$ln: writeRunResult() without setPreciseDoubles(true)" \
+                 "or a 'report-precision: canonical' marker in the" \
+                 "preceding 30 lines"
+        fi
+    done < <(grep -n 'writeRunResult(' "$f" |
+             grep -v 'writeRunResult(JsonWriter' || true)
+done
+
+# --------------------------------------------------------------------- R3
+r3_hits=$(grep -rnE '(^|[^_[:alnum:]])(rand|srand|atoi|atof)[[:space:]]*\(' \
+              src/ tools/ --include='*.cc' --include='*.hh' || true)
+if [[ -n "$r3_hits" ]]; then
+    note "R3 rand()/srand()/atoi()/atof() in src/ or tools/:"$'\n'"$r3_hits"
+fi
+
+# --------------------------------------------------------------------- R4
+for pat in 'kNumBuckets & (kNumBuckets - 1)' 'kWidth & (kWidth - 1)'; do
+    if ! grep -qF "$pat" src/sim/event_queue.hh; then
+        note "R4 src/sim/event_queue.hh: power-of-two static_assert" \
+             "'$pat' is missing"
+    fi
+done
+
+# --------------------------------------------------------------------- R5
+# Re-run the compiler front end over the hot TUs so the fitsInline /
+# kInlineFunctionPacked static_asserts are evaluated against the current
+# headers. -fsyntax-only keeps this to a few seconds per file.
+for f in "${HOT_FILES[@]}" src/sim/event_queue.cc; do
+    if ! "$CXX" -std=c++20 -fsyntax-only -I src "$f" 2>/tmp/invariant-probe.$$; then
+        note "R5 $f: compile probe failed (oversized closure or broken" \
+             "layout invariant):"$'\n'"$(cat /tmp/invariant-probe.$$)"
+    fi
+    rm -f /tmp/invariant-probe.$$
+done
+
+# ---------------------------------------------------------------- self-test
+if [[ "$SELF_TEST" -eq 1 ]]; then
+    if [[ "$fail" -ne 0 ]]; then
+        echo "self-test aborted: the tree itself fails the lint" >&2
+        exit 2
+    fi
+
+    sandbox=""
+    cleanup() { if [[ -n "$sandbox" ]]; then rm -rf "$sandbox"; fi; }
+    trap cleanup EXIT INT TERM
+
+    make_sandbox() {
+        cleanup
+        sandbox="$(mktemp -d)"
+        cp -r src tools scripts "$sandbox/"
+    }
+
+    expect_fail() {
+        local what="$1"
+        if bash scripts/check_invariants.sh "$sandbox" \
+                > /dev/null 2>&1; then
+            echo "SELF-TEST FAIL: lint missed: $what" >&2
+            exit 1
+        fi
+        echo "self-test ok: caught $what"
+    }
+
+    # R1: anonymous lambda handed straight to schedule().
+    make_sandbox
+    cat >> "$sandbox/src/system/machine.cc" <<'EOF'
+namespace mondrian { namespace {
+[[maybe_unused]] void selfTestR1(EventQueue &eq)
+{
+    eq.schedule(Tick{0}, []() {});
+}
+}}
+EOF
+    expect_fail "anonymous lambda in a schedule call (R1)"
+
+    # R2: writeRunResult with no declared precision policy.
+    make_sandbox
+    cat >> "$sandbox/src/system/campaign.cc" <<'EOF'
+namespace mondrian { namespace {
+[[maybe_unused]] void selfTestR2(JsonWriter &w, const RunResult &r)
+{
+    writeRunResult(w, r);
+}
+}}
+EOF
+    expect_fail "writeRunResult without a precision policy (R2)"
+
+    # R3: unchecked atoi.
+    make_sandbox
+    printf '\n// probe\nstatic int selfTestR3(const char *s) { return atoi(s); }\n' \
+        >> "$sandbox/src/system/campaign.cc"
+    expect_fail "atoi() in src/ (R3)"
+
+    # R4: power-of-two static_asserts removed.
+    make_sandbox
+    sed -i '/kNumBuckets & (kNumBuckets - 1)/d;/kWidth & (kWidth - 1)/d' \
+        "$sandbox/src/sim/event_queue.hh"
+    expect_fail "missing power-of-two static_asserts (R4)"
+
+    # R5: a hot-path closure that outgrows its inline buffer must fail
+    # the compile probe even though it is named (and so passes R1).
+    make_sandbox
+    cat >> "$sandbox/src/system/machine.cc" <<'EOF'
+namespace mondrian { namespace {
+[[maybe_unused]] void selfTestR5(EventQueue &eq)
+{
+    struct Pad { unsigned char bytes[128]; };
+    auto oversized = [p = Pad{}]() { (void)p; };
+    static_assert(EventQueue::Callback::fitsInline<decltype(oversized)>(),
+                  "hot-path closure must fit the inline buffer");
+    eq.schedule(Tick{0}, std::move(oversized));
+}
+}}
+EOF
+    expect_fail "oversized hot-path closure (R5 compile probe)"
+
+    echo "OK: self-test caught all 5 seeded violations"
+    exit 0
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    exit 1
+fi
+echo "OK: project invariants hold (R1-R5)"

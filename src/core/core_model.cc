@@ -166,9 +166,11 @@ TraceCore::issueMemOp(TraceOpKind kind, Addr addr, std::uint32_t size)
     else
         stats_.bytesFromMem += size;
 
-    auto res = path_.request(
-        time_, addr, size, is_write, sequential, permutable,
-        [this, kind](Tick t) { completion(t, kind); });
+    auto on_done = [this, kind](Tick t) { completion(t, kind); };
+    static_assert(MemoryPath::DoneFn::fitsInline<decltype(on_done)>(),
+                  "core completion closure must fit the inline buffer");
+    auto res = path_.request(time_, addr, size, is_write, sequential,
+                             permutable, std::move(on_done));
 
     if (res.immediate) {
         // Cache hit: charge the hit latency inline, nothing outstanding.
@@ -372,8 +374,10 @@ TraceCore::maybeFinish()
     stats_.finishedAt = std::max(time_, eq_.now());
     if (onFinish) {
         // Defer the callback so it observes a consistent simulator state.
-        eq_.schedule(stats_.finishedAt,
-                     [this]() { onFinish(id_, stats_.finishedAt); });
+        auto fire = [this]() { onFinish(id_, stats_.finishedAt); };
+        static_assert(EventQueue::Callback::fitsInline<decltype(fire)>(),
+                      "finish closure must fit the inline buffer");
+        eq_.schedule(stats_.finishedAt, std::move(fire));
     }
 }
 

@@ -75,6 +75,8 @@ class MemoryPath
      * enough for every completion closure on the hot path.
      */
     using DoneFn = InlineFunction<void(Tick), 64>;
+    static_assert(kInlineFunctionPacked<DoneFn>,
+                  "padding crept ahead of the completion callback buffer");
 
     /** Outcome of a request: either satisfied immediately (cache hit)... */
     struct Result

@@ -44,11 +44,12 @@ VaultController::enqueue(MemRequest &&req)
         stats_.permutableWrites++;
         if (req.onComplete) {
             Tick now = eq_.now();
-            auto cb = std::move(req.onComplete);
             // Hot coalescing site: a partition burst acknowledges many
             // stores at one tick with no intervening schedules.
-            eq_.scheduleCoalesced(now,
-                                  [cb = std::move(cb), now]() { cb(now); });
+            auto ack = [cb = std::move(req.onComplete), now]() { cb(now); };
+            static_assert(EventQueue::Callback::fitsInline<decltype(ack)>(),
+                          "store-ack closure must fit the inline buffer");
+            eq_.scheduleCoalesced(now, std::move(ack));
         }
         flushAppendRows(false);
         return;
@@ -220,15 +221,17 @@ VaultController::issue(MemRequest &&req)
 
     // NB: the 16-byte-aligned callback is captured first so the closure
     // packs tightly and stays within the event's inline buffer.
-    eq_.scheduleCoalesced(
-        done, [cb = std::move(req.onComplete), this, done]() {
-            --issued_;
-            if (cb)
-                cb(done);
-            trySchedule();
-            if (issued_ == 0 && live_ == 0 && onDrained)
-                onDrained();
-        });
+    auto complete = [cb = std::move(req.onComplete), this, done]() {
+        --issued_;
+        if (cb)
+            cb(done);
+        trySchedule();
+        if (issued_ == 0 && live_ == 0 && onDrained)
+            onDrained();
+    };
+    static_assert(EventQueue::Callback::fitsInline<decltype(complete)>(),
+                  "vault completion closure must fit the inline buffer");
+    eq_.scheduleCoalesced(done, std::move(complete));
 }
 
 } // namespace mondrian

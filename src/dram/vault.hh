@@ -37,6 +37,8 @@ struct MemRequest
      * closure with headroom; larger captures (tests) heap-allocate.
      */
     using Callback = InlineFunction<void(Tick), 40>;
+    static_assert(kInlineFunctionPacked<Callback>,
+                  "padding crept ahead of the completion callback buffer");
 
     Addr addr = 0;
     std::uint32_t size = 0;
@@ -126,7 +128,10 @@ class VaultController
      * permutable append engine's row flushes can be the chronologically
      * last events of a phase.
      */
-    InlineFunction<void(), 16> onDrained;
+    using DrainFn = InlineFunction<void(), 16>;
+    static_assert(kInlineFunctionPacked<DrainFn>,
+                  "padding crept ahead of the drain callback buffer");
+    DrainFn onDrained;
 
   private:
     void trySchedule();

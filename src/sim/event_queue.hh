@@ -56,6 +56,9 @@ class EventQueue
      * larger captures still work but heap-allocate.
      */
     using Callback = InlineFunction<void(), 64>;
+    static_assert(kInlineFunctionPacked<Callback>,
+                  "padding crept ahead of the event callback buffer "
+                  "(PR 8 regression class: nested captures spill to heap)");
 
     EventQueue();
     EventQueue(const EventQueue &) = delete;
@@ -266,6 +269,14 @@ class EventQueue
     static constexpr Tick kWidth = Tick{1} << kWidthBits;
     /** Window the calendar covers ahead of base_ (~0.5 us). */
     static constexpr Tick kHorizon = kWidth * kNumBuckets;
+
+    // Invariant (scripts/check_invariants.sh): bucket count and window
+    // width are powers of two — bucketIndexOf masks instead of dividing,
+    // and the occupancy bitmap's word math assumes it.
+    static_assert(kNumBuckets > 0 && (kNumBuckets & (kNumBuckets - 1)) == 0,
+                  "calendar bucket count must be a power of two");
+    static_assert(kWidth > 0 && (kWidth & (kWidth - 1)) == 0,
+                  "calendar bucket width must be a power of two");
 
     static std::size_t bucketIndexOf(Tick t)
     {

@@ -21,12 +21,36 @@
 #ifndef MONDRIAN_SIM_INLINE_FUNCTION_HH
 #define MONDRIAN_SIM_INLINE_FUNCTION_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <type_traits>
 #include <utility>
 
 namespace mondrian {
+
+namespace detail {
+// Relaxed is enough: the tally is a diagnostic, never a synchronization
+// edge. Hot paths never touch it — only the (supposedly cold) fallback
+// branches below increment it.
+inline std::atomic<std::uint64_t> inline_function_heap_fallbacks{0};
+} // namespace detail
+
+/**
+ * Process-wide count of InlineFunction constructions that spilled to the
+ * heap because the callable exceeded its inline buffer. The simulator's
+ * hot paths are contractually allocation-free, so for any smoke run this
+ * must stay zero; Machine::heapFallbacks() exposes the per-run delta and
+ * tests assert it (scripts/check_invariants.sh backs the same rule at
+ * compile time).
+ */
+inline std::uint64_t
+inlineFunctionHeapFallbacks()
+{
+    return detail::inline_function_heap_fallbacks.load(
+        std::memory_order_relaxed);
+}
 
 template <typename Signature, std::size_t InlineBytes>
 class InlineFunction; // primary template; only the partial spec exists
@@ -52,6 +76,8 @@ class InlineFunction<R(Args...), InlineBytes>
             ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
             ops_ = &inlineOps<Fn>;
         } else {
+            detail::inline_function_heap_fallbacks.fetch_add(
+                1, std::memory_order_relaxed);
             ::new (static_cast<void *>(buf_))
                 (Fn *)(new Fn(std::forward<F>(f)));
             ops_ = &heapOps<Fn>;
@@ -79,6 +105,8 @@ class InlineFunction<R(Args...), InlineBytes>
             ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
             ops_ = &inlineOps<Fn>;
         } else {
+            detail::inline_function_heap_fallbacks.fetch_add(
+                1, std::memory_order_relaxed);
             ::new (static_cast<void *>(buf_))
                 (Fn *)(new Fn(std::forward<F>(f)));
             ops_ = &heapOps<Fn>;
@@ -236,6 +264,20 @@ class InlineFunction<R(Args...), InlineBytes>
     alignas(std::max_align_t) mutable unsigned char buf_[InlineBytes];
     const Ops *ops_ = nullptr;
 };
+
+/**
+ * Compile-time layout pin: true iff InlineFunction type @p IF has its
+ * minimal packed size — the inline buffer immediately followed by the ops
+ * pointer, rounded up to the buffer alignment. Any padding inserted ahead
+ * of the buffer (the PR 8 regression: 8 dead bytes that pushed nested
+ * captures to the heap) grows sizeof past this bound. static_assert it
+ * next to every hot-path Callback alias.
+ */
+template <typename IF>
+inline constexpr bool kInlineFunctionPacked =
+    sizeof(IF) ==
+    (IF::kInlineBytes + sizeof(void *) + alignof(std::max_align_t) - 1) /
+        alignof(std::max_align_t) * alignof(std::max_align_t);
 
 } // namespace mondrian
 

@@ -941,6 +941,8 @@ campaignReportJson(const CampaignReport &report)
         if (v4)
             w.member("traffic", r.job.traffic.name());
         w.key("result");
+        // report-precision: canonical 12-digit (the committed report
+        // format; IPC/journal writers use setPreciseDoubles instead).
         if (!r.rawResultJson.empty())
             w.rawValue(r.rawResultJson); // cached: splice byte-identically
         else

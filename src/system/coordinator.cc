@@ -539,12 +539,20 @@ CampaignCoordinator::run()
     // failure fallback); also reused when the worker population proves
     // unusable mid-campaign.
     auto run_inline = [&] {
+        // Snapshot the unresolved slots before anything is submitted:
+        // pool workers flip bits of `done` (std::vector<bool> packs
+        // sixty-four slots per word, so done[i] and done[j] share
+        // storage) and this loop must not keep reading it concurrently —
+        // a data race TSan flagged on the degraded --workers path.
+        std::vector<std::size_t> todo;
+        for (const CampaignJob &job : jobs)
+            if (!done[job.index] && !report.runs[job.index].failed)
+                todo.push_back(job.index);
         ThreadPool pool(config_.workers <= 1
                             ? 0
                             : ThreadPool::resolveThreads(config_.workers));
-        for (const CampaignJob &job : jobs) {
-            if (done[job.index] || report.runs[job.index].failed)
-                continue;
+        for (std::size_t index : todo) {
+            const CampaignJob &job = jobs[index];
             if (abort_ && abort_->load()) {
                 report.runs[job.index].failed = true;
                 report.aborted = true;

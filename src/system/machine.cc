@@ -167,8 +167,11 @@ Machine::Machine(const SystemConfig &cfg, MemoryPool &pool)
 
     // Permutable-append row flushes carry no completion callback; the
     // vault's drain hook is how the phase logic sees their retirement.
+    auto drained = [this]() { checkPhaseQuiesce(); };
+    static_assert(VaultController::DrainFn::fitsInline<decltype(drained)>(),
+                  "drain hook closure must fit the inline buffer");
     for (auto &v : vaults_)
-        v->onDrained = [this]() { checkPhaseQuiesce(); };
+        v->onDrained = drained;
 }
 
 Machine::~Machine() = default;
@@ -208,7 +211,10 @@ Machine::deliverFlight(Flight *f)
     req.addr = f->addr;
     req.size = f->size;
     req.isWrite = f->isWrite;
-    req.onComplete = [f](Tick t) { f->m->completeFlight(f, t); };
+    auto on_complete = [f](Tick t) { f->m->completeFlight(f, t); };
+    static_assert(MemRequest::Callback::fitsInline<decltype(on_complete)>(),
+                  "hot-path completion closure must fit the inline buffer");
+    req.onComplete = std::move(on_complete);
     vaults_[f->dv]->enqueue(std::move(req));
 }
 
@@ -230,13 +236,16 @@ Machine::completeFlight(Flight *f, Tick t)
     // Response payload crosses the network back to the requester. Routed
     // through the coalescer: responses released by one burst share a tick.
     Tick back = net_->delay(f->dv, f->srcNode, f->size, t);
-    eq_.scheduleCoalesced(back, [f, back]() {
+    auto respond = [f, back]() {
         Machine *m = f->m;
         MemoryPath::DoneFn done = std::move(f->done);
         m->freeFlight(f);
         done(back);
         m->checkPhaseQuiesce();
-    });
+    };
+    static_assert(EventQueue::Callback::fitsInline<decltype(respond)>(),
+                  "hot-path response closure must fit the inline buffer");
+    eq_.scheduleCoalesced(back, std::move(respond));
 }
 
 void
@@ -278,11 +287,14 @@ Machine::issueDram(Tick when, unsigned src_node, Addr addr,
         return;
     }
     ++pendingArrivals_[dv];
-    eq_.schedule(std::max(arrive, eq_.now()), [f]() {
+    auto arrival = [f]() {
         Machine *m = f->m;
         --m->pendingArrivals_[f->dv];
         m->deliverFlight(f);
-    });
+    };
+    static_assert(EventQueue::Callback::fitsInline<decltype(arrival)>(),
+                  "hot-path arrival closure must fit the inline buffer");
+    eq_.schedule(std::max(arrive, eq_.now()), std::move(arrival));
 }
 
 void
@@ -389,11 +401,14 @@ Machine::checkPhaseQuiesce()
             Tick barrier = net_->baseLatency(
                 0, cfg_.geo.totalVaults() - 1, 8);
             phaseStage_ = PhaseStage::kBarrier;
+            auto fire = [this]() {
+                barrierFired_ = true;
+                checkPhaseQuiesce();
+            };
+            static_assert(EventQueue::Callback::fitsInline<decltype(fire)>(),
+                          "barrier closure must fit the inline buffer");
             eq_.schedule(eq_.now() + phase.barriers * 2 * barrier,
-                         [this]() {
-                             barrierFired_ = true;
-                             checkPhaseQuiesce();
-                         });
+                         std::move(fire));
             return;
         }
         // No barrier: the phase result is computed before the disarm's

@@ -132,6 +132,18 @@ class Machine
         return eq_.executed() + eq_.coalesced() + eagerIssues_;
     }
 
+    /**
+     * InlineFunction heap fallbacks observed process-wide since this
+     * Machine was constructed. The hot path is contractually
+     * allocation-free, so tests assert this stays zero across a run
+     * (diagnostic only — never serialized into reports, which keeps the
+     * byte-identity oracle untouched).
+     */
+    std::uint64_t heapFallbacks() const
+    {
+        return inlineFunctionHeapFallbacks() - heapFallbackBase_;
+    }
+
   private:
     class Path; // per-core MemoryPath implementation
     friend class Path;
@@ -207,6 +219,8 @@ class Machine
     std::vector<std::uint32_t> pendingArrivals_;
     /** Local arrivals issued synchronously instead of via an event. */
     std::uint64_t eagerIssues_ = 0;
+    /** inlineFunctionHeapFallbacks() snapshot at construction. */
+    std::uint64_t heapFallbackBase_ = inlineFunctionHeapFallbacks();
 
     // Cumulative activity for the energy model.
     Tick coreBusyTicks_ = 0;  ///< sum over units of compute ticks

@@ -415,6 +415,7 @@ std::string
 runResultJson(const RunResult &run)
 {
     JsonWriter w;
+    // report-precision: canonical 12-digit (human-facing JSON helper).
     writeRunResult(w, run);
     return w.str();
 }
@@ -424,6 +425,7 @@ runResultsJson(const std::vector<RunResult> &runs)
 {
     JsonWriter w;
     w.beginArray();
+    // report-precision: canonical 12-digit (human-facing JSON helper).
     for (const auto &r : runs)
         writeRunResult(w, r);
     w.endArray();

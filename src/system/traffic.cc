@@ -280,17 +280,17 @@ struct ServedDriver
     Machine &machine;
     const std::vector<PreparedScenario> &prepared;
     const TrafficSpec &traffic;
-    std::vector<Arrival> arrivals;
+    std::vector<Arrival> arrivals{};
 
     std::size_t scheduled = 0; ///< arrivals scheduled so far
     std::size_t processed = 0; ///< arrival events executed
-    std::deque<Instance> ready;
+    std::deque<Instance> ready{};
     bool phaseActive = false;
-    Instance current; ///< valid while phaseActive
+    Instance current{}; ///< valid while phaseActive
 
     std::uint64_t inFlight = 0;
-    ServedMetrics m;
-    LatencySample latency;
+    ServedMetrics m{};
+    LatencySample latency{};
     bool windowOpen = false;
     Tick windowStart = 0;
     Tick windowEnd = 0;
@@ -303,14 +303,14 @@ struct ServedDriver
     // instance assembles a RunResult byte-identical to Runner's.
     bool degenerate = false;
     RunResult *res = nullptr;
-    std::vector<PhaseResult> stagePhases;
-    EnergyBreakdown prevEnergy;
+    std::vector<PhaseResult> stagePhases{};
+    EnergyBreakdown prevEnergy{};
     double vaults = 0.0;
 
     bool finished = false;
     Tick makespan = 0;
-    EnergyActivity finalActivity;
-    EnergyBreakdown finalEnergy;
+    EnergyActivity finalActivity{};
+    EnergyBreakdown finalEnergy{};
 
     void
     scheduleNextArrival()
@@ -319,8 +319,10 @@ struct ServedDriver
             return;
         const std::size_t i = scheduled++;
         ServedDriver *d = this;
-        machine.eq().schedule(arrivals[i].at,
-                              [d, i]() { d->onArrival(i); });
+        auto arrive = [d, i]() { d->onArrival(i); };
+        static_assert(EventQueue::Callback::fitsInline<decltype(arrive)>(),
+                      "arrival closure must fit the inline buffer");
+        machine.eq().schedule(arrivals[i].at, std::move(arrive));
     }
 
     void

@@ -241,6 +241,26 @@ TEST(Coordinator, DegradesToInProcessWhenWorkersCannotSpawn)
     EXPECT_EQ(campaignReportJson(report), expected);
 }
 
+TEST(Coordinator, DegradedPathWithWidePoolStaysByteIdentical)
+{
+    // Regression for the run_inline data race: the dispatch loop used to
+    // keep re-reading the bit-packed `done` vector while pool workers
+    // flipped neighboring bits of the same words. The pending set is now
+    // snapshotted before anything is submitted; under TSan this test is
+    // the tripwire for any reintroduction.
+    CampaignGrid grid = smallGrid();
+    grid.seeds = {42, 43}; // 8 jobs, so every pool thread gets work
+    const std::string expected = referenceReport(grid);
+
+    CoordinatorConfig config = testConfig();
+    config.workers = 4;
+    config.workerCommand = {"/nonexistent/mondrian-worker-binary"};
+    CampaignCoordinator coordinator(grid, config);
+    const CampaignReport report = coordinator.run();
+    EXPECT_TRUE(report.failedRuns.empty());
+    EXPECT_EQ(campaignReportJson(report), expected);
+}
+
 // ------------------------------------------------------------ journal resume
 
 TEST(Coordinator, ResumesFromJournalByteIdentically)

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Runtime half of the project-invariant suite (the compile-time half is
+ * the static_asserts scripts/check_invariants.sh probes): the
+ * InlineFunction heap-fallback counter works, and the hot path stays
+ * allocation-free — zero fallbacks — across real cpu/nmp/mondrian smoke
+ * runs. This is the test-time tripwire for the PR 8 bug class, where a
+ * layout shift silently pushed every event closure to the heap and only
+ * gprof noticed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/inline_function.hh"
+#include "system/campaign.hh"
+#include "system/traffic.hh"
+
+using namespace mondrian;
+
+namespace {
+
+std::uint64_t
+fallbackDelta(std::uint64_t before)
+{
+    return inlineFunctionHeapFallbacks() - before;
+}
+
+/** One in-process run of @p kind over @p op at 2^10 tuples. */
+void
+runSmoke(SystemKind kind, OpKind op)
+{
+    CampaignGrid grid;
+    grid.systems = {kind};
+    grid.scenarios = {degenerateScenario(op)};
+    grid.log2Tuples = {10};
+    grid.seeds = {42};
+    CampaignRunner runner(grid);
+    const CampaignReport report = runner.run(1);
+    ASSERT_EQ(report.runs.size(), 1u);
+    ASSERT_FALSE(report.runs[0].failed);
+}
+
+} // namespace
+
+TEST(InlineFunctionFallback, CounterTracksOversizedCaptures)
+{
+    struct Pad
+    {
+        unsigned char bytes[64];
+    };
+
+    const std::uint64_t before = inlineFunctionHeapFallbacks();
+
+    // Small capture: stays inline, counter untouched.
+    int x = 7;
+    InlineFunction<int(), 16> small([x]() { return x; });
+    EXPECT_EQ(small(), 7);
+    EXPECT_EQ(fallbackDelta(before), 0u);
+
+    // Capture larger than the inline buffer: falls back, counts once.
+    Pad p{};
+    p.bytes[0] = 3;
+    InlineFunction<int(), 16> big([p]() { return int{p.bytes[0]}; });
+    EXPECT_EQ(big(), 3);
+    EXPECT_EQ(fallbackDelta(before), 1u);
+
+    // emplace() over an existing target counts its own fallback too.
+    big.emplace([p]() { return int{p.bytes[0]} + 1; });
+    EXPECT_EQ(big(), 4);
+    EXPECT_EQ(fallbackDelta(before), 2u);
+
+    // Moving an already-fallen-back target must not count again.
+    InlineFunction<int(), 16> moved(std::move(big));
+    EXPECT_EQ(moved(), 4);
+    EXPECT_EQ(fallbackDelta(before), 2u);
+}
+
+TEST(HotPathAllocationFree, CpuSmokeRunHasZeroFallbacks)
+{
+    const std::uint64_t before = inlineFunctionHeapFallbacks();
+    runSmoke(SystemKind::kCpu, OpKind::kScan);
+    runSmoke(SystemKind::kCpu, OpKind::kJoin);
+    EXPECT_EQ(fallbackDelta(before), 0u)
+        << "a cpu hot-path closure outgrew its inline buffer";
+}
+
+TEST(HotPathAllocationFree, NmpSmokeRunHasZeroFallbacks)
+{
+    const std::uint64_t before = inlineFunctionHeapFallbacks();
+    runSmoke(SystemKind::kNmp, OpKind::kScan);
+    runSmoke(SystemKind::kNmp, OpKind::kJoin);
+    EXPECT_EQ(fallbackDelta(before), 0u)
+        << "an nmp hot-path closure outgrew its inline buffer";
+}
+
+TEST(HotPathAllocationFree, MondrianSmokeRunHasZeroFallbacks)
+{
+    const std::uint64_t before = inlineFunctionHeapFallbacks();
+    runSmoke(SystemKind::kMondrian, OpKind::kScan);
+    runSmoke(SystemKind::kMondrian, OpKind::kSort);
+    runSmoke(SystemKind::kMondrian, OpKind::kGroupBy);
+    runSmoke(SystemKind::kMondrian, OpKind::kJoin);
+    EXPECT_EQ(fallbackDelta(before), 0u)
+        << "a mondrian hot-path closure outgrew its inline buffer";
+}

@@ -52,10 +52,19 @@ namespace {
 /** Set by SIGINT/SIGTERM; checked between runs (cooperative abort). */
 std::atomic<bool> g_interrupt{false};
 
+// A store from a signal handler is only async-signal-safe when the
+// atomic is lock-free; a library-lock implementation could deadlock
+// against the very thread the signal interrupted.
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler needs a lock-free atomic abort flag");
+
 extern "C" void
 interruptHandler(int)
 {
-    g_interrupt.store(true);
+    // relaxed: the flag is polled between runs; the pollers' mutex (or
+    // the ThreadPool queue lock) provides the ordering for everything
+    // the abort path reads afterwards.
+    g_interrupt.store(true, std::memory_order_relaxed);
 }
 
 void
