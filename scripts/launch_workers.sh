@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Launch a fleet of remote campaign workers over ssh and keep them tied
+# to this script's lifetime: each host runs N `mondrian_campaign
+# --worker-connect` processes dialing back to the coordinator, and every
+# one of them is torn down when this script exits for any reason
+# (normal exit, Ctrl-C, or a kill from the outside).
+#
+# Usage:
+#   scripts/launch_workers.sh COORD_HOST:PORT HOST [HOST...]
+#
+# Environment knobs:
+#   WORKERS_PER_HOST   processes per host               (default: 1)
+#   WORKER_BIN         remote path to mondrian_campaign (default: mondrian_campaign)
+#   HELLO_TOKEN        shared secret for the hello handshake (default: unset)
+#   WORKER_CACHE       remote --worker-cache directory  (default: unset)
+#   SSH                ssh command to use               (default: ssh -o BatchMode=yes)
+#
+# The coordinator side is started separately, e.g.:
+#   mondrian_campaign --smoke --listen 0.0.0.0:17333 --out report.json
+set -euo pipefail
+shopt -s inherit_errexit
+trap 'echo "error: ${BASH_SOURCE[0]}:${LINENO}: command failed" >&2' ERR
+
+if [[ $# -lt 2 ]]; then
+    echo "usage: $0 COORD_HOST:PORT HOST [HOST...]" >&2
+    exit 2
+fi
+
+ENDPOINT="$1"
+shift
+HOSTS=("$@")
+
+WORKERS_PER_HOST="${WORKERS_PER_HOST:-1}"
+WORKER_BIN="${WORKER_BIN:-mondrian_campaign}"
+SSH="${SSH:-ssh -o BatchMode=yes}"
+
+if ! [[ "$ENDPOINT" == *:* && "${ENDPOINT##*:}" =~ ^[0-9]+$ ]]; then
+    echo "error: '$ENDPOINT' is not HOST:PORT" >&2
+    exit 2
+fi
+
+# Workers reconnect on transient drops by themselves (--worker-connect
+# retries with backoff); the launcher's only job is process lifetime.
+worker_cmd=("$WORKER_BIN" --worker-connect "$ENDPOINT")
+if [[ -n "${HELLO_TOKEN:-}" ]]; then
+    worker_cmd+=(--hello-token "$HELLO_TOKEN")
+fi
+if [[ -n "${WORKER_CACHE:-}" ]]; then
+    worker_cmd+=(--worker-cache "$WORKER_CACHE")
+fi
+
+pids=()
+teardown() {
+    # Kill the local ssh clients; ssh -t allocated a tty on the remote
+    # side, so the hangup propagates and the workers die with it.
+    local pid
+    for pid in "${pids[@]:-}"; do
+        [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+    done
+    for pid in "${pids[@]:-}"; do
+        [[ -n "$pid" ]] && wait "$pid" 2>/dev/null || true
+    done
+}
+trap teardown EXIT INT TERM
+
+echo "launching ${WORKERS_PER_HOST} worker(s) on ${#HOSTS[@]} host(s)" \
+     "-> $ENDPOINT"
+for host in "${HOSTS[@]}"; do
+    for ((i = 0; i < WORKERS_PER_HOST; i++)); do
+        # shellcheck disable=SC2029  # remote expansion is intentional
+        $SSH -t -t "$host" "${worker_cmd[@]@Q}" \
+            > >(sed "s/^/[$host.$i] /") 2>&1 &
+        pids+=("$!")
+    done
+done
+
+echo "workers up; press Ctrl-C (or kill this script) to tear them down"
+status=0
+for pid in "${pids[@]}"; do
+    wait "$pid" || status=$?
+done
+# A worker that was rejected or exhausted its reconnect budget exits 5;
+# surface that instead of swallowing it.
+exit "$status"

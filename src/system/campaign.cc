@@ -717,16 +717,21 @@ ResumeCache::loadJournal(const std::string &text)
 }
 
 std::string
+campaignJobKey(const CampaignJob &job)
+{
+    return ResumeCache::gridPointHash(
+        systemKindName(job.system), scenarioIdentity(job.scenario),
+        job.log2Tuples, job.seed, job.zipfTheta, job.geometry, job.exec,
+        job.traffic.name());
+}
+
+std::string
 campaignJournalLine(const CampaignJob &job, const RunResult &result)
 {
     JsonWriter w;
     w.setPreciseDoubles(true);
     w.beginObject();
-    w.member("key", ResumeCache::gridPointHash(
-                        systemKindName(job.system),
-                        scenarioIdentity(job.scenario), job.log2Tuples,
-                        job.seed, job.zipfTheta, job.geometry, job.exec,
-                        job.traffic.name()));
+    w.member("key", campaignJobKey(job));
     w.member("index", std::uint64_t{job.index});
     w.key("result");
     writeRunResult(w, result);
@@ -756,11 +761,7 @@ CampaignRunner::run(unsigned jobs)
         for (const CampaignJob &job : grid_jobs) {
             if (resume_) {
                 const ResumeCache::Entry *hit =
-                    resume_->find(ResumeCache::gridPointHash(
-                        systemKindName(job.system),
-                        scenarioIdentity(job.scenario), job.log2Tuples,
-                        job.seed, job.zipfTheta, job.geometry,
-                        job.exec, job.traffic.name()));
+                    resume_->find(campaignJobKey(job));
                 if (hit) {
                     CampaignRun &slot = report.runs[job.index];
                     slot.job = job;
@@ -1049,11 +1050,7 @@ campaignDryRun(const CampaignGrid &grid, const ResumeCache *resume)
 
         bool hit = false;
         if (resume) {
-            hit = resume->find(ResumeCache::gridPointHash(
-                      systemKindName(job.system),
-                      scenarioIdentity(job.scenario), job.log2Tuples,
-                      job.seed, job.zipfTheta, job.geometry,
-                      job.exec, job.traffic.name())) != nullptr;
+            hit = resume->find(campaignJobKey(job)) != nullptr;
             if (hit)
                 ++cached;
         }

@@ -149,6 +149,15 @@ std::vector<CampaignJob> expandGrid(const CampaignGrid &grid);
  */
 RunResult executeCampaignJob(const CampaignJob &job);
 
+/**
+ * The injective identity key of a job's grid point — the
+ * ResumeCache::gridPointHash of its fields. The single currency of every
+ * result cache (the --resume journal cache and the worker-side
+ * --worker-cache): two jobs share a key iff they are the same grid
+ * point.
+ */
+std::string campaignJobKey(const CampaignJob &job);
+
 /** One finished grid point. */
 struct CampaignRun
 {
@@ -247,6 +256,13 @@ struct CampaignReport
     /** True when execution stopped early on an abort flag (SIGINT/
      *  SIGTERM); the report is partial and should not be written. */
     bool aborted = false;
+    /**
+     * Results that workers answered from their --worker-cache instead
+     * of re-simulating (coordinator mode). Diagnostic only — NOT
+     * serialized into the report JSON, which stays byte-identical
+     * whether results were simulated or cache hits.
+     */
+    std::size_t workerCacheHits = 0;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -13,7 +14,7 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
-#include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -22,6 +23,7 @@
 #include "common/json.hh"
 #include "common/json_parse.hh"
 #include "common/logging.hh"
+#include "net/transport.hh"
 #include "sim/thread_pool.hh"
 #include "system/campaign_spec.hh"
 #include "system/report.hh"
@@ -35,6 +37,7 @@ faultKindName(FaultInjection::Kind kind)
       case FaultInjection::Kind::kCrash: return "crash";
       case FaultInjection::Kind::kHang: return "hang";
       case FaultInjection::Kind::kCorrupt: return "corrupt";
+      case FaultInjection::Kind::kDisconnect: return "disconnect";
     }
     return "crash";
 }
@@ -62,9 +65,11 @@ parseFaultInject(const std::string &spec, std::vector<FaultInjection> &out,
             f.kind = FaultInjection::Kind::kHang;
         } else if (kind == "corrupt") {
             f.kind = FaultInjection::Kind::kCorrupt;
+        } else if (kind == "disconnect") {
+            f.kind = FaultInjection::Kind::kDisconnect;
         } else {
             error = "fault '" + item + "': unknown kind '" + kind +
-                    "' (crash, hang, corrupt)";
+                    "' (crash, hang, corrupt, disconnect)";
             return false;
         }
         std::string idx = item.substr(at + 1);
@@ -107,11 +112,7 @@ shardPlanListing(const CampaignGrid &grid, unsigned workers,
     const std::vector<CampaignJob> jobs = expandGrid(grid);
     std::vector<std::size_t> pending;
     for (const CampaignJob &job : jobs) {
-        if (resume &&
-            resume->find(ResumeCache::gridPointHash(
-                systemKindName(job.system), scenarioIdentity(job.scenario),
-                job.log2Tuples, job.seed, job.zipfTheta, job.geometry,
-                job.exec, job.traffic.name())))
+        if (resume && resume->find(campaignJobKey(job)))
             continue;
         pending.push_back(job.index);
     }
@@ -158,41 +159,6 @@ writeAll(int fd, const std::string &data)
     return true;
 }
 
-/** "<len>\n<payload>\n" — the worker->coordinator frame format. */
-std::string
-frameString(const std::string &payload)
-{
-    return std::to_string(payload.size()) + "\n" + payload + "\n";
-}
-
-/**
- * Extract the next complete frame from @p buf (consuming it).
- * @return 1 on a frame (payload in @p payload), 0 when more bytes are
- * needed, -1 on a framing violation (stream desync).
- */
-int
-nextFrame(std::string &buf, std::string &payload)
-{
-    const std::size_t nl = buf.find('\n');
-    if (nl == std::string::npos)
-        return buf.size() > 32 ? -1 : 0; // a length line is short
-    const std::string len_text = buf.substr(0, nl);
-    if (len_text.empty() ||
-        len_text.find_first_not_of("0123456789") != std::string::npos)
-        return -1;
-    const std::size_t len = static_cast<std::size_t>(
-        std::strtoull(len_text.c_str(), nullptr, 10));
-    if (len > (std::size_t{64} << 20))
-        return -1; // nonsense length: desync
-    if (buf.size() < nl + 1 + len + 1)
-        return 0;
-    if (buf[nl + 1 + len] != '\n')
-        return -1;
-    payload = buf.substr(nl + 1, len);
-    buf.erase(0, nl + 1 + len + 1);
-    return 1;
-}
-
 std::string
 selfExecutable()
 {
@@ -219,35 +185,356 @@ pickFault(std::vector<FaultInjection> &faults, std::vector<bool> &fired,
     return nullptr;
 }
 
+/**
+ * Block until one complete protocol message arrives on @p t.
+ * @return false when the channel hit EOF, a read error, or a framing
+ * violation — from a worker's point of view all three mean "the
+ * coordinator is gone", and reconnect-or-exit is the caller's call.
+ */
+bool
+awaitMessage(Transport &t, std::string &payload)
+{
+    for (;;) {
+        const int st = t.next(payload);
+        if (st > 0)
+            return true;
+        if (st < 0)
+            return false;
+        const Transport::Pump p = t.pump();
+        if (p == Transport::Pump::kEof || p == Transport::Pump::kError)
+            return false;
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------- worker-side result cache
+
+namespace {
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+        v >>= 4;
+    }
+    return out;
+}
+
+/**
+ * Cache entry path: the filename is a hash of the injective grid-point
+ * key (keys embed scenario structure and can be long); the key itself
+ * is stored INSIDE the entry and verified on read, so a hash collision
+ * degrades to a miss, never a wrong result.
+ */
+std::string
+workerCachePath(const std::string &dir, const std::string &key)
+{
+    return dir + "/" + hex16(fnv1a64(key)) + ".json";
+}
+
+bool
+ensureWorkerCacheDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST)
+        return true;
+    std::fprintf(stderr,
+                 "worker: cannot create cache dir '%s' (%s); caching "
+                 "disabled\n",
+                 dir.c_str(), std::strerror(errno));
+    return false;
+}
+
+/**
+ * Look @p key up in the cache at @p dir. On a hit, @p raw_result gets
+ * the stored result subtree VERBATIM — exact-double JSON written by
+ * workerCacheStore — so forwarding it upstream is byte-equivalent to
+ * re-running the simulation. Unreadable, corrupt, or mismatched entries
+ * are misses.
+ */
+bool
+workerCacheLookup(const std::string &dir, const std::string &key,
+                  std::string &raw_result)
+{
+    const std::string path = workerCachePath(dir, key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    JsonValue root;
+    std::string parse_error;
+    if (!parseJson(text, root, parse_error)) {
+        std::fprintf(stderr, "worker: ignoring corrupt cache entry %s\n",
+                     path.c_str());
+        return false;
+    }
+    const JsonValue *stored_key = root.find("key");
+    if (!stored_key || !stored_key->isString() ||
+        stored_key->asString() != key)
+        return false; // filename-hash collision or stale entry: a miss
+    const JsonValue *result = root.find("result");
+    RunResult parsed;
+    if (!result || !readRunResult(*result, parsed)) {
+        std::fprintf(stderr, "worker: ignoring unreadable cache entry %s\n",
+                     path.c_str());
+        return false;
+    }
+    raw_result = text.substr(result->begin, result->end - result->begin);
+    return true;
+}
+
+/** Persist one finished job (atomically: tmp file + rename). The entry
+ *  is exactly a campaign journal line, key and exact doubles included. */
+void
+workerCacheStore(const std::string &dir, const CampaignJob &job,
+                 const RunResult &result)
+{
+    const std::string path = workerCachePath(dir, campaignJobKey(job));
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (out)
+        out << campaignJournalLine(job, result);
+    out.close();
+    if (!out || ::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr, "worker: cannot write cache entry %s (%s)\n",
+                     path.c_str(), std::strerror(errno));
+        ::unlink(tmp.c_str());
+    }
+}
+
 } // namespace
 
 // ------------------------------------------------------------------ worker
 
 namespace {
 
-/** Serialized writer of length-prefixed frames on stdout. */
-class FrameSender
+/** How serveCampaignJobs() ended. */
+enum class ServeStatus
 {
-  public:
-    void
-    send(const std::string &payload)
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const std::string frame = frameString(payload);
-        std::fwrite(frame.data(), 1, frame.size(), stdout);
-        std::fflush(stdout);
+    kExit,           ///< coordinator sent an orderly exit message
+    kEof,            ///< channel hit EOF or a read error
+    kDesync,         ///< unparseable traffic from the coordinator
+    kDisconnectFault ///< an injected disconnect fault fired
+};
+
+/** Everything a worker's serve loop needs besides the channel. */
+struct ServeContext
+{
+    const std::vector<CampaignJob> *jobs = nullptr;
+    double heartbeatIntervalSec = 1.0;
+    std::string cacheDir; ///< empty = no result cache
+    /** Env-var fault plan (standalone chaos path) and its fired state;
+     *  owned by the caller so stickiness survives TCP reconnects. */
+    std::vector<FaultInjection> *envFaults = nullptr;
+    std::vector<bool> *envFired = nullptr;
+};
+
+/**
+ * The worker serve loop, shared verbatim by pipe workers (--worker) and
+ * TCP workers (--worker-connect): answer job messages with result
+ * frames, beat a heartbeat from a dedicated thread, apply injected
+ * faults, and serve repeats from the result cache when one is
+ * configured.
+ */
+ServeStatus
+serveCampaignJobs(Transport &t, ServeContext &ctx)
+{
+    const std::vector<CampaignJob> &jobs = *ctx.jobs;
+    const bool cache_ok =
+        !ctx.cacheDir.empty() && ensureWorkerCacheDir(ctx.cacheDir);
+
+    // Heartbeats come from a dedicated thread so a long-running
+    // simulation never reads as a hang; the "hang" fault suppresses
+    // them to exercise exactly that coordinator path.
+    std::mutex hb_mutex;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    std::atomic<bool> hb_suppress{false};
+    std::thread heartbeat([&] {
+        std::unique_lock<std::mutex> lock(hb_mutex);
+        while (!hb_stop) {
+            hb_cv.wait_for(lock, std::chrono::duration<double>(
+                                     ctx.heartbeatIntervalSec));
+            if (hb_stop)
+                break;
+            if (hb_suppress.load())
+                continue;
+            t.send("{\"type\": \"heartbeat\"}");
+        }
+    });
+    auto stop_heartbeat = [&] {
+        {
+            std::lock_guard<std::mutex> lock(hb_mutex);
+            hb_stop = true;
+        }
+        hb_cv.notify_all();
+        heartbeat.join();
+    };
+
+    ServeStatus status = ServeStatus::kEof;
+    std::string payload;
+    for (;;) {
+        if (!awaitMessage(t, payload)) {
+            status = ServeStatus::kEof;
+            break;
+        }
+        JsonValue msg;
+        std::string parse_error;
+        if (!parseJson(payload, msg, parse_error)) {
+            std::fprintf(stderr, "worker: bad message: %s\n",
+                         parse_error.c_str());
+            status = ServeStatus::kDesync;
+            break;
+        }
+        const JsonValue *type = msg.find("type");
+        if (!type || type->asString() == "exit") {
+            status = ServeStatus::kExit;
+            break;
+        }
+        if (type->asString() != "job")
+            continue;
+        const JsonValue *idx = msg.find("index");
+        if (!idx || idx->asU64() >= jobs.size()) {
+            std::fprintf(stderr, "worker: job index out of range\n");
+            status = ServeStatus::kDesync;
+            break;
+        }
+        const std::size_t index = static_cast<std::size_t>(idx->asU64());
+
+        // Fault to apply on this attempt: the coordinator's directive
+        // wins; otherwise the env-var path.
+        std::string fault;
+        if (const JsonValue *f = msg.find("fault"))
+            fault = f->asString();
+        if (fault.empty() && ctx.envFaults) {
+            if (const FaultInjection *f =
+                    pickFault(*ctx.envFaults, *ctx.envFired, index))
+                fault = faultKindName(f->kind);
+        }
+        if (fault == "crash") {
+            // Die without a result or an exit frame — exactly what an
+            // OOM kill or a segfault looks like from the coordinator.
+            std::_Exit(70);
+        }
+        if (fault == "hang") {
+            // Wedge: stop heartbeating and never answer. The
+            // coordinator's heartbeat timeout must kill us.
+            hb_suppress.store(true);
+            for (;;)
+                std::this_thread::sleep_for(std::chrono::hours(1));
+        }
+        if (fault == "disconnect") {
+            // Drop the channel mid-job without a result — what a cable
+            // pull looks like. A pipe worker just exits (the
+            // coordinator sees EOF and respawns); a --worker-connect
+            // worker reconnects and rejoins as a fresh worker.
+            status = ServeStatus::kDisconnectFault;
+            break;
+        }
+        if (fault == "corrupt") {
+            // A well-formed frame whose result subtree fails
+            // readRunResult validation.
+            JsonWriter w;
+            w.beginObject();
+            w.member("type", "result");
+            w.member("index", std::uint64_t{index});
+            w.key("result").beginObject();
+            w.member("corrupt", true);
+            w.endObject();
+            w.endObject();
+            t.send(JsonWriter::compact(w.str()));
+            continue;
+        }
+
+        if (cache_ok) {
+            std::string raw;
+            if (workerCacheLookup(ctx.cacheDir, campaignJobKey(jobs[index]),
+                                  raw)) {
+                // The stored subtree carries exact doubles, so splicing
+                // it verbatim is byte-equivalent to re-simulating.
+                std::fprintf(stderr, "worker: cache hit for job %zu\n",
+                             index);
+                t.send("{\"type\": \"result\", \"index\": " +
+                       std::to_string(index) +
+                       ", \"cached\": true, \"result\": " + raw + "}");
+                continue;
+            }
+        }
+
+        try {
+            const RunResult result = executeCampaignJob(jobs[index]);
+            JsonWriter w;
+            // Exact doubles: the coordinator re-parses this into a
+            // bit-identical RunResult, so the merged report matches an
+            // in-process run byte-for-byte.
+            w.setPreciseDoubles(true);
+            w.beginObject();
+            w.member("type", "result");
+            w.member("index", std::uint64_t{index});
+            w.key("result");
+            writeRunResult(w, result);
+            w.endObject();
+            t.send(JsonWriter::compact(w.str()));
+            if (cache_ok)
+                workerCacheStore(ctx.cacheDir, jobs[index], result);
+        } catch (const std::exception &e) {
+            JsonWriter w;
+            w.beginObject();
+            w.member("type", "error");
+            w.member("index", std::uint64_t{index});
+            w.member("message", std::string(e.what()));
+            w.endObject();
+            t.send(JsonWriter::compact(w.str()));
+        }
     }
 
-  private:
-    std::mutex mutex_;
-};
+    stop_heartbeat();
+    return status;
+}
+
+/** Parse MONDRIAN_FAULT_INJECT; false (with a message) on bad grammar. */
+bool
+loadEnvFaults(std::vector<FaultInjection> &out)
+{
+    if (const char *env = std::getenv("MONDRIAN_FAULT_INJECT");
+        env && *env) {
+        std::string fault_error;
+        if (!parseFaultInject(env, out, fault_error)) {
+            std::fprintf(stderr, "worker: MONDRIAN_FAULT_INJECT: %s\n",
+                         fault_error.c_str());
+            return false;
+        }
+    }
+    return true;
+}
 
 } // namespace
 
 int
 runCampaignWorker(const std::string &spec_path,
-                  double heartbeat_interval_sec)
+                  double heartbeat_interval_sec,
+                  const std::string &cache_dir)
 {
+    // Writes to a dead coordinator must fail with EPIPE, not a signal.
+    ::signal(SIGPIPE, SIG_IGN);
+
     std::ifstream in(spec_path, std::ios::binary);
     if (!in) {
         std::fprintf(stderr, "worker: cannot open spec '%s'\n",
@@ -267,21 +554,13 @@ runCampaignWorker(const std::string &spec_path,
     }
     const std::vector<CampaignJob> jobs = expandGrid(grid);
 
-    // Standalone fault-injection path (tests, manual chaos): the same
-    // grammar as --fault-inject, scoped to this process's attempts.
     std::vector<FaultInjection> env_faults;
-    if (const char *env = std::getenv("MONDRIAN_FAULT_INJECT");
-        env && *env) {
-        std::string fault_error;
-        if (!parseFaultInject(env, env_faults, fault_error)) {
-            std::fprintf(stderr, "worker: MONDRIAN_FAULT_INJECT: %s\n",
-                         fault_error.c_str());
-            return 2;
-        }
-    }
+    if (!loadEnvFaults(env_faults))
+        return 2;
     std::vector<bool> env_fired(env_faults.size(), false);
 
-    FrameSender sender;
+    PipeTransport t(Transport::Role::kWorker, STDIN_FILENO, STDOUT_FILENO,
+                    false);
     {
         JsonWriter w;
         w.beginObject();
@@ -289,144 +568,172 @@ runCampaignWorker(const std::string &spec_path,
         w.member("pid", std::uint64_t(::getpid()));
         w.member("jobs", std::uint64_t{jobs.size()});
         w.endObject();
-        sender.send(JsonWriter::compact(w.str()));
+        t.send(JsonWriter::compact(w.str()));
     }
 
-    // Heartbeats come from a dedicated thread so a long-running
-    // simulation never reads as a hang; the "hang" fault suppresses
-    // them to exercise exactly that coordinator path.
-    std::mutex hb_mutex;
-    std::condition_variable hb_cv;
-    bool hb_stop = false;
-    std::atomic<bool> hb_suppress{false};
-    std::thread heartbeat([&] {
-        std::unique_lock<std::mutex> lock(hb_mutex);
-        while (!hb_stop) {
-            hb_cv.wait_for(lock, std::chrono::duration<double>(
-                                     heartbeat_interval_sec));
-            if (hb_stop)
-                break;
-            if (hb_suppress.load())
-                continue;
-            JsonWriter w;
-            w.beginObject();
-            w.member("type", "heartbeat");
-            w.endObject();
-            sender.send(JsonWriter::compact(w.str()));
+    ServeContext ctx;
+    ctx.jobs = &jobs;
+    ctx.heartbeatIntervalSec = heartbeat_interval_sec;
+    ctx.cacheDir = cache_dir;
+    ctx.envFaults = &env_faults;
+    ctx.envFired = &env_fired;
+    serveCampaignJobs(t, ctx);
+    return 0;
+}
+
+int
+runConnectWorker(const std::string &endpoint_spec,
+                 const ConnectWorkerOptions &options)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+
+    Endpoint ep;
+    std::string error;
+    if (!parseEndpoint(endpoint_spec, ep, error)) {
+        std::fprintf(stderr, "worker: %s\n", error.c_str());
+        return 2;
+    }
+
+    std::vector<FaultInjection> env_faults;
+    if (!loadEnvFaults(env_faults))
+        return 2;
+    std::vector<bool> env_fired(env_faults.size(), false);
+
+    // Consecutive connect/rejoin failures; reset by a successful join so
+    // a long campaign tolerates any number of isolated drops.
+    unsigned failures = 0;
+    auto fail_retry = [&](const std::string &why) -> bool {
+        ++failures;
+        if (failures > options.reconnectAttempts) {
+            std::fprintf(stderr, "worker: %s; giving up after %u "
+                         "consecutive failures\n", why.c_str(), failures);
+            return false;
         }
-    });
-    auto stop_heartbeat = [&] {
-        {
-            std::lock_guard<std::mutex> lock(hb_mutex);
-            hb_stop = true;
-        }
-        hb_cv.notify_all();
-        heartbeat.join();
+        const double backoff = failures * options.reconnectBackoffSec;
+        std::fprintf(stderr, "worker: %s; retrying in %.1fs (%u/%u)\n",
+                     why.c_str(), backoff, failures,
+                     options.reconnectAttempts);
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        return true;
     };
 
-    std::string line;
-    while (std::getline(std::cin, line)) {
-        if (line.find_first_not_of(" \t\r") == std::string::npos)
+    std::vector<CampaignJob> jobs;
+    for (;;) {
+        Socket conn = Socket::connect(ep, error);
+        if (!conn.valid()) {
+            if (!fail_retry(error))
+                return kExitNetwork;
             continue;
+        }
+        TcpTransport t(std::move(conn));
+
+        // ---- handshake: hello(token) -> spec -> ready(job count)
+        {
+            JsonWriter w;
+            w.beginObject();
+            w.member("type", "hello");
+            w.member("pid", std::uint64_t(::getpid()));
+            w.member("token", options.helloToken);
+            w.endObject();
+            if (!t.send(JsonWriter::compact(w.str()))) {
+                if (!fail_retry("connection dropped during hello"))
+                    return kExitNetwork;
+                continue;
+            }
+        }
+
+        std::string payload;
+        if (!awaitMessage(t, payload)) {
+            if (!fail_retry("connection dropped before the campaign spec "
+                            "arrived"))
+                return kExitNetwork;
+            continue;
+        }
         JsonValue msg;
-        std::string parse_error;
-        if (!parseJson(line, msg, parse_error)) {
-            std::fprintf(stderr, "worker: bad message: %s\n",
-                         parse_error.c_str());
-            break;
+        if (!parseJson(payload, msg, error)) {
+            std::fprintf(stderr, "worker: bad handshake message: %s\n",
+                         error.c_str());
+            return kExitNetwork;
         }
         const JsonValue *type = msg.find("type");
-        if (!type || type->asString() == "exit")
-            break;
-        if (type->asString() != "job")
-            continue;
-        const JsonValue *idx = msg.find("index");
-        if (!idx || idx->asU64() >= jobs.size()) {
-            std::fprintf(stderr, "worker: job index out of range\n");
-            break;
+        const std::string kind = type ? type->asString() : "";
+        if (kind == "reject") {
+            const JsonValue *reason = msg.find("reason");
+            std::fprintf(stderr, "worker: coordinator rejected us: %s\n",
+                         reason ? reason->asString().c_str()
+                                : "no reason given");
+            return kExitNetwork; // final: a retry would be rejected too
         }
-        const std::size_t index =
-            static_cast<std::size_t>(idx->asU64());
+        if (kind != "spec") {
+            std::fprintf(stderr, "worker: expected a spec message, got "
+                         "'%s'\n", kind.c_str());
+            return kExitNetwork;
+        }
+        const JsonValue *spec_text = msg.find("spec");
+        const JsonValue *hb = msg.find("heartbeat_interval");
+        CampaignGrid grid;
+        if (!spec_text || !spec_text->isString() ||
+            !parseCampaignSpec(spec_text->asString(), grid, error) ||
+            !validateGrid(grid, error)) {
+            std::fprintf(stderr, "worker: bad campaign spec over the "
+                         "wire: %s\n", error.c_str());
+            return kExitNetwork;
+        }
+        jobs = expandGrid(grid);
 
-        // Fault to apply on this attempt: the coordinator's directive
-        // wins; otherwise the env-var path.
-        std::string fault;
-        if (const JsonValue *f = msg.find("fault"))
-            fault = f->asString();
-        if (fault.empty()) {
-            if (const FaultInjection *f =
-                    pickFault(env_faults, env_fired, index))
-                fault = faultKindName(f->kind);
-        }
-        if (fault == "crash") {
-            // Die without a result or an exit frame — exactly what an
-            // OOM kill or a segfault looks like from the coordinator.
-            std::_Exit(70);
-        }
-        if (fault == "hang") {
-            // Wedge: stop heartbeating and never answer. The
-            // coordinator's heartbeat timeout must kill us.
-            hb_suppress.store(true);
-            for (;;)
-                std::this_thread::sleep_for(std::chrono::hours(1));
-        }
-        if (fault == "corrupt") {
-            // A well-formed frame whose result subtree fails
-            // readRunResult validation.
+        {
             JsonWriter w;
             w.beginObject();
-            w.member("type", "result");
-            w.member("index", std::uint64_t{index});
-            w.key("result").beginObject();
-            w.member("corrupt", true);
+            w.member("type", "ready");
+            w.member("jobs", std::uint64_t{jobs.size()});
             w.endObject();
-            w.endObject();
-            sender.send(JsonWriter::compact(w.str()));
-            continue;
+            if (!t.send(JsonWriter::compact(w.str()))) {
+                if (!fail_retry("connection dropped during the ready "
+                                "reply"))
+                    return kExitNetwork;
+                continue;
+            }
         }
+        std::fprintf(stderr, "worker: joined %s (%zu jobs in the grid)\n",
+                     ep.name().c_str(), jobs.size());
+        failures = 0;
 
-        try {
-            const RunResult result = executeCampaignJob(jobs[index]);
-            JsonWriter w;
-            // Exact doubles: the coordinator re-parses this into a
-            // bit-identical RunResult, so the merged report matches an
-            // in-process run byte-for-byte.
-            w.setPreciseDoubles(true);
-            w.beginObject();
-            w.member("type", "result");
-            w.member("index", std::uint64_t{index});
-            w.key("result");
-            writeRunResult(w, result);
-            w.endObject();
-            sender.send(JsonWriter::compact(w.str()));
-        } catch (const std::exception &e) {
-            JsonWriter w;
-            w.beginObject();
-            w.member("type", "error");
-            w.member("index", std::uint64_t{index});
-            w.member("message", std::string(e.what()));
-            w.endObject();
-            sender.send(JsonWriter::compact(w.str()));
-        }
+        ServeContext ctx;
+        ctx.jobs = &jobs;
+        ctx.heartbeatIntervalSec =
+            hb && hb->isNumber() ? hb->asDouble() : 1.0;
+        ctx.cacheDir = options.cacheDir;
+        ctx.envFaults = &env_faults;
+        ctx.envFired = &env_fired;
+        const ServeStatus st = serveCampaignJobs(t, ctx);
+        t.close();
+        if (st == ServeStatus::kExit)
+            return 0; // orderly campaign end
+        const char *why = st == ServeStatus::kDisconnectFault
+                              ? "injected disconnect fault"
+                              : "connection to the coordinator lost";
+        if (!fail_retry(why))
+            return kExitNetwork;
     }
-
-    stop_heartbeat();
-    return 0;
 }
 
 // ------------------------------------------------------------- coordinator
 
 namespace {
 
-struct WorkerProc
+/** One worker channel — a local subprocess over pipes or a remote TCP
+ *  connection; the event loop treats them uniformly via Transport. */
+struct WorkerChan
 {
     unsigned id = 0;
-    pid_t pid = -1;
-    int in = -1;  ///< coordinator -> worker stdin
-    int out = -1; ///< worker stdout -> coordinator
-    std::string buf;
+    std::unique_ptr<Transport> transport;
+    pid_t pid = -1; ///< local subprocess pid; -1 for remote workers
+    bool remote = false;
     bool alive = false;
     bool hello = false;
+    /** Assignable: local workers from spawn, remote workers only after
+     *  the hello/spec/ready handshake completed. */
+    bool ready = false;
     double lastSeen = 0.0;
     double jobStart = 0.0;
     std::ptrdiff_t job = -1; ///< assigned grid index, -1 when idle
@@ -463,12 +770,42 @@ struct SpecFile
 
 } // namespace
 
+bool
+CampaignCoordinator::listen(std::string &error)
+{
+    if (config_.listenEndpoint.empty() || listenSocket_.valid())
+        return true;
+    Endpoint ep;
+    if (!parseEndpoint(config_.listenEndpoint, ep, error))
+        return false;
+    Socket s = Socket::listen(ep, error);
+    if (!s.valid() || !s.setNonBlocking(error))
+        return false;
+    listenSocket_ = std::move(s);
+    inform("coordinator: listening for remote workers on %s (port %u)",
+           ep.name().c_str(), unsigned{listenSocket_.localPort()});
+    return true;
+}
+
+std::uint16_t
+CampaignCoordinator::listenPort() const
+{
+    return listenSocket_.valid() ? listenSocket_.localPort() : 0;
+}
+
 CampaignReport
 CampaignCoordinator::run()
 {
     std::string grid_error;
     if (!validateGrid(grid_, grid_error))
         throw std::invalid_argument("invalid campaign grid: " + grid_error);
+
+    if (!config_.listenEndpoint.empty() && !listenSocket_.valid()) {
+        std::string listen_error;
+        if (!listen(listen_error))
+            throw std::runtime_error(listen_error);
+    }
+    const bool listening = listenSocket_.valid();
 
     const std::vector<CampaignJob> jobs = expandGrid(grid_);
 
@@ -483,11 +820,7 @@ CampaignCoordinator::run()
     for (const CampaignJob &job : jobs) {
         if (resume_) {
             const ResumeCache::Entry *hit =
-                resume_->find(ResumeCache::gridPointHash(
-                    systemKindName(job.system),
-                    scenarioIdentity(job.scenario), job.log2Tuples,
-                    job.seed, job.zipfTheta, job.geometry, job.exec,
-                    job.traffic.name()));
+                resume_->find(campaignJobKey(job));
             if (hit) {
                 CampaignRun &slot = report.runs[job.index];
                 slot.result = hit->result;
@@ -576,10 +909,18 @@ CampaignCoordinator::run()
             report.aborted = true;
     };
 
+    // Nothing to run workers with and nobody to wait for: execute
+    // in-process rather than spinning forever.
+    if (!listening && config_.workers == 0) {
+        run_inline();
+        return finalize();
+    }
+
     // --------------------------------------------------- spawn machinery
+    const std::string spec_json = campaignSpecJson(grid_);
     std::string spec_error;
     SpecFile spec;
-    if (!spec.create(campaignSpecJson(grid_), spec_error))
+    if (!spec.create(spec_json, spec_error))
         throw std::runtime_error(spec_error);
 
     std::vector<std::string> argv_prefix = config_.workerCommand;
@@ -590,6 +931,10 @@ CampaignCoordinator::run()
     std::vector<std::string> argv_tail = {
         "--worker", spec.path, "--heartbeat-interval",
         JsonWriter::doubleString(hb_interval)};
+    if (!config_.workerCacheDir.empty()) {
+        argv_tail.push_back("--worker-cache");
+        argv_tail.push_back(config_.workerCacheDir);
+    }
 
     // A write to a freshly dead worker must fail with EPIPE, not kill
     // the coordinator.
@@ -597,7 +942,7 @@ CampaignCoordinator::run()
     ignore_pipe.sa_handler = SIG_IGN;
     ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
 
-    std::vector<WorkerProc> workers;
+    std::vector<WorkerChan> workers;
     unsigned next_worker_id = 0;
     bool any_hello_ever = false;
     unsigned no_hello_deaths = 0;
@@ -644,33 +989,29 @@ CampaignCoordinator::run()
         ::close(to_child[0]);
         ::close(from_child[1]);
         ::fcntl(from_child[0], F_SETFL, O_NONBLOCK);
-        WorkerProc w;
+        WorkerChan w;
         w.id = next_worker_id++;
         w.pid = pid;
-        w.in = to_child[1];
-        w.out = from_child[0];
+        w.transport = std::make_unique<PipeTransport>(
+            Transport::Role::kCoordinator, from_child[0], to_child[1],
+            true);
         w.alive = true;
+        w.ready = true; // pipe workers are assignable from spawn
         w.lastSeen = monotonicSeconds();
-        workers.push_back(w);
+        workers.push_back(std::move(w));
         return true;
     };
 
-    auto close_worker_fds = [](WorkerProc &w) {
-        if (w.in >= 0)
-            ::close(w.in);
-        if (w.out >= 0)
-            ::close(w.out);
-        w.in = w.out = -1;
-    };
-
-    auto reap_worker = [&](WorkerProc &w) {
+    auto reap_worker = [&](WorkerChan &w) {
         if (w.pid > 0) {
             ::kill(w.pid, SIGKILL);
             ::waitpid(w.pid, nullptr, 0);
             w.pid = -1;
         }
-        close_worker_fds(w);
+        if (w.transport)
+            w.transport->close();
         w.alive = false;
+        w.ready = false;
     };
 
     auto attempt_failed = [&](std::size_t index, const std::string &why) {
@@ -691,11 +1032,18 @@ CampaignCoordinator::run()
         }
     };
 
-    auto worker_lost = [&](WorkerProc &w, const std::string &why) {
+    auto worker_lost = [&](WorkerChan &w, const std::string &why) {
+        // Only local subprocess deaths feed the degradation counters: a
+        // remote worker dropping off the network says nothing about
+        // whether THIS host can run workers.
+        const bool local = !w.remote;
+        const bool had_hello = w.hello;
         reap_worker(w);
-        ++consecutive_failures;
-        if (!w.hello)
-            ++no_hello_deaths;
+        if (local) {
+            ++consecutive_failures;
+            if (!had_hello)
+                ++no_hello_deaths;
+        }
         if (w.job >= 0) {
             attempt_failed(static_cast<std::size_t>(w.job),
                            "worker " + std::to_string(w.id) + " " + why);
@@ -712,7 +1060,7 @@ CampaignCoordinator::run()
         const double t = monotonicSeconds();
 
         // Kill wedged or overrunning workers.
-        for (WorkerProc &w : workers) {
+        for (WorkerChan &w : workers) {
             if (!w.alive)
                 continue;
             if (w.job >= 0 && t - w.jobStart > config_.jobTimeoutSec) {
@@ -729,42 +1077,56 @@ CampaignCoordinator::run()
         }
 
         // Unusable-population safety nets -> degrade to in-process.
-        if (!any_hello_ever && no_hello_deaths >= config_.workers) {
-            warn("coordinator: workers cannot spawn (%u died before "
-                 "hello); degrading to in-process execution",
-                 no_hello_deaths);
-            degraded = true;
+        // Disabled while listening: with remote workers expected, the
+        // right behavior is to keep waiting for them, not to silently
+        // run the campaign on the coordinator host.
+        if (!listening) {
+            if (!any_hello_ever && config_.workers > 0 &&
+                no_hello_deaths >= config_.workers) {
+                warn("coordinator: workers cannot spawn (%u died before "
+                     "hello); degrading to in-process execution",
+                     no_hello_deaths);
+                degraded = true;
+            }
+            if (consecutive_failures >
+                config_.workers * (config_.maxRetries + 1) + 4) {
+                warn("coordinator: %u consecutive worker failures; "
+                     "degrading to in-process execution",
+                     consecutive_failures);
+                degraded = true;
+            }
+            if (degraded)
+                break;
         }
-        if (consecutive_failures >
-            config_.workers * (config_.maxRetries + 1) + 4) {
-            warn("coordinator: %u consecutive worker failures; "
-                 "degrading to in-process execution",
-                 consecutive_failures);
-            degraded = true;
-        }
-        if (degraded)
-            break;
 
-        // Keep the population at min(workers, outstanding jobs).
+        // Keep the LOCAL population at min(workers, outstanding jobs);
+        // remote workers add capacity beyond that.
         const std::size_t outstanding = target - completed - failed;
-        std::size_t alive = 0;
-        for (const WorkerProc &w : workers)
-            alive += w.alive ? 1 : 0;
-        while (alive < std::min<std::size_t>(config_.workers, outstanding)) {
+        std::size_t local_alive = 0;
+        for (const WorkerChan &w : workers)
+            local_alive += (w.alive && !w.remote) ? 1 : 0;
+        while (local_alive <
+               std::min<std::size_t>(config_.workers, outstanding)) {
             if (!spawn_worker()) {
+                if (listening) {
+                    warn("coordinator: cannot spawn local worker (%s); "
+                         "relying on remote workers",
+                         std::strerror(errno));
+                    break;
+                }
                 warn("coordinator: cannot spawn worker (%s); degrading "
                      "to in-process execution", std::strerror(errno));
                 degraded = true;
                 break;
             }
-            ++alive;
+            ++local_alive;
         }
         if (degraded)
             break;
 
         // Assign ready pending jobs to idle workers.
-        for (WorkerProc &w : workers) {
-            if (!w.alive || w.job >= 0 || pending.empty())
+        for (WorkerChan &w : workers) {
+            if (!w.alive || !w.ready || w.job >= 0 || pending.empty())
                 continue;
             // Jobs in backoff stay queued until their readyAt passes.
             auto ready = pending.end();
@@ -789,7 +1151,7 @@ CampaignCoordinator::run()
             msg.endObject();
             w.job = static_cast<std::ptrdiff_t>(index);
             w.jobStart = t;
-            if (!writeAll(w.in, JsonWriter::compact(msg.str()) + "\n")) {
+            if (!w.transport->send(JsonWriter::compact(msg.str()))) {
                 // Dead before the assignment landed: requeue with no
                 // attempt penalty, recycle the worker.
                 w.job = -1;
@@ -800,11 +1162,15 @@ CampaignCoordinator::run()
 
         // Wait for worker traffic (bounded so timeouts/abort stay live).
         std::vector<pollfd> fds;
-        std::vector<std::size_t> fd_worker;
+        std::vector<std::size_t> fd_worker; // SIZE_MAX = the listener
+        if (listening) {
+            fds.push_back({listenSocket_.fd(), POLLIN, 0});
+            fd_worker.push_back(SIZE_MAX);
+        }
         for (std::size_t i = 0; i < workers.size(); ++i) {
             if (!workers[i].alive)
                 continue;
-            fds.push_back({workers[i].out, POLLIN, 0});
+            fds.push_back({workers[i].transport->fd(), POLLIN, 0});
             fd_worker.push_back(i);
         }
         if (fds.empty())
@@ -814,29 +1180,46 @@ CampaignCoordinator::run()
         for (std::size_t i = 0; i < fds.size(); ++i) {
             if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
                 continue;
-            WorkerProc &w = workers[fd_worker[i]];
-            bool eof = false;
-            char chunk[65536];
-            for (;;) {
-                const ssize_t n = ::read(w.out, chunk, sizeof(chunk));
-                if (n > 0) {
-                    w.buf.append(chunk, static_cast<std::size_t>(n));
-                    continue;
+            if (fd_worker[i] == SIZE_MAX) {
+                // Accept every pending remote connection; each is a new
+                // worker that must still pass the hello handshake.
+                for (;;) {
+                    std::string accept_error;
+                    Socket conn = listenSocket_.accept(accept_error);
+                    if (!conn.valid()) {
+                        if (!accept_error.empty())
+                            warn("coordinator: %s", accept_error.c_str());
+                        break;
+                    }
+                    std::string nb_error;
+                    if (!conn.setNonBlocking(nb_error)) {
+                        warn("coordinator: dropping connection: %s",
+                             nb_error.c_str());
+                        continue;
+                    }
+                    WorkerChan w;
+                    w.id = next_worker_id++;
+                    w.remote = true;
+                    w.alive = true;
+                    w.transport =
+                        std::make_unique<TcpTransport>(std::move(conn));
+                    w.lastSeen = monotonicSeconds();
+                    inform("coordinator: remote worker %u connected",
+                           w.id);
+                    workers.push_back(std::move(w));
                 }
-                if (n == 0) {
-                    eof = true;
-                    break;
-                }
-                if (errno == EINTR)
-                    continue;
-                break; // EAGAIN: drained
+                continue;
             }
+            WorkerChan &w = workers[fd_worker[i]];
+            const Transport::Pump pumped = w.transport->pump();
+            const bool gone = pumped == Transport::Pump::kEof ||
+                              pumped == Transport::Pump::kError;
 
-            // Parse every complete frame.
-            bool desync = false;
+            // Parse every complete message.
+            bool desync = false, rejected = false;
             std::string payload;
             int st;
-            while ((st = nextFrame(w.buf, payload)) == 1) {
+            while ((st = w.transport->next(payload)) == 1) {
                 JsonValue msg;
                 std::string parse_error;
                 if (!parseJson(payload, msg, parse_error)) {
@@ -847,8 +1230,50 @@ CampaignCoordinator::run()
                 const std::string kind = type ? type->asString() : "";
                 w.lastSeen = monotonicSeconds();
                 if (kind == "hello") {
-                    w.hello = true;
-                    any_hello_ever = true;
+                    if (w.remote) {
+                        const JsonValue *tok = msg.find("token");
+                        const std::string token =
+                            tok && tok->isString() ? tok->asString() : "";
+                        if (token != config_.helloToken) {
+                            warn("coordinator: remote worker %u sent a "
+                                 "bad hello token; rejecting it", w.id);
+                            w.transport->send(
+                                "{\"type\": \"reject\", \"reason\": "
+                                "\"bad hello token\"}");
+                            rejected = true;
+                            break;
+                        }
+                        w.hello = true;
+                        any_hello_ever = true;
+                        // A remote worker has no spec file: ship the
+                        // spec (and the beat period) over the wire.
+                        JsonWriter sm;
+                        sm.beginObject();
+                        sm.member("type", "spec");
+                        sm.member("spec", spec_json);
+                        sm.member("heartbeat_interval", hb_interval);
+                        sm.endObject();
+                        if (!w.transport->send(
+                                JsonWriter::compact(sm.str()))) {
+                            desync = true;
+                            break;
+                        }
+                    } else {
+                        w.hello = true;
+                        any_hello_ever = true;
+                    }
+                } else if (kind == "ready") {
+                    // The worker expanded the spec we shipped; a job
+                    // count mismatch means we would be assigning indices
+                    // into a DIFFERENT grid — never assign to it.
+                    const JsonValue *count = msg.find("jobs");
+                    if (!w.remote || !count ||
+                        count->asU64() != jobs.size()) {
+                        desync = true;
+                        break;
+                    }
+                    w.ready = true;
+                    inform("coordinator: remote worker %u ready", w.id);
                 } else if (kind == "heartbeat") {
                     // lastSeen refresh above is the whole point
                 } else if (kind == "result" || kind == "error") {
@@ -876,6 +1301,10 @@ CampaignCoordinator::run()
                         attempt_failed(index, "corrupt result frame");
                         continue;
                     }
+                    const JsonValue *cached = msg.find("cached");
+                    if (cached && cached->kind == JsonValue::Kind::kBool &&
+                        cached->boolean)
+                        ++report.workerCacheHits;
                     report.runs[index].result = std::move(parsed);
                     consecutive_failures = 0;
                     run_done(index);
@@ -886,34 +1315,45 @@ CampaignCoordinator::run()
             }
             if (st < 0)
                 desync = true;
+            if (rejected) {
+                // Not a worker failure: it never held a job, and its
+                // death must not feed the degradation counters.
+                reap_worker(w);
+                continue;
+            }
             if (desync) {
                 warn("coordinator: worker %u broke the frame protocol; "
-                     "killing it", w.id);
+                     "dropping it", w.id);
                 worker_lost(w, "broke the frame protocol");
                 continue;
             }
-            if (eof)
-                worker_lost(w, "exited unexpectedly");
+            if (gone)
+                worker_lost(w, w.remote ? "disconnected"
+                                        : "exited unexpectedly");
         }
     }
 
     // ------------------------------------------------------- shutdown
-    for (WorkerProc &w : workers) {
-        if (!w.alive)
+    for (WorkerChan &w : workers) {
+        if (!w.alive || !w.transport)
             continue;
-        writeAll(w.in, "{\"type\": \"exit\"}\n");
-        if (w.in >= 0) {
-            ::close(w.in);
-            w.in = -1;
-        }
+        w.transport->send("{\"type\": \"exit\"}");
+        w.transport->shutdownSend();
     }
     const double shutdown_start = monotonicSeconds();
-    for (WorkerProc &w : workers) {
+    for (WorkerChan &w : workers) {
+        if (w.remote) {
+            if (w.alive) {
+                w.transport->close();
+                w.alive = false;
+            }
+            continue;
+        }
         while (w.alive && w.pid > 0) {
             const pid_t r = ::waitpid(w.pid, nullptr, WNOHANG);
             if (r == w.pid || (r < 0 && errno == ECHILD)) {
                 w.pid = -1;
-                close_worker_fds(w);
+                w.transport->close();
                 w.alive = false;
                 break;
             }

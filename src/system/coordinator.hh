@@ -2,43 +2,52 @@
  * @file
  * CampaignCoordinator: fault-tolerant distributed campaign execution.
  *
- * The coordinator shards an expanded campaign grid across local worker
- * subprocesses (`mondrian_campaign --worker <campaign.json>`), assigns
- * jobs dynamically (pull-based: an idle worker gets the next pending
- * grid index), and merges results by grid index — never completion
- * order — so the merged report is byte-identical to the same grid run
- * in-process with any `--jobs` value.
+ * The coordinator shards an expanded campaign grid across workers —
+ * local subprocesses (`mondrian_campaign --worker <campaign.json>`) and,
+ * with `--listen HOST:PORT`, remote TCP workers that dial in
+ * (`mondrian_campaign --worker-connect HOST:PORT`). Jobs are assigned
+ * dynamically (pull-based: an idle worker gets the next pending grid
+ * index), and results merge by grid index — never completion order — so
+ * the merged report is byte-identical to the same grid run in-process
+ * with any `--jobs` value, whatever mix of transports carried it.
  *
- * Wire protocol (docs/distributed.md has the full description):
- *  - coordinator -> worker stdin: newline-delimited compact JSON
- *    messages: {"type": "job", "index": N[, "fault": "..."]} and
- *    {"type": "exit"}.
- *  - worker stdout -> coordinator: length-prefixed frames
- *    "<decimal payload length>\n<payload>\n", payload a compact JSON
- *    message: hello, heartbeat, result (with an exact-double RunResult
- *    subtree), or error.
+ * Wire protocol (docs/distributed.md has the full description): the
+ * protocol MESSAGES are transport-agnostic; the framing comes from
+ * src/net/transport.hh. Over pipes, commands are newline-delimited
+ * compact JSON on worker stdin and replies are length-prefixed frames
+ * on worker stdout (the PR 7 format, unchanged). Over TCP, both
+ * directions carry CRC32-checked frames, and the handshake grows two
+ * messages: the worker's hello carries a shared-secret token
+ * (`--hello-token`), and the coordinator answers with the campaign spec
+ * inline (a remote worker has no spec file) plus the heartbeat
+ * interval; the worker replies "ready" with its expanded job count.
  *
  * Failure model — every failure mode maps to a bounded retry:
- *  - worker crash (EOF/death): its in-flight job is requeued with
- *    backoff; a replacement worker is spawned.
+ *  - worker crash (EOF/death) or mid-frame disconnect: its in-flight
+ *    job is requeued with backoff; local workers are respawned, remote
+ *    workers may reconnect and rejoin as fresh workers.
  *  - worker hang (no heartbeat for heartbeatTimeoutSec, or a job
- *    exceeding jobTimeoutSec): the worker is SIGKILLed, the job
- *    requeued, a replacement spawned.
- *  - corrupt result (frame parses, RunResult doesn't): counted as a
- *    failed attempt, job requeued.
+ *    exceeding jobTimeoutSec): the worker is killed (SIGKILL locally,
+ *    connection dropped remotely), the job requeued.
+ *  - corrupt result (frame parses, RunResult doesn't) or a CRC
+ *    mismatch / short read / framing violation on the channel: counted
+ *    as a failed attempt, job requeued, channel dropped.
  *  - a job failing more than maxRetries times is marked permanently
  *    failed: the campaign continues, the report lists it under
  *    "failed_runs", and the process exits non-zero.
- *  - workers that die before ever saying hello (bad binary, exec
- *    failure) trip graceful degradation: the remaining jobs run
- *    in-process on the thread pool instead.
+ *  - local workers that die before ever saying hello (bad binary, exec
+ *    failure) trip graceful degradation to in-process execution —
+ *    unless the coordinator is listening for remote workers, in which
+ *    case it keeps waiting for them instead of silently running local.
  *
  * Determinism: workers serialize RunResult JSON with exact (shortest
  * round-trip) doubles; the coordinator parses them back into bit-exact
  * RunResults and the ordinary report writer re-emits the canonical
  * 12-digit form — so a campaign that crashed, hung, retried and
  * reassigned still produces the byte-identical report, which is the
- * chaos oracle CI enforces.
+ * chaos oracle CI enforces. Worker-side result caching (`--worker-cache
+ * DIR`) rides on the same property: a cached result is the stored
+ * exact-double JSON, so a warm re-dispatch splices byte-identically.
  */
 
 #ifndef MONDRIAN_SYSTEM_COORDINATOR_HH
@@ -46,13 +55,23 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "net/socket.hh"
 #include "system/campaign.hh"
 
 namespace mondrian {
+
+/**
+ * Exit code for network-setup and handshake failures (bind/listen
+ * failed, connect refused after retries, hello token rejected) —
+ * distinct from the 0/1/2/3/4 campaign exit-code contract so scripts
+ * can tell "the campaign failed" from "the campaign never formed".
+ */
+constexpr int kExitNetwork = 5;
 
 /**
  * One deterministic fault to inject, for tests and CI chaos runs.
@@ -66,9 +85,11 @@ struct FaultInjection
 {
     enum class Kind
     {
-        kCrash,  ///< worker exits without a result
-        kHang,   ///< worker wedges and stops heartbeating
-        kCorrupt ///< worker emits a well-formed frame with garbage result
+        kCrash,      ///< worker exits without a result
+        kHang,       ///< worker wedges and stops heartbeating
+        kCorrupt,    ///< worker emits a well-formed frame with garbage result
+        kDisconnect, ///< worker drops its channel mid-job (then a
+                     ///< --worker-connect worker reconnects and rejoins)
     };
 
     Kind kind = Kind::kCrash;
@@ -80,8 +101,8 @@ const char *faultKindName(FaultInjection::Kind kind);
 
 /**
  * Parse a --fault-inject spec: comma-separated `kind@index` items with
- * kind in {crash, hang, corrupt} and an optional `!` suffix for sticky
- * faults, e.g. "crash@2,hang@5,corrupt@1" or "crash@0!".
+ * kind in {crash, hang, corrupt, disconnect} and an optional `!` suffix
+ * for sticky faults, e.g. "crash@2,hang@5,corrupt@1" or "crash@0!".
  * @return false with @p error set on malformed specs.
  */
 bool parseFaultInject(const std::string &spec,
@@ -90,11 +111,31 @@ bool parseFaultInject(const std::string &spec,
 /** Knobs of a coordinator run (CLI flags of the same names). */
 struct CoordinatorConfig
 {
-    unsigned workers = 2;            ///< worker subprocesses to keep alive
+    unsigned workers = 2;            ///< local worker subprocesses to keep alive
     double jobTimeoutSec = 600.0;    ///< per-attempt wall-clock budget
     double heartbeatTimeoutSec = 30.0; ///< silence before a kill
     unsigned maxRetries = 2;         ///< attempts per job = 1 + maxRetries
     double retryBackoffSec = 0.1;    ///< backoff = attempt * this
+    /**
+     * HOST:PORT to accept remote `--worker-connect` workers on; empty =
+     * local subprocess workers only. With a listen endpoint and
+     * workers == 0 the campaign is remote-only and waits for workers to
+     * dial in.
+     */
+    std::string listenEndpoint;
+    /**
+     * Shared secret remote hellos must present; a mismatch gets a
+     * reject message and a closed connection. Empty accepts only
+     * token-less (or empty-token) hellos — fine on a trusted loopback,
+     * set one for anything cross-machine.
+     */
+    std::string helloToken;
+    /**
+     * Result-cache directory forwarded to spawned local workers as
+     * `--worker-cache DIR` (remote workers configure their own). Empty
+     * = no cache.
+     */
+    std::string workerCacheDir;
     /**
      * argv prefix of the worker binary; "--worker <spec>" plus the
      * heartbeat interval are appended. Empty = this executable
@@ -123,7 +164,7 @@ planShards(const std::vector<std::size_t> &indices, unsigned workers);
 std::string shardPlanListing(const CampaignGrid &grid, unsigned workers,
                              const ResumeCache *resume = nullptr);
 
-/** Runs a campaign grid across worker subprocesses (see file header). */
+/** Runs a campaign grid across workers (see file header). */
 class CampaignCoordinator
 {
   public:
@@ -133,10 +174,24 @@ class CampaignCoordinator
     {}
 
     /**
+     * Bind the remote-worker listener on config.listenEndpoint (no-op
+     * when the endpoint is empty). Callable before run() so CLI/test
+     * callers can map a bind failure to kExitNetwork and read the
+     * actual port of a port-0 bind via listenPort().
+     * @return false with @p error set when the endpoint is malformed or
+     * the bind/listen fails.
+     */
+    bool listen(std::string &error);
+
+    /** Bound listener port (0 when not listening). */
+    std::uint16_t listenPort() const;
+
+    /**
      * Execute the campaign. Blocks until every job completed, failed
      * permanently, or an abort was requested.
      * @throw std::invalid_argument when the grid fails validateGrid().
-     * @throw std::runtime_error when the job spec cannot be written.
+     * @throw std::runtime_error when the job spec cannot be written or
+     * a configured listen endpoint cannot be bound.
      */
     CampaignReport run();
 
@@ -160,13 +215,15 @@ class CampaignCoordinator
     std::function<void(const CampaignRun &)> progress_;
     const ResumeCache *resume_ = nullptr;
     const std::atomic<bool> *abort_ = nullptr;
+    Socket listenSocket_;
 };
 
 /**
  * Worker main loop (`mondrian_campaign --worker <spec>`): expand the
  * grid from @p spec_path, then serve job messages from stdin, streaming
  * heartbeats and results to stdout until an exit message or EOF.
- * @p heartbeat_interval_sec is the beat period. The
+ * @p heartbeat_interval_sec is the beat period; @p cache_dir (may be
+ * empty) enables the worker-side result cache. The
  * MONDRIAN_FAULT_INJECT environment variable (same grammar as
  * --fault-inject) injects faults on this worker's own attempts —
  * the standalone-testing path; coordinator-driven faults arrive inside
@@ -174,7 +231,35 @@ class CampaignCoordinator
  * @return the process exit code.
  */
 int runCampaignWorker(const std::string &spec_path,
-                      double heartbeat_interval_sec);
+                      double heartbeat_interval_sec,
+                      const std::string &cache_dir = std::string());
+
+/** Knobs of a `--worker-connect` remote worker. */
+struct ConnectWorkerOptions
+{
+    std::string helloToken;  ///< must match the coordinator's token
+    std::string cacheDir;    ///< worker-side result cache; empty = off
+    /** Consecutive connect/rejoin failures tolerated before giving up
+     *  (0 = exit on the first drop). A successful rejoin resets the
+     *  count, so a long campaign survives any number of isolated
+     *  disconnects. */
+    unsigned reconnectAttempts = 3;
+    double reconnectBackoffSec = 0.5; ///< backoff = attempt * this
+};
+
+/**
+ * Remote-worker main loop (`mondrian_campaign --worker-connect
+ * HOST:PORT`): dial the coordinator, present the hello token, receive
+ * the campaign spec over the wire, then serve jobs exactly as a pipe
+ * worker does. A dropped connection (coordinator kill, network fault,
+ * an injected disconnect) triggers reconnection with backoff; the
+ * rejoined connection is a brand-new worker to the coordinator. An
+ * explicit exit message or hello rejection is final (no reconnect).
+ * @return the process exit code (kExitNetwork for connect/handshake
+ * failures).
+ */
+int runConnectWorker(const std::string &endpoint_spec,
+                     const ConnectWorkerOptions &options);
 
 } // namespace mondrian
 

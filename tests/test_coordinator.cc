@@ -10,14 +10,20 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "system/campaign.hh"
 #include "system/campaign_spec.hh"
 #include "system/coordinator.hh"
 #include "system/report.hh"
 #include "system/traffic.hh"
-
-#include <string>
-#include <vector>
 
 using namespace mondrian;
 
@@ -361,4 +367,260 @@ TEST(ResumeCache, CorruptRunEntryIsSkippedOthersLoad)
     std::string error;
     ASSERT_TRUE(cache.load(report, error)) << error;
     EXPECT_EQ(cache.size(), 3u);
+}
+
+// ------------------------------------------------- remote TCP workers
+
+namespace {
+
+/** Exec a real `mondrian_campaign --worker-connect` subprocess. */
+pid_t
+spawnConnectWorker(std::uint16_t port,
+                   const std::vector<std::string> &extra = {})
+{
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        std::vector<std::string> args = {
+            kWorkerBinary, "--worker-connect",
+            "127.0.0.1:" + std::to_string(port)};
+        args.insert(args.end(), extra.begin(), extra.end());
+        std::vector<char *> argv;
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        std::_Exit(127);
+    }
+    return pid;
+}
+
+int
+waitForExit(pid_t pid)
+{
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+/** Remote-only coordinator config bound to an ephemeral loopback port. */
+CoordinatorConfig
+tcpConfig()
+{
+    CoordinatorConfig config;
+    config.workers = 0;
+    config.listenEndpoint = "127.0.0.1:0";
+    config.retryBackoffSec = 0.01;
+    return config;
+}
+
+/** mkdtemp scratch directory that removes its files on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/mondrian-test-cache-XXXXXX";
+        if (::mkdtemp(tmpl))
+            path = tmpl;
+    }
+
+    ~TempDir()
+    {
+        if (path.empty())
+            return;
+        // Entries are flat "<hash>.json" files; no recursion needed.
+        const std::string cmd = "rm -rf '" + path + "'";
+        [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+};
+
+} // namespace
+
+TEST(TcpCoordinator, RemoteWorkersMatchInProcessReportByteForByte)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+
+    CampaignCoordinator coordinator(grid, tcpConfig());
+    std::string error;
+    ASSERT_TRUE(coordinator.listen(error)) << error;
+    const std::uint16_t port = coordinator.listenPort();
+    ASSERT_NE(port, 0);
+
+    const pid_t w0 = spawnConnectWorker(port);
+    const pid_t w1 = spawnConnectWorker(port);
+
+    const CampaignReport report = coordinator.run();
+    EXPECT_TRUE(report.failedRuns.empty());
+    EXPECT_EQ(report.workerCacheHits, 0u);
+    EXPECT_EQ(campaignReportJson(report), expected);
+
+    // Orderly shutdown: both workers got the exit message and left 0.
+    EXPECT_EQ(waitForExit(w0), 0);
+    EXPECT_EQ(waitForExit(w1), 0);
+}
+
+TEST(TcpCoordinator, SurvivesCrashDisconnectAndCorruptFaults)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+
+    CoordinatorConfig config = tcpConfig();
+    std::string error;
+    ASSERT_TRUE(parseFaultInject("crash@0,disconnect@1,corrupt@2",
+                                 config.faults, error));
+    CampaignCoordinator coordinator(grid, config);
+    ASSERT_TRUE(coordinator.listen(error)) << error;
+    const std::uint16_t port = coordinator.listenPort();
+
+    // Two workers; whichever draws the crash dies for good (remote
+    // workers are not respawned by the coordinator), the disconnect
+    // victim drops mid-job and rejoins as a fresh worker.
+    const pid_t w0 = spawnConnectWorker(port);
+    const pid_t w1 = spawnConnectWorker(port);
+
+    const CampaignReport report = coordinator.run();
+    EXPECT_TRUE(report.failedRuns.empty());
+    EXPECT_EQ(campaignReportJson(report), expected);
+
+    // One worker _Exit(70)s on the crash fault; the survivor gets the
+    // orderly exit message. (Which is which depends on job scheduling.)
+    const int e0 = waitForExit(w0);
+    const int e1 = waitForExit(w1);
+    EXPECT_TRUE((e0 == 70 && e1 == 0) || (e0 == 0 && e1 == 70) ||
+                (e0 == 0 && e1 == 0))
+        << "worker exits: " << e0 << ", " << e1;
+}
+
+TEST(TcpCoordinator, RejectsWorkersWithWrongHelloToken)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+
+    CoordinatorConfig config = tcpConfig();
+    config.helloToken = "right-token";
+    CampaignCoordinator coordinator(grid, config);
+    std::string error;
+    ASSERT_TRUE(coordinator.listen(error)) << error;
+    const std::uint16_t port = coordinator.listenPort();
+
+    // The impostor is rejected (exit 5, no reconnect); the legitimate
+    // worker with the matching token completes the whole campaign.
+    const pid_t impostor =
+        spawnConnectWorker(port, {"--hello-token", "wrong-token"});
+    const pid_t legit =
+        spawnConnectWorker(port, {"--hello-token", "right-token"});
+
+    const CampaignReport report = coordinator.run();
+    EXPECT_TRUE(report.failedRuns.empty());
+    EXPECT_EQ(campaignReportJson(report), expected);
+
+    EXPECT_EQ(waitForExit(impostor), kExitNetwork);
+    EXPECT_EQ(waitForExit(legit), 0);
+}
+
+// ---------------------------------------------- worker-side result cache
+
+TEST(WorkerCache, LocalWorkersServeRepeatsWithoutResimulation)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+    TempDir cache_dir;
+    ASSERT_FALSE(cache_dir.path.empty());
+
+    // Cold pass: every job simulated, the cache populated.
+    CoordinatorConfig config = testConfig();
+    config.workerCacheDir = cache_dir.path;
+    {
+        CampaignCoordinator coordinator(grid, config);
+        const CampaignReport report = coordinator.run();
+        EXPECT_EQ(report.workerCacheHits, 0u);
+        EXPECT_EQ(campaignReportJson(report), expected);
+    }
+
+    // Warm pass: a fresh campaign over the same grid; every re-dispatch
+    // is answered from the cache, byte-identically.
+    {
+        CampaignCoordinator coordinator(grid, config);
+        const CampaignReport report = coordinator.run();
+        EXPECT_EQ(report.workerCacheHits, 4u);
+        EXPECT_EQ(campaignReportJson(report), expected);
+    }
+}
+
+TEST(WorkerCache, CorruptEntryFallsBackToSimulation)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+    TempDir cache_dir;
+    ASSERT_FALSE(cache_dir.path.empty());
+
+    CoordinatorConfig config = testConfig();
+    config.workerCacheDir = cache_dir.path;
+    {
+        CampaignCoordinator coordinator(grid, config);
+        coordinator.run();
+    }
+
+    // Truncate one entry: the worker must treat it as a miss and
+    // re-simulate, never forward garbage upstream.
+    std::vector<std::string> entries;
+    {
+        const std::string cmd =
+            "ls '" + cache_dir.path + "' > '" + cache_dir.path + "/ls'";
+        ASSERT_EQ(std::system(cmd.c_str()), 0);
+        std::ifstream ls(cache_dir.path + "/ls");
+        std::string name;
+        while (std::getline(ls, name))
+            if (name.size() > 5 &&
+                name.substr(name.size() - 5) == ".json")
+                entries.push_back(name);
+    }
+    ASSERT_EQ(entries.size(), 4u);
+    {
+        std::ofstream out(cache_dir.path + "/" + entries[0],
+                          std::ios::binary | std::ios::trunc);
+        out << "{\"key\": \"torn";
+    }
+
+    CampaignCoordinator coordinator(grid, config);
+    const CampaignReport report = coordinator.run();
+    EXPECT_EQ(report.workerCacheHits, 3u);
+    EXPECT_EQ(campaignReportJson(report), expected);
+}
+
+TEST(TcpCoordinator, WarmWorkerCacheServesRemoteRedispatch)
+{
+    const CampaignGrid grid = smallGrid();
+    const std::string expected = referenceReport(grid);
+    TempDir cache_dir;
+    ASSERT_FALSE(cache_dir.path.empty());
+
+    const std::vector<std::string> cache_args = {"--worker-cache",
+                                                 cache_dir.path};
+    // Cold TCP pass populates the cache.
+    {
+        CampaignCoordinator coordinator(grid, tcpConfig());
+        std::string error;
+        ASSERT_TRUE(coordinator.listen(error)) << error;
+        const pid_t w =
+            spawnConnectWorker(coordinator.listenPort(), cache_args);
+        const CampaignReport report = coordinator.run();
+        EXPECT_EQ(report.workerCacheHits, 0u);
+        EXPECT_EQ(campaignReportJson(report), expected);
+        EXPECT_EQ(waitForExit(w), 0);
+    }
+    // Warm TCP pass: every job a cache hit, bytes identical.
+    {
+        CampaignCoordinator coordinator(grid, tcpConfig());
+        std::string error;
+        ASSERT_TRUE(coordinator.listen(error)) << error;
+        const pid_t w =
+            spawnConnectWorker(coordinator.listenPort(), cache_args);
+        const CampaignReport report = coordinator.run();
+        EXPECT_EQ(report.workerCacheHits, 4u);
+        EXPECT_EQ(campaignReportJson(report), expected);
+        EXPECT_EQ(waitForExit(w), 0);
+    }
 }

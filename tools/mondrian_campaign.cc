@@ -41,6 +41,7 @@
 
 #include "common/file_io.hh"
 #include "common/logging.hh"
+#include "net/socket.hh"
 #include "system/campaign.hh"
 #include "system/coordinator.hh"
 #include "system/report.hh"
@@ -148,15 +149,38 @@ usage(const char *prog)
         "                         permanently failed (default: 2)\n"
         "  --fault-inject SPEC    deterministic fault injection for tests\n"
         "                         and CI chaos runs: comma-separated\n"
-        "                         kind@index, kind in {crash,hang,corrupt};\n"
-        "                         fires on the job's first attempt only\n"
-        "                         unless suffixed '!' (every attempt),\n"
-        "                         e.g. crash@2,hang@5,corrupt@1\n"
+        "                         kind@index, kind in {crash,hang,corrupt,\n"
+        "                         disconnect}; fires on the job's first\n"
+        "                         attempt only unless suffixed '!' (every\n"
+        "                         attempt), e.g. crash@2,hang@5,corrupt@1\n"
+        "\n"
+        "Remote workers (TCP; docs/distributed.md):\n"
+        "  --listen HOST:PORT     also accept remote --worker-connect\n"
+        "                         workers on HOST:PORT (port 0 = kernel-\n"
+        "                         assigned); remote workers join the same\n"
+        "                         pull-based queue, heartbeats, retries\n"
+        "                         and journal as local ones. With\n"
+        "                         --workers 0 the campaign is remote-only\n"
+        "  --hello-token T        shared secret remote workers must\n"
+        "                         present in their hello; mismatches are\n"
+        "                         rejected (default: empty)\n"
+        "  --worker-cache DIR     worker-side result cache: each worker\n"
+        "                         persists finished jobs' exact result\n"
+        "                         JSON in DIR and answers re-dispatched\n"
+        "                         grid points from it without\n"
+        "                         re-simulating (local and remote alike)\n"
+        "  --worker-connect H:P   run as a remote worker: dial a --listen\n"
+        "                         coordinator and serve jobs over TCP;\n"
+        "                         also honors --hello-token,\n"
+        "                         --worker-cache and --reconnect N (the\n"
+        "                         consecutive drop/redial budget,\n"
+        "                         default 3)\n"
         "\n"
         "Exit codes: 0 success; 1 internal error; 2 usage/config error;\n"
         "3 interrupted by SIGINT/SIGTERM (journal flushed, no report);\n"
         "4 completed with permanently failed runs (report written, see\n"
-        "its failed_runs array).\n",
+        "its failed_runs array); 5 network setup or handshake failed\n"
+        "(--listen bind, --worker-connect dial or rejected hello).\n",
         prog);
 }
 
@@ -260,11 +284,37 @@ main(int argc, char **argv)
         if (i + 1 >= argc)
             die("--worker requires a campaign.json path");
         double hb = 1.0;
+        std::string cache_dir;
         for (int j = 1; j + 1 < argc; ++j) {
             if (std::strcmp(argv[j], "--heartbeat-interval") == 0)
                 hb = std::strtod(argv[j + 1], nullptr);
+            else if (std::strcmp(argv[j], "--worker-cache") == 0)
+                cache_dir = argv[j + 1];
         }
-        return runCampaignWorker(argv[i + 1], hb > 0.0 ? hb : 1.0);
+        return runCampaignWorker(argv[i + 1], hb > 0.0 ? hb : 1.0,
+                                 cache_dir);
+    }
+
+    // Remote-worker mode: `mondrian_campaign --worker-connect HOST:PORT`
+    // dials a --listen coordinator and serves jobs over TCP, rejoining
+    // after connection drops (docs/distributed.md).
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--worker-connect") != 0)
+            continue;
+        if (i + 1 >= argc)
+            die("--worker-connect requires HOST:PORT");
+        ConnectWorkerOptions opt;
+        for (int j = 1; j + 1 < argc; ++j) {
+            if (std::strcmp(argv[j], "--hello-token") == 0) {
+                opt.helloToken = argv[j + 1];
+            } else if (std::strcmp(argv[j], "--worker-cache") == 0) {
+                opt.cacheDir = argv[j + 1];
+            } else if (std::strcmp(argv[j], "--reconnect") == 0) {
+                opt.reconnectAttempts = static_cast<unsigned>(
+                    parseU64(argv[j + 1], "--reconnect"));
+            }
+        }
+        return runConnectWorker(argv[i + 1], opt);
     }
 
     // Presets first (regardless of position), so explicit grid flags
@@ -454,6 +504,21 @@ main(int argc, char **argv)
             std::string err;
             if (!parseFaultInject(spec, coord_config.faults, err))
                 die("--fault-inject: " + err);
+        } else if (arg == "--listen") {
+            coord_config.listenEndpoint =
+                argValue(argc, argv, i, "--listen");
+            Endpoint ep;
+            std::string err;
+            if (!parseEndpoint(coord_config.listenEndpoint, ep, err))
+                die("--listen: " + err);
+        } else if (arg == "--hello-token") {
+            coord_config.helloToken =
+                argValue(argc, argv, i, "--hello-token");
+        } else if (arg == "--worker-cache") {
+            coord_config.workerCacheDir =
+                argValue(argc, argv, i, "--worker-cache");
+        } else if (arg == "--reconnect") {
+            die("--reconnect only applies to --worker-connect mode");
         } else if (arg == "--heartbeat-interval") {
             die("--heartbeat-interval is internal to --worker mode");
         } else if (arg == "--out") {
@@ -517,9 +582,18 @@ main(int argc, char **argv)
         std::string listing;
         try {
             listing = campaignDryRun(grid, have_cache ? &cache : nullptr);
-            if (workers > 0) {
+            if (workers > 0 || !coord_config.listenEndpoint.empty()) {
                 listing += "\n" + shardPlanListing(
-                    grid, workers, have_cache ? &cache : nullptr);
+                    grid, workers > 0 ? workers : 1,
+                    have_cache ? &cache : nullptr);
+            }
+            if (!coord_config.listenEndpoint.empty()) {
+                listing += "listen: " + coord_config.listenEndpoint +
+                           " (remote --worker-connect workers join the "
+                           "pull queue dynamically; hello token " +
+                           (coord_config.helloToken.empty() ? "unset"
+                                                            : "set") +
+                           ")\n";
             }
         } catch (const std::exception &e) {
             die(e.what());
@@ -536,9 +610,13 @@ main(int argc, char **argv)
         traffic_dim =
             " x " + std::to_string(grid.traffics.size()) + " traffics";
     }
-    std::string exec_mode = workers > 0
+    const bool coordinated =
+        workers > 0 || !coord_config.listenEndpoint.empty();
+    std::string exec_mode = coordinated
                                 ? "workers=" + std::to_string(workers)
                                 : "jobs=" + std::to_string(jobs);
+    if (!coord_config.listenEndpoint.empty())
+        exec_mode += ", listening on " + coord_config.listenEndpoint;
     std::fprintf(stderr,
                  "campaign: %zu runs (%zu systems x %zu scenarios x %zu "
                  "scales x %zu seeds x %zu geometries x %zu exec points x "
@@ -583,9 +661,17 @@ main(int argc, char **argv)
 
     CampaignReport report;
     try {
-        if (workers > 0) {
+        if (coordinated) {
             coord_config.workers = workers;
             CampaignCoordinator coordinator(grid, coord_config);
+            // Bind before run() so network-setup failures exit with
+            // their own code instead of reading as a campaign error.
+            std::string listen_error;
+            if (!coordinator.listen(listen_error)) {
+                std::fprintf(stderr, "mondrian_campaign: %s\n",
+                             listen_error.c_str());
+                return kExitNetwork;
+            }
             if (have_cache)
                 coordinator.setResume(&cache);
             coordinator.setAbort(&g_interrupt);
@@ -605,6 +691,12 @@ main(int argc, char **argv)
     if (report.cachedRuns > 0) {
         std::fprintf(stderr, "resume: %zu of %zu grid points reused\n",
                      report.cachedRuns, total);
+    }
+    if (report.workerCacheHits > 0) {
+        std::fprintf(stderr,
+                     "worker-cache: %zu results served from worker "
+                     "caches without re-simulation\n",
+                     report.workerCacheHits);
     }
 
     if (report.aborted) {
